@@ -1,0 +1,26 @@
+//! # qarray — array-based state-vector simulation
+//!
+//! Re-implementation of the simulation strategy of Quantum++ \[19\], the
+//! array-based baseline of the FlatDD paper: gate matrices act *locally* on
+//! a flat `2^n` amplitude array (Equations 2 and 3 of the paper), and
+//! independent amplitude pairs are partitioned across threads.
+//!
+//! * [`kernel`] — serial and multi-threaded in-place gate application with
+//!   diagonal/anti-diagonal fast paths.
+//! * [`sim`] — [`ArraySimulator`], the full-state simulator.
+//! * [`sync_slice`] — [`SyncUnsafeSlice`], the disjoint-parallel-write
+//!   primitive shared with FlatDD's DMAV kernels.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod measure;
+pub mod sim;
+pub mod sync_slice;
+
+pub use kernel::{apply_gate_parallel, apply_gate_serial};
+pub use measure::{
+    expectation, expectation_pauli, measure_qubit, qubit_probability_one, sample, sample_counts,
+};
+pub use sim::{simulate, simulate_with_threads, ArraySimulator};
+pub use sync_slice::SyncUnsafeSlice;

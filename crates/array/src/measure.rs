@@ -1,0 +1,234 @@
+//! Weak simulation on flat state vectors: sampling, marginals, measurement
+//! collapse, and Pauli expectation values — the array-engine counterpart of
+//! `qdd::sampling` / `qdd::inner`.
+
+use qcircuit::observable::{Hamiltonian, Pauli, PauliString};
+use qcircuit::Complex64;
+
+/// Draws one basis-state index from `|state|^2` via inverse-CDF search.
+/// `rand01` supplies uniforms in `[0, 1)`.
+pub fn sample(state: &[Complex64], rand01: &mut impl FnMut() -> f64) -> usize {
+    let r = rand01();
+    let mut acc = 0.0;
+    for (i, a) in state.iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    // Round-off spill: return the last non-zero index.
+    state
+        .iter()
+        .rposition(|a| !a.is_zero())
+        .expect("cannot sample the zero vector")
+}
+
+/// Draws `shots` samples and returns `(index, count)` pairs sorted by
+/// decreasing count. Precomputes the CDF once, so per-shot cost is
+/// O(log 2^n).
+pub fn sample_counts(
+    state: &[Complex64],
+    shots: usize,
+    rand01: &mut impl FnMut() -> f64,
+) -> Vec<(usize, usize)> {
+    let mut cdf = Vec::with_capacity(state.len());
+    let mut acc = 0.0;
+    for a in state {
+        acc += a.norm_sqr();
+        cdf.push(acc);
+    }
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..shots {
+        let r = rand01() * acc.min(1.0);
+        let idx = cdf.partition_point(|&c| c <= r).min(state.len() - 1);
+        *counts.entry(idx).or_insert(0usize) += 1;
+    }
+    let mut out: Vec<(usize, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Marginal probability that qubit `q` measures 1.
+pub fn qubit_probability_one(state: &[Complex64], q: usize) -> f64 {
+    let bit = 1usize << q;
+    state
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Projectively measures qubit `q` in place: draws the outcome, zeroes the
+/// other branch, renormalizes. Returns the outcome.
+pub fn measure_qubit(state: &mut [Complex64], q: usize, rand01: &mut impl FnMut() -> f64) -> bool {
+    let p1 = qubit_probability_one(state, q);
+    let outcome = rand01() < p1;
+    let prob = if outcome { p1 } else { 1.0 - p1 };
+    assert!(prob > 1e-15, "measured an impossible outcome");
+    let bit = 1usize << q;
+    let scale = 1.0 / prob.sqrt();
+    for (i, a) in state.iter_mut().enumerate() {
+        if ((i & bit) != 0) == outcome {
+            *a = *a * scale;
+        } else {
+            *a = Complex64::ZERO;
+        }
+    }
+    outcome
+}
+
+/// Expectation `<psi| P |psi>` of one Pauli string (bit-twiddling, no
+/// operator matrix).
+pub fn expectation_pauli(state: &[Complex64], p: &PauliString) -> f64 {
+    let mut flip = 0usize;
+    let mut zmask = 0usize;
+    let mut y_count = 0u32;
+    let mut ymask = 0usize;
+    for &(q, op) in &p.ops {
+        match op {
+            Pauli::I => {}
+            Pauli::X => flip |= 1 << q,
+            Pauli::Y => {
+                flip |= 1 << q;
+                ymask |= 1 << q;
+                y_count += 1;
+            }
+            Pauli::Z => zmask |= 1 << q,
+        }
+    }
+    // P|i> = phase(i) |i ^ flip>, with
+    // phase(i) = (-1)^{popcount(i & zmask)} * i^{y_count} * (-1)^{popcount(i & ymask)}
+    // (each Y contributes i on |0> -> |1| and -i on |1> -> |0>: Y|0> = i|1>,
+    // Y|1> = -i|0>).
+    let base_phase = match y_count % 4 {
+        0 => Complex64::ONE,
+        1 => Complex64::I,
+        2 => Complex64::real(-1.0),
+        _ => -Complex64::I,
+    };
+    let mut acc = Complex64::ZERO;
+    for (i, &amp) in state.iter().enumerate() {
+        if amp.is_zero() {
+            continue;
+        }
+        let j = i ^ flip;
+        let mut sign = 1.0f64;
+        if ((i & zmask).count_ones() + (i & ymask).count_ones()) % 2 == 1 {
+            sign = -1.0;
+        }
+        acc += state[j].conj() * amp * (base_phase * sign);
+    }
+    (acc * p.coeff).re
+}
+
+/// Expectation `<psi| H |psi>` of a Pauli-sum Hamiltonian.
+pub fn expectation(state: &[Complex64], ham: &Hamiltonian) -> f64 {
+    ham.terms.iter().map(|t| expectation_pauli(state, t)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{dense, generators};
+    use qdd::SplitMix64;
+
+    #[test]
+    fn expectation_matches_dense_reference() {
+        let c = generators::random_circuit(5, 50, 13);
+        let v = dense::simulate(&c);
+        for p in [
+            PauliString::z(1.0, 0),
+            PauliString::x(0.7, 3),
+            PauliString::zz(-1.3, 1, 4),
+            PauliString::new(0.5, vec![(0, Pauli::Y), (2, Pauli::X)]),
+            PauliString::parse("0.25 * ZYXIZ").unwrap(),
+            PauliString::new(0.9, vec![(1, Pauli::Y), (3, Pauli::Y)]),
+            PauliString::identity(2.0),
+        ] {
+            let got = expectation_pauli(&v, &p);
+            let want = p.expectation_dense(&v);
+            assert!((got - want).abs() < 1e-9, "{p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_expectation_matches_dense() {
+        let c = generators::vqe(6, 2, 3);
+        let v = dense::simulate(&c);
+        let ham = Hamiltonian::heisenberg_xxz(6, 0.7, 1.3);
+        assert!((expectation(&v, &ham) - ham.expectation_dense(&v)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_ghz_arms_only() {
+        let v = dense::simulate(&generators::ghz(6));
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            let x = sample(&v, &mut rng.as_fn());
+            assert!(x == 0 || x == 63);
+        }
+    }
+
+    #[test]
+    fn sample_counts_match_w_state() {
+        let v = dense::simulate(&generators::w_state(4));
+        let mut rng = SplitMix64::new(9);
+        let counts = sample_counts(&v, 40_000, &mut rng.as_fn());
+        assert_eq!(counts.len(), 4);
+        for &(idx, cnt) in &counts {
+            assert_eq!(idx.count_ones(), 1);
+            assert!((cnt as f64 / 40_000.0 - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn array_and_dd_sampling_distributions_agree() {
+        let c = generators::random_circuit(5, 40, 4);
+        let v = dense::simulate(&c);
+        let mut pkg = qdd::DdPackage::default();
+        let e = pkg.vector_from_slice(&v);
+        let mut r1 = SplitMix64::new(77);
+        let mut r2 = SplitMix64::new(78);
+        let a = sample_counts(&v, 20_000, &mut r1.as_fn());
+        let d = pkg.sample_counts(e, 20_000, &mut r2.as_fn());
+        // Compare empirical frequencies of the top outcome.
+        let fa = a[0].1 as f64 / 20_000.0;
+        let top = a[0].0;
+        let fd = d
+            .iter()
+            .find(|&&(i, _)| i == top)
+            .map(|&(_, c)| c)
+            .unwrap_or(0) as f64
+            / 20_000.0;
+        assert!((fa - fd).abs() < 0.02, "{fa} vs {fd}");
+    }
+
+    #[test]
+    fn measurement_collapse_matches_marginal() {
+        let c = generators::random_circuit(5, 40, 8);
+        let mut v = dense::simulate(&c);
+        let p1 = qubit_probability_one(&v, 2);
+        let mut rng = SplitMix64::new(3);
+        let outcome = measure_qubit(&mut v, 2, &mut rng.as_fn());
+        // Collapsed state: qubit 2 is deterministic, norm restored.
+        let p1_after = qubit_probability_one(&v, 2);
+        assert!((p1_after - if outcome { 1.0 } else { 0.0 }).abs() < 1e-9);
+        assert!((qcircuit::complex::norm_sqr(&v) - 1.0).abs() < 1e-9);
+        let _ = p1;
+    }
+
+    #[test]
+    fn full_measurement_yields_basis_state() {
+        let c = generators::qft(4);
+        let mut v = dense::simulate(&c);
+        let mut rng = SplitMix64::new(21);
+        let mut idx = 0usize;
+        for q in 0..4 {
+            if measure_qubit(&mut v, q, &mut rng.as_fn()) {
+                idx |= 1 << q;
+            }
+        }
+        assert!((v[idx].norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

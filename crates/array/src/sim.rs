@@ -1,0 +1,188 @@
+//! The array-based simulator (Quantum++-equivalent baseline).
+
+use crate::kernel::{apply_gate_parallel, apply_gate_serial};
+use qcircuit::complex::norm_sqr;
+use qcircuit::{Circuit, Complex64, Gate};
+
+/// Full-state array-based simulator: a flat `2^n` amplitude vector with
+/// multi-threaded in-place gate application.
+pub struct ArraySimulator {
+    state: Vec<Complex64>,
+    n: usize,
+    threads: usize,
+}
+
+impl ArraySimulator {
+    /// Initializes `|0...0>` over `n` qubits, single-threaded.
+    pub fn new(n: usize) -> Self {
+        Self::with_threads(n, 1)
+    }
+
+    /// Initializes `|0...0>` over `n` qubits with a worker-thread count.
+    pub fn with_threads(n: usize, threads: usize) -> Self {
+        assert!(n >= 1 && n < usize::BITS as usize);
+        let mut state = vec![Complex64::ZERO; 1usize << n];
+        state[0] = Complex64::ONE;
+        ArraySimulator {
+            state,
+            n,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Wraps an existing state vector (length must be a power of two).
+    pub fn from_state(state: Vec<Complex64>, threads: usize) -> Self {
+        assert!(state.len().is_power_of_two() && state.len() >= 2);
+        let n = state.len().trailing_zeros() as usize;
+        ArraySimulator {
+            state,
+            n,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Changes the worker-thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The amplitude vector.
+    pub fn state(&self) -> &[Complex64] {
+        &self.state
+    }
+
+    /// Consumes the simulator, returning the amplitude vector.
+    pub fn into_state(self) -> Vec<Complex64> {
+        self.state
+    }
+
+    /// Applies one gate in place.
+    pub fn apply(&mut self, gate: &Gate) {
+        if self.threads > 1 {
+            apply_gate_parallel(&mut self.state, gate, self.threads);
+        } else {
+            apply_gate_serial(&mut self.state, gate);
+        }
+    }
+
+    /// Runs a whole circuit.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "circuit width mismatch");
+        for g in circuit.iter() {
+            self.apply(g);
+        }
+    }
+
+    /// Probability of measuring `|index>`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.state[index].norm_sqr()
+    }
+
+    /// Squared 2-norm of the state (should stay 1 under unitaries).
+    pub fn norm_sqr(&self) -> f64 {
+        norm_sqr(&self.state)
+    }
+
+    /// Probability that qubit `q` measures 1.
+    pub fn qubit_probability(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+/// One-shot convenience: simulate a circuit from `|0...0>`.
+pub fn simulate(circuit: &Circuit) -> Vec<Complex64> {
+    simulate_with_threads(circuit, 1)
+}
+
+/// One-shot convenience with a thread count.
+pub fn simulate_with_threads(circuit: &Circuit, threads: usize) -> Vec<Complex64> {
+    let mut sim = ArraySimulator::with_threads(circuit.num_qubits(), threads);
+    sim.run(circuit);
+    sim.into_state()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::complex::state_distance;
+    use qcircuit::{dense, generators};
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn matches_dense_on_generators() {
+        for c in [
+            generators::ghz(8),
+            generators::adder_n(8),
+            generators::qft(6),
+            generators::dnn(5, 2, 1),
+            generators::vqe(5, 2, 1),
+            generators::supremacy(2, 3, 6, 1),
+            generators::knn(2, 1),
+        ] {
+            let got = simulate(&c);
+            let want = dense::simulate(&c);
+            assert!(state_distance(&got, &want) < TOL, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn multithreaded_matches_single() {
+        let c = generators::random_circuit(11, 100, 4);
+        let a = simulate(&c);
+        for t in [2, 4, 8] {
+            let b = simulate_with_threads(&c, t);
+            assert!(state_distance(&a, &b) < TOL, "t={t}");
+        }
+    }
+
+    #[test]
+    fn norm_stays_one() {
+        let c = generators::supremacy(2, 4, 8, 5);
+        let mut sim = ArraySimulator::with_threads(8, 2);
+        sim.run(&c);
+        assert!((sim.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qubit_probability_of_ghz() {
+        let mut sim = ArraySimulator::new(4);
+        sim.run(&generators::ghz(4));
+        for q in 0..4 {
+            assert!((sim.qubit_probability(q) - 0.5).abs() < TOL);
+        }
+        assert!((sim.probability(0) - 0.5).abs() < TOL);
+        assert!((sim.probability(15) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn from_state_round_trip() {
+        let v = dense::simulate(&generators::w_state(4));
+        let sim = ArraySimulator::from_state(v.clone(), 2);
+        assert_eq!(sim.num_qubits(), 4);
+        assert!(state_distance(sim.state(), &v) < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut sim = ArraySimulator::new(3);
+        sim.run(&generators::ghz(4));
+    }
+}

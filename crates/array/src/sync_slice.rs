@@ -1,0 +1,152 @@
+//! A shared mutable slice for provably disjoint parallel writes.
+//!
+//! The array-kernel (and FlatDD's DMAV / parallel DD-to-array conversion)
+//! partition an output array into index sets that are disjoint *by
+//! construction* — per-thread amplitude pairs here, per-thread sub-vector
+//! ranges in DMAV. Rust's borrow checker cannot see that disjointness
+//! through dynamically computed indices, so the kernels go through this thin
+//! unsafe wrapper whose contract is exactly the paper's argument:
+//! "non-overlapping partial outputs".
+
+use std::marker::PhantomData;
+
+/// Raw view over a `&mut [T]` that can be shared across scoped threads.
+///
+/// # Safety contract
+///
+/// Callers must guarantee that no element is written by one thread while
+/// being read or written by another. All methods are `unsafe` to keep that
+/// obligation visible at every use site.
+#[derive(Clone, Copy)]
+pub struct SyncUnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SyncUnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncUnsafeSlice<'_, T> {}
+
+impl<'a, T> SyncUnsafeSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncUnsafeSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes one element.
+    ///
+    /// # Safety
+    /// `i < len` and no concurrent access to element `i`.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = value };
+    }
+
+    /// Reads one element.
+    ///
+    /// # Safety
+    /// `i < len` and no concurrent write to element `i`.
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Mutable sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The range is in bounds and not accessed concurrently by any other
+    /// thread for the lifetime of the returned borrow.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// Shared sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The range is in bounds and no thread writes to it for the lifetime
+    /// of the returned borrow.
+    #[inline(always)]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 1024];
+        let view = SyncUnsafeSlice::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    for i in (t * 256)..((t + 1) * 256) {
+                        // SAFETY: each thread owns a distinct 256-element range.
+                        unsafe { view.write(i, i as u64) };
+                    }
+                });
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn slice_mut_partitions() {
+        let mut data = vec![0u32; 100];
+        let view = SyncUnsafeSlice::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    // SAFETY: ranges are pairwise disjoint.
+                    let chunk = unsafe { view.slice_mut(t * 25, 25) };
+                    chunk.fill(t as u32 + 1);
+                });
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 25) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn read_back_on_single_thread() {
+        let mut data = vec![7i32; 8];
+        let view = SyncUnsafeSlice::new(&mut data);
+        // SAFETY: single-threaded here.
+        unsafe {
+            view.write(3, 42);
+            assert_eq!(view.read(3), 42);
+            assert_eq!(view.read(0), 7);
+            assert_eq!(view.slice(2, 3), &[7, 42, 7]);
+        }
+        assert_eq!(view.len(), 8);
+        assert!(!view.is_empty());
+    }
+}

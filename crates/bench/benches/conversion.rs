@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of DD-to-array conversion: sequential
+//! (DDSIM-style) vs parallel (FlatDD, Figure 4), on regular and irregular
+//! state DDs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flatdd::{dd_to_array_parallel, ThreadPool};
+use qcircuit::generators;
+use qdd::DdSimulator;
+
+fn prepared(circuit: &qcircuit::Circuit) -> DdSimulator {
+    let mut sim = DdSimulator::new(circuit.num_qubits());
+    sim.run(circuit);
+    sim
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_to_array");
+    group.sample_size(20);
+    for n in [12usize, 14, 16] {
+        let cases = vec![
+            ("ghz", generators::ghz(n)),
+            ("dnn", generators::dnn(n, 2, 5)),
+        ];
+        for (name, circuit) in cases {
+            let sim = prepared(&circuit);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sequential_{name}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| std::hint::black_box(sim.package().vector_to_array(sim.state(), n)))
+                },
+            );
+            for t in [2usize, 4] {
+                let pool = ThreadPool::new(t);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("parallel_{name}_t{t}"), n),
+                    &n,
+                    |b, &n| {
+                        b.iter(|| {
+                            std::hint::black_box(dd_to_array_parallel(
+                                sim.package(),
+                                sim.state(),
+                                n,
+                                &pool,
+                            ))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

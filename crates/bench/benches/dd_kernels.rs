@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the DD substrate: gate-DD construction,
+//! DD matrix-vector multiplication, vector addition, and DD traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::gate::{Control, Gate, GateKind};
+use qcircuit::generators;
+use qdd::{DdPackage, DdSimulator};
+
+fn bench_gate_dd_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_dd_construction");
+    for n in [8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("hadamard", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let g = Gate::new(GateKind::H, n / 2);
+            b.iter(|| std::hint::black_box(pkg.gate_dd(&g, n)));
+        });
+        group.bench_with_input(BenchmarkId::new("toffoli", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let g = Gate::controlled(
+                GateKind::X,
+                0,
+                vec![Control::pos(n - 1), Control::pos(n / 2)],
+            );
+            b.iter(|| std::hint::black_box(pkg.gate_dd(&g, n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mul_mv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dd_mul_mv");
+    for n in [10usize, 14] {
+        // Regular state: GHZ.
+        group.bench_with_input(BenchmarkId::new("ghz_state", n), &n, |b, &n| {
+            let mut sim = DdSimulator::new(n);
+            sim.run(&generators::ghz(n));
+            let state = sim.state();
+            let pkg = sim.package_mut();
+            let g = pkg.gate_dd(&Gate::new(GateKind::H, n / 2), n);
+            b.iter(|| std::hint::black_box(pkg.mul_mv(g, state)));
+        });
+        // Irregular state: a few DNN layers.
+        group.bench_with_input(BenchmarkId::new("dnn_state", n), &n, |b, &n| {
+            let mut sim = DdSimulator::new(n);
+            sim.run(&generators::dnn(n, 2, 5));
+            let state = sim.state();
+            let pkg = sim.package_mut();
+            let g = pkg.gate_dd(&Gate::new(GateKind::RY(0.3), n / 2), n);
+            b.iter(|| std::hint::black_box(pkg.mul_mv(g, state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dd_size_traversal(c: &mut Criterion) {
+    // The EWMA monitor calls this after every gate — its overhead is the
+    // price FlatDD pays on regular circuits (Table 1's GHZ row).
+    let mut group = c.benchmark_group("dd_size_traversal");
+    for n in [12usize, 16] {
+        group.bench_with_input(BenchmarkId::new("dnn_state", n), &n, |b, &n| {
+            let mut sim = DdSimulator::new(n);
+            sim.run(&generators::dnn(n, 2, 5));
+            let state = sim.state();
+            let pkg = sim.package_mut();
+            b.iter(|| std::hint::black_box(pkg.vector_dd_size(state)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddmm");
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("h_times_cx", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let h = pkg.gate_dd(&Gate::new(GateKind::H, 1), n);
+            let cx = pkg.gate_dd(
+                &Gate::controlled(GateKind::X, 0, vec![Control::pos(n - 1)]),
+                n,
+            );
+            b.iter(|| std::hint::black_box(pkg.mul_mm(h, cx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_dd_construction,
+    bench_mul_mv,
+    bench_dd_size_traversal,
+    bench_ddmm
+);
+criterion_main!(benches);

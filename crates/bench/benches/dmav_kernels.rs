@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the DMAV kernels (Algorithms 1 and 2):
+//! assignment construction, no-cache vs cached execution, and the cost
+//! model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flatdd::{
+    dmav_cached, dmav_no_cache, CostModel, DmavAssignment, DmavCacheAssignment, PartialBuffers,
+    ThreadPool,
+};
+use qcircuit::gate::{Gate, GateKind};
+use qcircuit::Complex64;
+use qdd::{DdPackage, MacTable};
+
+fn state(n: usize) -> Vec<Complex64> {
+    (0..(1usize << n))
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5))
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmav_assignment");
+    for n in [12usize, 16] {
+        group.bench_with_input(BenchmarkId::new("no_cache", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
+            b.iter(|| std::hint::black_box(DmavAssignment::build(&pkg, m, n, 4)));
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
+            b.iter(|| std::hint::black_box(DmavCacheAssignment::build(&pkg, m, n, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmav_kernel");
+    group.sample_size(20);
+    for n in [12usize, 14] {
+        for t in [1usize, 2, 4] {
+            let id = format!("n{n}_t{t}");
+            group.bench_with_input(BenchmarkId::new("no_cache", &id), &(n, t), |b, &(n, t)| {
+                let mut pkg = DdPackage::default();
+                let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
+                let asg = DmavAssignment::build(&pkg, m, n, t);
+                let v = state(n);
+                let mut w = vec![Complex64::ZERO; 1 << n];
+                let pool = ThreadPool::new(t);
+                b.iter(|| {
+                    dmav_no_cache(&pkg, &asg, &v, &mut w, &pool);
+                    std::hint::black_box(&w);
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("cached", &id), &(n, t), |b, &(n, t)| {
+                let mut pkg = DdPackage::default();
+                let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
+                let asg = DmavCacheAssignment::build(&pkg, m, n, t);
+                let v = state(n);
+                let mut w = vec![Complex64::ZERO; 1 << n];
+                let pool = ThreadPool::new(t);
+                let mut scratch = PartialBuffers::default();
+                b.iter(|| {
+                    dmav_cached(&pkg, &asg, &v, &mut w, &pool, &mut scratch);
+                    std::hint::black_box(&w);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for n in [12usize, 16] {
+        group.bench_with_input(BenchmarkId::new("analyze", n), &n, |b, &n| {
+            let mut pkg = DdPackage::default();
+            let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
+            let cm = CostModel::default();
+            b.iter(|| {
+                let mut mac = MacTable::default();
+                std::hint::black_box(cm.analyze(&pkg, &mut mac, m, n, 4))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_kernels, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion end-to-end comparison: FlatDD vs the DDSIM-equivalent vs the
+//! Quantum++-equivalent on small instances of the paper's circuit families
+//! (the bench-scale slice of Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flatdd::FlatDdConfig;
+use qcircuit::generators;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let circuits = vec![
+        ("ghz12", generators::ghz(12)),
+        ("adder12", generators::adder_n(12)),
+        ("dnn10", generators::dnn(10, 3, 5)),
+        ("supremacy12", generators::supremacy(3, 4, 10, 5)),
+    ];
+    for (name, circuit) in &circuits {
+        group.bench_with_input(
+            BenchmarkId::new("flatdd_t4", name),
+            circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    std::hint::black_box(flatdd::simulate(
+                        circuit,
+                        FlatDdConfig {
+                            threads: 4,
+                            ..Default::default()
+                        },
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ddsim", name), circuit, |b, circuit| {
+            b.iter(|| std::hint::black_box(qdd::sim::simulate(circuit)));
+        });
+        group.bench_with_input(BenchmarkId::new("qpp_t4", name), circuit, |b, circuit| {
+            b.iter(|| std::hint::black_box(qarray::simulate_with_threads(circuit, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

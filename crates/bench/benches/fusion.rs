@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of gate fusion: the DMAV-aware pass vs
+//! k-operations, and the DDMM it is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flatdd::{fuse_dmav_aware, fuse_k_operations, CostModel};
+use qcircuit::generators;
+use qdd::DdPackage;
+
+fn bench_fusion_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_pass");
+    group.sample_size(10);
+    for n in [8usize, 10] {
+        let circuit = generators::dnn(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("dmav_aware", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pkg = DdPackage::default();
+                std::hint::black_box(fuse_dmav_aware(
+                    &mut pkg,
+                    circuit.gates(),
+                    n,
+                    4,
+                    &CostModel::default(),
+                    64,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("k_operations_k4", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pkg = DdPackage::default();
+                std::hint::black_box(fuse_k_operations(
+                    &mut pkg,
+                    circuit.gates(),
+                    n,
+                    4,
+                    4,
+                    &CostModel::default(),
+                    64,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_passes);
+criterion_main!(benches);

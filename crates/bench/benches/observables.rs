@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the measurement layer: inner products,
+//! Pauli expectations, sampling, and equivalence checking — comparing the
+//! DD-native algorithms against the flat-array equivalents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::{generators, Hamiltonian, PauliString};
+use qdd::{DdPackage, DdSimulator, SplitMix64};
+
+fn prepared(n: usize, seed: u64) -> (DdSimulator, Vec<qcircuit::Complex64>) {
+    let c = generators::dnn(n, 2, seed);
+    let mut sim = DdSimulator::new(n);
+    sim.run(&c);
+    let arr = sim.amplitudes();
+    (sim, arr)
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_product");
+    for n in [10usize, 14] {
+        let (sim, arr) = prepared(n, 3);
+        group.bench_with_input(BenchmarkId::new("dd", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(sim.package().inner_product(sim.state(), sim.state())))
+        });
+        group.bench_with_input(BenchmarkId::new("array", n), &n, |b, _| {
+            b.iter(|| {
+                let s: qcircuit::Complex64 = arr.iter().map(|&x| x.conj() * x).sum();
+                std::hint::black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectation");
+    group.sample_size(20);
+    for n in [10usize, 14] {
+        let ham = Hamiltonian::transverse_ising(n, 1.0, 0.5);
+        let diag = PauliString::zz(1.0, 0, n - 1);
+        let (mut sim, arr) = prepared(n, 5);
+        group.bench_with_input(BenchmarkId::new("dd_hamiltonian", n), &n, |b, _| {
+            let state = sim.state();
+            b.iter(|| {
+                let pkg = sim.package_mut();
+                std::hint::black_box(pkg.expectation(state, &ham, n))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("array_hamiltonian", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(qarray::expectation(&arr, &ham)))
+        });
+        group.bench_with_input(BenchmarkId::new("dd_diagonal_fast_path", n), &n, |b, _| {
+            let state = sim.state();
+            b.iter(|| std::hint::black_box(sim.package().expectation_diagonal(state, &diag)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for n in [12usize, 16] {
+        let (sim, arr) = prepared(n, 7);
+        group.bench_with_input(BenchmarkId::new("dd_1000_shots", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(1);
+                let counts = sim
+                    .package()
+                    .sample_counts(sim.state(), 1000, &mut rng.as_fn());
+                std::hint::black_box(counts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("array_1000_shots", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(1);
+                let counts = qarray::sample_counts(&arr, 1000, &mut rng.as_fn());
+                std::hint::black_box(counts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence_check");
+    group.sample_size(10);
+    for n in [6usize, 8] {
+        let a = generators::qft(n);
+        group.bench_with_input(BenchmarkId::new("qft_self", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(qdd::check_equivalence(&a, &a)))
+        });
+        let mut pkg_bench = DdPackage::default();
+        let _ = &mut pkg_bench;
+        let perturbed = {
+            let mut p = a.clone();
+            p.t(0);
+            p
+        };
+        group.bench_with_input(BenchmarkId::new("qft_perturbed", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(qdd::check_equivalence(&a, &perturbed)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inner_product,
+    bench_expectation,
+    bench_sampling,
+    bench_equivalence
+);
+criterion_main!(benches);

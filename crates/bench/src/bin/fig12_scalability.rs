@@ -1,0 +1,62 @@
+//! Figure 12: runtime scalability of FlatDD and the Quantum++-equivalent
+//! array engine over thread counts (1, 2, 4, 8, 16) on Supremacy and KNN.
+//!
+//! Expected shape: both engines speed up with threads and saturate around
+//! 16 (on the paper's 64-core box; on smaller machines saturation comes
+//! earlier but the monotone-then-flat shape holds).
+
+use flatdd::FlatDdConfig;
+use flatdd_bench::{run_array, run_flatdd, HarnessArgs, JsonWriter, Table};
+use qcircuit::generators;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let s = |n: usize| ((n as f64 * args.scale).round() as usize).max(6);
+    let odd = |n: usize| if n % 2 == 1 { n } else { n + 1 };
+    let circuits = vec![
+        ("Supremacy", generators::supremacy_n(s(20), 30, args.seed)),
+        ("KNN", generators::knn((odd(s(25)) - 1) / 2, args.seed + 1)),
+    ];
+    let threads = [1usize, 2, 4, 8, 16];
+    println!("Figure 12 — thread scalability (scale {:.2})\n", args.scale);
+    let mut json = JsonWriter::new();
+    for (name, c) in &circuits {
+        println!("{name}: {} qubits, {} gates", c.num_qubits(), c.num_gates());
+        let mut table = Table::new(vec![
+            "threads",
+            "flatdd_s",
+            "flatdd_speedup",
+            "qpp_s",
+            "qpp_speedup",
+        ]);
+        let mut flat_base = None;
+        let mut qpp_base = None;
+        for &t in &threads {
+            let cfg = FlatDdConfig {
+                threads: t,
+                ..Default::default()
+            };
+            let flat = run_flatdd(c, cfg, args.timeout_secs);
+            let qpp = run_array(c, t, args.timeout_secs);
+            let fb = *flat_base.get_or_insert(flat.seconds);
+            let qb = *qpp_base.get_or_insert(qpp.seconds);
+            table.row(vec![
+                t.to_string(),
+                flat.runtime_str(),
+                format!("{:.2}x", fb / flat.seconds.max(1e-12)),
+                qpp.runtime_str(),
+                format!("{:.2}x", qb / qpp.seconds.max(1e-12)),
+            ]);
+            json.record(vec![
+                ("circuit", (*name).into()),
+                ("threads", t.into()),
+                ("flatdd_seconds", flat.seconds.into()),
+                ("qpp_seconds", qpp.seconds.into()),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("note: self-speedup depends on physical cores; the paper reports 7.26x at 8 threads on a 64-core Xeon.");
+    json.write_if(&args.json);
+}

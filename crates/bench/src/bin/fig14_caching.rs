@@ -1,0 +1,113 @@
+//! Figure 14: DMAV with caching vs without caching across thread counts on
+//! the six deep circuits (DNN 16/20/25, Supremacy 20/24/26).
+//!
+//! Reports the modeled computational-cost reduction and the measured
+//! speed-up of the cost-model-driven kernel over the never-cache kernel,
+//! per thread count, with the min/max band across circuits and the mean.
+//!
+//! Expected shape: both reduction and speed-up grow with the thread count
+//! (paper: 13.53% cost reduction and 16.47% speed-up at 16 threads).
+
+use flatdd::{CachingPolicy, ConversionPolicy, FlatDdConfig, FlatDdSimulator};
+use flatdd_bench::{HarnessArgs, JsonWriter, Table};
+use qcircuit::Circuit;
+
+fn run_once(c: &Circuit, threads: usize, caching: CachingPolicy) -> (f64, f64) {
+    let cfg = FlatDdConfig {
+        threads,
+        caching,
+        // Pure-DMAV mode isolates the kernel under study (the DD phase and
+        // conversion are identical in both arms).
+        conversion: ConversionPolicy::Immediate,
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
+    let start = std::time::Instant::now();
+    sim.run(c);
+    (start.elapsed().as_secs_f64(), sim.stats().modeled_cost)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let workloads = flatdd_bench::suite::deep_workloads(args.scale, args.seed);
+    let threads = [1usize, 2, 4, 8, 16];
+    println!(
+        "Figure 14 — DMAV caching vs no caching (scale {:.2})\n",
+        args.scale
+    );
+    let mut table = Table::new(vec![
+        "threads",
+        "cost_red_min%",
+        "cost_red_mean%",
+        "cost_red_max%",
+        "speedup_min%",
+        "speedup_mean%",
+        "speedup_max%",
+    ]);
+    let mut json = JsonWriter::new();
+    for &t in &threads {
+        let mut reductions = Vec::new();
+        let mut speedups = Vec::new();
+        for w in &workloads {
+            let c = &w.circuit;
+            // Arm 1: never cache. Modeled cost = C1 totals.
+            let (time_nc, _) = run_once(c, t, CachingPolicy::Never);
+            // Cost model runs both equations; its accumulated min(C1,C2) vs
+            // the pure-C1 total gives the modeled reduction.
+            let cfg = FlatDdConfig {
+                threads: t,
+                conversion: ConversionPolicy::Immediate,
+                ..Default::default()
+            };
+            let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
+            let start = std::time::Instant::now();
+            sim.run(c);
+            let time_cm = start.elapsed().as_secs_f64();
+            let cost_min = sim.stats().modeled_cost;
+            // C1-only total for the same gates:
+            let mut c1_total = 0.0;
+            {
+                use qdd::{mac_count, DdPackage};
+                let mut pkg = DdPackage::default();
+                let tt = flatdd::clamp_threads(t, c.num_qubits());
+                for g in c.iter() {
+                    let m = pkg.gate_dd(g, c.num_qubits());
+                    c1_total += mac_count(&pkg, m) as f64 / tt as f64;
+                }
+            }
+            let reduction = 100.0 * (1.0 - cost_min / c1_total.max(1e-12));
+            let speedup = 100.0 * (time_nc / time_cm.max(1e-12) - 1.0);
+            reductions.push(reduction);
+            speedups.push(speedup);
+            json.record(vec![
+                ("family", w.family.into()),
+                ("paper_qubits", w.paper_qubits.into()),
+                ("threads", t.into()),
+                ("time_no_cache_s", time_nc.into()),
+                ("time_cost_model_s", time_cm.into()),
+                ("cost_reduction_pct", reduction.into()),
+                ("speedup_pct", speedup.into()),
+            ]);
+        }
+        let stats = |v: &[f64]| {
+            let mn = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (mn, mean, mx)
+        };
+        let (rmin, rmean, rmax) = stats(&reductions);
+        let (smin, smean, smax) = stats(&speedups);
+        table.row(vec![
+            t.to_string(),
+            format!("{rmin:.2}"),
+            format!("{rmean:.2}"),
+            format!("{rmax:.2}"),
+            format!("{smin:.2}"),
+            format!("{smean:.2}"),
+            format!("{smax:.2}"),
+        ]);
+    }
+    table.print();
+    println!("\npaper reference at 16 threads: 13.53% cost reduction, 16.47% speed-up.");
+    json.write_if(&args.json);
+}

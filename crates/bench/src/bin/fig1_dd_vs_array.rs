@@ -1,0 +1,89 @@
+//! Figure 1: DD-based vs array-based simulation on two regular (Adder, GHZ)
+//! and two irregular (DNN, VQE) circuits — normalized runtime and memory.
+//!
+//! Expected shape (paper): DD wins by orders of magnitude on the regular
+//! circuits and loses on the irregular ones, in both time and memory.
+
+use flatdd_bench::{geo_mean, run_array, run_ddsim, HarnessArgs, JsonWriter, Table};
+use qcircuit::generators;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let s = |n: usize| ((n as f64 * args.scale).round() as usize).max(6);
+    let even = |n: usize| if n.is_multiple_of(2) { n } else { n + 1 };
+    let circuits = vec![
+        ("Adder (regular)", generators::adder_n(even(s(28)))),
+        ("GHZ (regular)", generators::ghz(s(23))),
+        ("DNN (irregular)", generators::dnn_paper(s(16), args.seed)),
+        (
+            "VQE (irregular)",
+            generators::vqe_paper(s(16), args.seed + 1),
+        ),
+    ];
+
+    println!(
+        "Figure 1 — DD-based vs array-based simulation (scale {:.2}, {} threads for array)\n",
+        args.scale, args.threads
+    );
+    let mut table = Table::new(vec![
+        "circuit",
+        "qubits",
+        "gates",
+        "dd_time_s",
+        "array_time_s",
+        "norm_dd_time",
+        "norm_array_time",
+        "dd_mem_MB",
+        "array_mem_MB",
+        "norm_dd_mem",
+        "norm_array_mem",
+    ]);
+    let mut json = JsonWriter::new();
+    let mut dd_wins_regular = Vec::new();
+    let mut array_wins_irregular = Vec::new();
+
+    for (name, c) in &circuits {
+        let dd = run_ddsim(c, args.timeout_secs);
+        let ar = run_array(c, args.threads, args.timeout_secs);
+        let tmax = dd.seconds.max(ar.seconds).max(1e-12);
+        let mmax = (dd.memory_bytes.max(ar.memory_bytes)).max(1) as f64;
+        let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+        table.row(vec![
+            name.to_string(),
+            c.num_qubits().to_string(),
+            c.num_gates().to_string(),
+            dd.runtime_str(),
+            ar.runtime_str(),
+            format!("{:.4}", dd.seconds / tmax),
+            format!("{:.4}", ar.seconds / tmax),
+            format!("{:.2}", mb(dd.memory_bytes)),
+            format!("{:.2}", mb(ar.memory_bytes)),
+            format!("{:.4}", dd.memory_bytes as f64 / mmax),
+            format!("{:.4}", ar.memory_bytes as f64 / mmax),
+        ]);
+        json.record(vec![
+            ("circuit", (*name).into()),
+            ("qubits", c.num_qubits().into()),
+            ("gates", c.num_gates().into()),
+            ("dd_seconds", dd.seconds.into()),
+            ("array_seconds", ar.seconds.into()),
+            ("dd_memory_bytes", dd.memory_bytes.into()),
+            ("array_memory_bytes", ar.memory_bytes.into()),
+        ]);
+        if name.contains("(regular)") {
+            dd_wins_regular.push(ar.seconds / dd.seconds.max(1e-12));
+        } else {
+            array_wins_irregular.push(dd.seconds / ar.seconds.max(1e-12));
+        }
+    }
+    table.print();
+    println!(
+        "\nshape check: array/DD runtime on regular circuits (geo-mean) = {:.2}x (paper: DD wins big)",
+        geo_mean(&dd_wins_regular)
+    );
+    println!(
+        "shape check: DD/array runtime on irregular circuits (geo-mean) = {:.2}x (paper: array wins)",
+        geo_mean(&array_wins_irregular)
+    );
+    json.write_if(&args.json);
+}

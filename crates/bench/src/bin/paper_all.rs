@@ -1,0 +1,80 @@
+//! One-command reproduction: runs every table/figure harness in sequence,
+//! teeing each report into a results directory.
+//!
+//! ```text
+//! cargo run --release -p flatdd-bench --bin paper_all -- [harness flags] [--out DIR]
+//! ```
+//!
+//! Flags other than `--out` are forwarded verbatim to every harness
+//! (`--scale`, `--threads`, `--timeout-secs`, `--seed`, `--reps`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "fig1_dd_vs_array",
+    "table1_overall",
+    "fig11_per_gate",
+    "fig12_scalability",
+    "fig13_conversion",
+    "fig14_caching",
+    "table2_fusion",
+    "ablation_ewma",
+];
+
+fn main() {
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                eprintln!("--out expects a directory");
+                std::process::exit(2);
+            }));
+        } else {
+            forwarded.push(a);
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("cannot create results directory");
+
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = 0usize;
+    for name in HARNESSES {
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "skipping {name}: {} not built (run `cargo build --release -p flatdd-bench`)",
+                bin.display()
+            );
+            failures += 1;
+            continue;
+        }
+        let txt = out_dir.join(format!("{name}.txt"));
+        let json = out_dir.join(format!("{name}.json"));
+        println!("=== {name} -> {} ===", txt.display());
+        let output = Command::new(&bin)
+            .args(&forwarded)
+            .arg("--json")
+            .arg(&json)
+            .output()
+            .expect("failed to launch harness");
+        std::fs::write(&txt, &output.stdout).expect("write report");
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        if !output.status.success() {
+            eprintln!("{name} FAILED: {}", String::from_utf8_lossy(&output.stderr));
+            failures += 1;
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("{failures} harness(es) failed");
+        std::process::exit(1);
+    }
+    println!("all harness reports written to {}", out_dir.display());
+}

@@ -1,0 +1,137 @@
+//! Table 1: overall runtime & memory of FlatDD vs DDSIM-equivalent vs
+//! Quantum++-equivalent on the 12-circuit suite.
+//!
+//! Per the paper: FlatDD and the array engine run with `--threads` (16 in
+//! the paper), the DD engine single-threaded (DDSIM has no multithreading);
+//! no gate fusion here ("we do not incorporate the proposed gate-fusion
+//! algorithm but focus on the full-state simulation workload itself").
+//! Expected shape: DDSIM wins the regular circuits (Adder, GHZ), FlatDD
+//! beats both baselines overall in geometric mean.
+
+use flatdd::FlatDdConfig;
+use flatdd_bench::engines::best_of;
+use flatdd_bench::{
+    geo_mean, run_array, run_ddsim, run_flatdd, HarnessArgs, JsonWriter, RunOutcome, Table,
+};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let workloads = flatdd_bench::table1_workloads(args.scale, args.seed);
+    println!(
+        "Table 1 — overall comparison (scale {:.2}; FlatDD/array: {} threads, DDSIM: 1 thread; timeout {}s)\n",
+        args.scale, args.threads, args.timeout_secs
+    );
+    let mut table = Table::new(vec![
+        "name",
+        "n",
+        "gates",
+        "flatdd_s",
+        "flatdd_MB",
+        "conv@",
+        "ddsim_s",
+        "ddsim_speedup",
+        "ddsim_MB",
+        "qpp_s",
+        "qpp_speedup",
+        "qpp_MB",
+    ]);
+    let mut json = JsonWriter::new();
+    let mut flat_times = Vec::new();
+    let mut flat_mems = Vec::new();
+    let mut dd_speedups = Vec::new();
+    let mut qpp_speedups = Vec::new();
+    let mut dd_mem_ratio = Vec::new();
+    let mut qpp_mem_ratio = Vec::new();
+
+    for w in &workloads {
+        let c = &w.circuit;
+        let cfg = FlatDdConfig {
+            threads: args.threads,
+            ..Default::default()
+        };
+        let flat = best_of(args.reps, || run_flatdd(c, cfg, args.timeout_secs));
+        let dd = best_of(args.reps, || run_ddsim(c, args.timeout_secs));
+        let qpp = best_of(args.reps, || run_array(c, args.threads, args.timeout_secs));
+        let mb = |b: usize| format!("{:.2}", b as f64 / (1024.0 * 1024.0));
+        let speedup = |base: &flatdd_bench::EngineResult| {
+            let prefix = if base.outcome == RunOutcome::TimedOut {
+                "> "
+            } else {
+                ""
+            };
+            format!("{prefix}{:.2}x", base.seconds / flat.seconds.max(1e-12))
+        };
+        table.row(vec![
+            format!("{} ({})", w.family, w.paper_qubits),
+            c.num_qubits().to_string(),
+            c.num_gates().to_string(),
+            flat.runtime_str(),
+            mb(flat.memory_bytes),
+            flat.converted_at
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".into()),
+            dd.runtime_str(),
+            speedup(&dd),
+            mb(dd.memory_bytes),
+            qpp.runtime_str(),
+            speedup(&qpp),
+            mb(qpp.memory_bytes),
+        ]);
+        json.record(vec![
+            ("family", w.family.into()),
+            ("paper_qubits", w.paper_qubits.into()),
+            ("qubits", c.num_qubits().into()),
+            ("gates", c.num_gates().into()),
+            ("flatdd_seconds", flat.seconds.into()),
+            ("flatdd_memory_bytes", flat.memory_bytes.into()),
+            ("flatdd_converted_at", flat.converted_at.into()),
+            ("ddsim_seconds", dd.seconds.into()),
+            (
+                "ddsim_timed_out",
+                (dd.outcome == RunOutcome::TimedOut).into(),
+            ),
+            ("ddsim_memory_bytes", dd.memory_bytes.into()),
+            ("qpp_seconds", qpp.seconds.into()),
+            (
+                "qpp_timed_out",
+                (qpp.outcome == RunOutcome::TimedOut).into(),
+            ),
+            ("qpp_memory_bytes", qpp.memory_bytes.into()),
+        ]);
+        if flat.outcome == RunOutcome::Completed {
+            flat_times.push(flat.seconds);
+            flat_mems.push(flat.memory_bytes as f64);
+            dd_speedups.push(dd.seconds / flat.seconds.max(1e-12));
+            qpp_speedups.push(qpp.seconds / flat.seconds.max(1e-12));
+            dd_mem_ratio.push(dd.memory_bytes as f64 / flat.memory_bytes.max(1) as f64);
+            qpp_mem_ratio.push(qpp.memory_bytes as f64 / flat.memory_bytes.max(1) as f64);
+        }
+    }
+    table.print();
+    println!("\nGeometric means over completed FlatDD runs:");
+    println!(
+        "  FlatDD runtime           : {:.3} s",
+        geo_mean(&flat_times)
+    );
+    println!(
+        "  FlatDD memory            : {:.2} MB",
+        geo_mean(&flat_mems) / (1024.0 * 1024.0)
+    );
+    println!(
+        "  speed-up vs DDSIM-equiv  : {:.2}x (paper: 34.81x; '>' rows make this a lower bound)",
+        geo_mean(&dd_speedups)
+    );
+    println!(
+        "  speed-up vs Quantum++-eq : {:.2}x (paper: 17.31x)",
+        geo_mean(&qpp_speedups)
+    );
+    println!(
+        "  memory vs DDSIM-equiv    : {:.2}x less (paper: 1.70x)",
+        geo_mean(&dd_mem_ratio)
+    );
+    println!(
+        "  memory vs Quantum++-eq   : {:.2}x less (paper: 1.93x)",
+        geo_mean(&qpp_mem_ratio)
+    );
+    json.write_if(&args.json);
+}

@@ -1,0 +1,144 @@
+//! Minimal CLI parsing shared by the harness binaries (no external crate).
+
+/// Common harness options.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Scale factor applied to the paper's qubit counts (default 0.5).
+    pub scale: f64,
+    /// Worker threads for the parallel engines (default 16, clamped).
+    pub threads: usize,
+    /// Per-engine soft timeout in seconds (default 60; the paper uses 24 h).
+    pub timeout_secs: f64,
+    /// PRNG seed for the randomized workloads.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Repetitions per measurement (default 1; harnesses report the
+    /// minimum).
+    pub reps: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.5,
+            threads: 16,
+            timeout_secs: 60.0,
+            seed: 42,
+            json: None,
+            reps: 1,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`, printing usage and exiting on `--help` or
+    /// malformed input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| die(&format!("{name} expects a value")))
+            };
+            match arg.as_str() {
+                "--scale" => out.scale = parse_or_die(&value_of("--scale"), "--scale"),
+                "--paper-sizes" => out.scale = 1.0,
+                "--threads" | "-t" => {
+                    out.threads = parse_or_die(&value_of("--threads"), "--threads")
+                }
+                "--timeout-secs" => {
+                    out.timeout_secs = parse_or_die(&value_of("--timeout-secs"), "--timeout-secs")
+                }
+                "--seed" => out.seed = parse_or_die(&value_of("--seed"), "--seed"),
+                "--json" => out.json = Some(value_of("--json")),
+                "--reps" => out.reps = parse_or_die(&value_of("--reps"), "--reps"),
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag `{other}`")),
+            }
+        }
+        if out.scale <= 0.0 || out.scale > 1.5 {
+            die("--scale must be in (0, 1.5]");
+        }
+        out.reps = out.reps.max(1);
+        out
+    }
+}
+
+const USAGE: &str = "\
+FlatDD reproduction harness
+
+Options:
+  --scale <f>         scale the paper's qubit counts by f (default 0.5)
+  --paper-sizes       shorthand for --scale 1.0 (needs a big machine!)
+  --threads <t>       worker threads (default 16; clamped per engine)
+  --timeout-secs <s>  soft per-run timeout (default 60)
+  --seed <u64>        workload seed (default 42)
+  --reps <k>          repetitions, minimum reported (default 1)
+  --json <path>       also write results as JSON";
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad value `{s}` for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.threads, 16);
+        assert_eq!(a.reps, 1);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&[
+            "--scale",
+            "0.3",
+            "--threads",
+            "4",
+            "--timeout-secs",
+            "5",
+            "--seed",
+            "7",
+            "--json",
+            "/tmp/x.json",
+            "--reps",
+            "3",
+        ]);
+        assert_eq!(a.scale, 0.3);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.timeout_secs, 5.0);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(a.reps, 3);
+    }
+
+    #[test]
+    fn paper_sizes_flag() {
+        assert_eq!(parse(&["--paper-sizes"]).scale, 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Table-1 workload suite at configurable scale.
+
+use qcircuit::{generators, Circuit};
+
+/// One benchmark workload with its paper-reported reference numbers.
+pub struct Workload {
+    /// Family name as printed in Table 1.
+    pub family: &'static str,
+    /// Paper qubit count this instance is scaled from.
+    pub paper_qubits: usize,
+    /// The scaled circuit.
+    pub circuit: Circuit,
+    /// Whether the paper classifies this circuit as regular.
+    pub regular: bool,
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(6)
+}
+
+fn even(n: usize) -> usize {
+    if n.is_multiple_of(2) {
+        n
+    } else {
+        n + 1
+    }
+}
+
+fn odd(n: usize) -> usize {
+    if n % 2 == 1 {
+        n
+    } else {
+        n + 1
+    }
+}
+
+/// Builds the 12 Table-1 workloads at `scale` (1.0 = the paper's sizes).
+pub fn table1_workloads(scale: f64, seed: u64) -> Vec<Workload> {
+    let s = |n| scaled(n, scale);
+    vec![
+        Workload {
+            family: "DNN",
+            paper_qubits: 16,
+            circuit: generators::dnn_paper(s(16), seed),
+            regular: false,
+        },
+        Workload {
+            family: "DNN",
+            paper_qubits: 20,
+            circuit: generators::dnn_paper(s(20), seed + 1),
+            regular: false,
+        },
+        Workload {
+            family: "DNN",
+            paper_qubits: 25,
+            circuit: generators::dnn_paper(s(25), seed + 2),
+            regular: false,
+        },
+        Workload {
+            family: "Adder",
+            paper_qubits: 28,
+            circuit: generators::adder_n(even(s(28))),
+            regular: true,
+        },
+        Workload {
+            family: "GHZ state",
+            paper_qubits: 23,
+            circuit: generators::ghz(s(23)),
+            regular: true,
+        },
+        Workload {
+            family: "VQE",
+            paper_qubits: 16,
+            circuit: generators::vqe_paper(s(16), seed + 3),
+            regular: false,
+        },
+        Workload {
+            family: "KNN",
+            paper_qubits: 25,
+            circuit: generators::knn((odd(s(25)) - 1) / 2, seed + 4),
+            regular: false,
+        },
+        Workload {
+            family: "KNN",
+            paper_qubits: 31,
+            circuit: generators::knn((odd(s(31)) - 1) / 2, seed + 5),
+            regular: false,
+        },
+        Workload {
+            family: "Swap test",
+            paper_qubits: 25,
+            circuit: generators::swap_test((odd(s(25)) - 1) / 2, seed + 6),
+            regular: false,
+        },
+        Workload {
+            family: "Supremacy",
+            paper_qubits: 20,
+            circuit: generators::supremacy_n(s(20), 30, seed + 7),
+            regular: false,
+        },
+        Workload {
+            family: "Supremacy",
+            paper_qubits: 24,
+            circuit: generators::supremacy_n(s(24), 30, seed + 8),
+            regular: false,
+        },
+        Workload {
+            family: "Supremacy",
+            paper_qubits: 26,
+            circuit: generators::supremacy_n(s(26), 30, seed + 9),
+            regular: false,
+        },
+    ]
+}
+
+/// The six deep (>1000 gate at paper scale) circuits of Table 2 / Figure 14.
+pub fn deep_workloads(scale: f64, seed: u64) -> Vec<Workload> {
+    table1_workloads(scale, seed)
+        .into_iter()
+        .filter(|w| w.family == "DNN" || w.family == "Supremacy")
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads() {
+        let ws = table1_workloads(0.4, 1);
+        assert_eq!(ws.len(), 12);
+        assert!(ws.iter().all(|w| w.circuit.num_qubits() >= 6));
+        assert_eq!(ws.iter().filter(|w| w.regular).count(), 2);
+    }
+
+    #[test]
+    fn six_deep_workloads() {
+        let ws = deep_workloads(0.4, 1);
+        assert_eq!(ws.len(), 6);
+        assert!(ws.iter().all(|w| !w.regular));
+    }
+
+    #[test]
+    fn paper_scale_qubit_counts() {
+        let ws = table1_workloads(1.0, 1);
+        let qubits: Vec<usize> = ws.iter().map(|w| w.circuit.num_qubits()).collect();
+        assert_eq!(qubits, vec![16, 20, 25, 28, 23, 16, 25, 31, 25, 20, 24, 26]);
+    }
+}

@@ -1,0 +1,627 @@
+//! Circuit container and builder.
+
+use crate::gate::{Control, Gate, GateKind, Mat2};
+use std::fmt;
+
+/// A quantum circuit: an ordered list of gates over `n` qubits.
+///
+/// Qubit 0 is the **least significant** bit of a basis-state index, matching
+/// the convention of the paper (amplitude `a_{* ... * b_k * ... *}` has bit
+/// `b_k` of the index at position `k`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+impl Circuit {
+    /// An empty circuit over `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Circuit {
+            n,
+            gates: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// An empty named circuit (the name shows up in harness output).
+    pub fn named(n: usize, name: impl Into<String>) -> Self {
+        Circuit {
+            n,
+            gates: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The circuit's name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the circuit's name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a gate, validating qubit bounds.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        assert!(
+            gate.max_qubit() < self.n,
+            "gate {gate} touches qubit {} but circuit has {} qubits",
+            gate.max_qubit(),
+            self.n
+        );
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of `other` (must have the same width).
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n, other.n, "circuit width mismatch");
+        self.gates.extend(other.gates.iter().cloned());
+        self
+    }
+
+    /// The adjoint circuit: reversed gate order, each gate daggered.
+    pub fn dagger(&self) -> Circuit {
+        let mut c = Circuit::named(self.n, format!("{}_dg", self.name));
+        for g in self.gates.iter().rev() {
+            c.push(g.dagger());
+        }
+        c
+    }
+
+    // ---- single-qubit builders -------------------------------------------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::H, q))
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::X, q))
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Y, q))
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Z, q))
+    }
+
+    /// S gate on `q`.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::S, q))
+    }
+
+    /// S-dagger on `q`.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Sdg, q))
+    }
+
+    /// T gate on `q`.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::T, q))
+    }
+
+    /// T-dagger on `q`.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Tdg, q))
+    }
+
+    /// sqrt(X) on `q`.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::SqrtX, q))
+    }
+
+    /// sqrt(Y) on `q`.
+    pub fn sy(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::SqrtY, q))
+    }
+
+    /// sqrt(W) on `q`.
+    pub fn sw(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::SqrtW, q))
+    }
+
+    /// X-rotation by `theta` on `q`.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::RX(theta), q))
+    }
+
+    /// Y-rotation by `theta` on `q`.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::RY(theta), q))
+    }
+
+    /// Z-rotation by `theta` on `q`.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::RZ(theta), q))
+    }
+
+    /// Phase gate diag(1, e^{i lambda}) on `q`.
+    pub fn p(&mut self, lambda: f64, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Phase(lambda), q))
+    }
+
+    /// General u3(theta, phi, lambda) on `q`.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::U(theta, phi, lambda), q))
+    }
+
+    /// An explicit 2x2 unitary on `q`.
+    pub fn unitary(&mut self, m: Mat2, q: usize) -> &mut Self {
+        self.push(Gate::new(GateKind::Unitary(m), q))
+    }
+
+    // ---- controlled builders ---------------------------------------------
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(GateKind::X, t, vec![Control::pos(c)]))
+    }
+
+    /// Controlled-Y.
+    pub fn cy(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(GateKind::Y, t, vec![Control::pos(c)]))
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(GateKind::Z, t, vec![Control::pos(c)]))
+    }
+
+    /// Controlled-H.
+    pub fn ch(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(GateKind::H, t, vec![Control::pos(c)]))
+    }
+
+    /// Controlled phase gate.
+    pub fn cp(&mut self, lambda: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::Phase(lambda),
+            t,
+            vec![Control::pos(c)],
+        ))
+    }
+
+    /// Controlled Z-rotation.
+    pub fn crz(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::RZ(theta),
+            t,
+            vec![Control::pos(c)],
+        ))
+    }
+
+    /// Controlled Y-rotation.
+    pub fn cry(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::RY(theta),
+            t,
+            vec![Control::pos(c)],
+        ))
+    }
+
+    /// Controlled X-rotation.
+    pub fn crx(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::RX(theta),
+            t,
+            vec![Control::pos(c)],
+        ))
+    }
+
+    /// Controlled u3.
+    pub fn cu3(&mut self, theta: f64, phi: f64, lambda: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::U(theta, phi, lambda),
+            t,
+            vec![Control::pos(c)],
+        ))
+    }
+
+    /// Toffoli (CCX) with controls `c0`, `c1` and target `t`.
+    pub fn ccx(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::X,
+            t,
+            vec![Control::pos(c0), Control::pos(c1)],
+        ))
+    }
+
+    /// CCZ.
+    pub fn ccz(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::Z,
+            t,
+            vec![Control::pos(c0), Control::pos(c1)],
+        ))
+    }
+
+    /// Multi-controlled X (all positive controls).
+    pub fn mcx(&mut self, controls: &[usize], t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::X,
+            t,
+            controls.iter().map(|&q| Control::pos(q)).collect(),
+        ))
+    }
+
+    /// Multi-controlled Z (all positive controls).
+    pub fn mcz(&mut self, controls: &[usize], t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::Z,
+            t,
+            controls.iter().map(|&q| Control::pos(q)).collect(),
+        ))
+    }
+
+    /// Multi-controlled phase gate.
+    pub fn mcp(&mut self, lambda: f64, controls: &[usize], t: usize) -> &mut Self {
+        self.push(Gate::controlled(
+            GateKind::Phase(lambda),
+            t,
+            controls.iter().map(|&q| Control::pos(q)).collect(),
+        ))
+    }
+
+    // ---- composite builders (decompositions) ------------------------------
+
+    /// SWAP decomposed into three CNOTs.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.cx(a, b).cx(b, a).cx(a, b)
+    }
+
+    /// Fredkin gate (controlled SWAP): CSWAP(c; a, b) as CX + Toffoli + CX.
+    pub fn cswap(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
+        self.cx(b, a);
+        self.push(Gate::controlled(
+            GateKind::X,
+            b,
+            vec![Control::pos(c), Control::pos(a)],
+        ));
+        self.cx(b, a)
+    }
+
+    /// Ising interaction `exp(-i theta/2 Z_a Z_b)` via CX-RZ-CX.
+    pub fn rzz(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.cx(a, b).rz(theta, b).cx(a, b)
+    }
+
+    /// `exp(-i theta/2 X_a X_b)`: RZZ conjugated by Hadamards (H maps Z to X).
+    pub fn rxx(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.h(a).h(b).rzz(theta, a, b).h(a).h(b)
+    }
+
+    /// `exp(-i theta/2 Y_a Y_b)`: RZZ conjugated by `U = S H` per qubit
+    /// (`U Z U^dagger = Y`), applied as `U^dagger`, `rzz`, `U` in circuit
+    /// order.
+    pub fn ryy(&mut self, theta: f64, a: usize, b: usize) -> &mut Self {
+        self.sdg(a).h(a).sdg(b).h(b);
+        self.rzz(theta, a, b);
+        self.h(a).s(a).h(b).s(b)
+    }
+
+    /// fSim gate (the Sycamore two-qubit interaction):
+    /// `diag-block(1, [cos t, -i sin t; -i sin t, cos t], e^{-i phi})`,
+    /// decomposed as `rxx(t) . ryy(t) . cp(-phi)` (the XX and YY terms
+    /// commute).
+    pub fn fsim(&mut self, theta: f64, phi: f64, a: usize, b: usize) -> &mut Self {
+        self.rxx(theta, a, b).ryy(theta, a, b).cp(-phi, a, b)
+    }
+
+    /// iSWAP (`|01> <-> i|10>`), as `fsim(-pi/2, 0)`.
+    pub fn iswap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.fsim(-std::f64::consts::FRAC_PI_2, 0.0, a, b)
+    }
+
+    // ---- analysis ----------------------------------------------------------
+
+    /// Counts gates by number of controls: `(uncontrolled, single, multi)`.
+    pub fn control_profile(&self) -> (usize, usize, usize) {
+        let mut p = (0, 0, 0);
+        for g in &self.gates {
+            match g.num_controls() {
+                0 => p.0 += 1,
+                1 => p.1 += 1,
+                _ => p.2 += 1,
+            }
+        }
+        p
+    }
+
+    /// Gate census: `(mnemonic, count)` sorted by decreasing count (the
+    /// mnemonic includes a `c`/`cc`... prefix per control).
+    pub fn gate_census(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for g in &self.gates {
+            let name = format!("{}{}", "c".repeat(g.num_controls()), g.kind.name());
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Circuit depth: length of the longest chain of gates that share qubits
+    /// (standard as-soon-as-possible scheduling depth).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n];
+        let mut depth = 0;
+        for g in &self.gates {
+            let d = 1 + g.qubits().map(|q| level[q]).max().unwrap_or(0);
+            for q in g.qubits() {
+                level[q] = d;
+            }
+            depth = depth.max(d);
+        }
+        depth
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit {} (n={}, gates={})",
+            if self.name.is_empty() {
+                "<anon>"
+            } else {
+                &self.name
+            },
+            self.n,
+            self.gates.len()
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.control_profile(), (1, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "touches qubit")]
+    fn out_of_range_gate_panics() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_eq!(c.num_gates(), 3);
+        assert!(c
+            .gates()
+            .iter()
+            .all(|g| g.kind == GateKind::X && g.num_controls() == 1));
+    }
+
+    #[test]
+    fn cswap_is_cx_toffoli_cx() {
+        let mut c = Circuit::new(3);
+        c.cswap(2, 0, 1);
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.gates()[1].num_controls(), 2);
+    }
+
+    #[test]
+    fn depth_counts_parallel_layers() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // depth 1: all parallel
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1).cx(2, 3); // depth 2
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn dagger_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        let d = c.dagger();
+        assert_eq!(d.num_gates(), 3);
+        assert_eq!(d.gates()[0].kind, GateKind::X); // the CX comes first
+        assert_eq!(d.gates()[2].kind, GateKind::H);
+        assert_eq!(d.gates()[1].kind, GateKind::Sdg);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.x(1);
+        a.extend(&b);
+        assert_eq!(a.num_gates(), 2);
+    }
+
+    #[test]
+    fn two_qubit_interaction_builders_match_their_matrices() {
+        use crate::complex::Complex64;
+        use crate::dense;
+        let theta = 0.7;
+        let phi = 0.4;
+        let c64 = Complex64::new;
+        let (co, si) = (f64::cos(theta / 2.0), f64::sin(theta / 2.0));
+
+        // Reference 4x4 matrices (row-major, qubit 0 = LSB).
+        let rzz_ref = [
+            Complex64::cis(-theta / 2.0),
+            Complex64::cis(theta / 2.0),
+            Complex64::cis(theta / 2.0),
+            Complex64::cis(-theta / 2.0),
+        ];
+        // rxx: cos on the diagonal, -i sin on the anti-diagonal.
+        // ryy: like rxx but +i sin on the outer anti-diagonal corners.
+        type Case = (&'static str, Box<dyn Fn(&mut Circuit)>, Vec<Complex64>);
+        let cases: Vec<Case> = vec![
+            (
+                "rzz",
+                Box::new(move |c: &mut Circuit| {
+                    c.rzz(theta, 0, 1);
+                }),
+                {
+                    let mut m = vec![Complex64::ZERO; 16];
+                    for (k, &d) in rzz_ref.iter().enumerate() {
+                        m[k * 4 + k] = d;
+                    }
+                    m
+                },
+            ),
+            (
+                "rxx",
+                Box::new(move |c: &mut Circuit| {
+                    c.rxx(theta, 0, 1);
+                }),
+                {
+                    let mut m = vec![Complex64::ZERO; 16];
+                    for k in 0..4 {
+                        m[k * 4 + k] = c64(co, 0.0);
+                        m[k * 4 + (3 - k)] = c64(0.0, -si);
+                    }
+                    m
+                },
+            ),
+            (
+                "ryy",
+                Box::new(move |c: &mut Circuit| {
+                    c.ryy(theta, 0, 1);
+                }),
+                {
+                    let mut m = vec![Complex64::ZERO; 16];
+                    for k in 0..4 {
+                        m[k * 4 + k] = c64(co, 0.0);
+                        let s = if k == 0 || k == 3 { si } else { -si };
+                        m[k * 4 + (3 - k)] = c64(0.0, s);
+                    }
+                    m
+                },
+            ),
+            (
+                "fsim",
+                Box::new(move |c: &mut Circuit| {
+                    c.fsim(theta, phi, 0, 1);
+                }),
+                {
+                    let (ct, st) = (theta.cos(), theta.sin());
+                    let mut m = vec![Complex64::ZERO; 16];
+                    m[0] = Complex64::ONE;
+                    m[4 + 1] = c64(ct, 0.0);
+                    m[4 + 2] = c64(0.0, -st);
+                    m[2 * 4 + 1] = c64(0.0, -st);
+                    m[2 * 4 + 2] = c64(ct, 0.0);
+                    m[3 * 4 + 3] = Complex64::cis(-phi);
+                    m
+                },
+            ),
+            (
+                "iswap",
+                Box::new(|c: &mut Circuit| {
+                    c.iswap(0, 1);
+                }),
+                {
+                    let mut m = vec![Complex64::ZERO; 16];
+                    m[0] = Complex64::ONE;
+                    m[15] = Complex64::ONE;
+                    m[4 + 2] = Complex64::I;
+                    m[2 * 4 + 1] = Complex64::I;
+                    m
+                },
+            ),
+        ];
+        for (name, build, want) in cases {
+            let mut c = Circuit::new(2);
+            build(&mut c);
+            // Column k of the unitary = circuit applied to |k>.
+            for col in 0..4 {
+                let mut v = dense::basis_state(2, col);
+                for g in c.iter() {
+                    dense::apply_gate(&mut v, g);
+                }
+                for row in 0..4 {
+                    assert!(
+                        v[row].approx_eq(want[row * 4 + col], 1e-10),
+                        "{name}[{row}][{col}] = {:?}, want {:?}",
+                        v[row],
+                        want[row * 4 + col]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_census_counts_by_mnemonic() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).ccx(0, 1, 2).t(2);
+        let census = c.gate_census();
+        assert_eq!(census[0], ("h".to_string(), 2));
+        assert!(census.contains(&("cx".to_string(), 1)));
+        assert!(census.contains(&("ccx".to_string(), 1)));
+        assert!(census.contains(&("t".to_string(), 1)));
+    }
+
+    #[test]
+    fn display_contains_gates() {
+        let mut c = Circuit::named(2, "bell");
+        c.h(0).cx(0, 1);
+        let s = format!("{c}");
+        assert!(s.contains("bell"));
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0,q1"));
+    }
+}

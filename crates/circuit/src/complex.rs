@@ -1,0 +1,412 @@
+//! Double-precision complex arithmetic.
+//!
+//! A self-contained `Complex64` (no external dependency) used throughout the
+//! workspace for state amplitudes, gate-matrix entries, and DD edge weights.
+//! The layout is `#[repr(C)]` `(re, im)` so a `&[Complex64]` state vector can
+//! be processed as a flat `f64` stream by auto-vectorized kernels.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// `1/sqrt(2)`, the ubiquitous Hadamard amplitude.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i theta}` — a phase factor on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Squared magnitude `re^2 + im^2` (cheaper than [`Self::abs`]).
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `sqrt(re^2 + im^2)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse. Returns `ZERO` for a zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        if n == 0.0 {
+            Complex64::ZERO
+        } else {
+            Complex64::new(self.re / n, -self.im / n)
+        }
+    }
+
+    /// Fused multiply-add convenience: `self + a * b` (a MAC operation —
+    /// the unit the FlatDD cost model counts).
+    #[inline(always)]
+    pub fn mac(self, a: Complex64, b: Complex64) -> Self {
+        Complex64::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// True when both components are exactly zero.
+    #[inline(always)]
+    pub fn is_zero(self) -> bool {
+        self.re == 0.0 && self.im == 0.0
+    }
+
+    /// True when within `tol` of `other` in Chebyshev (per-component) distance.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True when within `tol` of zero in Chebyshev distance.
+    #[inline]
+    pub fn approx_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Square root (principal branch).
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex64::from_polar(r.sqrt(), theta / 2.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs * self
+    }
+}
+
+// Division via reciprocal is the standard complex formulation.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}{:+.*}i", prec, self.re, prec, self.im)
+        } else {
+            write!(f, "{}{:+}i", self.re, self.im)
+        }
+    }
+}
+
+/// Squared 2-norm of a state vector: `sum |a_i|^2`.
+pub fn norm_sqr(v: &[Complex64]) -> f64 {
+    v.iter().map(|c| c.norm_sqr()).sum()
+}
+
+/// Chebyshev distance between two vectors, after aligning the global phase of
+/// `b` to `a` (quantum states are physically equivalent up to global phase).
+///
+/// Returns `f64::INFINITY` when lengths differ.
+pub fn state_distance_up_to_phase(a: &[Complex64], b: &[Complex64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    // Align phases on the largest-magnitude entry of `a`.
+    let (k, _) = a
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| x.norm_sqr().total_cmp(&y.norm_sqr()))
+        .unwrap_or((0, &Complex64::ZERO));
+    let phase = if a[k].is_zero() || b[k].is_zero() {
+        Complex64::ONE
+    } else {
+        let p = a[k] / b[k];
+        let m = p.abs();
+        if m == 0.0 {
+            Complex64::ONE
+        } else {
+            p / m
+        }
+    };
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y * phase).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Plain Chebyshev distance between two vectors (no phase alignment).
+pub fn state_distance(a: &[Complex64], b: &[Complex64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * Complex64::ONE).approx_eq(a, TOL));
+        assert!((a + Complex64::ZERO).approx_eq(a, TOL));
+        assert!((-a + a).approx_eq(Complex64::ZERO, TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex64::new(3.0, 4.0);
+        let b = Complex64::new(-1.0, 2.0);
+        let p = a * b;
+        assert_eq!(p, Complex64::new(-3.0 - 4.0 * 2.0, 3.0 * 2.0 + -4.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex64::I * Complex64::I).approx_eq(Complex64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!((a * a.conj()).approx_eq(Complex64::real(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = Complex64::new(-1.0, 1.0);
+        let back = Complex64::from_polar(a.abs(), a.arg());
+        assert!(back.approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn cis_quarter_turn() {
+        assert!(Complex64::cis(PI / 2.0).approx_eq(Complex64::I, TOL));
+        assert!(Complex64::cis(PI).approx_eq(Complex64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn recip_of_zero_is_zero() {
+        assert_eq!(Complex64::ZERO.recip(), Complex64::ZERO);
+    }
+
+    #[test]
+    fn mac_matches_mul_add() {
+        let acc = Complex64::new(0.5, 0.5);
+        let a = Complex64::new(1.0, -2.0);
+        let b = Complex64::new(3.0, 0.25);
+        assert!(acc.mac(a, b).approx_eq(acc + a * b, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &c in &[
+            Complex64::new(4.0, 0.0),
+            Complex64::new(0.0, 2.0),
+            Complex64::new(-3.0, -4.0),
+        ] {
+            let r = c.sqrt();
+            assert!((r * r).approx_eq(c, 1e-10));
+        }
+    }
+
+    #[test]
+    fn norm_sqr_of_vector() {
+        let v = [
+            Complex64::new(FRAC_1_SQRT_2, 0.0),
+            Complex64::new(0.0, FRAC_1_SQRT_2),
+        ];
+        assert!((norm_sqr(&v) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn distance_up_to_phase_ignores_global_phase() {
+        let v = [Complex64::new(0.6, 0.0), Complex64::new(0.0, 0.8)];
+        let phase = Complex64::cis(1.234);
+        let w: Vec<_> = v.iter().map(|&c| c * phase).collect();
+        assert!(state_distance_up_to_phase(&v, &w) < 1e-12);
+        // Plain distance sees the phase.
+        assert!(state_distance(&v, &w) > 0.1);
+    }
+
+    #[test]
+    fn distance_detects_real_difference() {
+        let v = [Complex64::ONE, Complex64::ZERO];
+        let w = [Complex64::ZERO, Complex64::ONE];
+        assert!(state_distance_up_to_phase(&v, &w) > 0.9);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Complex64::new(1.25, -0.5);
+        assert_eq!(format!("{c}"), "1.25-0.5i");
+        assert_eq!(format!("{c:.1}"), "1.2-0.5i");
+    }
+}

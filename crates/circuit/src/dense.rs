@@ -1,0 +1,269 @@
+//! Naive dense reference implementations.
+//!
+//! Deliberately simple O(2^n)–O(4^n) routines used as ground truth by the
+//! test suites of every crate in the workspace. Not meant to be fast.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex64;
+use crate::gate::Gate;
+
+/// `|0...0>` over `n` qubits as a flat array of length `2^n`.
+pub fn zero_state(n: usize) -> Vec<Complex64> {
+    let mut v = vec![Complex64::ZERO; 1usize << n];
+    v[0] = Complex64::ONE;
+    v
+}
+
+/// A computational basis state `|index>` over `n` qubits.
+pub fn basis_state(n: usize, index: usize) -> Vec<Complex64> {
+    assert!(index < (1usize << n));
+    let mut v = vec![Complex64::ZERO; 1usize << n];
+    v[index] = Complex64::ONE;
+    v
+}
+
+/// Applies `gate` to `state` with straightforward index arithmetic.
+///
+/// For every basis index whose control bits are satisfied, the amplitude pair
+/// `(a_{..0_t..}, a_{..1_t..})` is multiplied by the gate's 2x2 matrix.
+pub fn apply_gate(state: &mut [Complex64], gate: &Gate) {
+    let m = gate.kind.matrix();
+    let t = gate.target;
+    let tbit = 1usize << t;
+    for i in 0..state.len() {
+        if i & tbit != 0 {
+            continue; // visit each pair once, from its 0-side index
+        }
+        let controls_ok = gate
+            .controls
+            .iter()
+            .all(|c| ((i >> c.qubit) & 1 == 1) == c.positive);
+        if !controls_ok {
+            continue;
+        }
+        let j = i | tbit;
+        let a0 = state[i];
+        let a1 = state[j];
+        state[i] = m[0] * a0 + m[1] * a1;
+        state[j] = m[2] * a0 + m[3] * a1;
+    }
+}
+
+/// Runs a whole circuit on `|0...0>` and returns the final state.
+pub fn simulate(circuit: &Circuit) -> Vec<Complex64> {
+    let mut state = zero_state(circuit.num_qubits());
+    for g in circuit.iter() {
+        apply_gate(&mut state, g);
+    }
+    state
+}
+
+/// Builds the full `2^n x 2^n` matrix (row-major) of a single gate.
+///
+/// Exponential in `n`; for tests with small `n` only.
+pub fn gate_matrix(n: usize, gate: &Gate) -> Vec<Complex64> {
+    let dim = 1usize << n;
+    let mut mat = vec![Complex64::ZERO; dim * dim];
+    for col in 0..dim {
+        let mut v = basis_state(n, col);
+        apply_gate(&mut v, gate);
+        for (row, &amp) in v.iter().enumerate() {
+            mat[row * dim + col] = amp;
+        }
+    }
+    mat
+}
+
+/// Dense matrix-matrix product of two row-major `dim x dim` matrices: `a * b`.
+pub fn mat_mul(a: &[Complex64], b: &[Complex64], dim: usize) -> Vec<Complex64> {
+    assert_eq!(a.len(), dim * dim);
+    assert_eq!(b.len(), dim * dim);
+    let mut out = vec![Complex64::ZERO; dim * dim];
+    for i in 0..dim {
+        for k in 0..dim {
+            let aik = a[i * dim + k];
+            if aik.is_zero() {
+                continue;
+            }
+            for j in 0..dim {
+                out[i * dim + j] += aik * b[k * dim + j];
+            }
+        }
+    }
+    out
+}
+
+/// Dense matrix-vector product of a row-major `dim x dim` matrix.
+pub fn mat_vec(m: &[Complex64], v: &[Complex64]) -> Vec<Complex64> {
+    let dim = v.len();
+    assert_eq!(m.len(), dim * dim);
+    let mut out = vec![Complex64::ZERO; dim];
+    for i in 0..dim {
+        let mut acc = Complex64::ZERO;
+        for j in 0..dim {
+            acc = acc.mac(m[i * dim + j], v[j]);
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{norm_sqr, state_distance};
+    use crate::gate::{Control, GateKind};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_shape() {
+        let v = zero_state(3);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0], Complex64::ONE);
+        assert!((norm_sqr(&v) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn hadamard_makes_plus_state() {
+        let mut v = zero_state(1);
+        apply_gate(&mut v, &Gate::new(GateKind::H, 0));
+        assert!((v[0].re - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+        assert!((v[1].re - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_target_bit_only() {
+        let mut v = basis_state(3, 0b010);
+        apply_gate(&mut v, &Gate::new(GateKind::X, 0));
+        assert_eq!(v, basis_state(3, 0b011));
+        apply_gate(&mut v, &Gate::new(GateKind::X, 2));
+        assert_eq!(v, basis_state(3, 0b111));
+    }
+
+    #[test]
+    fn cx_respects_control() {
+        // control qubit 0, target qubit 1
+        let g = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
+        let mut v = basis_state(2, 0b00);
+        apply_gate(&mut v, &g);
+        assert_eq!(v, basis_state(2, 0b00)); // control 0: no-op
+        let mut v = basis_state(2, 0b01);
+        apply_gate(&mut v, &g);
+        assert_eq!(v, basis_state(2, 0b11)); // control 1: flip target
+    }
+
+    #[test]
+    fn negative_control_activates_on_zero() {
+        let g = Gate::controlled(GateKind::X, 1, vec![Control::neg(0)]);
+        let mut v = basis_state(2, 0b00);
+        apply_gate(&mut v, &g);
+        assert_eq!(v, basis_state(2, 0b10));
+        let mut v = basis_state(2, 0b01);
+        apply_gate(&mut v, &g);
+        assert_eq!(v, basis_state(2, 0b01));
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let g = Gate::controlled(GateKind::X, 2, vec![Control::pos(0), Control::pos(1)]);
+        for idx in 0..8usize {
+            let mut v = basis_state(3, idx);
+            apply_gate(&mut v, &g);
+            let expect = if idx & 0b11 == 0b11 { idx ^ 0b100 } else { idx };
+            assert_eq!(v, basis_state(3, expect), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let v = simulate(&c);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((v[0].re - s).abs() < TOL);
+        assert!(v[1].approx_zero(TOL));
+        assert!(v[2].approx_zero(TOL));
+        assert!((v[3].re - s).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_decomposition_swaps() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let mut v = basis_state(2, 0b01);
+        for g in c.iter() {
+            apply_gate(&mut v, g);
+        }
+        assert_eq!(v, basis_state(2, 0b10));
+    }
+
+    #[test]
+    fn cswap_decomposition_truth_table() {
+        let mut c = Circuit::new(3);
+        c.cswap(2, 0, 1);
+        for idx in 0..8usize {
+            let mut v = basis_state(3, idx);
+            for g in c.iter() {
+                apply_gate(&mut v, g);
+            }
+            let expect = if idx & 0b100 != 0 {
+                // swap bits 0 and 1
+                let b0 = idx & 1;
+                let b1 = (idx >> 1) & 1;
+                (idx & 0b100) | (b0 << 1) | b1
+            } else {
+                idx
+            };
+            assert!(
+                state_distance(&v, &basis_state(3, expect)) < TOL,
+                "idx={idx}, got {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_matrix_of_cx_is_permutation() {
+        // control 0, target 1 with q0 least significant:
+        // |00>->|00>, |01>->|11>, |10>->|10>, |11>->|01>
+        let g = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
+        let m = gate_matrix(2, &g);
+        let one = Complex64::ONE;
+        let expected_rows = [0usize, 3, 2, 1]; // column -> row of the 1 entry
+        for (col, &row) in expected_rows.iter().enumerate() {
+            assert_eq!(m[row * 4 + col], one, "col={col}");
+        }
+    }
+
+    #[test]
+    fn mat_vec_matches_apply() {
+        let g = Gate::controlled(GateKind::H, 0, vec![Control::pos(2)]);
+        let m = gate_matrix(3, &g);
+        let mut v: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64 * 0.1, -(i as f64) * 0.05))
+            .collect();
+        let by_mat = mat_vec(&m, &v);
+        apply_gate(&mut v, &g);
+        assert!(state_distance(&by_mat, &v) < TOL);
+    }
+
+    #[test]
+    fn mat_mul_identity() {
+        let g = Gate::new(GateKind::T, 1);
+        let m = gate_matrix(2, &g);
+        let mut id = vec![Complex64::ZERO; 16];
+        for i in 0..4 {
+            id[i * 4 + i] = Complex64::ONE;
+        }
+        let p = mat_mul(&m, &id, 4);
+        assert!(state_distance(&p, &m) < TOL);
+    }
+
+    #[test]
+    fn unitarity_of_simulation() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(2).ccx(0, 1, 3).ry(0.3, 2).cz(2, 3);
+        let v = simulate(&c);
+        assert!((norm_sqr(&v) - 1.0).abs() < 1e-10);
+    }
+}

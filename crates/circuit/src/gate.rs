@@ -1,0 +1,480 @@
+//! Quantum gates.
+//!
+//! Every operation is canonicalized to a **single-qubit unitary with an
+//! arbitrary set of (positive or negative) controls**. This is the form both
+//! the decision-diagram gate constructor and the array-kernel consume, and it
+//! is expressive enough for the full benchmark set of the paper (CX, CZ,
+//! Toffoli, controlled-phase, Fredkin via decomposition, ...).
+
+use crate::complex::{Complex64, FRAC_1_SQRT_2};
+use std::f64::consts::FRAC_PI_4;
+#[cfg(test)]
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::fmt;
+
+/// A 2x2 complex matrix in row-major order: `[m00, m01, m10, m11]`.
+pub type Mat2 = [Complex64; 4];
+
+/// The single-qubit unitary applied at the target qubit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GateKind {
+    /// Identity.
+    Id,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S-dagger = diag(1, -i).
+    Sdg,
+    /// T = diag(1, e^{i pi/4}).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Square root of X (the supremacy-circuit `sqrt_x`).
+    SqrtX,
+    /// Inverse square root of X.
+    SqrtXdg,
+    /// Square root of Y (the supremacy-circuit `sqrt_y`).
+    SqrtY,
+    /// Inverse square root of Y.
+    SqrtYdg,
+    /// Square root of W = (X+Y)/sqrt(2) (used by Sycamore-style circuits).
+    SqrtW,
+    /// Rotation about X by `theta`.
+    RX(f64),
+    /// Rotation about Y by `theta`.
+    RY(f64),
+    /// Rotation about Z by `theta` (phase-symmetric convention).
+    RZ(f64),
+    /// Phase gate diag(1, e^{i lambda}) (OpenQASM `u1`/`p`).
+    Phase(f64),
+    /// General single-qubit unitary, OpenQASM `u3(theta, phi, lambda)`.
+    U(f64, f64, f64),
+    /// An explicit 2x2 unitary matrix (escape hatch; row-major).
+    Unitary(Mat2),
+}
+
+impl GateKind {
+    /// The 2x2 matrix of this gate, row-major.
+    pub fn matrix(&self) -> Mat2 {
+        use GateKind::*;
+        let c = Complex64::new;
+        let r = Complex64::real;
+        match *self {
+            Id => [r(1.0), r(0.0), r(0.0), r(1.0)],
+            X => [r(0.0), r(1.0), r(1.0), r(0.0)],
+            Y => [r(0.0), c(0.0, -1.0), c(0.0, 1.0), r(0.0)],
+            Z => [r(1.0), r(0.0), r(0.0), r(-1.0)],
+            H => [
+                r(FRAC_1_SQRT_2),
+                r(FRAC_1_SQRT_2),
+                r(FRAC_1_SQRT_2),
+                r(-FRAC_1_SQRT_2),
+            ],
+            S => [r(1.0), r(0.0), r(0.0), c(0.0, 1.0)],
+            Sdg => [r(1.0), r(0.0), r(0.0), c(0.0, -1.0)],
+            T => [r(1.0), r(0.0), r(0.0), Complex64::cis(FRAC_PI_4)],
+            Tdg => [r(1.0), r(0.0), r(0.0), Complex64::cis(-FRAC_PI_4)],
+            SqrtX => [c(0.5, 0.5), c(0.5, -0.5), c(0.5, -0.5), c(0.5, 0.5)],
+            SqrtXdg => [c(0.5, -0.5), c(0.5, 0.5), c(0.5, 0.5), c(0.5, -0.5)],
+            SqrtY => [c(0.5, 0.5), c(-0.5, -0.5), c(0.5, 0.5), c(0.5, 0.5)],
+            SqrtYdg => [c(0.5, -0.5), c(0.5, -0.5), c(-0.5, 0.5), c(0.5, -0.5)],
+            SqrtW => {
+                // W = (X + Y)/sqrt(2) is an involution, so
+                // sqrt(W) = e^{i pi/4} (I - iW)/sqrt(2), giving:
+                [
+                    c(0.5, 0.5),
+                    c(0.0, -FRAC_1_SQRT_2),
+                    c(FRAC_1_SQRT_2, 0.0),
+                    c(0.5, 0.5),
+                ]
+            }
+            RX(t) => {
+                let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
+                [r(co), c(0.0, -s), c(0.0, -s), r(co)]
+            }
+            RY(t) => {
+                let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
+                [r(co), r(-s), r(s), r(co)]
+            }
+            RZ(t) => [
+                Complex64::cis(-t / 2.0),
+                r(0.0),
+                r(0.0),
+                Complex64::cis(t / 2.0),
+            ],
+            Phase(l) => [r(1.0), r(0.0), r(0.0), Complex64::cis(l)],
+            U(theta, phi, lambda) => {
+                let (s, co) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+                [
+                    r(co),
+                    -Complex64::cis(lambda) * s,
+                    Complex64::cis(phi) * s,
+                    Complex64::cis(phi + lambda) * co,
+                ]
+            }
+            Unitary(m) => m,
+        }
+    }
+
+    /// Hermitian conjugate (inverse, for unitaries) of this gate.
+    pub fn dagger(&self) -> GateKind {
+        use GateKind::*;
+        match *self {
+            Id | X | Y | Z | H => *self,
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            SqrtX => SqrtXdg,
+            SqrtXdg => SqrtX,
+            SqrtY => SqrtYdg,
+            SqrtYdg => SqrtY,
+            RX(t) => RX(-t),
+            RY(t) => RY(-t),
+            RZ(t) => RZ(-t),
+            Phase(l) => Phase(-l),
+            U(t, p, l) => U(-t, -l, -p),
+            SqrtW | Unitary(_) => {
+                let m = self.matrix();
+                Unitary([m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()])
+            }
+        }
+    }
+
+    /// True when the matrix is diagonal (useful for regularity analysis).
+    pub fn is_diagonal(&self) -> bool {
+        let m = self.matrix();
+        m[1].is_zero() && m[2].is_zero()
+    }
+
+    /// Short mnemonic name (lower case, OpenQASM-flavoured).
+    pub fn name(&self) -> &'static str {
+        use GateKind::*;
+        match self {
+            Id => "id",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            H => "h",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            SqrtX => "sx",
+            SqrtXdg => "sxdg",
+            SqrtY => "sy",
+            SqrtYdg => "sydg",
+            SqrtW => "sw",
+            RX(_) => "rx",
+            RY(_) => "ry",
+            RZ(_) => "rz",
+            Phase(_) => "p",
+            U(..) => "u3",
+            Unitary(_) => "unitary",
+        }
+    }
+}
+
+/// A control qubit with its polarity.
+///
+/// A *positive* control activates the gate when the qubit is |1>, a
+/// *negative* control when it is |0>.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Control {
+    /// Qubit index.
+    pub qubit: usize,
+    /// `true` for a |1>-control, `false` for a |0>-control.
+    pub positive: bool,
+}
+
+impl Control {
+    /// A standard positive control on `qubit`.
+    pub fn pos(qubit: usize) -> Self {
+        Control {
+            qubit,
+            positive: true,
+        }
+    }
+
+    /// A negative (|0>-activated) control on `qubit`.
+    pub fn neg(qubit: usize) -> Self {
+        Control {
+            qubit,
+            positive: false,
+        }
+    }
+}
+
+/// A gate application: a single-qubit unitary on `target`, optionally
+/// conditioned on `controls`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// The single-qubit unitary.
+    pub kind: GateKind,
+    /// Target qubit index.
+    pub target: usize,
+    /// Control qubits (sorted by qubit index on construction).
+    pub controls: Vec<Control>,
+}
+
+impl Gate {
+    /// Uncontrolled gate.
+    pub fn new(kind: GateKind, target: usize) -> Self {
+        Gate {
+            kind,
+            target,
+            controls: Vec::new(),
+        }
+    }
+
+    /// Controlled gate. Controls are sorted by qubit index; duplicate or
+    /// target-overlapping controls panic (they indicate a malformed circuit).
+    pub fn controlled(kind: GateKind, target: usize, mut controls: Vec<Control>) -> Self {
+        controls.sort_by_key(|c| c.qubit);
+        for w in controls.windows(2) {
+            assert_ne!(
+                w[0].qubit, w[1].qubit,
+                "duplicate control qubit {}",
+                w[0].qubit
+            );
+        }
+        assert!(
+            controls.iter().all(|c| c.qubit != target),
+            "control overlaps target qubit {target}"
+        );
+        Gate {
+            kind,
+            target,
+            controls,
+        }
+    }
+
+    /// Every qubit this gate touches (target + controls), unsorted.
+    pub fn qubits(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.target).chain(self.controls.iter().map(|c| c.qubit))
+    }
+
+    /// Largest qubit index touched.
+    pub fn max_qubit(&self) -> usize {
+        self.qubits().max().unwrap()
+    }
+
+    /// Number of controls.
+    pub fn num_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// The inverse gate (same controls, daggered unitary).
+    pub fn dagger(&self) -> Gate {
+        Gate {
+            kind: self.kind.dagger(),
+            target: self.target,
+            controls: self.controls.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.controls {
+            write!(f, "{}", if c.positive { "c" } else { "nc" })?;
+        }
+        write!(f, "{}", self.kind.name())?;
+        match self.kind {
+            GateKind::RX(t) | GateKind::RY(t) | GateKind::RZ(t) | GateKind::Phase(t) => {
+                write!(f, "({t:.4})")?
+            }
+            GateKind::U(a, b, c) => write!(f, "({a:.4},{b:.4},{c:.4})")?,
+            _ => {}
+        }
+        write!(f, " ")?;
+        for c in &self.controls {
+            write!(f, "q{},", c.qubit)?;
+        }
+        write!(f, "q{}", self.target)
+    }
+}
+
+/// Multiplies two 2x2 matrices: `a * b`.
+pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Checks that a 2x2 matrix is unitary within `tol`.
+pub fn mat2_is_unitary(m: &Mat2, tol: f64) -> bool {
+    let dag = [m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()];
+    let p = mat2_mul(&dag, m);
+    p[0].approx_eq(Complex64::ONE, tol)
+        && p[3].approx_eq(Complex64::ONE, tol)
+        && p[1].approx_zero(tol)
+        && p[2].approx_zero(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn all_kinds() -> Vec<GateKind> {
+        use GateKind::*;
+        vec![
+            Id,
+            X,
+            Y,
+            Z,
+            H,
+            S,
+            Sdg,
+            T,
+            Tdg,
+            SqrtX,
+            SqrtXdg,
+            SqrtY,
+            SqrtYdg,
+            SqrtW,
+            RX(0.7),
+            RY(-1.3),
+            RZ(2.1),
+            Phase(0.4),
+            U(0.3, 1.1, -0.9),
+        ]
+    }
+
+    #[test]
+    fn all_gate_matrices_are_unitary() {
+        for k in all_kinds() {
+            assert!(
+                mat2_is_unitary(&k.matrix(), TOL),
+                "{} not unitary",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dagger_inverts() {
+        for k in all_kinds() {
+            let p = mat2_mul(&k.dagger().matrix(), &k.matrix());
+            assert!(p[0].approx_eq(Complex64::ONE, 1e-10), "{}", k.name());
+            assert!(p[1].approx_zero(1e-10), "{}", k.name());
+            assert!(p[2].approx_zero(1e-10), "{}", k.name());
+            assert!(p[3].approx_eq(Complex64::ONE, 1e-10), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        let xx = mat2_mul(&GateKind::SqrtX.matrix(), &GateKind::SqrtX.matrix());
+        let x = GateKind::X.matrix();
+        for i in 0..4 {
+            assert!(xx[i].approx_eq(x[i], TOL));
+        }
+        let yy = mat2_mul(&GateKind::SqrtY.matrix(), &GateKind::SqrtY.matrix());
+        let y = GateKind::Y.matrix();
+        for i in 0..4 {
+            assert!(
+                yy[i].approx_eq(y[i], TOL),
+                "sqrtY^2 mismatch at {i}: {:?} vs {:?}",
+                yy[i],
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_w_squares_to_w() {
+        let ww = mat2_mul(&GateKind::SqrtW.matrix(), &GateKind::SqrtW.matrix());
+        // W = (X + Y)/sqrt(2)
+        let x = GateKind::X.matrix();
+        let y = GateKind::Y.matrix();
+        for i in 0..4 {
+            let w = (x[i] + y[i]) * FRAC_1_SQRT_2;
+            assert!(ww[i].approx_eq(w, 1e-10), "at {i}: {:?} vs {:?}", ww[i], w);
+        }
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let tt = mat2_mul(&GateKind::T.matrix(), &GateKind::T.matrix());
+        let s = GateKind::S.matrix();
+        for i in 0..4 {
+            assert!(tt[i].approx_eq(s[i], TOL));
+        }
+    }
+
+    #[test]
+    fn u3_specializations() {
+        // u3(pi/2, 0, pi) = H
+        let u = GateKind::U(FRAC_PI_2, 0.0, PI).matrix();
+        let h = GateKind::H.matrix();
+        for i in 0..4 {
+            assert!(u[i].approx_eq(h[i], TOL));
+        }
+        // u3(pi, 0, pi) = X
+        let u = GateKind::U(PI, 0.0, PI).matrix();
+        let x = GateKind::X.matrix();
+        for i in 0..4 {
+            assert!(u[i].approx_eq(x[i], 1e-12), "at {i}");
+        }
+    }
+
+    #[test]
+    fn rz_vs_phase_differ_by_global_phase() {
+        let t = 0.7;
+        let rz = GateKind::RZ(t).matrix();
+        let p = GateKind::Phase(t).matrix();
+        let g = Complex64::cis(-t / 2.0);
+        for i in 0..4 {
+            assert!(rz[i].approx_eq(p[i] * g, TOL));
+        }
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        assert!(GateKind::Z.is_diagonal());
+        assert!(GateKind::T.is_diagonal());
+        assert!(GateKind::RZ(0.3).is_diagonal());
+        assert!(!GateKind::H.is_diagonal());
+        assert!(!GateKind::X.is_diagonal());
+    }
+
+    #[test]
+    fn controlled_sorts_controls() {
+        let g = Gate::controlled(GateKind::X, 0, vec![Control::pos(5), Control::neg(2)]);
+        assert_eq!(g.controls[0].qubit, 2);
+        assert_eq!(g.controls[1].qubit, 5);
+        assert_eq!(g.max_qubit(), 5);
+        assert_eq!(g.num_controls(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate control")]
+    fn duplicate_controls_panic() {
+        Gate::controlled(GateKind::X, 0, vec![Control::pos(1), Control::pos(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "control overlaps target")]
+    fn control_on_target_panics() {
+        Gate::controlled(GateKind::X, 1, vec![Control::pos(1)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = Gate::controlled(GateKind::X, 0, vec![Control::pos(2)]);
+        assert_eq!(format!("{g}"), "cx q2,q0");
+    }
+}

@@ -1,0 +1,208 @@
+//! Stochastic Pauli-noise modeling (Monte-Carlo trajectories).
+//!
+//! A Pauli channel applied after every gate is *twirled* into randomly
+//! sampled Pauli insertions: each trajectory is a plain (noise-free)
+//! circuit, so any strong simulator in this workspace can run it, and
+//! observable expectations are recovered by averaging over trajectories —
+//! the standard stochastic alternative to density-matrix simulation
+//! (cf. noise-aware DD simulation, Grurl et al. \[22\]).
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single-qubit Pauli noise channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseChannel {
+    /// With probability `p`, apply a uniformly random non-identity Pauli.
+    Depolarizing {
+        /// Error probability per qubit use.
+        p: f64,
+    },
+    /// With probability `p`, apply X.
+    BitFlip {
+        /// Error probability per qubit use.
+        p: f64,
+    },
+    /// With probability `p`, apply Z.
+    PhaseFlip {
+        /// Error probability per qubit use.
+        p: f64,
+    },
+}
+
+impl NoiseChannel {
+    /// Samples the Pauli inserted by one use of the channel (None = no
+    /// error).
+    fn sample(&self, rng: &mut StdRng) -> Option<GateKind> {
+        match *self {
+            NoiseChannel::Depolarizing { p } => {
+                if rng.gen::<f64>() < p {
+                    Some(match rng.gen_range(0..3u8) {
+                        0 => GateKind::X,
+                        1 => GateKind::Y,
+                        _ => GateKind::Z,
+                    })
+                } else {
+                    None
+                }
+            }
+            NoiseChannel::BitFlip { p } => (rng.gen::<f64>() < p).then_some(GateKind::X),
+            NoiseChannel::PhaseFlip { p } => (rng.gen::<f64>() < p).then_some(GateKind::Z),
+        }
+    }
+
+    fn probability(&self) -> f64 {
+        match *self {
+            NoiseChannel::Depolarizing { p }
+            | NoiseChannel::BitFlip { p }
+            | NoiseChannel::PhaseFlip { p } => p,
+        }
+    }
+}
+
+/// A gate-level noise model: one channel applied to every qubit a gate
+/// touches, after the gate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// The per-qubit channel.
+    pub channel: NoiseChannel,
+}
+
+impl NoiseModel {
+    /// Depolarizing noise with per-qubit-use error probability `p`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        NoiseModel {
+            channel: NoiseChannel::Depolarizing { p },
+        }
+    }
+
+    /// Bit-flip noise.
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        NoiseModel {
+            channel: NoiseChannel::BitFlip { p },
+        }
+    }
+
+    /// Phase-flip noise.
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        NoiseModel {
+            channel: NoiseChannel::PhaseFlip { p },
+        }
+    }
+
+    /// Samples one noisy trajectory: the original gates with Pauli errors
+    /// inserted after each gate on each touched qubit.
+    pub fn sample_trajectory(&self, circuit: &Circuit, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Circuit::named(circuit.num_qubits(), format!("{}_noisy", circuit.name()));
+        for g in circuit.iter() {
+            out.push(g.clone());
+            let touched: Vec<usize> = g.qubits().collect();
+            for q in touched {
+                if let Some(kind) = self.channel.sample(&mut rng) {
+                    out.push(Gate::new(kind, q));
+                }
+            }
+        }
+        out
+    }
+
+    /// Expected number of inserted errors for a circuit (diagnostic).
+    pub fn expected_errors(&self, circuit: &Circuit) -> f64 {
+        let uses: usize = circuit.iter().map(|g| g.qubits().count()).sum();
+        uses as f64 * self.channel.probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use crate::generators;
+    use crate::observable::PauliString;
+
+    #[test]
+    fn zero_noise_is_the_identity_transform() {
+        let c = generators::ghz(5);
+        let noisy = NoiseModel::depolarizing(0.0).sample_trajectory(&c, 1);
+        assert_eq!(noisy.num_gates(), c.num_gates());
+    }
+
+    #[test]
+    fn full_bitflip_inserts_everywhere() {
+        let c = generators::ghz(4); // 1 H + 3 CX = 1 + 3*2 = 7 qubit uses
+        let model = NoiseModel::bit_flip(1.0);
+        let noisy = model.sample_trajectory(&c, 1);
+        assert_eq!(noisy.num_gates(), c.num_gates() + 7);
+        assert_eq!(model.expected_errors(&c), 7.0);
+    }
+
+    #[test]
+    fn trajectories_differ_across_seeds() {
+        let c = generators::qft(4);
+        let model = NoiseModel::depolarizing(0.3);
+        let a = model.sample_trajectory(&c, 1);
+        let b = model.sample_trajectory(&c, 2);
+        assert_ne!(a, b, "different seeds should give different trajectories");
+        let same = model.sample_trajectory(&c, 1);
+        assert_eq!(a, same, "same seed must reproduce the trajectory");
+    }
+
+    #[test]
+    fn phase_flip_decay_of_x_expectation() {
+        // |+> under k phase-flip channels: <X> = (1-2p)^k exactly.
+        let p = 0.2;
+        let k = 5;
+        let mut c = Circuit::new(1);
+        c.h(0);
+        for _ in 0..k - 1 {
+            c.push(Gate::new(GateKind::Id, 0)); // idle steps, each noisy
+        }
+        let model = NoiseModel::phase_flip(p);
+        let x = PauliString::x(1.0, 0);
+        let trajectories = 6000;
+        let mut acc = 0.0;
+        for t in 0..trajectories {
+            let noisy = model.sample_trajectory(&c, t as u64);
+            let v = dense::simulate(&noisy);
+            acc += x.expectation_dense(&v);
+        }
+        let got = acc / trajectories as f64;
+        let want = (1.0 - 2.0 * p).powi(k);
+        assert!(
+            (got - want).abs() < 0.03,
+            "decayed <X>: got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn depolarizing_decay_of_z_expectation() {
+        // |0> under k depolarizing channels: <Z> = (1 - 4p/3)^k.
+        let p = 0.15;
+        let k = 4;
+        let mut c = Circuit::new(1);
+        for _ in 0..k {
+            c.push(Gate::new(GateKind::Id, 0));
+        }
+        let model = NoiseModel::depolarizing(p);
+        let z = PauliString::z(1.0, 0);
+        let trajectories = 8000;
+        let mut acc = 0.0;
+        for t in 0..trajectories {
+            let noisy = model.sample_trajectory(&c, t as u64);
+            let v = dense::simulate(&noisy);
+            acc += z.expectation_dense(&v);
+        }
+        let got = acc / trajectories as f64;
+        let want = (1.0 - 4.0 * p / 3.0).powi(k);
+        assert!(
+            (got - want).abs() < 0.03,
+            "decayed <Z>: got {got}, want {want}"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Circuit transformation passes.
+//!
+//! Lightweight peephole optimizations used to pre-process circuits before
+//! simulation (and to generate interesting inputs for the DD equivalence
+//! checker): inverse-pair cancellation, rotation merging, and single-qubit
+//! run fusion into one `Unitary` gate. Every pass preserves the circuit's
+//! unitary exactly (up to global phase for rotation merging of `RZ`/`Phase`
+//! families), which `qdd::check_equivalence` verifies in the tests of the
+//! `flatdd-repro` workspace.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex64;
+use crate::gate::{mat2_mul, Gate, GateKind, Mat2};
+
+/// True when `a` followed by `b` is the identity (inverse pair on the same
+/// target with identical controls).
+fn is_inverse_pair(a: &Gate, b: &Gate) -> bool {
+    if a.target != b.target || a.controls != b.controls {
+        return false;
+    }
+    use GateKind::*;
+    matches!(
+        (a.kind, b.kind),
+        (X, X)
+            | (Y, Y)
+            | (Z, Z)
+            | (H, H)
+            | (Id, Id)
+            | (S, Sdg)
+            | (Sdg, S)
+            | (T, Tdg)
+            | (Tdg, T)
+            | (SqrtX, SqrtXdg)
+            | (SqrtXdg, SqrtX)
+            | (SqrtY, SqrtYdg)
+            | (SqrtYdg, SqrtY)
+    ) || matches!((a.kind, b.kind),
+        (RX(x), RX(y)) | (RY(x), RY(y)) | (RZ(x), RZ(y)) | (Phase(x), Phase(y))
+            if (x + y).abs() < 1e-12)
+}
+
+/// Merges two same-axis rotations into one, if possible.
+fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
+    if a.target != b.target || a.controls != b.controls {
+        return None;
+    }
+    use GateKind::*;
+    let kind = match (a.kind, b.kind) {
+        (RX(x), RX(y)) => RX(x + y),
+        (RY(x), RY(y)) => RY(x + y),
+        (RZ(x), RZ(y)) => RZ(x + y),
+        (Phase(x), Phase(y)) => Phase(x + y),
+        (T, T) => S,
+        (Tdg, Tdg) => Sdg,
+        (S, S) => Z,
+        (Sdg, Sdg) => Z,
+        (S, T) | (T, S) => Phase(3.0 * std::f64::consts::FRAC_PI_4),
+        _ => return None,
+    };
+    Some(Gate {
+        kind,
+        target: a.target,
+        controls: a.controls.clone(),
+    })
+}
+
+/// Do the two gates act on disjoint qubit sets (and therefore commute)?
+fn disjoint(a: &Gate, b: &Gate) -> bool {
+    a.qubits().all(|q| b.qubits().all(|p| p != q))
+}
+
+/// One optimization round: cancel inverse pairs and merge rotations,
+/// looking *through* gates on disjoint qubits. Returns the number of gates
+/// removed.
+fn optimize_round(gates: &mut Vec<Gate>) -> usize {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut removed = 0usize;
+    'next: for g in gates.drain(..) {
+        // Find the most recent emitted gate that shares a qubit with g;
+        // everything after it commutes with g.
+        for k in (0..out.len()).rev() {
+            if disjoint(&out[k], &g) {
+                continue;
+            }
+            if is_inverse_pair(&out[k], &g) {
+                out.remove(k);
+                removed += 2;
+                continue 'next;
+            }
+            if let Some(merged) = merge_rotations(&out[k], &g) {
+                out[k] = merged;
+                removed += 1;
+                continue 'next;
+            }
+            break; // blocked by a non-cancelling gate on a shared qubit
+        }
+        out.push(g);
+    }
+    // Drop explicit identities and zero-angle rotations.
+    let before = out.len();
+    out.retain(|g| {
+        !matches!(g.kind, GateKind::Id)
+            && !matches!(g.kind,
+                GateKind::RX(t) | GateKind::RY(t) | GateKind::RZ(t) | GateKind::Phase(t)
+                    if t.abs() < 1e-14)
+    });
+    removed += before - out.len();
+    *gates = out;
+    removed
+}
+
+/// Cancels inverse pairs and merges rotations to a fixed point.
+pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    while optimize_round(&mut gates) > 0 {}
+    let mut out = Circuit::named(circuit.num_qubits(), format!("{}_opt", circuit.name()));
+    for g in gates {
+        out.push(g);
+    }
+    out
+}
+
+/// Fuses maximal runs of *uncontrolled* single-qubit gates on the same
+/// qubit into one `Unitary` gate (through disjoint gates), reducing gate
+/// count for simulators that pay per gate.
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out: Vec<Gate> = Vec::with_capacity(circuit.num_gates());
+    // Pending accumulated matrix per qubit + insertion position guard.
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+
+    let flush = |pending: &mut Vec<Option<Mat2>>, out: &mut Vec<Gate>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if !is_identity(&m) {
+                out.push(Gate::new(GateKind::Unitary(m), q));
+            }
+        }
+    };
+
+    for g in circuit.iter() {
+        if g.controls.is_empty() {
+            let q = g.target;
+            let m = g.kind.matrix();
+            pending[q] = Some(match pending[q] {
+                Some(acc) => mat2_mul(&m, &acc),
+                None => m,
+            });
+        } else {
+            // Controlled gate: flush every involved qubit first.
+            for q in g.qubits() {
+                flush(&mut pending, &mut out, q);
+            }
+            out.push(g.clone());
+        }
+    }
+    for q in 0..n {
+        flush(&mut pending, &mut out, q);
+    }
+    let mut c = Circuit::named(n, format!("{}_fused1q", circuit.name()));
+    for g in out {
+        c.push(g);
+    }
+    c
+}
+
+fn is_identity(m: &Mat2) -> bool {
+    m[0].approx_eq(Complex64::ONE, 1e-12)
+        && m[3].approx_eq(Complex64::ONE, 1e-12)
+        && m[1].approx_zero(1e-12)
+        && m[2].approx_zero(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::state_distance_up_to_phase;
+    use crate::dense;
+    use crate::generators;
+
+    const TOL: f64 = 1e-9;
+
+    fn same_action(a: &Circuit, b: &Circuit) -> bool {
+        state_distance_up_to_phase(&dense::simulate(a), &dense::simulate(b)) < TOL
+    }
+
+    #[test]
+    fn cancels_adjacent_inverse_pairs() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(0).x(1).x(1).s(2).sdg(2).cx(0, 1).cx(0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn cancels_through_disjoint_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(1, 2).h(0); // the two H(0) cancel across q1/q2 gates
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 2);
+        assert!(same_action(&c, &opt));
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0).rz(0.4, 0).t(1).t(1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 2);
+        match opt.gates()[0].kind {
+            GateKind::RZ(t) => assert!((t - 0.7).abs() < 1e-12),
+            ref k => panic!("{k:?}"),
+        }
+        assert_eq!(opt.gates()[1].kind, GateKind::S);
+        assert!(same_action(&c, &opt));
+    }
+
+    #[test]
+    fn opposite_rotations_cancel() {
+        let mut c = Circuit::new(1);
+        c.rx(0.9, 0).rx(-0.9, 0).ry(0.2, 0).ry(-0.2, 0);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn blocked_cancellation_is_left_alone() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0); // H...H do NOT cancel across a shared-qubit CX
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 3);
+        assert!(same_action(&c, &opt));
+    }
+
+    #[test]
+    fn controlled_pairs_cancel_with_matching_controls() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2).ccx(0, 1, 2).crz(0.5, 0, 1).crz(-0.5, 0, 1);
+        let opt = peephole_optimize(&c);
+        assert_eq!(opt.num_gates(), 0);
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics_on_random_circuits() {
+        for seed in 0..6u64 {
+            let c = generators::random_circuit(5, 60, seed);
+            let opt = peephole_optimize(&c);
+            assert!(opt.num_gates() <= c.num_gates());
+            assert!(same_action(&c, &opt), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dagger_composition_optimizes_to_nothing() {
+        let c = generators::random_circuit(4, 30, 9);
+        let mut round_trip = c.clone();
+        round_trip.extend(&c.dagger());
+        let opt = peephole_optimize(&round_trip);
+        // Everything should cancel: the dagger is the exact reverse.
+        assert_eq!(opt.num_gates(), 0, "leftover: {opt}");
+    }
+
+    #[test]
+    fn single_qubit_fusion_reduces_gate_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).s(0).rz(0.3, 0).cx(0, 1).h(1).x(1);
+        let fused = fuse_single_qubit_runs(&c);
+        // q0 run fuses to 1 gate, then CX, then q1 run fuses to 1 gate.
+        assert_eq!(fused.num_gates(), 3);
+        assert!(same_action(&c, &fused));
+    }
+
+    #[test]
+    fn single_qubit_fusion_preserves_semantics_on_random_circuits() {
+        for seed in 0..6u64 {
+            let c = generators::random_circuit(5, 80, seed + 100);
+            let fused = fuse_single_qubit_runs(&c);
+            assert!(fused.num_gates() <= c.num_gates());
+            assert!(same_action(&c, &fused), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fusion_drops_identity_runs() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.num_gates(), 0);
+    }
+
+    #[test]
+    fn fused_gates_are_unitary() {
+        use crate::gate::mat2_is_unitary;
+        let c = generators::random_circuit(4, 60, 3);
+        let fused = fuse_single_qubit_runs(&c);
+        for g in fused.iter() {
+            if let GateKind::Unitary(m) = g.kind {
+                assert!(mat2_is_unitary(&m, 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Parallel DD-to-array conversion (Section 3.1.2, Figure 4).
+//!
+//! The state-vector DD is converted to a flat array by splitting the thread
+//! group at each DD node, with the paper's two optimizations:
+//!
+//! * **Load balancing** (Fig. 4a): at a node with a zero outgoing edge, the
+//!   thread group does *not* split — all threads follow the non-zero edge,
+//!   so no thread idles on an empty subtree.
+//! * **Scalar multiplication** (Fig. 4b): at a node whose two edges point to
+//!   the *same* child, only the left half is converted (by the whole
+//!   group); the right half is then produced by a SIMD-friendly scalar
+//!   multiplication of the left half.
+//!
+//! Planning is a cheap O(t + #scalar-tasks) descent; the exponential work
+//! (filling 2^n amplitudes) is done by the pool workers on disjoint ranges.
+
+use crate::pool::ThreadPool;
+use qarray::SyncUnsafeSlice;
+use qcircuit::Complex64;
+use qdd::{DdPackage, VEdge};
+
+/// A leaf work item: fill the sub-vector of `edge` starting at `index`.
+#[derive(Clone, Copy, Debug)]
+struct FillTask {
+    edge: VEdge,
+    index: usize,
+    /// Product of edge weights *above* `edge` (exclusive).
+    weight: Complex64,
+}
+
+/// A deferred scalar multiplication: `out[dst..dst+len] = factor * out[src..src+len]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalarTask {
+    /// Source start index.
+    pub src: usize,
+    /// Destination start index.
+    pub dst: usize,
+    /// Segment length.
+    pub len: usize,
+    /// Multiplier (ratio of the two edge weights).
+    pub factor: Complex64,
+}
+
+/// The plan produced by the descent: per-thread fill lists plus ordered
+/// scalar-multiplication tasks.
+pub struct ConversionPlan {
+    fill: Vec<Vec<FillTask>>,
+    scalar: Vec<ScalarTask>,
+}
+
+impl ConversionPlan {
+    /// Builds a plan for converting `root` (over `n` qubits) with `threads`
+    /// workers.
+    pub fn build(pkg: &DdPackage, root: VEdge, n: usize, threads: usize) -> Self {
+        let t = threads.max(1);
+        let mut plan = ConversionPlan {
+            fill: vec![Vec::new(); t],
+            scalar: Vec::new(),
+        };
+        plan.descend(pkg, root, 0, Complex64::ONE, 0, t);
+        let _ = n;
+        plan
+    }
+
+    /// Number of scalar-multiplication tasks discovered.
+    pub fn scalar_tasks(&self) -> &[ScalarTask] {
+        &self.scalar
+    }
+
+    /// Number of fill tasks assigned to each thread.
+    pub fn fill_counts(&self) -> Vec<usize> {
+        self.fill.iter().map(|v| v.len()).collect()
+    }
+
+    /// Output-range coverage per thread (amplitude slots each thread's fill
+    /// tasks span) — the load-balance metric of the Figure 4a optimization.
+    pub fn coverage(&self, pkg: &DdPackage) -> Vec<usize> {
+        self.fill
+            .iter()
+            .map(|tasks| {
+                tasks
+                    .iter()
+                    .map(|t| {
+                        if t.edge.is_terminal() {
+                            1
+                        } else {
+                            1usize << (pkg.v_node(t.edge.n).level + 1)
+                        }
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn descend(
+        &mut self,
+        pkg: &DdPackage,
+        edge: VEdge,
+        index: usize,
+        weight: Complex64,
+        lo: usize,
+        hi: usize,
+    ) {
+        if edge.is_zero() {
+            return;
+        }
+        if hi - lo == 1 || edge.is_terminal() {
+            self.fill[lo].push(FillTask {
+                edge,
+                index,
+                weight,
+            });
+            return;
+        }
+        let w = weight * pkg.cval(edge.w);
+        let node = *pkg.v_node(edge.n);
+        let half = 1usize << node.level;
+        let (e0, e1) = (node.e[0], node.e[1]);
+        if e0.is_zero() {
+            // Load balancing: everyone takes the non-zero edge.
+            self.descend(pkg, e1, index + half, w, lo, hi);
+        } else if e1.is_zero() {
+            self.descend(pkg, e0, index, w, lo, hi);
+        } else if e0.n == e1.n && !e0.is_terminal() {
+            // Scalar-multiplication optimization: identical children mean
+            // the right half is a scalar multiple of the left half.
+            let factor = pkg.cval(e1.w) / pkg.cval(e0.w);
+            self.scalar.push(ScalarTask {
+                src: index,
+                dst: index + half,
+                len: half,
+                factor,
+            });
+            self.descend(pkg, e0, index, w, lo, hi);
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            self.descend(pkg, e0, index, w, lo, mid);
+            self.descend(pkg, e1, index + half, w, mid, hi);
+        }
+    }
+}
+
+/// Sequential depth-first fill of one task's range (relative indexing into
+/// the task's private sub-slice keeps bounds checks cheap).
+fn fill_task(pkg: &DdPackage, task: &FillTask, view: &SyncUnsafeSlice<'_, Complex64>) {
+    fill_rec(pkg, task.edge, task.index, task.weight, view);
+}
+
+fn fill_rec(
+    pkg: &DdPackage,
+    edge: VEdge,
+    index: usize,
+    weight: Complex64,
+    view: &SyncUnsafeSlice<'_, Complex64>,
+) {
+    if edge.is_zero() {
+        return;
+    }
+    let w = weight * pkg.cval(edge.w);
+    if edge.is_terminal() {
+        // SAFETY: index ranges of distinct fill tasks are disjoint by plan
+        // construction; only this thread writes this element.
+        unsafe { view.write(index, w) };
+        return;
+    }
+    let node = pkg.v_node(edge.n);
+    let half = 1usize << node.level;
+    fill_rec(pkg, node.e[0], index, w, view);
+    fill_rec(pkg, node.e[1], index + half, w, view);
+}
+
+/// Converts a vector DD into a flat array using the pool — the FlatDD
+/// parallel conversion of Figure 4.
+pub fn dd_to_array_parallel(
+    pkg: &DdPackage,
+    root: VEdge,
+    n: usize,
+    pool: &ThreadPool,
+) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; 1usize << n];
+    dd_to_array_parallel_into(pkg, root, n, pool, &mut out);
+    out
+}
+
+/// Same as [`dd_to_array_parallel`] but writing into a caller buffer
+/// (which must be zeroed).
+pub fn dd_to_array_parallel_into(
+    pkg: &DdPackage,
+    root: VEdge,
+    n: usize,
+    pool: &ThreadPool,
+    out: &mut [Complex64],
+) {
+    assert_eq!(out.len(), 1usize << n);
+    let t = pool.size();
+    let plan = ConversionPlan::build(pkg, root, n, t);
+    let view = SyncUnsafeSlice::new(out);
+    // Phase 1: parallel fill of disjoint ranges.
+    pool.run(|tid| {
+        for task in &plan.fill[tid] {
+            fill_task(pkg, task, &view);
+        }
+    });
+    // Phase 2: scalar multiplications, deepest first (a shallower task's
+    // source region contains the deeper tasks' destinations). Each task is
+    // internally parallelized across the pool.
+    for st in plan.scalar.iter().rev() {
+        let chunk = st.len.div_ceil(t);
+        pool.run(|tid| {
+            let start = tid * chunk;
+            if start >= st.len {
+                return;
+            }
+            let len = chunk.min(st.len - start);
+            // SAFETY: src and dst ranges of one task are disjoint (sibling
+            // halves), and per-thread chunks partition them.
+            let (src, dst) = unsafe {
+                (
+                    view.slice(st.src + start, len),
+                    view.slice_mut(st.dst + start, len),
+                )
+            };
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = st.factor * s;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::complex::state_distance;
+    use qcircuit::{dense, generators};
+    use qdd::DdSimulator;
+
+    const TOL: f64 = 1e-9;
+
+    fn convert_both_ways(
+        circuit: &qcircuit::Circuit,
+        threads: usize,
+    ) -> (Vec<Complex64>, Vec<Complex64>) {
+        let mut sim = DdSimulator::new(circuit.num_qubits());
+        sim.run(circuit);
+        let sequential = sim.amplitudes();
+        let pool = ThreadPool::new(threads);
+        let parallel =
+            dd_to_array_parallel(sim.package(), sim.state(), circuit.num_qubits(), &pool);
+        (sequential, parallel)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_generators() {
+        for c in [
+            generators::ghz(9),
+            generators::w_state(7),
+            generators::qft(6),
+            generators::dnn(6, 2, 11),
+            generators::supremacy(2, 3, 6, 11),
+            generators::random_circuit(7, 80, 11),
+        ] {
+            for t in [1usize, 2, 4, 8] {
+                let (seq, par) = convert_both_ways(&c, t);
+                assert!(state_distance(&seq, &par) < TOL, "{} at t={t}", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_ground_truth() {
+        let c = generators::random_circuit(6, 60, 23);
+        let (_, par) = convert_both_ways(&c, 4);
+        let want = dense::simulate(&c);
+        assert!(state_distance(&par, &want) < TOL);
+    }
+
+    #[test]
+    fn sparse_state_with_zero_edges_load_balances() {
+        // A basis state: every node has one zero edge, so all threads chase
+        // a single path — exactly the Fig. 4a scenario.
+        let mut pkg = DdPackage::default();
+        let e = pkg.basis_state(10, 0b1100110011);
+        let pool = ThreadPool::new(4);
+        let plan = ConversionPlan::build(&pkg, e, 10, 4);
+        let nonempty = plan.fill_counts().iter().filter(|&&c| c > 0).count();
+        assert_eq!(nonempty, 1, "single path must collapse to one task");
+        let out = dd_to_array_parallel(&pkg, e, 10, &pool);
+        assert!(state_distance(&out, &dense::basis_state(10, 0b1100110011)) < TOL);
+    }
+
+    #[test]
+    fn scalar_optimization_detected_for_product_states() {
+        // |+>^n: every node has identical children — Fig. 4b territory.
+        let n = 6;
+        let c = {
+            let mut c = qcircuit::Circuit::new(n);
+            for q in 0..n {
+                c.h(q);
+            }
+            c
+        };
+        let mut sim = DdSimulator::new(n);
+        sim.run(&c);
+        let plan = ConversionPlan::build(sim.package(), sim.state(), n, 4);
+        assert!(
+            !plan.scalar_tasks().is_empty(),
+            "uniform superposition must trigger the scalar-multiplication path"
+        );
+        let pool = ThreadPool::new(4);
+        let out = dd_to_array_parallel(sim.package(), sim.state(), n, &pool);
+        assert!(state_distance(&out, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn nested_scalar_tasks_apply_in_the_right_order() {
+        // ghz-like plus global H wall gives nested identical-children nodes.
+        let n = 5;
+        let mut c = qcircuit::Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.t(0).s(2);
+        let mut sim = DdSimulator::new(n);
+        sim.run(&c);
+        let pool = ThreadPool::new(2);
+        let out = dd_to_array_parallel(sim.package(), sim.state(), n, &pool);
+        assert!(state_distance(&out, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn zero_root_yields_zero_vector() {
+        let pkg = DdPackage::default();
+        let pool = ThreadPool::new(2);
+        let out = dd_to_array_parallel(&pkg, VEdge::ZERO, 4, &pool);
+        assert!(out.iter().all(|a| a.is_zero()));
+    }
+
+    #[test]
+    fn thread_counts_beyond_paths_are_safe() {
+        let mut pkg = DdPackage::default();
+        let e = pkg.basis_state(3, 5);
+        let pool = ThreadPool::new(8); // more threads than amplitudes
+        let out = dd_to_array_parallel(&pkg, e, 3, &pool);
+        assert!(state_distance(&out, &dense::basis_state(3, 5)) < TOL);
+    }
+}

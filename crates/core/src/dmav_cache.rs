@@ -1,0 +1,476 @@
+//! DMAV with caching (Section 3.2.2, Algorithm 2, Figures 6 and 7).
+//!
+//! Each thread evaluates the gate matrix in **column space**: it owns the
+//! `h`-sized input sub-vector `V[tid*h, (tid+1)*h)` and produces output
+//! segments at varying row offsets into a *partial-output buffer*. Because a
+//! DD gate matrix repeats sub-matrices (tensor-product regularity), a thread
+//! frequently meets the same sub-matrix node twice with different scalar
+//! coefficients — the cached result is then reused with one SIMD-friendly
+//! scalar multiplication instead of a full recursive multiply (Figure 6).
+//!
+//! Threads whose output segments don't overlap share one buffer (saving the
+//! memory and the final summation work); the buffers are summed into `W` at
+//! the end (Algorithm 2, lines 11-13).
+
+use crate::dmav::run_task;
+use crate::pool::ThreadPool;
+use qarray::SyncUnsafeSlice;
+use qcircuit::Complex64;
+use qdd::fxhash::FxHashMap;
+use qdd::{DdPackage, MEdge};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-thread column-space tasks plus the buffer-sharing assignment
+/// (the paper's `v_M`, `v_P`, `v_f`, `v_B`).
+pub struct DmavCacheAssignment {
+    /// Thread count (power of two).
+    pub t: usize,
+    /// Sub-vector size `h = 2^n / t`.
+    pub h: usize,
+    /// Qubit count.
+    pub n: usize,
+    /// Sub-matrix DD edges per thread (`v_M`).
+    pub m_edges: Vec<Vec<MEdge>>,
+    /// Output-segment start indices per thread (`v_P`).
+    pub ip: Vec<Vec<usize>>,
+    /// Weight products (excluding the stored edge's weight) per thread (`v_f`).
+    pub f: Vec<Vec<Complex64>>,
+    /// Buffer index per thread (`v_B`).
+    pub buffer_of: Vec<usize>,
+    /// Number of distinct buffers (`size(B)`).
+    pub num_buffers: usize,
+    /// `buffer_segments[b][seg]`: does buffer `b` hold live data for output
+    /// segment `seg`? (Unoccupied segments are neither zeroed nor summed.)
+    pub buffer_segments: Vec<Vec<bool>>,
+}
+
+impl DmavCacheAssignment {
+    /// Runs `AssignCache` (Algorithm 2, lines 16-26).
+    pub fn build(pkg: &DdPackage, m: MEdge, n: usize, t: usize) -> Self {
+        assert!(t.is_power_of_two(), "thread count must be a power of two");
+        let log_t = t.trailing_zeros() as usize;
+        assert!(log_t <= n, "need log2(t) <= n for the border-level scheme");
+        let mut asg = DmavCacheAssignment {
+            t,
+            h: (1usize << n) / t,
+            n,
+            m_edges: vec![Vec::new(); t],
+            ip: vec![Vec::new(); t],
+            f: vec![Vec::new(); t],
+            buffer_of: vec![0; t],
+            num_buffers: 0,
+            buffer_segments: Vec::new(),
+        };
+        let border = n as i64 - log_t as i64 - 1;
+        asg.assign(pkg, m, Complex64::ONE, 0, 0, n as i64 - 1, border);
+        asg.assign_buffers();
+        asg
+    }
+
+    // The argument list mirrors Assign/AssignCache in the paper verbatim.
+    #[allow(clippy::too_many_arguments)]
+    fn assign(
+        &mut self,
+        pkg: &DdPackage,
+        m_r: MEdge,
+        f_r: Complex64,
+        u: usize,
+        i_p: usize,
+        l: i64,
+        border: i64,
+    ) {
+        if m_r.is_zero() {
+            return;
+        }
+        if l == border {
+            self.m_edges[u].push(m_r);
+            self.ip[u].push(i_p);
+            self.f[u].push(f_r);
+            return;
+        }
+        let node = pkg.m_node(m_r.n);
+        debug_assert_eq!(node.level as i64, l);
+        let e = node.e;
+        let w = f_r * pkg.cval(m_r.w);
+        let stride = self.t >> (self.n as i64 - l) as usize; // t / 2^(n-l)
+                                                             // Column-major traversal: the thread index follows the column j,
+                                                             // the partial-output index follows the row i (lines 20-21).
+        for j in 0..2usize {
+            for i in 0..2usize {
+                self.assign(
+                    pkg,
+                    e[2 * i + j],
+                    w,
+                    u + j * stride,
+                    i_p + (i << l),
+                    l - 1,
+                    border,
+                );
+            }
+        }
+    }
+
+    /// Buffer sharing (lines 22-25): thread `i` joins the first buffer whose
+    /// occupied segments don't overlap its own; otherwise it opens a new
+    /// buffer.
+    fn assign_buffers(&mut self) {
+        let mut occupied: Vec<Vec<bool>> = Vec::new();
+        for u in 0..self.t {
+            let mut segs = vec![false; self.t];
+            for &p in &self.ip[u] {
+                segs[p / self.h] = true;
+            }
+            let found = occupied
+                .iter()
+                .position(|occ| occ.iter().zip(&segs).all(|(&a, &b)| !(a && b)));
+            match found {
+                Some(b) => {
+                    for (o, &s) in occupied[b].iter_mut().zip(&segs) {
+                        *o |= s;
+                    }
+                    self.buffer_of[u] = b;
+                }
+                None => {
+                    self.buffer_of[u] = occupied.len();
+                    occupied.push(segs);
+                }
+            }
+        }
+        if occupied.is_empty() {
+            occupied.push(vec![false; self.t]);
+        }
+        self.num_buffers = occupied.len();
+        self.buffer_segments = occupied;
+    }
+
+    /// Total number of tasks across threads.
+    pub fn total_tasks(&self) -> usize {
+        self.m_edges.iter().map(|v| v.len()).sum()
+    }
+
+    /// Number of cache hits this assignment will produce (repeated nodes
+    /// within a thread's task list) — the `H` of the cost model.
+    pub fn cache_hits(&self) -> usize {
+        let mut hits = 0;
+        for tasks in &self.m_edges {
+            let mut seen = FxHashMap::default();
+            for e in tasks {
+                if seen.insert(e.n, ()).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// Scratch buffers reused across gates to avoid per-gate allocation.
+#[derive(Default)]
+pub struct PartialBuffers {
+    bufs: Vec<Vec<Complex64>>,
+}
+
+impl PartialBuffers {
+    /// Ensures `count` buffers of length `len`, zeroing only the segments
+    /// this assignment will actually touch (segment size `h`).
+    fn prepare(&mut self, count: usize, len: usize, segments: &[Vec<bool>], h: usize) {
+        self.bufs.resize_with(count.max(self.bufs.len()), Vec::new);
+        for (b, segs) in self.bufs.iter_mut().zip(segments).take(count) {
+            if b.len() != len {
+                b.clear();
+                b.resize(len, Complex64::ZERO);
+            } else {
+                for (seg, &occ) in segs.iter().enumerate() {
+                    if occ {
+                        b[seg * h..(seg + 1) * h].fill(Complex64::ZERO);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn memory_bytes(&self) -> usize {
+        self.bufs
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<Complex64>())
+            .sum()
+    }
+}
+
+/// Execution statistics of one cached DMAV.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DmavCacheRunStats {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Cache hits (tasks answered by scalar multiplication).
+    pub hits: usize,
+    /// Buffers used.
+    pub buffers: usize,
+}
+
+/// DMAV with caching: `W = M * V`. `w` is fully overwritten.
+pub fn dmav_cached(
+    pkg: &DdPackage,
+    asg: &DmavCacheAssignment,
+    v: &[Complex64],
+    w: &mut [Complex64],
+    pool: &ThreadPool,
+    scratch: &mut PartialBuffers,
+) -> DmavCacheRunStats {
+    assert_eq!(v.len(), 1usize << asg.n);
+    assert_eq!(w.len(), v.len());
+    assert_eq!(
+        pool.size(),
+        asg.t,
+        "assignment and pool thread counts differ"
+    );
+    let h = asg.h;
+    let dim = v.len();
+    scratch.prepare(asg.num_buffers, dim, &asg.buffer_segments, h);
+    let views: Vec<SyncUnsafeSlice<'_, Complex64>> = scratch
+        .bufs
+        .iter_mut()
+        .take(asg.num_buffers)
+        .map(|b| SyncUnsafeSlice::new(b.as_mut_slice()))
+        .collect();
+    let hit_count = AtomicUsize::new(0);
+
+    pool.run(|tid| {
+        let buf = &views[asg.buffer_of[tid]];
+        // Per-thread, per-gate cache: node id -> (effective weight, start).
+        let mut cache: FxHashMap<u32, (Complex64, usize)> = FxHashMap::default();
+        let mut hits = 0usize;
+        for j in 0..asg.m_edges[tid].len() {
+            let edge = asg.m_edges[tid][j];
+            let start = asg.ip[tid][j];
+            // Effective linear factor of this task (includes the stored
+            // edge's own weight; two tasks with the same node differ only
+            // by this factor).
+            let full = asg.f[tid][j] * pkg.cval(edge.w);
+            if let Some(&(cached_w, cached_start)) = cache.get(&edge.n) {
+                let factor = full / cached_w;
+                // SAFETY: `cached_start` is a segment this thread wrote
+                // earlier; `start` is a segment only this task writes.
+                // Threads sharing the buffer own disjoint segment sets.
+                let (src, dst) = unsafe { (buf.slice(cached_start, h), buf.slice_mut(start, h)) };
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = factor * s;
+                }
+                hits += 1;
+            } else {
+                // SAFETY: same disjointness argument as above.
+                let dst = unsafe { buf.slice_mut(start, h) };
+                run_task(pkg, edge, v, dst, tid * h, 0, asg.f[tid][j]);
+                cache.insert(edge.n, (full, start));
+            }
+        }
+        hit_count.fetch_add(hits, Ordering::Relaxed);
+    });
+
+    // Sum the partial buffers into W (lines 11-13): thread `tid` owns output
+    // rows [tid*h, (tid+1)*h). Only buffers whose segment `tid` is occupied
+    // contribute.
+    let wview = SyncUnsafeSlice::new(w);
+    pool.run(|tid| {
+        // SAFETY: output row chunks are disjoint per thread; buffers are
+        // only read here.
+        let out = unsafe { wview.slice_mut(tid * h, h) };
+        out.fill(Complex64::ZERO);
+        for (view, segs) in views.iter().zip(&asg.buffer_segments) {
+            if !segs[tid] {
+                continue;
+            }
+            let part = unsafe { view.slice(tid * h, h) };
+            for (o, &p) in out.iter_mut().zip(part) {
+                *o += p;
+            }
+        }
+    });
+
+    DmavCacheRunStats {
+        tasks: asg.total_tasks(),
+        hits: hit_count.load(Ordering::Relaxed),
+        buffers: asg.num_buffers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmav::{dmav_no_cache, DmavAssignment};
+    use qcircuit::complex::state_distance;
+    use qcircuit::gate::{Control, Gate, GateKind};
+    use qcircuit::{dense, generators};
+
+    const TOL: f64 = 1e-9;
+
+    fn rand_state(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as f64 / u64::MAX as f64) - 0.5
+        };
+        (0..(1usize << n))
+            .map(|_| Complex64::new(next(), next()))
+            .collect()
+    }
+
+    fn check_gate(g: &Gate, n: usize, t: usize) -> DmavCacheRunStats {
+        let mut pkg = DdPackage::default();
+        let m = pkg.gate_dd(g, n);
+        let asg = DmavCacheAssignment::build(&pkg, m, n, t);
+        let v = rand_state(n, 11);
+        let mut w = vec![Complex64::ZERO; 1 << n];
+        let pool = ThreadPool::new(t);
+        let mut scratch = PartialBuffers::default();
+        let stats = dmav_cached(&pkg, &asg, &v, &mut w, &pool, &mut scratch);
+        let mut want = v.clone();
+        dense::apply_gate(&mut want, g);
+        assert!(state_distance(&w, &want) < TOL, "gate {g} n={n} t={t}");
+        stats
+    }
+
+    #[test]
+    fn cached_matches_dense_across_gates_and_threads() {
+        for t in [1usize, 2, 4, 8] {
+            for g in [
+                Gate::new(GateKind::H, 0),
+                Gate::new(GateKind::H, 5),
+                Gate::new(GateKind::RY(0.9), 3),
+                Gate::new(GateKind::T, 1),
+                Gate::controlled(GateKind::X, 2, vec![Control::pos(5)]),
+                Gate::controlled(GateKind::X, 5, vec![Control::pos(0)]),
+                Gate::controlled(GateKind::H, 4, vec![Control::neg(1)]),
+                Gate::controlled(GateKind::X, 0, vec![Control::pos(2), Control::pos(4)]),
+            ] {
+                check_gate(&g, 6, t);
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_on_top_qubit_hits_cache() {
+        // H on the top qubit: each thread sees the identity sub-matrix node
+        // twice (a*m and b*m) — the Figure 6 scenario.
+        let stats = check_gate(&Gate::new(GateKind::H, 5), 6, 2);
+        assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
+    }
+
+    #[test]
+    fn diagonal_gate_has_no_hits_but_shares_buffers() {
+        // T on the top qubit: block-diagonal, each thread one task, outputs
+        // don't overlap => hits 0, a single shared buffer.
+        let stats = check_gate(&Gate::new(GateKind::T, 5), 6, 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.buffers, 1);
+    }
+
+    #[test]
+    fn dense_top_gate_needs_two_buffers() {
+        // H on the top qubit with t=2: both threads write both halves —
+        // overlapping outputs force 2 buffers.
+        let mut pkg = DdPackage::default();
+        let m = pkg.gate_dd(&Gate::new(GateKind::H, 5), 6);
+        let asg = DmavCacheAssignment::build(&pkg, m, 6, 2);
+        assert_eq!(asg.num_buffers, 2);
+        assert_eq!(asg.cache_hits(), 2); // one repeat per thread
+    }
+
+    #[test]
+    fn cached_equals_uncached_on_random_fused_matrices() {
+        let n = 6;
+        let c = generators::random_circuit(n, 8, 19);
+        let mut pkg = DdPackage::default();
+        let mut fused = pkg.identity_dd(n);
+        for g in c.iter() {
+            let gd = pkg.gate_dd(g, n);
+            fused = pkg.mul_mm(gd, fused);
+        }
+        let v = rand_state(n, 23);
+        let pool = ThreadPool::new(4);
+
+        let asg_nc = DmavAssignment::build(&pkg, fused, n, 4);
+        let mut w1 = vec![Complex64::ZERO; 1 << n];
+        dmav_no_cache(&pkg, &asg_nc, &v, &mut w1, &pool);
+
+        let asg_c = DmavCacheAssignment::build(&pkg, fused, n, 4);
+        let mut w2 = vec![Complex64::ZERO; 1 << n];
+        let mut scratch = PartialBuffers::default();
+        dmav_cached(&pkg, &asg_c, &v, &mut w2, &pool, &mut scratch);
+
+        assert!(state_distance(&w1, &w2) < TOL);
+    }
+
+    #[test]
+    fn whole_circuit_via_cached_dmav() {
+        let n = 6;
+        let c = generators::dnn(n, 2, 31);
+        let mut pkg = DdPackage::default();
+        let pool = ThreadPool::new(4);
+        let mut scratch = PartialBuffers::default();
+        let mut v = dense::zero_state(n);
+        let mut w = vec![Complex64::ZERO; 1 << n];
+        for g in c.iter() {
+            let m = pkg.gate_dd(g, n);
+            let asg = DmavCacheAssignment::build(&pkg, m, n, 4);
+            dmav_cached(&pkg, &asg, &v, &mut w, &pool, &mut scratch);
+            std::mem::swap(&mut v, &mut w);
+        }
+        assert!(state_distance(&v, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused() {
+        let mut scratch = PartialBuffers::default();
+        check_gate(&Gate::new(GateKind::H, 4), 5, 2);
+        let segs = vec![vec![true, true], vec![true, false]];
+        scratch.prepare(2, 32, &segs, 16);
+        let bytes = scratch.memory_bytes();
+        scratch.prepare(2, 32, &segs, 16);
+        assert_eq!(scratch.memory_bytes(), bytes, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn stale_buffer_garbage_never_leaks_into_output() {
+        // Run a dense gate (fills buffers), then a sparse diagonal gate that
+        // leaves most segments untouched: stale data must not be summed.
+        let n = 6;
+        let t = 4;
+        let mut pkg = DdPackage::default();
+        let pool = ThreadPool::new(t);
+        let mut scratch = PartialBuffers::default();
+        let v = rand_state(n, 3);
+
+        let dense_m = pkg.gate_dd(&Gate::new(GateKind::H, 5), n);
+        let asg1 = DmavCacheAssignment::build(&pkg, dense_m, n, t);
+        let mut w1 = vec![Complex64::ZERO; 1 << n];
+        dmav_cached(&pkg, &asg1, &v, &mut w1, &pool, &mut scratch);
+
+        let diag_m = pkg.gate_dd(&Gate::new(GateKind::T, 5), n);
+        let asg2 = DmavCacheAssignment::build(&pkg, diag_m, n, t);
+        let mut w2 = vec![Complex64::ZERO; 1 << n];
+        dmav_cached(&pkg, &asg2, &w1, &mut w2, &pool, &mut scratch);
+
+        let mut want = v.clone();
+        dense::apply_gate(&mut want, &Gate::new(GateKind::H, 5));
+        dense::apply_gate(&mut want, &Gate::new(GateKind::T, 5));
+        assert!(state_distance(&w2, &want) < TOL);
+    }
+
+    #[test]
+    fn assignment_shape_figure_7() {
+        // Figure 7: H on the top qubit of n=3 with 4 threads.
+        let mut pkg = DdPackage::default();
+        let m = pkg.gate_dd(&Gate::new(GateKind::H, 2), 3);
+        let asg = DmavCacheAssignment::build(&pkg, m, 3, 4);
+        assert_eq!(asg.h, 2);
+        // Threads t1/t2 (columns of the left half) each get 2 tasks with
+        // non-overlapping rows vs. each other in the paper's example...
+        assert_eq!(asg.total_tasks(), 8);
+        // Each thread's two tasks reference the same node => 4 hits total.
+        assert_eq!(asg.cache_hits(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! EWMA-based conversion timing (Section 3.1.1).
+//!
+//! While simulating in the DD phase, FlatDD records the DD size `s_i` of the
+//! state vector after every gate and maintains an exponentially weighted
+//! moving average `v_i = beta * v_{i-1} + (1 - beta) * s_i` (Equation 4).
+//! The simulation converts from DD to DMAV when the current size jumps more
+//! than `epsilon`x above the moving average — a drastic regularity loss.
+//!
+//! Note on the trigger direction: the paper states the comparison as
+//! "convert when `epsilon * v_i < s_i`" with `v_0 = 0`. Taken literally
+//! (update first, then compare) this fires on the very first gate for any
+//! circuit, because `epsilon * (1-beta) < 1` for the paper's own defaults
+//! (beta = 0.9, epsilon = 2). We therefore implement the stated *intent*:
+//! the average is seeded with the first observed size, and gate `i`
+//! triggers when `s_i > epsilon * v_{i-1}`; on non-triggering gates the
+//! average is updated by Equation 4. See DESIGN.md.
+
+/// Parameters of the EWMA conversion monitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EwmaConfig {
+    /// History weight `beta` of Equation 4 (paper default 0.9).
+    pub beta: f64,
+    /// Trigger threshold `epsilon` (paper default 2.0).
+    pub epsilon: f64,
+    /// Minimum DD size below which conversion never triggers (guards the
+    /// first few gates of tiny circuits, where a 3-node to 7-node jump is
+    /// not "irregularity").
+    pub min_size: usize,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        // The values the paper reports as effective across circuits.
+        EwmaConfig {
+            beta: 0.9,
+            epsilon: 2.0,
+            min_size: 32,
+        }
+    }
+}
+
+/// The monitor: feed it one DD size per gate; it says when to convert.
+#[derive(Clone, Debug)]
+pub struct EwmaMonitor {
+    cfg: EwmaConfig,
+    v: f64,
+    seeded: bool,
+    observations: usize,
+}
+
+impl EwmaMonitor {
+    /// Creates a monitor.
+    pub fn new(cfg: EwmaConfig) -> Self {
+        assert!((0.0..1.0).contains(&cfg.beta), "beta must be in [0, 1)");
+        assert!(
+            cfg.epsilon >= 1.0,
+            "epsilon < 1 would trigger on shrinking DDs"
+        );
+        EwmaMonitor {
+            cfg,
+            v: 0.0,
+            seeded: false,
+            observations: 0,
+        }
+    }
+
+    /// Current moving-average value `v_i`.
+    pub fn value(&self) -> f64 {
+        self.v
+    }
+
+    /// Number of sizes observed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Records the DD size after one gate. Returns `true` when the
+    /// simulation should convert from DD to DMAV *now*.
+    pub fn observe(&mut self, size: usize) -> bool {
+        self.observations += 1;
+        let s = size as f64;
+        if !self.seeded {
+            self.v = s;
+            self.seeded = true;
+            return false;
+        }
+        if size >= self.cfg.min_size && s > self.cfg.epsilon * self.v {
+            return true;
+        }
+        self.v = self.cfg.beta * self.v + (1.0 - self.cfg.beta) * s;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> EwmaMonitor {
+        EwmaMonitor::new(EwmaConfig::default())
+    }
+
+    #[test]
+    fn constant_sizes_never_trigger() {
+        let mut m = monitor();
+        for _ in 0..1000 {
+            assert!(!m.observe(100));
+        }
+        assert!((m.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_growth_never_triggers() {
+        // 1% growth per gate stays under epsilon = 2 forever.
+        let mut m = monitor();
+        let mut s = 100.0f64;
+        for _ in 0..500 {
+            assert!(!m.observe(s as usize), "triggered at size {s}");
+            s *= 1.01;
+        }
+    }
+
+    #[test]
+    fn sudden_blowup_triggers() {
+        let mut m = monitor();
+        for _ in 0..50 {
+            assert!(!m.observe(100));
+        }
+        assert!(m.observe(250), "2.5x jump above the average must trigger");
+    }
+
+    #[test]
+    fn small_dds_never_trigger() {
+        // A 3 -> 30 node jump is under min_size: no conversion.
+        let mut m = EwmaMonitor::new(EwmaConfig {
+            min_size: 64,
+            ..EwmaConfig::default()
+        });
+        m.observe(3);
+        assert!(!m.observe(30));
+        // ... but crossing min_size with a jump does trigger.
+        assert!(m.observe(64));
+    }
+
+    #[test]
+    fn first_observation_only_seeds() {
+        let mut m = monitor();
+        assert!(!m.observe(10_000), "first gate can never trigger");
+        assert_eq!(m.observations(), 1);
+        assert!((m.value() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_follows_equation_4() {
+        let mut m = EwmaMonitor::new(EwmaConfig {
+            beta: 0.5,
+            epsilon: 10.0,
+            min_size: 0,
+        });
+        m.observe(100); // seed
+        m.observe(200); // v = 0.5*100 + 0.5*200 = 150
+        assert!((m.value() - 150.0).abs() < 1e-9);
+        m.observe(50); // v = 0.5*150 + 0.5*50 = 100
+        assert!((m.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trigger_does_not_update_average() {
+        let mut m = EwmaMonitor::new(EwmaConfig {
+            beta: 0.9,
+            epsilon: 2.0,
+            min_size: 0,
+        });
+        m.observe(100);
+        let v_before = m.value();
+        assert!(m.observe(1000));
+        assert_eq!(
+            m.value(),
+            v_before,
+            "triggering observation must not pollute v"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_panics() {
+        EwmaMonitor::new(EwmaConfig {
+            beta: 1.5,
+            epsilon: 2.0,
+            min_size: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        EwmaMonitor::new(EwmaConfig {
+            beta: 0.9,
+            epsilon: 0.5,
+            min_size: 0,
+        });
+    }
+}

@@ -1,0 +1,288 @@
+//! Gate fusion (Section 3.3, Algorithm 3) and the k-operations baseline
+//! \[100\].
+//!
+//! After the DD-to-DMAV conversion, the remaining gates are DD matrices.
+//! Two consecutive gates can be *fused* with a DD matrix-matrix multiply
+//! (DDMM) into one matrix, trading one DMAV for a (cheap) DDMM — a win
+//! exactly when the fused matrix's DMAV cost is below the sum of the two
+//! separate DMAV costs (Figures 9 and 10 show both directions). FlatDD's
+//! DMAV-aware fusion greedily fuses while the Eq. 5 cost decreases.
+//!
+//! The k-operations strategy of Zulehner & Wille (DATE'19) fuses every `k`
+//! consecutive gates unconditionally; it is the comparison point of
+//! Table 2.
+
+use crate::cost::CostModel;
+use qcircuit::Gate;
+use qdd::{DdPackage, MEdge, MacTable};
+
+/// A fusion result: the matrices FlatDD will DMAV, in application order.
+#[derive(Debug)]
+pub struct FusedGates {
+    /// Fused gate matrices, in application order.
+    pub matrices: Vec<MEdge>,
+    /// Total modeled DMAV cost (Eq. 5) of the fused sequence.
+    pub total_cost: f64,
+    /// Number of original gates that went in.
+    pub original_gates: usize,
+}
+
+impl FusedGates {
+    /// Number of DMAVs after fusion.
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// True when no matrices were produced.
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+}
+
+/// DMAV-aware gate fusion (Algorithm 3): fuse the running matrix with the
+/// next gate iff the fused DMAV is modeled cheaper than the two separate
+/// DMAVs (`C_i + C_p >= C_ip`).
+///
+/// `gc_every` bounds DD growth during fusion: after that many DDMMs the
+/// package is garbage-collected with the surviving matrices as roots.
+pub fn fuse_dmav_aware(
+    pkg: &mut DdPackage,
+    gates: &[Gate],
+    n: usize,
+    t: usize,
+    model: &CostModel,
+    gc_every: usize,
+) -> FusedGates {
+    let mut mac = MacTable::default();
+    let mut out: Vec<MEdge> = Vec::new();
+    let mut total_cost = 0.0f64;
+    // M_p = identity, C_p = 0 (line 2).
+    let mut m_p = pkg.identity_dd(n);
+    let mut c_p = 0.0f64;
+    let mut ddmm_since_gc = 0usize;
+
+    for gate in gates {
+        let m_i = pkg.gate_dd(gate, n);
+        let c_i = model.cost_no_cache(mac.count(pkg, m_i), t);
+        // M_ip = M_i * M_p: apply the accumulated M_p first, then M_i.
+        let m_ip = pkg.mul_mm(m_i, m_p);
+        let c_ip = model.cost_no_cache(mac.count(pkg, m_ip), t);
+        if c_i + c_p < c_ip {
+            // Sequential DMAV is cheaper: emit M_p, restart from M_i.
+            out.push(m_p);
+            total_cost += c_p;
+            m_p = m_i;
+            c_p = c_i;
+        } else {
+            m_p = m_ip;
+            c_p = c_ip;
+        }
+        ddmm_since_gc += 1;
+        if ddmm_since_gc >= gc_every {
+            let mut roots = out.clone();
+            roots.push(m_p);
+            roots.push(m_i);
+            pkg.gc(&[], &roots);
+            mac.clear(); // node ids may have been recycled
+            ddmm_since_gc = 0;
+        }
+    }
+    // Flush the trailing accumulated matrix (implicit in the paper).
+    out.push(m_p);
+    total_cost += c_p;
+    FusedGates {
+        matrices: out,
+        total_cost,
+        original_gates: gates.len(),
+    }
+}
+
+/// The k-operations baseline: fuse every `k` consecutive gates via DDMM,
+/// unconditionally.
+pub fn fuse_k_operations(
+    pkg: &mut DdPackage,
+    gates: &[Gate],
+    n: usize,
+    t: usize,
+    k: usize,
+    model: &CostModel,
+    gc_every: usize,
+) -> FusedGates {
+    assert!(k >= 1);
+    let mut mac = MacTable::default();
+    let mut out: Vec<MEdge> = Vec::new();
+    let mut total_cost = 0.0f64;
+    let mut ddmm_since_gc = 0usize;
+    for chunk in gates.chunks(k) {
+        let mut m = pkg.gate_dd(&chunk[0], n);
+        for gate in &chunk[1..] {
+            let gd = pkg.gate_dd(gate, n);
+            m = pkg.mul_mm(gd, m);
+            ddmm_since_gc += 1;
+            if ddmm_since_gc >= gc_every {
+                let mut roots = out.clone();
+                roots.push(m);
+                pkg.gc(&[], &roots);
+                mac.clear();
+                ddmm_since_gc = 0;
+            }
+        }
+        total_cost += model.cost_no_cache(mac.count(pkg, m), t);
+        out.push(m);
+    }
+    FusedGates {
+        matrices: out,
+        total_cost,
+        original_gates: gates.len(),
+    }
+}
+
+/// No fusion: one matrix per gate (for baseline comparisons).
+pub fn no_fusion(
+    pkg: &mut DdPackage,
+    gates: &[Gate],
+    n: usize,
+    t: usize,
+    model: &CostModel,
+) -> FusedGates {
+    let mut mac = MacTable::default();
+    let mut out = Vec::with_capacity(gates.len());
+    let mut total_cost = 0.0;
+    for gate in gates {
+        let m = pkg.gate_dd(gate, n);
+        total_cost += model.cost_no_cache(mac.count(pkg, m), t);
+        out.push(m);
+    }
+    FusedGates {
+        matrices: out,
+        total_cost,
+        original_gates: gates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::complex::state_distance;
+    use qcircuit::{dense, generators, Complex64};
+
+    const TOL: f64 = 1e-8;
+
+    /// Applies a fused sequence to |0...0> through dense matrices (ground
+    /// truth check of semantic equivalence).
+    fn apply_fused(pkg: &DdPackage, fused: &FusedGates, n: usize) -> Vec<Complex64> {
+        let mut v = dense::zero_state(n);
+        for &m in &fused.matrices {
+            let dm = pkg.matrix_to_dense(m, n);
+            v = dense::mat_vec(&dm, &v);
+        }
+        v
+    }
+
+    #[test]
+    fn dmav_aware_fusion_preserves_semantics() {
+        let n = 5;
+        for c in [
+            generators::random_circuit(n, 40, 3),
+            generators::ghz(n),
+            generators::qft(n),
+            generators::dnn(n, 2, 3),
+        ] {
+            let mut pkg = DdPackage::default();
+            let fused = fuse_dmav_aware(&mut pkg, c.gates(), n, 4, &CostModel::default(), 64);
+            let got = apply_fused(&pkg, &fused, n);
+            let want = dense::simulate(&c);
+            assert!(state_distance(&got, &want) < TOL, "{}", c.name());
+            assert_eq!(fused.original_gates, c.num_gates());
+        }
+    }
+
+    #[test]
+    fn k_operations_preserves_semantics() {
+        let n = 5;
+        let c = generators::random_circuit(n, 30, 7);
+        for k in [1usize, 2, 4, 7] {
+            let mut pkg = DdPackage::default();
+            let fused = fuse_k_operations(&mut pkg, c.gates(), n, 4, k, &CostModel::default(), 64);
+            assert_eq!(fused.len(), c.num_gates().div_ceil(k));
+            let got = apply_fused(&pkg, &fused, n);
+            let want = dense::simulate(&c);
+            assert!(state_distance(&got, &want) < TOL, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_gate_count_on_diagonal_runs() {
+        // A run of diagonal gates fuses into very few matrices: the fused
+        // matrix stays diagonal, so cost never grows.
+        let n = 6;
+        let mut c = qcircuit::Circuit::new(n);
+        for q in 0..n {
+            c.t(q).rz(0.3, q).s(q);
+        }
+        for q in 0..n - 1 {
+            c.cz(q, q + 1);
+        }
+        let mut pkg = DdPackage::default();
+        let fused = fuse_dmav_aware(&mut pkg, c.gates(), n, 4, &CostModel::default(), 256);
+        assert!(
+            fused.len() <= 2,
+            "diagonal run should fuse into at most identity+1 matrices, got {}",
+            fused.len()
+        );
+    }
+
+    #[test]
+    fn fusion_never_costs_more_than_no_fusion() {
+        // The greedy rule only fuses when strictly cheaper, so total modeled
+        // cost is <= the unfused total.
+        let n = 6;
+        for seed in [1u64, 2, 3] {
+            let c = generators::dnn(n, 2, seed);
+            let mut pkg1 = DdPackage::default();
+            let fused = fuse_dmav_aware(&mut pkg1, c.gates(), n, 4, &CostModel::default(), 256);
+            let mut pkg2 = DdPackage::default();
+            let plain = no_fusion(&mut pkg2, c.gates(), n, 4, &CostModel::default());
+            assert!(
+                fused.total_cost <= plain.total_cost + 1e-9,
+                "seed {seed}: fused {} > plain {}",
+                fused.total_cost,
+                plain.total_cost
+            );
+            assert!(fused.len() <= plain.len());
+        }
+    }
+
+    #[test]
+    fn gc_during_fusion_is_safe() {
+        let n = 5;
+        let c = generators::random_circuit(n, 50, 11);
+        let mut pkg = DdPackage::default();
+        // GC after every DDMM: maximum stress on root tracking.
+        let fused = fuse_dmav_aware(&mut pkg, c.gates(), n, 2, &CostModel::default(), 1);
+        let got = apply_fused(&pkg, &fused, n);
+        assert!(state_distance(&got, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn single_gate_circuit() {
+        let n = 3;
+        let mut c = qcircuit::Circuit::new(n);
+        c.h(1);
+        let mut pkg = DdPackage::default();
+        let fused = fuse_dmav_aware(&mut pkg, c.gates(), n, 2, &CostModel::default(), 64);
+        // Identity fuses into H: exactly one matrix out.
+        assert_eq!(fused.len(), 1);
+        let got = apply_fused(&pkg, &fused, n);
+        assert!(state_distance(&got, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn empty_gate_list_yields_identity() {
+        let mut pkg = DdPackage::default();
+        let fused = fuse_dmav_aware(&mut pkg, &[], 3, 2, &CostModel::default(), 64);
+        assert_eq!(fused.len(), 1);
+        let got = apply_fused(&pkg, &fused, 3);
+        assert!(state_distance(&got, &dense::zero_state(3)) < TOL);
+    }
+}

@@ -1,0 +1,894 @@
+//! The FlatDD hybrid simulator (Figure 3).
+//!
+//! Simulation starts DD-based (DDSIM-style). After every gate the
+//! state-vector DD size feeds the EWMA monitor; when regularity collapses,
+//! the state is converted to a flat array with the parallel conversion of
+//! Section 3.1.2 and the simulation continues with DMAV (Section 3.2),
+//! optionally after DMAV-aware gate fusion (Section 3.3).
+
+use crate::convert::dd_to_array_parallel;
+use crate::cost::CostModel;
+use crate::dmav::{dmav_no_cache, DmavAssignment};
+use crate::dmav_cache::{dmav_cached, DmavCacheAssignment, PartialBuffers};
+use crate::ewma::{EwmaConfig, EwmaMonitor};
+use crate::fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
+use crate::pool::{clamp_threads, ThreadPool};
+use qcircuit::{Circuit, Complex64, Gate};
+use qdd::{DdPackage, MEdge, MacTable, VEdge};
+use std::time::Instant;
+
+/// When to convert from DD-based simulation to DMAV.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConversionPolicy {
+    /// EWMA-triggered (Section 3.1.1) — the FlatDD default.
+    Ewma(EwmaConfig),
+    /// Convert unconditionally after this many gates (for experiments).
+    AtGate(usize),
+    /// Start in DMAV mode immediately (pure-DMAV ablation).
+    Immediate,
+    /// Never convert (pure-DD ablation; FlatDD then degenerates to DDSIM
+    /// plus monitoring overhead).
+    Never,
+}
+
+/// Per-gate kernel selection for DMAV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachingPolicy {
+    /// Choose by the Section 3.2.3 cost model (`min(C1, C2)`) — default.
+    CostModel,
+    /// Always use the cached kernel (Algorithm 2).
+    Always,
+    /// Never cache (Algorithm 1 only).
+    Never,
+}
+
+/// Gate-fusion strategy for the DMAV phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// One DMAV per gate.
+    None,
+    /// DMAV-aware greedy fusion (Algorithm 3).
+    DmavAware,
+    /// Fuse every `k` gates unconditionally (the k-operations baseline
+    /// \[100\]).
+    KOperations(usize),
+}
+
+/// FlatDD configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatDdConfig {
+    /// Requested worker threads (clamped to a power of two `<= 2^(n-1)`).
+    pub threads: usize,
+    /// Conversion timing.
+    pub conversion: ConversionPolicy,
+    /// DMAV kernel selection.
+    pub caching: CachingPolicy,
+    /// Gate fusion in the DMAV phase (only applies to [`FlatDdSimulator::run`]).
+    pub fusion: FusionPolicy,
+    /// Cost-model tunables.
+    pub cost_model: CostModel,
+    /// Record a per-gate trace (Figure 11 instrumentation).
+    pub trace: bool,
+    /// GC period (in DDMMs) during fusion.
+    pub fusion_gc_every: usize,
+}
+
+impl Default for FlatDdConfig {
+    fn default() -> Self {
+        FlatDdConfig {
+            threads: 16,
+            conversion: ConversionPolicy::Ewma(EwmaConfig::default()),
+            caching: CachingPolicy::CostModel,
+            fusion: FusionPolicy::None,
+            cost_model: CostModel::default(),
+            trace: false,
+            fusion_gc_every: 64,
+        }
+    }
+}
+
+/// Which representation currently holds the state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// DD-based simulation (before conversion).
+    Dd,
+    /// DMAV: DD matrices times a flat array state.
+    Dmav,
+}
+
+/// One per-gate trace record (the Figure 11 data).
+#[derive(Clone, Copy, Debug)]
+pub struct GateTrace {
+    /// Gate index in application order.
+    pub gate_index: usize,
+    /// Phase the gate ran in.
+    pub phase: Phase,
+    /// Wall-clock seconds for this gate.
+    pub seconds: f64,
+    /// State-vector DD size after the gate (DD phase only).
+    pub dd_size: Option<usize>,
+}
+
+/// Aggregate statistics of a FlatDD run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatDdStats {
+    /// Gates executed in the DD phase.
+    pub gates_dd: usize,
+    /// DMAV multiplications executed (post-fusion matrices count once).
+    pub gates_dmav: usize,
+    /// Gate index after which the conversion happened (`None` = never).
+    pub converted_at: Option<usize>,
+    /// Wall-clock seconds of the DD-to-array conversion.
+    pub conversion_seconds: f64,
+    /// DMAVs that used the cached kernel.
+    pub cached_dmavs: usize,
+    /// DMAVs that used the plain kernel.
+    pub uncached_dmavs: usize,
+    /// Total cache hits across cached DMAVs.
+    pub cache_hits: usize,
+    /// Matrices produced by fusion (0 when fusion is off).
+    pub fused_matrices: usize,
+    /// Total modeled DMAV cost (MACs/thread) accumulated.
+    pub modeled_cost: f64,
+    /// Largest state-vector DD observed during the DD phase.
+    pub peak_state_dd_size: usize,
+}
+
+enum Repr {
+    Dd(VEdge),
+    Flat {
+        v: Vec<Complex64>,
+        w: Vec<Complex64>,
+    },
+}
+
+/// The FlatDD hybrid simulator.
+pub struct FlatDdSimulator {
+    cfg: FlatDdConfig,
+    n: usize,
+    t: usize,
+    pool: ThreadPool,
+    pkg: DdPackage,
+    repr: Repr,
+    ewma: EwmaMonitor,
+    mac: MacTable,
+    scratch: PartialBuffers,
+    stats: FlatDdStats,
+    traces: Vec<GateTrace>,
+    gates_seen: usize,
+    gc_threshold: usize,
+}
+
+impl FlatDdSimulator {
+    /// Initializes `|0...0>` over `n` qubits.
+    pub fn new(n: usize, cfg: FlatDdConfig) -> Self {
+        assert!(n >= 1);
+        let t = clamp_threads(cfg.threads, n);
+        let pool = ThreadPool::new(t);
+        let mut pkg = DdPackage::default();
+        let repr = match cfg.conversion {
+            ConversionPolicy::Immediate => {
+                let dim = 1usize << n;
+                let mut v = vec![Complex64::ZERO; dim];
+                v[0] = Complex64::ONE;
+                Repr::Flat {
+                    v,
+                    w: vec![Complex64::ZERO; dim],
+                }
+            }
+            _ => Repr::Dd(pkg.basis_state(n, 0)),
+        };
+        let ewma_cfg = match cfg.conversion {
+            ConversionPolicy::Ewma(e) => e,
+            _ => EwmaConfig::default(),
+        };
+        FlatDdSimulator {
+            cfg,
+            n,
+            t,
+            pool,
+            pkg,
+            repr,
+            ewma: EwmaMonitor::new(ewma_cfg),
+            mac: MacTable::default(),
+            scratch: PartialBuffers::default(),
+            stats: FlatDdStats::default(),
+            traces: Vec::new(),
+            gates_seen: 0,
+            gc_threshold: 1 << 16,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Effective (clamped) thread count.
+    pub fn threads(&self) -> usize {
+        self.t
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        match self.repr {
+            Repr::Dd(_) => Phase::Dd,
+            Repr::Flat { .. } => Phase::Dmav,
+        }
+    }
+
+    /// Aggregate run statistics.
+    pub fn stats(&self) -> FlatDdStats {
+        self.stats
+    }
+
+    /// Per-gate trace (empty unless `cfg.trace`).
+    pub fn traces(&self) -> &[GateTrace] {
+        &self.traces
+    }
+
+    /// The underlying DD package.
+    pub fn package(&self) -> &DdPackage {
+        &self.pkg
+    }
+
+    /// Applies one gate (no fusion at this granularity).
+    pub fn apply(&mut self, gate: &Gate) {
+        let start = self.cfg.trace.then(Instant::now);
+        let phase = self.phase();
+        let mut dd_size = None;
+        match &mut self.repr {
+            Repr::Dd(_) => {
+                self.apply_dd(gate);
+                dd_size = self.maybe_convert();
+            }
+            Repr::Flat { .. } => {
+                let m = self.pkg.gate_dd(gate, self.n);
+                self.apply_dmav(m);
+            }
+        }
+        if let Some(s) = start {
+            self.traces.push(GateTrace {
+                gate_index: self.gates_seen,
+                phase,
+                seconds: s.elapsed().as_secs_f64(),
+                dd_size,
+            });
+        }
+        self.gates_seen += 1;
+    }
+
+    /// Runs a whole circuit, honoring the fusion policy after conversion.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "circuit width mismatch");
+        let gates = circuit.gates();
+        let mut idx = 0;
+        // DD phase (also handles Never / pre-conversion EWMA monitoring).
+        while idx < gates.len() {
+            if self.phase() == Phase::Dmav {
+                break;
+            }
+            self.apply(&gates[idx]);
+            idx += 1;
+        }
+        let remaining = &gates[idx..];
+        if remaining.is_empty() {
+            return;
+        }
+        match self.cfg.fusion {
+            FusionPolicy::None => {
+                for g in remaining {
+                    self.apply(g);
+                }
+            }
+            _ => self.run_fused(remaining),
+        }
+    }
+
+    fn run_fused(&mut self, gates: &[Gate]) {
+        debug_assert_eq!(self.phase(), Phase::Dmav);
+        let fused: FusedGates = match self.cfg.fusion {
+            FusionPolicy::DmavAware => fuse_dmav_aware(
+                &mut self.pkg,
+                gates,
+                self.n,
+                self.t,
+                &self.cfg.cost_model,
+                self.cfg.fusion_gc_every,
+            ),
+            FusionPolicy::KOperations(k) => fuse_k_operations(
+                &mut self.pkg,
+                gates,
+                self.n,
+                self.t,
+                k,
+                &self.cfg.cost_model,
+                self.cfg.fusion_gc_every,
+            ),
+            FusionPolicy::None => {
+                no_fusion(&mut self.pkg, gates, self.n, self.t, &self.cfg.cost_model)
+            }
+        };
+        self.mac.clear(); // fusion may have GC'd the package
+        self.stats.fused_matrices = fused.matrices.len();
+        for (k, &m) in fused.matrices.iter().enumerate() {
+            let start = self.cfg.trace.then(Instant::now);
+            self.apply_dmav(m);
+            if let Some(s) = start {
+                self.traces.push(GateTrace {
+                    gate_index: self.gates_seen,
+                    phase: Phase::Dmav,
+                    seconds: s.elapsed().as_secs_f64(),
+                    dd_size: None,
+                });
+            }
+            // GC between fused DMAVs keeps matrix DDs bounded; remaining
+            // matrices are roots.
+            let live = self.pkg.stats();
+            if live.m_nodes + live.v_nodes > self.gc_threshold {
+                self.pkg.gc(&[], &fused.matrices[k + 1..]);
+                self.mac.clear();
+            }
+        }
+        self.gates_seen += gates.len();
+    }
+
+    fn apply_dd(&mut self, gate: &Gate) {
+        let state = match self.repr {
+            Repr::Dd(s) => s,
+            Repr::Flat { .. } => unreachable!(),
+        };
+        let g = self.pkg.gate_dd(gate, self.n);
+        let new_state = self.pkg.mul_mv(g, state);
+        self.repr = Repr::Dd(new_state);
+        self.stats.gates_dd += 1;
+        let live = self.pkg.stats();
+        if live.v_nodes + live.m_nodes > self.gc_threshold {
+            self.pkg.gc(&[new_state], &[]);
+            self.mac.clear();
+            let live = self.pkg.stats();
+            self.gc_threshold = ((live.v_nodes + live.m_nodes) * 2).max(1 << 16);
+        }
+    }
+
+    /// Monitors the DD size and converts when the policy says so. Returns
+    /// the observed DD size (for tracing).
+    fn maybe_convert(&mut self) -> Option<usize> {
+        let state = match self.repr {
+            Repr::Dd(s) => s,
+            Repr::Flat { .. } => return None,
+        };
+        let size = self.pkg.vector_dd_size(state);
+        self.stats.peak_state_dd_size = self.stats.peak_state_dd_size.max(size);
+        let convert = match self.cfg.conversion {
+            ConversionPolicy::Ewma(_) => self.ewma.observe(size),
+            ConversionPolicy::AtGate(k) => self.gates_seen + 1 >= k,
+            ConversionPolicy::Immediate => true,
+            ConversionPolicy::Never => false,
+        };
+        if convert {
+            self.convert_now();
+        }
+        Some(size)
+    }
+
+    /// Forces the DD-to-DMAV conversion (parallel DD-to-array, Section
+    /// 3.1.2), regardless of policy.
+    pub fn convert_now(&mut self) {
+        let state = match self.repr {
+            Repr::Dd(s) => s,
+            Repr::Flat { .. } => return,
+        };
+        let start = Instant::now();
+        let v = dd_to_array_parallel(&self.pkg, state, self.n, &self.pool);
+        self.stats.conversion_seconds = start.elapsed().as_secs_f64();
+        self.stats.converted_at = Some(self.gates_seen);
+        let w = vec![Complex64::ZERO; v.len()];
+        self.repr = Repr::Flat { v, w };
+        // Drop all vector nodes (and stale gate matrices).
+        self.pkg.gc(&[], &[]);
+        self.mac.clear();
+    }
+
+    /// One DMAV step with the configured kernel policy.
+    fn apply_dmav(&mut self, m: MEdge) {
+        let (v, w) = match &mut self.repr {
+            Repr::Flat { v, w } => (v, w),
+            Repr::Dd(_) => unreachable!("apply_dmav requires the flat representation"),
+        };
+        let use_cache = match self.cfg.caching {
+            CachingPolicy::Always => {
+                let asg = DmavCacheAssignment::build(&self.pkg, m, self.n, self.t);
+                let st = dmav_cached(&self.pkg, &asg, v, w, &self.pool, &mut self.scratch);
+                self.stats.cache_hits += st.hits;
+                true
+            }
+            CachingPolicy::Never => {
+                let asg = DmavAssignment::build(&self.pkg, m, self.n, self.t);
+                dmav_no_cache(&self.pkg, &asg, v, w, &self.pool);
+                false
+            }
+            CachingPolicy::CostModel => {
+                let asg = DmavCacheAssignment::build(&self.pkg, m, self.n, self.t);
+                let analysis = self.cfg.cost_model.analyze_with_assignment(
+                    &self.pkg,
+                    &mut self.mac,
+                    &asg,
+                    m,
+                    self.n,
+                    self.t,
+                );
+                self.stats.modeled_cost += analysis.cost();
+                if analysis.prefer_cached() {
+                    let st = dmav_cached(&self.pkg, &asg, v, w, &self.pool, &mut self.scratch);
+                    self.stats.cache_hits += st.hits;
+                    true
+                } else {
+                    let asg = DmavAssignment::build(&self.pkg, m, self.n, self.t);
+                    dmav_no_cache(&self.pkg, &asg, v, w, &self.pool);
+                    false
+                }
+            }
+        };
+        if use_cache {
+            self.stats.cached_dmavs += 1;
+        } else {
+            self.stats.uncached_dmavs += 1;
+        }
+        std::mem::swap(v, w);
+        self.stats.gates_dmav += 1;
+        // Bound matrix-DD growth in long unfused DMAV phases.
+        let live = self.pkg.stats();
+        if live.m_nodes + live.v_nodes > self.gc_threshold {
+            self.pkg.gc(&[], &[]);
+            self.mac.clear();
+        }
+    }
+
+    /// The final amplitudes (DD phase: parallel conversion; DMAV phase: the
+    /// flat array itself).
+    pub fn amplitudes(&self) -> Vec<Complex64> {
+        match &self.repr {
+            Repr::Dd(s) => dd_to_array_parallel(&self.pkg, *s, self.n, &self.pool),
+            Repr::Flat { v, .. } => v.clone(),
+        }
+    }
+
+    /// Amplitude of a single basis state.
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        match &self.repr {
+            Repr::Dd(s) => self.pkg.amplitude(*s, index),
+            Repr::Flat { v, .. } => v[index],
+        }
+    }
+
+    /// Converts the state back from the flat array to a DD (the reverse of
+    /// [`Self::convert_now`]) — an extension beyond the paper, useful when
+    /// a circuit's tail *disentangles* the state again (hidden-shift-style
+    /// algorithms): the re-regularized DD is small and subsequent gates run
+    /// in the cheap DD phase. Returns the DD size, or `None` when already
+    /// in the DD phase.
+    pub fn reconvert_to_dd(&mut self) -> Option<usize> {
+        let v = match &self.repr {
+            Repr::Flat { v, .. } => v.clone(),
+            Repr::Dd(_) => return None,
+        };
+        let state = self.pkg.vector_from_slice(&v);
+        let size = self.pkg.vector_dd_size(state);
+        self.repr = Repr::Dd(state);
+        self.pkg.gc(&[state], &[]);
+        self.mac.clear();
+        // Restart conversion monitoring from scratch.
+        self.ewma = EwmaMonitor::new(match self.cfg.conversion {
+            ConversionPolicy::Ewma(e) => e,
+            _ => EwmaConfig::default(),
+        });
+        Some(size)
+    }
+
+    /// Draws one basis-state index from the output distribution. In the DD
+    /// phase this is a single O(n) walk (fast weak simulation); in the DMAV
+    /// phase an inverse-CDF draw over the flat array.
+    pub fn sample(&self, rand01: &mut impl FnMut() -> f64) -> usize {
+        match &self.repr {
+            Repr::Dd(s) => self.pkg.sample(*s, rand01),
+            Repr::Flat { v, .. } => qarray::sample(v, rand01),
+        }
+    }
+
+    /// Draws `shots` samples; returns `(index, count)` sorted by count.
+    pub fn sample_counts(
+        &self,
+        shots: usize,
+        rand01: &mut impl FnMut() -> f64,
+    ) -> Vec<(usize, usize)> {
+        match &self.repr {
+            Repr::Dd(s) => self.pkg.sample_counts(*s, shots, rand01),
+            Repr::Flat { v, .. } => qarray::sample_counts(v, shots, rand01),
+        }
+    }
+
+    /// Marginal probability that qubit `q` measures 1.
+    pub fn qubit_probability_one(&self, q: usize) -> f64 {
+        match &self.repr {
+            Repr::Dd(s) => self.pkg.qubit_probability_one(*s, q),
+            Repr::Flat { v, .. } => qarray::qubit_probability_one(v, q),
+        }
+    }
+
+    /// Expectation value of one Pauli string on the current state.
+    pub fn expectation_pauli(&mut self, p: &qcircuit::PauliString) -> f64 {
+        let n = self.n;
+        match &mut self.repr {
+            Repr::Dd(s) => self.pkg.expectation_pauli(*s, p, n),
+            Repr::Flat { v, .. } => qarray::expectation_pauli(v, p),
+        }
+    }
+
+    /// Expectation value of a Pauli-sum Hamiltonian on the current state.
+    pub fn expectation(&mut self, ham: &qcircuit::Hamiltonian) -> f64 {
+        let n = self.n;
+        match &mut self.repr {
+            Repr::Dd(s) => self.pkg.expectation(*s, ham, n),
+            Repr::Flat { v, .. } => qarray::expectation(v, ham),
+        }
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state, and returns
+    /// the outcome.
+    pub fn measure_qubit(&mut self, q: usize, rand01: &mut impl FnMut() -> f64) -> bool {
+        let n = self.n;
+        match &mut self.repr {
+            Repr::Dd(s) => {
+                let (outcome, collapsed) = self.pkg.measure_qubit(*s, q, n, rand01);
+                *s = collapsed;
+                outcome
+            }
+            Repr::Flat { v, .. } => qarray::measure_qubit(v, q, rand01),
+        }
+    }
+
+    /// Approximate resident bytes of all simulation data structures.
+    pub fn memory_bytes(&self) -> usize {
+        let flat = match &self.repr {
+            Repr::Dd(_) => 0,
+            Repr::Flat { v, w } => (v.capacity() + w.capacity()) * std::mem::size_of::<Complex64>(),
+        };
+        self.pkg.stats().memory_bytes + flat + self.scratch.memory_bytes()
+    }
+}
+
+/// One-shot convenience: run `circuit` from `|0...0>` with `cfg`.
+pub fn simulate(circuit: &Circuit, cfg: FlatDdConfig) -> Vec<Complex64> {
+    let mut sim = FlatDdSimulator::new(circuit.num_qubits(), cfg);
+    sim.run(circuit);
+    sim.amplitudes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::complex::state_distance;
+    use qcircuit::{dense, generators};
+
+    const TOL: f64 = 1e-8;
+
+    fn cfg(threads: usize) -> FlatDdConfig {
+        FlatDdConfig {
+            threads,
+            ..FlatDdConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_matches_dense_on_all_families() {
+        for c in [
+            generators::ghz(7),
+            generators::adder_n(8),
+            generators::qft(6),
+            generators::dnn(6, 2, 5),
+            generators::vqe(6, 2, 5),
+            generators::swap_test(3, 5),
+            generators::knn(3, 5),
+            generators::supremacy(2, 3, 6, 5),
+            generators::w_state(6),
+            generators::random_circuit(6, 80, 5),
+        ] {
+            let got = simulate(&c, cfg(4));
+            let want = dense::simulate(&c);
+            assert!(state_distance(&got, &want) < TOL, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn all_conversion_policies_agree() {
+        let c = generators::dnn(6, 2, 9);
+        let want = dense::simulate(&c);
+        for conversion in [
+            ConversionPolicy::Ewma(EwmaConfig::default()),
+            ConversionPolicy::AtGate(5),
+            ConversionPolicy::Immediate,
+            ConversionPolicy::Never,
+        ] {
+            let got = simulate(
+                &c,
+                FlatDdConfig {
+                    conversion,
+                    ..cfg(2)
+                },
+            );
+            assert!(state_distance(&got, &want) < TOL, "{conversion:?}");
+        }
+    }
+
+    #[test]
+    fn all_caching_policies_agree() {
+        let c = generators::supremacy(2, 3, 6, 9);
+        let want = dense::simulate(&c);
+        for caching in [
+            CachingPolicy::CostModel,
+            CachingPolicy::Always,
+            CachingPolicy::Never,
+        ] {
+            let got = simulate(
+                &c,
+                FlatDdConfig {
+                    caching,
+                    conversion: ConversionPolicy::Immediate,
+                    ..cfg(4)
+                },
+            );
+            assert!(state_distance(&got, &want) < TOL, "{caching:?}");
+        }
+    }
+
+    #[test]
+    fn all_fusion_policies_agree() {
+        let c = generators::dnn(6, 3, 13);
+        let want = dense::simulate(&c);
+        for fusion in [
+            FusionPolicy::None,
+            FusionPolicy::DmavAware,
+            FusionPolicy::KOperations(4),
+        ] {
+            let got = simulate(
+                &c,
+                FlatDdConfig {
+                    fusion,
+                    conversion: ConversionPolicy::Immediate,
+                    ..cfg(4)
+                },
+            );
+            assert!(state_distance(&got, &want) < TOL, "{fusion:?}");
+        }
+    }
+
+    #[test]
+    fn regular_circuits_never_convert() {
+        let mut sim = FlatDdSimulator::new(10, cfg(2));
+        sim.run(&generators::ghz(10));
+        assert_eq!(sim.phase(), Phase::Dd);
+        assert_eq!(sim.stats().converted_at, None);
+        assert_eq!(sim.stats().gates_dd, 10);
+        assert_eq!(sim.stats().gates_dmav, 0);
+    }
+
+    #[test]
+    fn irregular_circuits_convert() {
+        let n = 10;
+        let mut sim = FlatDdSimulator::new(n, cfg(2));
+        sim.run(&generators::dnn(n, 3, 21));
+        assert_eq!(sim.phase(), Phase::Dmav, "DNN must trigger conversion");
+        let at = sim.stats().converted_at.expect("conversion gate recorded");
+        assert!(at > 0);
+        assert!(sim.stats().gates_dmav > 0);
+        let want = dense::simulate(&generators::dnn(n, 3, 21));
+        assert!(state_distance(&sim.amplitudes(), &want) < TOL);
+    }
+
+    #[test]
+    fn trace_records_phase_transition() {
+        let n = 8;
+        let c = generators::dnn(n, 3, 2);
+        let mut sim = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                trace: true,
+                ..cfg(2)
+            },
+        );
+        sim.run(&c);
+        let traces = sim.traces();
+        assert!(!traces.is_empty());
+        let dd_gates = traces.iter().filter(|t| t.phase == Phase::Dd).count();
+        let dmav_gates = traces.iter().filter(|t| t.phase == Phase::Dmav).count();
+        assert!(
+            dd_gates > 0 && dmav_gates > 0,
+            "dd={dd_gates} dmav={dmav_gates}"
+        );
+        // DD-phase records carry the DD size.
+        assert!(traces
+            .iter()
+            .filter(|t| t.phase == Phase::Dd)
+            .all(|t| t.dd_size.is_some()));
+    }
+
+    #[test]
+    fn threads_are_clamped() {
+        let sim = FlatDdSimulator::new(4, cfg(64));
+        assert_eq!(sim.threads(), 8); // 2^(4-1)
+        let sim = FlatDdSimulator::new(10, cfg(6));
+        assert_eq!(sim.threads(), 4); // round down to power of two
+    }
+
+    #[test]
+    fn apply_level_api_matches_run() {
+        let c = generators::random_circuit(6, 50, 31);
+        let mut a = FlatDdSimulator::new(6, cfg(2));
+        for g in c.iter() {
+            a.apply(g);
+        }
+        let mut b = FlatDdSimulator::new(6, cfg(2));
+        b.run(&c);
+        assert!(state_distance(&a.amplitudes(), &b.amplitudes()) < TOL);
+    }
+
+    #[test]
+    fn amplitude_queries_work_in_both_phases() {
+        let mut sim = FlatDdSimulator::new(5, cfg(2));
+        sim.run(&generators::ghz(5));
+        assert!(sim.amplitude(0).abs() > 0.7 - TOL);
+        assert_eq!(sim.phase(), Phase::Dd);
+        sim.convert_now();
+        assert_eq!(sim.phase(), Phase::Dmav);
+        assert!(sim.amplitude(0).abs() > 0.7 - TOL);
+        assert!(sim.amplitude(31).abs() > 0.7 - TOL);
+    }
+
+    #[test]
+    fn cost_model_mixes_kernels_on_real_workloads() {
+        let n = 8;
+        let c = generators::supremacy(2, 4, 8, 7);
+        let mut sim = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Immediate,
+                ..cfg(4)
+            },
+        );
+        sim.run(&c);
+        let st = sim.stats();
+        assert_eq!(st.cached_dmavs + st.uncached_dmavs, st.gates_dmav);
+        assert!(st.gates_dmav >= c.num_gates());
+        assert!(st.modeled_cost > 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let mut sim = FlatDdSimulator::new(6, cfg(2));
+        sim.run(&generators::dnn(6, 2, 1));
+        assert!(sim.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn sampling_and_marginals_agree_across_phases() {
+        let c = generators::ghz(6);
+        // DD phase.
+        let mut dd = FlatDdSimulator::new(6, cfg(2));
+        dd.run(&c);
+        assert_eq!(dd.phase(), Phase::Dd);
+        // Forced flat phase.
+        let mut flat = FlatDdSimulator::new(6, cfg(2));
+        flat.run(&c);
+        flat.convert_now();
+        assert_eq!(flat.phase(), Phase::Dmav);
+        for q in 0..6 {
+            let a = dd.qubit_probability_one(q);
+            let b = flat.qubit_probability_one(q);
+            assert!((a - b).abs() < 1e-9 && (a - 0.5).abs() < 1e-9, "q={q}");
+        }
+        let mut rng = qdd::SplitMix64::new(4);
+        for _ in 0..50 {
+            let x = dd.sample(&mut rng.as_fn());
+            assert!(x == 0 || x == 63);
+            let y = flat.sample(&mut rng.as_fn());
+            assert!(y == 0 || y == 63);
+        }
+        let counts = flat.sample_counts(100, &mut rng.as_fn());
+        assert!(counts.len() <= 2);
+    }
+
+    #[test]
+    fn expectation_agrees_across_phases() {
+        use qcircuit::{Hamiltonian, PauliString};
+        let c = generators::vqe(6, 2, 5);
+        let ham = Hamiltonian::transverse_ising(6, 1.0, 0.4);
+        let mut a = FlatDdSimulator::new(
+            6,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Never,
+                ..cfg(2)
+            },
+        );
+        a.run(&c);
+        let ea = a.expectation(&ham);
+        let mut b = FlatDdSimulator::new(
+            6,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Immediate,
+                ..cfg(2)
+            },
+        );
+        b.run(&c);
+        let eb = b.expectation(&ham);
+        assert!((ea - eb).abs() < 1e-8, "{ea} vs {eb}");
+        let p = PauliString::zz(1.0, 0, 1);
+        assert!((a.expectation_pauli(&p) - b.expectation_pauli(&p)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconversion_restores_the_dd_phase() {
+        // Hidden-shift ends in a basis state: after running flat, the back
+        // conversion must produce a tiny DD.
+        let n = 8;
+        let shift = 0b1011_0010u64;
+        let c = generators::hidden_shift(n, shift);
+        let mut sim = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Immediate,
+                ..cfg(2)
+            },
+        );
+        sim.run(&c);
+        assert_eq!(sim.phase(), Phase::Dmav);
+        let size = sim.reconvert_to_dd().expect("was flat");
+        assert_eq!(sim.phase(), Phase::Dd);
+        assert!(
+            size <= n,
+            "final basis state must compress to <= n nodes, got {size}"
+        );
+        assert!((sim.amplitude(shift as usize).abs() - 1.0).abs() < 1e-8);
+        // Reconverting again is a no-op.
+        assert!(sim.reconvert_to_dd().is_none());
+        // And the engine keeps working in the DD phase.
+        sim.apply(&qcircuit::Gate::new(qcircuit::GateKind::X, 0));
+        assert!((sim.amplitude((shift ^ 1) as usize).abs() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn round_trip_conversion_preserves_state() {
+        let c = generators::dnn(7, 2, 3);
+        let mut sim = FlatDdSimulator::new(7, cfg(2));
+        sim.run(&c);
+        let before = sim.amplitudes();
+        if sim.phase() == Phase::Dd {
+            sim.convert_now();
+        }
+        sim.reconvert_to_dd();
+        sim.convert_now();
+        let after = sim.amplitudes();
+        assert!(state_distance(&before, &after) < 1e-9);
+    }
+
+    #[test]
+    fn measurement_collapse_in_both_phases() {
+        let c = generators::ghz(5);
+        let mut rng = qdd::SplitMix64::new(8);
+        for convert in [false, true] {
+            let mut sim = FlatDdSimulator::new(5, cfg(2));
+            sim.run(&c);
+            if convert {
+                sim.convert_now();
+            }
+            let outcome = sim.measure_qubit(2, &mut rng.as_fn());
+            for q in 0..5 {
+                let p1 = sim.qubit_probability_one(q);
+                assert!(
+                    (p1 - if outcome { 1.0 } else { 0.0 }).abs() < 1e-9,
+                    "convert={convert} q={q}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Complex-number table.
+//!
+//! Decision-diagram edge weights are *interned*: every distinct complex
+//! value is stored once and referenced by a 32-bit index ([`CIdx`]). This
+//! reproduces the complex-number handling of DDSIM ("How to efficiently
+//! handle complex values?", Zulehner et al. \[98\]) and is what makes DD nodes
+//! cheap to hash and compare — two sub-DDs are identical iff their node ids
+//! and weight indices are identical.
+//!
+//! Lookups are tolerance-based: values within [`ComplexTable::tolerance`] of
+//! an existing entry map to it, which keeps the unique table canonical under
+//! floating-point round-off.
+
+use crate::fxhash::FxHashMap;
+use qcircuit::Complex64;
+
+/// Index of an interned complex value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CIdx(pub u32);
+
+impl CIdx {
+    /// The interned value `0`.
+    pub const ZERO: CIdx = CIdx(0);
+    /// The interned value `1`.
+    pub const ONE: CIdx = CIdx(1);
+
+    /// True for the interned zero.
+    #[inline(always)]
+    pub fn is_zero(self) -> bool {
+        self == CIdx::ZERO
+    }
+
+    /// True for the interned one.
+    #[inline(always)]
+    pub fn is_one(self) -> bool {
+        self == CIdx::ONE
+    }
+}
+
+/// Interning table for complex edge weights.
+pub struct ComplexTable {
+    values: Vec<Complex64>,
+    /// Bucket grid: quantized (re, im) -> candidate indices.
+    buckets: FxHashMap<(i64, i64), Vec<u32>>,
+    tol: f64,
+    inv_tol: f64,
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new(1e-10)
+    }
+}
+
+impl ComplexTable {
+    /// Creates a table with the given numerical tolerance.
+    pub fn new(tol: f64) -> Self {
+        assert!(tol > 0.0);
+        let mut t = ComplexTable {
+            values: Vec::with_capacity(1024),
+            buckets: FxHashMap::default(),
+            tol,
+            inv_tol: 1.0 / tol,
+        };
+        // Pre-intern the distinguished constants at fixed indices.
+        let z = t.insert_new(Complex64::ZERO);
+        let o = t.insert_new(Complex64::ONE);
+        debug_assert_eq!(z, CIdx::ZERO);
+        debug_assert_eq!(o, CIdx::ONE);
+        t
+    }
+
+    /// The numerical tolerance for value identification.
+    pub fn tolerance(&self) -> f64 {
+        self.tol
+    }
+
+    /// Number of distinct values stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when only the pre-interned constants exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+
+    /// The value behind an index.
+    #[inline(always)]
+    pub fn get(&self, idx: CIdx) -> Complex64 {
+        self.values[idx.0 as usize]
+    }
+
+    #[inline]
+    fn key(&self, v: Complex64) -> (i64, i64) {
+        (
+            (v.re * self.inv_tol).round() as i64,
+            (v.im * self.inv_tol).round() as i64,
+        )
+    }
+
+    fn insert_new(&mut self, v: Complex64) -> CIdx {
+        let idx = self.values.len() as u32;
+        self.values.push(v);
+        self.buckets.entry(self.key(v)).or_default().push(idx);
+        CIdx(idx)
+    }
+
+    /// Interns `v`, returning the index of an existing entry within
+    /// tolerance or a fresh one.
+    pub fn lookup(&mut self, v: Complex64) -> CIdx {
+        // Fast path for exact zeros/ones produced by algebra on canonical
+        // weights.
+        if v.is_zero() {
+            return CIdx::ZERO;
+        }
+        let (kr, ki) = self.key(v);
+        for dr in -1..=1i64 {
+            for di in -1..=1i64 {
+                if let Some(cands) = self.buckets.get(&(kr + dr, ki + di)) {
+                    for &c in cands {
+                        if self.values[c as usize].approx_eq(v, self.tol) {
+                            return CIdx(c);
+                        }
+                    }
+                }
+            }
+        }
+        self.insert_new(v)
+    }
+
+    /// Interns the product of two interned values.
+    #[inline]
+    pub fn mul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() || b.is_zero() {
+            return CIdx::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let v = self.get(a) * self.get(b);
+        self.lookup(v)
+    }
+
+    /// Interns the sum of two interned values.
+    #[inline]
+    pub fn add(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let v = self.get(a) + self.get(b);
+        self.lookup(v)
+    }
+
+    /// Interns the quotient `a / b`. Returns `ZERO` when `b` is zero.
+    #[inline]
+    pub fn div(&mut self, a: CIdx, b: CIdx) -> CIdx {
+        if a.is_zero() || b.is_zero() {
+            return CIdx::ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if a == b {
+            return CIdx::ONE;
+        }
+        let v = self.get(a) / self.get(b);
+        self.lookup(v)
+    }
+
+    /// Approximate bytes held by the table (value storage + bucket grid).
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<Complex64>()
+            + self.buckets.len()
+                * (std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<Vec<u32>>())
+            + self
+                .buckets
+                .values()
+                .map(|v| v.capacity() * 4)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_fixed_indices() {
+        let mut t = ComplexTable::default();
+        assert_eq!(t.lookup(Complex64::ZERO), CIdx::ZERO);
+        assert_eq!(t.lookup(Complex64::ONE), CIdx::ONE);
+        assert_eq!(t.get(CIdx::ZERO), Complex64::ZERO);
+        assert_eq!(t.get(CIdx::ONE), Complex64::ONE);
+    }
+
+    #[test]
+    fn interning_dedups_exact_values() {
+        let mut t = ComplexTable::default();
+        let a = t.lookup(Complex64::new(0.25, -0.5));
+        let b = t.lookup(Complex64::new(0.25, -0.5));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn interning_dedups_within_tolerance() {
+        let mut t = ComplexTable::new(1e-10);
+        let a = t.lookup(Complex64::new(0.5, 0.5));
+        let b = t.lookup(Complex64::new(0.5 + 3e-11, 0.5 - 3e-11));
+        assert_eq!(a, b, "values within tolerance must unify");
+        let c = t.lookup(Complex64::new(0.5 + 1e-6, 0.5));
+        assert_ne!(a, c, "values outside tolerance must stay distinct");
+    }
+
+    #[test]
+    fn dedup_across_bucket_boundary() {
+        let mut t = ComplexTable::new(1e-10);
+        // Two values straddling a quantization boundary but within tol.
+        let v = 0.5 + 0.5e-10; // boundary between buckets 5e9 and 5e9+1
+        let a = t.lookup(Complex64::new(v - 0.4e-10, 0.0));
+        let b = t.lookup(Complex64::new(v + 0.4e-10, 0.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn near_one_unifies_with_one() {
+        let mut t = ComplexTable::default();
+        let a = t.lookup(Complex64::new(1.0 + 1e-12, -1e-12));
+        assert_eq!(a, CIdx::ONE);
+    }
+
+    #[test]
+    fn arithmetic_shortcuts() {
+        let mut t = ComplexTable::default();
+        let a = t.lookup(Complex64::new(0.3, 0.7));
+        assert_eq!(t.mul(CIdx::ZERO, a), CIdx::ZERO);
+        assert_eq!(t.mul(CIdx::ONE, a), a);
+        assert_eq!(t.mul(a, CIdx::ONE), a);
+        assert_eq!(t.add(CIdx::ZERO, a), a);
+        assert_eq!(t.div(a, a), CIdx::ONE);
+        assert_eq!(t.div(a, CIdx::ZERO), CIdx::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_complex_mul() {
+        let mut t = ComplexTable::default();
+        let x = Complex64::new(0.6, -0.8);
+        let y = Complex64::new(-0.1, 0.2);
+        let a = t.lookup(x);
+        let b = t.lookup(y);
+        let p = t.mul(a, b);
+        assert!(t.get(p).approx_eq(x * y, 1e-10));
+    }
+
+    #[test]
+    fn add_and_div_round_trip() {
+        let mut t = ComplexTable::default();
+        let x = Complex64::new(0.6, -0.8);
+        let y = Complex64::new(-0.1, 0.2);
+        let a = t.lookup(x);
+        let b = t.lookup(y);
+        let s = t.add(a, b);
+        assert!(t.get(s).approx_eq(x + y, 1e-10));
+        let q = t.div(s, b);
+        assert!(t.get(q).approx_eq((x + y) / y, 1e-9));
+    }
+
+    #[test]
+    fn negative_cancellation_interns_zero() {
+        let mut t = ComplexTable::default();
+        let a = t.lookup(Complex64::new(0.5, 0.0));
+        let b = t.lookup(Complex64::new(-0.5, 0.0));
+        let s = t.add(a, b);
+        assert_eq!(s, CIdx::ZERO);
+    }
+
+    #[test]
+    fn many_values_stay_distinct() {
+        let mut t = ComplexTable::default();
+        let mut idxs = Vec::new();
+        for i in 0..2000 {
+            idxs.push(t.lookup(Complex64::new(i as f64 * 1e-3, -(i as f64) * 2e-3)));
+        }
+        for (i, &ix) in idxs.iter().enumerate() {
+            assert!(t
+                .get(ix)
+                .approx_eq(Complex64::new(i as f64 * 1e-3, -(i as f64) * 2e-3), 1e-10));
+        }
+        assert!(t.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Graphviz DOT export for decision diagrams.
+//!
+//! Renders vector and matrix DDs in the style of the paper's Figure 2:
+//! one rank per qubit level, edge labels showing (rounded) weights, zero
+//! edges omitted, the terminal drawn as a box. Useful for debugging
+//! normalization and for documentation.
+
+use crate::fxhash::FxHashSet;
+use crate::node::{MEdge, VEdge, TERM};
+use crate::package::DdPackage;
+use qcircuit::Complex64;
+use std::fmt::Write;
+
+fn fmt_weight(w: Complex64) -> String {
+    if w.approx_eq(Complex64::ONE, 1e-9) {
+        String::new() // edges without labels have weight one, as in Fig. 2
+    } else if w.im.abs() < 1e-9 {
+        format!("{:.4}", w.re)
+    } else if w.re.abs() < 1e-9 {
+        format!("{:.4}i", w.im)
+    } else {
+        format!("{:.3}{:+.3}i", w.re, w.im)
+    }
+}
+
+/// Renders a vector DD as a DOT digraph.
+pub fn vector_to_dot(pkg: &DdPackage, root: VEdge, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+    let _ = writeln!(out, "  term [shape=box, label=\"1\"];");
+    let _ = writeln!(
+        out,
+        "  root [shape=none, label=\"\"]; root -> {} [label=\"{}\"];",
+        node_name_v(root.n),
+        fmt_weight(pkg.cval(root.w))
+    );
+    if root.is_zero() {
+        let _ = writeln!(out, "}}");
+        return out;
+    }
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut stack = vec![root.n];
+    while let Some(id) = stack.pop() {
+        if id == TERM || !seen.insert(id) {
+            continue;
+        }
+        let node = pkg.v_node(id);
+        let _ = writeln!(out, "  {} [label=\"q{}\"];", node_name_v(id), node.level);
+        for (b, e) in node.e.iter().enumerate() {
+            if e.is_zero() {
+                continue;
+            }
+            let style = if b == 0 { "dashed" } else { "solid" };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\", style={style}];",
+                node_name_v(id),
+                node_name_v(e.n),
+                fmt_weight(pkg.cval(e.w))
+            );
+            stack.push(e.n);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a matrix DD as a DOT digraph (edge labels `r,c:` prefix the
+/// block position).
+pub fn matrix_to_dot(pkg: &DdPackage, root: MEdge, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=circle];");
+    let _ = writeln!(out, "  term [shape=box, label=\"1\"];");
+    let _ = writeln!(
+        out,
+        "  root [shape=none, label=\"\"]; root -> {} [label=\"{}\"];",
+        node_name_m(root.n),
+        fmt_weight(pkg.cval(root.w))
+    );
+    if root.is_zero() {
+        let _ = writeln!(out, "}}");
+        return out;
+    }
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut stack = vec![root.n];
+    while let Some(id) = stack.pop() {
+        if id == TERM || !seen.insert(id) {
+            continue;
+        }
+        let node = pkg.m_node(id);
+        let _ = writeln!(out, "  {} [label=\"q{}\"];", node_name_m(id), node.level);
+        for (k, e) in node.e.iter().enumerate() {
+            if e.is_zero() {
+                continue;
+            }
+            let (i, j) = (k >> 1, k & 1);
+            let w = fmt_weight(pkg.cval(e.w));
+            let label = if w.is_empty() {
+                format!("{i}{j}")
+            } else {
+                format!("{i}{j}: {w}")
+            };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{label}\"];",
+                node_name_m(id),
+                node_name_m(e.n)
+            );
+            stack.push(e.n);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_name_v(id: u32) -> String {
+    if id == TERM {
+        "term".into()
+    } else {
+        format!("v{id}")
+    }
+}
+
+fn node_name_m(id: u32) -> String {
+    if id == TERM {
+        "term".into()
+    } else {
+        format!("m{id}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::gate::{Gate, GateKind};
+    use qcircuit::generators;
+
+    #[test]
+    fn ghz_dot_has_expected_structure() {
+        let mut pkg = DdPackage::default();
+        let mut s = pkg.basis_state(3, 0);
+        for g in generators::ghz(3).iter() {
+            s = pkg.apply_gate(s, g, 3);
+        }
+        let dot = vector_to_dot(&pkg, s, "ghz3");
+        assert!(dot.starts_with("digraph ghz3 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 5 unique nodes (2n - 1), each with a label line.
+        let labels = dot.matches("[label=\"q").count();
+        assert_eq!(labels, 5);
+        assert!(dot.contains("term [shape=box"));
+        // GHZ node weights 1/sqrt(2) appear.
+        assert!(dot.contains("0.7071"));
+    }
+
+    #[test]
+    fn hadamard_matrix_dot_matches_figure_2a() {
+        let mut pkg = DdPackage::default();
+        let e = pkg.gate_dd(&Gate::new(GateKind::H, 1), 2);
+        let dot = matrix_to_dot(&pkg, e, "h_top");
+        // Two nodes (m1, m2 in the figure), top weight 1/sqrt(2), a -1 edge.
+        assert_eq!(dot.matches("[label=\"q").count(), 2);
+        assert!(dot.contains("0.7071"));
+        assert!(dot.contains("-1.0000"));
+    }
+
+    #[test]
+    fn zero_edge_renders_without_nodes() {
+        let pkg = DdPackage::default();
+        let dot = vector_to_dot(&pkg, VEdge::ZERO, "zero");
+        assert!(!dot.contains("[label=\"q"));
+    }
+
+    #[test]
+    fn weight_one_edges_have_no_label() {
+        let mut pkg = DdPackage::default();
+        let s = pkg.basis_state(2, 0);
+        let dot = vector_to_dot(&pkg, s, "basis");
+        // Both chain edges have weight 1: labels empty.
+        assert!(dot.contains("label=\"\""));
+    }
+}

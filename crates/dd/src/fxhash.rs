@@ -1,0 +1,118 @@
+//! A minimal FxHash-style hasher.
+//!
+//! The unique and compute tables hash small fixed-size integer keys at very
+//! high rates; SipHash (the std default) dominates profiles there. This is
+//! the rustc `FxHasher` algorithm (multiply-xor with a golden-ratio
+//! constant), inlined here to avoid an external dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` alias using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher specialized for small integer-structured keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// One-shot hash of a `u64` (used by the direct-mapped compute tables).
+///
+/// Unlike the streaming hasher, this mixes high bits back into low bits —
+/// the compute tables index with the *low* bits of the result.
+#[inline(always)]
+pub fn hash_u64(v: u64) -> u64 {
+    let h = (v ^ (v >> 32)).wrapping_mul(SEED);
+    h ^ (h >> 29)
+}
+
+/// Mixes two words into one hash (compute-table keys are mostly pairs).
+#[inline(always)]
+pub fn hash_pair(a: u64, b: u64) -> u64 {
+    hash_u64(hash_u64(a) ^ b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 7)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hash_u64_distributes_low_bits() {
+        // Sequential keys must not collide in the low 12 bits too often —
+        // the compute tables index with them.
+        let mut buckets = vec![0u32; 1 << 12];
+        for i in 0..4096u64 {
+            buckets[(hash_u64(i) & 0xfff) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(
+            max <= 8,
+            "poor distribution: a bucket got {max} of 4096 keys"
+        );
+    }
+
+    #[test]
+    fn hash_pair_is_order_sensitive() {
+        assert_ne!(hash_pair(1, 2), hash_pair(2, 1));
+    }
+}

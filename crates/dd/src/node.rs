@@ -1,0 +1,301 @@
+//! DD nodes, edges, and the unique-table arena.
+//!
+//! Vector nodes have two outgoing edges, matrix nodes four (row-major).
+//! Nodes live in a slab arena addressed by `u32` ids; a unique table maps
+//! node *content* (level + edges) to its id, so structurally identical
+//! sub-DDs are shared — the defining property of a decision diagram.
+
+use crate::ctable::CIdx;
+use crate::fxhash::FxHashMap;
+use std::hash::Hash;
+
+/// Sentinel node id of the terminal node ("1" in Figure 2 of the paper).
+pub const TERM: u32 = u32::MAX;
+
+/// A weighted edge to a vector node (or the terminal).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VEdge {
+    /// Target node id (`TERM` for the terminal).
+    pub n: u32,
+    /// Interned edge weight.
+    pub w: CIdx,
+}
+
+/// A weighted edge to a matrix node (or the terminal).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MEdge {
+    /// Target node id (`TERM` for the terminal).
+    pub n: u32,
+    /// Interned edge weight.
+    pub w: CIdx,
+}
+
+macro_rules! edge_impl {
+    ($t:ident) => {
+        impl $t {
+            /// The canonical zero edge (terminal with weight 0).
+            pub const ZERO: $t = $t {
+                n: TERM,
+                w: CIdx::ZERO,
+            };
+
+            /// Terminal edge with the given weight.
+            #[inline(always)]
+            pub fn terminal(w: CIdx) -> $t {
+                $t { n: TERM, w }
+            }
+
+            /// True for the canonical zero edge.
+            #[inline(always)]
+            pub fn is_zero(self) -> bool {
+                self.w.is_zero()
+            }
+
+            /// True when pointing at the terminal node.
+            #[inline(always)]
+            pub fn is_terminal(self) -> bool {
+                self.n == TERM
+            }
+
+            /// Same target with a different weight.
+            #[inline(always)]
+            pub fn with_weight(self, w: CIdx) -> $t {
+                $t { n: self.n, w }
+            }
+        }
+    };
+}
+edge_impl!(VEdge);
+edge_impl!(MEdge);
+
+/// Content of a vector node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VNode {
+    /// Qubit level (0 = least significant).
+    pub level: u8,
+    /// Outgoing edges: `e[b]` is the sub-vector where the level bit is `b`.
+    pub e: [VEdge; 2],
+}
+
+/// Content of a matrix node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MNode {
+    /// Qubit level (0 = least significant).
+    pub level: u8,
+    /// Outgoing edges, row-major: `e[2*i + j]` is sub-matrix block (i, j).
+    pub e: [MEdge; 4],
+}
+
+/// Slab arena with structural sharing (unique table) and mark/sweep support.
+pub struct NodeArena<T: Copy + Eq + Hash> {
+    nodes: Vec<T>,
+    free: Vec<u32>,
+    unique: FxHashMap<T, u32>,
+    /// GC / traversal stamps, one per slot.
+    stamp: Vec<u32>,
+    alive: usize,
+    peak_alive: usize,
+}
+
+impl<T: Copy + Eq + Hash> Default for NodeArena<T> {
+    fn default() -> Self {
+        NodeArena {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            unique: FxHashMap::default(),
+            stamp: Vec::new(),
+            alive: 0,
+            peak_alive: 0,
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash> NodeArena<T> {
+    /// Returns the id of a node with this content, inserting if new.
+    #[inline]
+    pub fn get_or_insert(&mut self, data: T) -> u32 {
+        if let Some(&id) = self.unique.get(&data) {
+            return id;
+        }
+        let id = if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = data;
+            id
+        } else {
+            let id = self.nodes.len() as u32;
+            assert!(id < TERM, "node arena exhausted");
+            self.nodes.push(data);
+            self.stamp.push(0);
+            id
+        };
+        self.unique.insert(data, id);
+        self.alive += 1;
+        self.peak_alive = self.peak_alive.max(self.alive);
+        id
+    }
+
+    /// Content of a node.
+    #[inline(always)]
+    pub fn get(&self, id: u32) -> &T {
+        debug_assert_ne!(id, TERM, "terminal has no content");
+        &self.nodes[id as usize]
+    }
+
+    /// Number of live (reachable-or-not-yet-collected) nodes.
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True when no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// High-water mark of live nodes.
+    pub fn peak(&self) -> usize {
+        self.peak_alive
+    }
+
+    /// Capacity of the backing slab (for memory accounting).
+    pub fn slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Marks `id` with `stamp`; returns `true` when it was not yet marked
+    /// (i.e. the caller should recurse into its children).
+    #[inline(always)]
+    pub fn mark(&mut self, id: u32, stamp: u32) -> bool {
+        if id == TERM {
+            return false;
+        }
+        let s = &mut self.stamp[id as usize];
+        if *s == stamp {
+            false
+        } else {
+            *s = stamp;
+            true
+        }
+    }
+
+    /// True when `id` carries `stamp`.
+    #[inline(always)]
+    pub fn is_marked(&self, id: u32, stamp: u32) -> bool {
+        id != TERM && self.stamp[id as usize] == stamp
+    }
+
+    /// Frees every node *not* carrying `stamp`. Returns the number freed.
+    ///
+    /// The caller must have marked all roots (and their transitive children)
+    /// with `stamp` first.
+    pub fn sweep(&mut self, stamp: u32) -> usize {
+        let before = self.alive;
+        // Remove dead entries from the unique table, then recycle slots.
+        let nodes = &self.nodes;
+        let stamps = &self.stamp;
+        let free = &mut self.free;
+        let mut freed = 0usize;
+        self.unique.retain(|data, &mut id| {
+            if stamps[id as usize] == stamp {
+                true
+            } else {
+                debug_assert!(&nodes[id as usize] == data);
+                free.push(id);
+                freed += 1;
+                false
+            }
+        });
+        self.alive -= freed;
+        debug_assert_eq!(before - freed, self.alive);
+        freed
+    }
+
+    /// Approximate bytes held by the arena + unique table.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<T>()
+            + self.stamp.capacity() * 4
+            + self.free.capacity() * 4
+            // HashMap overhead approximation: key + value + control byte.
+            + self.unique.capacity() * (std::mem::size_of::<T>() + 4 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vnode(level: u8, a: u32, b: u32) -> VNode {
+        VNode {
+            level,
+            e: [
+                VEdge { n: a, w: CIdx::ONE },
+                VEdge {
+                    n: b,
+                    w: CIdx::ZERO,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn zero_edge_is_terminal_zero() {
+        assert!(VEdge::ZERO.is_zero());
+        assert!(VEdge::ZERO.is_terminal());
+        assert!(MEdge::ZERO.is_zero());
+        assert!(!VEdge::terminal(CIdx::ONE).is_zero());
+    }
+
+    #[test]
+    fn unique_table_shares_identical_nodes() {
+        let mut a: NodeArena<VNode> = NodeArena::default();
+        let x = a.get_or_insert(vnode(0, TERM, TERM));
+        let y = a.get_or_insert(vnode(0, TERM, TERM));
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+        let z = a.get_or_insert(vnode(1, x, TERM));
+        assert_ne!(x, z);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn mark_and_sweep_frees_unreachable() {
+        let mut a: NodeArena<VNode> = NodeArena::default();
+        let keep = a.get_or_insert(vnode(0, TERM, TERM));
+        let _dead = a.get_or_insert(vnode(1, TERM, TERM));
+        assert_eq!(a.len(), 2);
+        let stamp = 7;
+        assert!(a.mark(keep, stamp));
+        assert!(!a.mark(keep, stamp), "second mark reports already-marked");
+        let freed = a.sweep(stamp);
+        assert_eq!(freed, 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.peak(), 2);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut a: NodeArena<VNode> = NodeArena::default();
+        let x = a.get_or_insert(vnode(0, TERM, TERM));
+        a.sweep(99); // nothing marked: frees x
+        assert_eq!(a.len(), 0);
+        let y = a.get_or_insert(vnode(2, TERM, TERM));
+        assert_eq!(x, y, "slot must be reused");
+        assert_eq!(a.slots(), 1);
+    }
+
+    #[test]
+    fn sweep_then_reinsert_same_content() {
+        let mut a: NodeArena<VNode> = NodeArena::default();
+        let x = a.get_or_insert(vnode(0, TERM, TERM));
+        a.sweep(5);
+        let y = a.get_or_insert(vnode(0, TERM, TERM));
+        // Same content gets a (recycled) id and a fresh unique entry.
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn terminal_never_marks() {
+        let mut a: NodeArena<VNode> = NodeArena::default();
+        assert!(!a.mark(TERM, 3));
+        assert!(!a.is_marked(TERM, 3));
+    }
+}

@@ -1,0 +1,739 @@
+//! The DD package: node construction with normalization, gate-DD building,
+//! DD <-> array conversion, traversals, and garbage collection.
+
+use crate::ctable::{CIdx, ComplexTable};
+use crate::node::{MEdge, MNode, NodeArena, VEdge, VNode, TERM};
+use crate::ops::ComputeTables;
+use qcircuit::{Complex64, Gate};
+
+/// Memory/size statistics of a [`DdPackage`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PackageStats {
+    /// Live vector nodes.
+    pub v_nodes: usize,
+    /// Live matrix nodes.
+    pub m_nodes: usize,
+    /// Peak live vector nodes observed.
+    pub peak_v_nodes: usize,
+    /// Peak live matrix nodes observed.
+    pub peak_m_nodes: usize,
+    /// Distinct interned complex values.
+    pub complex_values: usize,
+    /// Approximate resident bytes of all DD structures.
+    pub memory_bytes: usize,
+}
+
+/// A QMDD-style decision-diagram package.
+///
+/// Owns the complex table, the vector/matrix node arenas with their unique
+/// tables, and the operation caches. All DD values (states and gate
+/// matrices) produced by one package share structure with each other.
+pub struct DdPackage {
+    pub(crate) ct: ComplexTable,
+    pub(crate) v: NodeArena<VNode>,
+    pub(crate) m: NodeArena<MNode>,
+    pub(crate) compute: ComputeTables,
+    /// Cached identity chains: `id_cache[l]` = identity DD over levels `0..l`.
+    id_cache: Vec<MEdge>,
+    stamp: u32,
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        Self::new(1e-10)
+    }
+}
+
+impl DdPackage {
+    /// Creates a package with the given complex-table tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        DdPackage {
+            ct: ComplexTable::new(tolerance),
+            v: NodeArena::default(),
+            m: NodeArena::default(),
+            compute: ComputeTables::default(),
+            id_cache: vec![MEdge::terminal(CIdx::ONE)],
+            stamp: 0,
+        }
+    }
+
+    // ---- complex values ----------------------------------------------------
+
+    /// Value behind an interned weight.
+    #[inline(always)]
+    pub fn cval(&self, w: CIdx) -> Complex64 {
+        self.ct.get(w)
+    }
+
+    /// Interns a complex value.
+    #[inline(always)]
+    pub fn clookup(&mut self, v: Complex64) -> CIdx {
+        self.ct.lookup(v)
+    }
+
+    /// Read access to a vector node's content.
+    #[inline(always)]
+    pub fn v_node(&self, id: u32) -> &VNode {
+        self.v.get(id)
+    }
+
+    /// Read access to a matrix node's content.
+    #[inline(always)]
+    pub fn m_node(&self, id: u32) -> &MNode {
+        self.m.get(id)
+    }
+
+    // ---- node construction with normalization ------------------------------
+
+    /// Builds (or shares) a vector node with canonical normalization:
+    /// outgoing weights get 2-norm 1 with the first non-zero weight real
+    /// positive; the extracted factor becomes the returned edge weight.
+    pub fn make_vnode(&mut self, level: u8, e: [VEdge; 2]) -> VEdge {
+        let z0 = e[0].is_zero();
+        let z1 = e[1].is_zero();
+        if z0 && z1 {
+            return VEdge::ZERO;
+        }
+        let w0 = self.ct.get(e[0].w);
+        let w1 = self.ct.get(e[1].w);
+        let norm = (w0.norm_sqr() + w1.norm_sqr()).sqrt();
+        // Phase reference: first non-zero weight becomes real positive.
+        let (nw0, nw1, factor);
+        if !z0 {
+            let mag0 = w0.abs();
+            factor = w0 * (norm / mag0);
+            nw0 = Complex64::real(mag0 / norm);
+            nw1 = if z1 { Complex64::ZERO } else { w1 / factor };
+        } else {
+            let mag1 = w1.abs();
+            factor = w1 * (norm / mag1);
+            nw0 = Complex64::ZERO;
+            nw1 = Complex64::real(mag1 / norm);
+        }
+        let node = VNode {
+            level,
+            e: [
+                VEdge {
+                    n: if z0 { TERM } else { e[0].n },
+                    w: self.ct.lookup(nw0),
+                },
+                VEdge {
+                    n: if z1 { TERM } else { e[1].n },
+                    w: self.ct.lookup(nw1),
+                },
+            ],
+        };
+        let id = self.v.get_or_insert(node);
+        VEdge {
+            n: id,
+            w: self.ct.lookup(factor),
+        }
+    }
+
+    /// Builds (or shares) a matrix node with canonical normalization: all
+    /// weights are divided by the first maximum-magnitude weight, which
+    /// becomes the returned edge weight (cf. Figure 2a of the paper).
+    pub fn make_mnode(&mut self, level: u8, e: [MEdge; 4]) -> MEdge {
+        let ws: [Complex64; 4] = [
+            self.ct.get(e[0].w),
+            self.ct.get(e[1].w),
+            self.ct.get(e[2].w),
+            self.ct.get(e[3].w),
+        ];
+        let mut k = usize::MAX;
+        let mut best = 0.0f64;
+        let tol = self.ct.tolerance();
+        for (i, w) in ws.iter().enumerate() {
+            let mag = w.norm_sqr();
+            if mag > best * (1.0 + tol) && mag > 0.0 {
+                best = mag;
+                k = i;
+            }
+        }
+        if k == usize::MAX {
+            return MEdge::ZERO;
+        }
+        let factor = ws[k];
+        let mut ne = [MEdge::ZERO; 4];
+        for i in 0..4 {
+            ne[i] = if e[i].is_zero() {
+                MEdge::ZERO
+            } else if i == k {
+                MEdge {
+                    n: e[i].n,
+                    w: CIdx::ONE,
+                }
+            } else {
+                let w = self.ct.lookup(ws[i] / factor);
+                if w.is_zero() {
+                    MEdge::ZERO
+                } else {
+                    MEdge { n: e[i].n, w }
+                }
+            };
+        }
+        let id = self.m.get_or_insert(MNode { level, e: ne });
+        MEdge {
+            n: id,
+            w: self.ct.lookup(factor),
+        }
+    }
+
+    // ---- vector construction / readout --------------------------------------
+
+    /// DD of the computational basis state `|index>` over `n` qubits.
+    pub fn basis_state(&mut self, n: usize, index: usize) -> VEdge {
+        assert!(n >= 1 && (n >= 64 || index < (1usize << n)));
+        let mut e = VEdge::terminal(CIdx::ONE);
+        for l in 0..n {
+            let bit = (index >> l) & 1;
+            e = if bit == 0 {
+                self.make_vnode(l as u8, [e, VEdge::ZERO])
+            } else {
+                self.make_vnode(l as u8, [VEdge::ZERO, e])
+            };
+        }
+        e
+    }
+
+    /// Builds a vector DD from a flat array (length must be a power of two).
+    pub fn vector_from_slice(&mut self, a: &[Complex64]) -> VEdge {
+        assert!(a.len().is_power_of_two() && a.len() >= 2);
+        self.build_from_slice(a)
+    }
+
+    fn build_from_slice(&mut self, a: &[Complex64]) -> VEdge {
+        if a.len() == 1 {
+            return VEdge::terminal(self.ct.lookup(a[0]));
+        }
+        let half = a.len() / 2;
+        let lo = self.build_from_slice(&a[..half]);
+        let hi = self.build_from_slice(&a[half..]);
+        let level = (a.len().trailing_zeros() - 1) as u8;
+        self.make_vnode(level, [lo, hi])
+    }
+
+    /// Converts a vector DD to a flat array — the *sequential* conversion
+    /// used by DDSIM, the baseline of Figure 13. `n` is the qubit count.
+    pub fn vector_to_array(&self, e: VEdge, n: usize) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; 1usize << n];
+        self.write_vector(e, n, &mut out);
+        out
+    }
+
+    /// Sequential DD-to-array conversion into a caller-provided buffer.
+    pub fn write_vector(&self, e: VEdge, n: usize, out: &mut [Complex64]) {
+        assert_eq!(out.len(), 1usize << n);
+        self.write_rec(e, 0, Complex64::ONE, out);
+    }
+
+    fn write_rec(&self, e: VEdge, idx: usize, weight: Complex64, out: &mut [Complex64]) {
+        if e.is_zero() {
+            return;
+        }
+        let w = weight * self.ct.get(e.w);
+        if e.is_terminal() {
+            out[idx] = w;
+            return;
+        }
+        let node = self.v.get(e.n);
+        self.write_rec(node.e[0], idx, w, out);
+        self.write_rec(node.e[1], idx | (1usize << node.level), w, out);
+    }
+
+    /// Amplitude of `|index>` in a vector DD (product of path weights,
+    /// cf. Figure 2b of the paper).
+    pub fn amplitude(&self, e: VEdge, index: usize) -> Complex64 {
+        let mut w = Complex64::ONE;
+        let mut cur = e;
+        loop {
+            if cur.is_zero() {
+                return Complex64::ZERO;
+            }
+            w *= self.ct.get(cur.w);
+            if cur.is_terminal() {
+                return w;
+            }
+            let node = self.v.get(cur.n);
+            cur = node.e[(index >> node.level) & 1];
+        }
+    }
+
+    /// Matrix entry `M[row][col]` of a matrix DD (cf. Figure 2a).
+    pub fn matrix_entry(&self, e: MEdge, row: usize, col: usize) -> Complex64 {
+        let mut w = Complex64::ONE;
+        let mut cur = e;
+        loop {
+            if cur.is_zero() {
+                return Complex64::ZERO;
+            }
+            w *= self.ct.get(cur.w);
+            if cur.is_terminal() {
+                return w;
+            }
+            let node = self.m.get(cur.n);
+            let i = (row >> node.level) & 1;
+            let j = (col >> node.level) & 1;
+            cur = node.e[2 * i + j];
+        }
+    }
+
+    /// Dense row-major matrix of a matrix DD over `n` qubits (tests only —
+    /// exponential).
+    pub fn matrix_to_dense(&self, e: MEdge, n: usize) -> Vec<Complex64> {
+        let dim = 1usize << n;
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                out[r * dim + c] = self.matrix_entry(e, r, c);
+            }
+        }
+        out
+    }
+
+    // ---- gate DDs ------------------------------------------------------------
+
+    /// Identity DD over levels `0..l` (an `l`-qubit identity matrix).
+    pub fn identity_dd(&mut self, l: usize) -> MEdge {
+        while self.id_cache.len() <= l {
+            let prev = *self.id_cache.last().unwrap();
+            let level = (self.id_cache.len() - 1) as u8;
+            let e = self.make_mnode(level, [prev, MEdge::ZERO, MEdge::ZERO, prev]);
+            self.id_cache.push(e);
+        }
+        self.id_cache[l]
+    }
+
+    /// Id of the unique identity node at `level` (the node of the identity
+    /// DD over levels `0..=level`), if that chain has been built. Because
+    /// node construction is canonical, *any* sub-DD equal to a scalar times
+    /// the identity points at exactly this node — DMAV kernels use this to
+    /// turn identity blocks into SIMD-friendly axpy loops.
+    #[inline(always)]
+    pub fn identity_node_id(&self, level: u8) -> Option<u32> {
+        self.id_cache.get(level as usize + 1).map(|e| e.n)
+    }
+
+    /// Builds the `2^n x 2^n` matrix DD of a gate (single-qubit unitary with
+    /// arbitrary positive/negative controls), level by level from the
+    /// terminal up — the standard QMDD gate construction.
+    pub fn gate_dd(&mut self, gate: &Gate, n: usize) -> MEdge {
+        assert!(gate.max_qubit() < n);
+        // Ensure the identity chain exists through level n: the unique table
+        // then shares every scalar-identity block of this gate with it, and
+        // `identity_node_id` recognizes those blocks during DMAV.
+        self.identity_dd(n);
+        let mat = gate.kind.matrix();
+        let t = gate.target;
+        // Per-entry chains below the target level.
+        let mut e: [MEdge; 4] = [
+            MEdge::terminal(self.ct.lookup(mat[0])),
+            MEdge::terminal(self.ct.lookup(mat[1])),
+            MEdge::terminal(self.ct.lookup(mat[2])),
+            MEdge::terminal(self.ct.lookup(mat[3])),
+        ];
+        let mut f = MEdge::ZERO; // combined edge once the target level is built
+        let control_at = |l: usize| gate.controls.iter().find(|c| c.qubit == l);
+        for l in 0..n {
+            let lu = l as u8;
+            if l < t {
+                if let Some(ctl) = control_at(l) {
+                    // Control below the target: the inactive branch is the
+                    // identity (diagonal entries) or zero (off-diagonal).
+                    let id_below = self.identity_dd(l);
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..4 {
+                        let diag = if k == 0 || k == 3 {
+                            id_below
+                        } else {
+                            MEdge::ZERO
+                        };
+                        e[k] = if ctl.positive {
+                            self.make_mnode(lu, [diag, MEdge::ZERO, MEdge::ZERO, e[k]])
+                        } else {
+                            self.make_mnode(lu, [e[k], MEdge::ZERO, MEdge::ZERO, diag])
+                        };
+                    }
+                } else {
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..4 {
+                        e[k] = self.make_mnode(lu, [e[k], MEdge::ZERO, MEdge::ZERO, e[k]]);
+                    }
+                }
+            } else if l == t {
+                f = self.make_mnode(lu, e);
+            } else {
+                // Above the target.
+                if let Some(ctl) = control_at(l) {
+                    let id_below = self.identity_dd(l);
+                    f = if ctl.positive {
+                        self.make_mnode(lu, [id_below, MEdge::ZERO, MEdge::ZERO, f])
+                    } else {
+                        self.make_mnode(lu, [f, MEdge::ZERO, MEdge::ZERO, id_below])
+                    };
+                } else {
+                    f = self.make_mnode(lu, [f, MEdge::ZERO, MEdge::ZERO, f]);
+                }
+            }
+        }
+        f
+    }
+
+    // ---- traversal / statistics -----------------------------------------------
+
+    pub(crate) fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Extremely rare wrap: restart stamping from 1. Stale stamps can
+            // only cause extra (harmless) re-marks.
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+
+    /// Number of DD nodes reachable from a vector edge — the paper's
+    /// "DD size" `s_i` monitored by the EWMA (terminal excluded).
+    pub fn vector_dd_size(&mut self, e: VEdge) -> usize {
+        let stamp = self.next_stamp();
+        let mut count = 0usize;
+        let mut stack = vec![e];
+        while let Some(cur) = stack.pop() {
+            if cur.is_zero() || cur.is_terminal() {
+                continue;
+            }
+            if self.v.mark(cur.n, stamp) {
+                count += 1;
+                let node = *self.v.get(cur.n);
+                stack.push(node.e[0]);
+                stack.push(node.e[1]);
+            }
+        }
+        count
+    }
+
+    /// Number of DD nodes reachable from a matrix edge (terminal excluded).
+    pub fn matrix_dd_size(&mut self, e: MEdge) -> usize {
+        let stamp = self.next_stamp();
+        let mut count = 0usize;
+        let mut stack = vec![e];
+        while let Some(cur) = stack.pop() {
+            if cur.is_zero() || cur.is_terminal() {
+                continue;
+            }
+            if self.m.mark(cur.n, stamp) {
+                count += 1;
+                let node = *self.m.get(cur.n);
+                stack.extend_from_slice(&node.e);
+            }
+        }
+        count
+    }
+
+    /// Marks and sweeps: frees every node unreachable from the given roots.
+    /// The operation caches are invalidated. Returns `(vector_nodes_freed,
+    /// matrix_nodes_freed)`.
+    pub fn gc(&mut self, v_roots: &[VEdge], m_roots: &[MEdge]) -> (usize, usize) {
+        let stamp = self.next_stamp();
+        let mut vstack: Vec<VEdge> = v_roots.to_vec();
+        while let Some(cur) = vstack.pop() {
+            if cur.is_zero() || cur.is_terminal() {
+                continue;
+            }
+            if self.v.mark(cur.n, stamp) {
+                let node = *self.v.get(cur.n);
+                vstack.push(node.e[0]);
+                vstack.push(node.e[1]);
+            }
+        }
+        let mut mstack: Vec<MEdge> = m_roots.to_vec();
+        mstack.extend_from_slice(&self.id_cache);
+        while let Some(cur) = mstack.pop() {
+            if cur.is_zero() || cur.is_terminal() {
+                continue;
+            }
+            if self.m.mark(cur.n, stamp) {
+                let node = *self.m.get(cur.n);
+                mstack.extend_from_slice(&node.e);
+            }
+        }
+        let fv = self.v.sweep(stamp);
+        let fm = self.m.sweep(stamp);
+        self.compute.clear();
+        (fv, fm)
+    }
+
+    /// Current package statistics.
+    pub fn stats(&self) -> PackageStats {
+        PackageStats {
+            v_nodes: self.v.len(),
+            m_nodes: self.m.len(),
+            peak_v_nodes: self.v.peak(),
+            peak_m_nodes: self.m.peak(),
+            complex_values: self.ct.len(),
+            memory_bytes: self.v.memory_bytes()
+                + self.m.memory_bytes()
+                + self.ct.memory_bytes()
+                + self.compute.memory_bytes(),
+        }
+    }
+
+    /// Hit/miss counters of the operation caches.
+    pub fn compute_stats(&self) -> crate::ops::ComputeStats {
+        self.compute.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::gate::{Control, GateKind};
+    use qcircuit::{dense, Circuit};
+
+    const TOL: f64 = 1e-10;
+
+    fn close(a: &[Complex64], b: &[Complex64]) -> bool {
+        qcircuit::complex::state_distance(a, b) < TOL
+    }
+
+    #[test]
+    fn basis_state_round_trip() {
+        let mut p = DdPackage::default();
+        for n in 1..=4usize {
+            for idx in 0..(1usize << n) {
+                let e = p.basis_state(n, idx);
+                let arr = p.vector_to_array(e, n);
+                assert!(close(&arr, &dense::basis_state(n, idx)), "n={n} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_state_dd_size_is_n() {
+        let mut p = DdPackage::default();
+        let e = p.basis_state(8, 0b1010_1010);
+        assert_eq!(p.vector_dd_size(e), 8);
+    }
+
+    #[test]
+    fn from_slice_round_trip_random() {
+        let mut p = DdPackage::default();
+        let n = 5;
+        let v: Vec<Complex64> = (0..(1 << n))
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5))
+            .collect();
+        let e = p.vector_from_slice(&v);
+        let back = p.vector_to_array(e, n);
+        assert!(close(&back, &v));
+    }
+
+    #[test]
+    fn from_slice_shares_identical_subtrees() {
+        let mut p = DdPackage::default();
+        // Four identical blocks: the DD must collapse them.
+        let block = [Complex64::new(0.5, 0.0), Complex64::new(0.0, 0.5)];
+        let mut v = Vec::new();
+        for _ in 0..4 {
+            v.extend_from_slice(&block);
+        }
+        let e = p.vector_from_slice(&v);
+        assert_eq!(p.vector_dd_size(e), 3, "chain of 3 nodes expected");
+    }
+
+    #[test]
+    fn ghz_vector_dd_structure_matches_figure_2b() {
+        // The 3-qubit state of Figure 2b: (1/2)(|000> + |011> + |100> - |111>)
+        let half = Complex64::real(0.5);
+        let v = vec![
+            half,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            half,
+            half,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            -half,
+        ];
+        let mut p = DdPackage::default();
+        // Note: the paper's figure indexes V[|q2 q1 q0>]; our array index i
+        // has q0 as LSB, which is the same ordering.
+        let e = p.vector_from_slice(&v);
+        // 5 nodes: v1, v2, v3, v4, v5 (Figure 2b).
+        assert_eq!(p.vector_dd_size(e), 5);
+        assert!(p.amplitude(e, 3).approx_eq(half, TOL));
+        assert!(p.amplitude(e, 7).approx_eq(-half, TOL));
+        assert!(p.amplitude(e, 1).approx_zero(TOL));
+        let back = p.vector_to_array(e, 3);
+        assert!(close(&back, &v));
+    }
+
+    #[test]
+    fn normalization_is_canonical_under_scaling() {
+        let mut p = DdPackage::default();
+        let w = Complex64::new(0.3, -0.4);
+        let a: Vec<Complex64> = vec![Complex64::new(0.1, 0.2), Complex64::new(-0.5, 0.0)];
+        let b: Vec<Complex64> = a.iter().map(|&x| x * w).collect();
+        let ea = p.vector_from_slice(&a);
+        let eb = p.vector_from_slice(&b);
+        assert_eq!(ea.n, eb.n, "scaled vectors must share the node");
+        assert!(p.cval(eb.w).approx_eq(p.cval(ea.w) * w, TOL));
+    }
+
+    #[test]
+    fn vnode_top_weight_carries_norm() {
+        // For a normalized state the root weight has magnitude 1.
+        let mut p = DdPackage::default();
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let v = vec![Complex64::real(s), Complex64::new(0.0, s)];
+        let e = p.vector_from_slice(&v);
+        assert!((p.cval(e.w).abs() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn hadamard_gate_dd_matches_figure_2a() {
+        let mut p = DdPackage::default();
+        // H on qubit 1 of a 2-qubit system = H (x) I.
+        let g = Gate::new(GateKind::H, 1);
+        let e = p.gate_dd(&g, 2);
+        // Figure 2a: top weight 1/sqrt(2), 2 nodes (m1, m2).
+        assert!((p.cval(e.w).re - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+        assert_eq!(p.matrix_dd_size(e), 2);
+        // M[0][2] = 1/sqrt(2) per the paper's example.
+        assert!(p
+            .matrix_entry(e, 0, 2)
+            .approx_eq(Complex64::real(std::f64::consts::FRAC_1_SQRT_2), TOL));
+        let dense_m = p.matrix_to_dense(e, 2);
+        let expect = dense::gate_matrix(2, &g);
+        assert!(close(&dense_m, &expect));
+    }
+
+    #[test]
+    fn gate_dd_matches_dense_for_all_kinds() {
+        let mut p = DdPackage::default();
+        let n = 3;
+        let gates = vec![
+            Gate::new(GateKind::X, 0),
+            Gate::new(GateKind::H, 2),
+            Gate::new(GateKind::T, 1),
+            Gate::new(GateKind::RY(0.7), 1),
+            Gate::new(GateKind::SqrtX, 2),
+            Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]),
+            Gate::controlled(GateKind::X, 0, vec![Control::pos(2)]),
+            Gate::controlled(GateKind::Z, 2, vec![Control::pos(0)]),
+            Gate::controlled(GateKind::H, 0, vec![Control::pos(1)]),
+            Gate::controlled(GateKind::X, 1, vec![Control::neg(2)]),
+            Gate::controlled(GateKind::X, 2, vec![Control::pos(0), Control::pos(1)]),
+            Gate::controlled(GateKind::X, 1, vec![Control::pos(0), Control::pos(2)]),
+            Gate::controlled(GateKind::Y, 0, vec![Control::neg(1), Control::pos(2)]),
+            Gate::controlled(GateKind::Phase(0.9), 2, vec![Control::pos(1)]),
+        ];
+        for g in gates {
+            let e = p.gate_dd(&g, n);
+            let got = p.matrix_to_dense(e, n);
+            let expect = dense::gate_matrix(n, &g);
+            assert!(close(&got, &expect), "gate {g} mismatch");
+        }
+    }
+
+    #[test]
+    fn identity_dd_is_identity() {
+        let mut p = DdPackage::default();
+        let e = p.identity_dd(3);
+        let m = p.matrix_to_dense(e, 3);
+        for r in 0..8 {
+            for c in 0..8 {
+                let want = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
+                assert!(m[r * 8 + c].approx_eq(want, TOL));
+            }
+        }
+        assert_eq!(
+            p.matrix_dd_size(e),
+            3,
+            "identity chain is one node per level"
+        );
+    }
+
+    #[test]
+    fn identity_gate_dd_equals_identity_chain() {
+        let mut p = DdPackage::default();
+        let g = Gate::new(GateKind::Id, 1);
+        let e = p.gate_dd(&g, 3);
+        let id = p.identity_dd(3);
+        assert_eq!(e, id, "Id gate must share the cached identity chain");
+    }
+
+    #[test]
+    fn gc_keeps_roots_and_frees_garbage() {
+        let mut p = DdPackage::default();
+        let keep = p.basis_state(4, 5);
+        let dead = p.basis_state(4, 10);
+        let before = p.stats().v_nodes;
+        assert!(before >= 8);
+        let (fv, _) = p.gc(&[keep], &[]);
+        assert!(fv > 0, "must free the dead basis state's private nodes");
+        // keep must still read back correctly.
+        let arr = p.vector_to_array(keep, 4);
+        assert!(close(&arr, &dense::basis_state(4, 5)));
+        // dead's edge is now dangling by contract; rebuilding it must work.
+        let dead2 = p.basis_state(4, 10);
+        let arr2 = p.vector_to_array(dead2, 4);
+        assert!(close(&arr2, &dense::basis_state(4, 10)));
+        let _ = dead; // not used after gc
+    }
+
+    #[test]
+    fn gc_preserves_identity_cache() {
+        let mut p = DdPackage::default();
+        let id = p.identity_dd(4);
+        p.gc(&[], &[]);
+        let id2 = p.identity_dd(4);
+        assert_eq!(id, id2);
+        let m = p.matrix_to_dense(id2, 4);
+        for r in 0..16 {
+            assert!(m[r * 16 + r].approx_eq(Complex64::ONE, TOL));
+        }
+    }
+
+    #[test]
+    fn matrix_entries_of_cx_permutation() {
+        let mut p = DdPackage::default();
+        let g = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
+        let e = p.gate_dd(&g, 2);
+        // |01> -> |11>: column 1 has its 1 at row 3.
+        assert!(p.matrix_entry(e, 3, 1).approx_eq(Complex64::ONE, TOL));
+        assert!(p.matrix_entry(e, 1, 1).approx_zero(TOL));
+        assert!(p.matrix_entry(e, 0, 0).approx_eq(Complex64::ONE, TOL));
+        assert!(p.matrix_entry(e, 2, 2).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn stats_track_peaks() {
+        let mut p = DdPackage::default();
+        let a = p.basis_state(6, 0);
+        let _b = p.basis_state(6, 63);
+        let s1 = p.stats();
+        assert!(s1.v_nodes >= 12);
+        p.gc(&[a], &[]);
+        let s2 = p.stats();
+        assert!(s2.v_nodes < s1.v_nodes);
+        assert_eq!(s2.peak_v_nodes, s1.peak_v_nodes);
+        assert!(s2.memory_bytes > 0);
+    }
+
+    #[test]
+    fn circuit_state_via_dense_matches_dd_readback() {
+        // Build a state with the dense simulator, import, and spot-check
+        // amplitudes through the DD.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).ry(0.3, 2);
+        let v = dense::simulate(&c);
+        let mut p = DdPackage::default();
+        let e = p.vector_from_slice(&v);
+        for (i, &amp) in v.iter().enumerate() {
+            assert!(p.amplitude(e, i).approx_eq(amp, TOL), "i={i}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! DD-based circuit equivalence checking.
+//!
+//! The flagship non-simulation application of QMDDs (Burgholzer & Wille
+//! \[11\], one of the projects the paper lists as building on DDs): two
+//! circuits are equivalent iff their full unitaries' DDs coincide — and
+//! because this package's node construction is canonical, that comparison
+//! is a *pointer* comparison of root edges plus a weight check.
+//!
+//! Two notions are provided: strict equality (`U1 == U2`) and equality up
+//! to global phase (`U1 = e^{i phi} U2`), which is the physically
+//! meaningful one.
+
+use crate::node::MEdge;
+use crate::package::DdPackage;
+use qcircuit::Circuit;
+
+/// Result of an equivalence check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The unitaries are identical.
+    Equal,
+    /// The unitaries differ only by a global phase factor.
+    EqualUpToGlobalPhase,
+    /// The unitaries differ.
+    NotEqual,
+}
+
+impl Equivalence {
+    /// True for `Equal` or `EqualUpToGlobalPhase`.
+    pub fn is_equivalent(self) -> bool {
+        !matches!(self, Equivalence::NotEqual)
+    }
+}
+
+/// Builds the full-circuit unitary as a matrix DD (gates applied left to
+/// right, i.e. the product `G_k ... G_2 G_1`).
+pub fn circuit_unitary_dd(pkg: &mut DdPackage, circuit: &Circuit, gc_every: usize) -> MEdge {
+    let n = circuit.num_qubits();
+    let mut u = pkg.identity_dd(n);
+    for (i, g) in circuit.iter().enumerate() {
+        let gd = pkg.gate_dd(g, n);
+        u = pkg.mul_mm(gd, u);
+        if gc_every > 0 && (i + 1) % gc_every == 0 {
+            pkg.gc(&[], &[u]);
+        }
+    }
+    u
+}
+
+/// Checks two circuits for equivalence by comparing their unitaries' DDs.
+///
+/// Uses the miter-style strategy of DD equivalence checkers: build
+/// `U2^dagger * U1` incrementally by interleaving gates of `c1` with
+/// *inverted* gates of `c2` (proportionally to their lengths), so the
+/// running product stays close to the identity — and therefore tiny — for
+/// equivalent circuits.
+pub fn check_equivalence(c1: &Circuit, c2: &Circuit) -> Equivalence {
+    if c1.num_qubits() != c2.num_qubits() {
+        return Equivalence::NotEqual;
+    }
+    let n = c1.num_qubits();
+    let mut pkg = DdPackage::default();
+    let mut u = pkg.identity_dd(n);
+    // Interleave: apply c1's gates on the left, c2's inverted gates on the
+    // right, advancing the longer circuit proportionally ("alternating"
+    // scheme of [11]).
+    let (g1, g2) = (c1.gates(), c2.gates());
+    let (mut i, mut j) = (0usize, 0usize);
+    let total1 = g1.len().max(1);
+    let total2 = g2.len().max(1);
+    let mut step = 0usize;
+    while i < g1.len() || j < g2.len() {
+        // Keep progress fractions balanced.
+        let adv1 = i < g1.len() && (j >= g2.len() || i * total2 <= j * total1);
+        if adv1 {
+            let gd = pkg.gate_dd(&g1[i], n);
+            u = pkg.mul_mm(gd, u);
+            i += 1;
+        } else {
+            let gd = pkg.gate_dd(&g2[j].dagger(), n);
+            u = pkg.mul_mm(u, gd);
+            j += 1;
+        }
+        step += 1;
+        if step.is_multiple_of(64) {
+            pkg.gc(&[], &[u]);
+        }
+    }
+    // u = U1 * U2^dagger; equivalence <=> u is (a phase times) the identity.
+    classify_vs_identity(&mut pkg, u, n)
+}
+
+fn classify_vs_identity(pkg: &mut DdPackage, u: MEdge, n: usize) -> Equivalence {
+    let id = pkg.identity_dd(n);
+    if u == id {
+        return Equivalence::Equal;
+    }
+    if u.n == id.n {
+        // Same canonical node: differs only in the top weight = global phase.
+        let w = pkg.cval(u.w);
+        if (w.abs() - 1.0).abs() < 1e-9 {
+            return Equivalence::EqualUpToGlobalPhase;
+        }
+    }
+    Equivalence::NotEqual
+}
+
+/// Convenience: strict DD comparison of two circuits' unitaries (builds
+/// both in one package; canonicity makes the comparison exact).
+pub fn unitaries_equal(c1: &Circuit, c2: &Circuit) -> Equivalence {
+    if c1.num_qubits() != c2.num_qubits() {
+        return Equivalence::NotEqual;
+    }
+    let mut pkg = DdPackage::default();
+    let u1 = circuit_unitary_dd(&mut pkg, c1, 0);
+    let u2 = circuit_unitary_dd(&mut pkg, c2, 0);
+    if u1 == u2 {
+        return Equivalence::Equal;
+    }
+    if u1.n == u2.n {
+        let ratio = pkg.cval(u1.w) / pkg.cval(u2.w);
+        if (ratio.abs() - 1.0).abs() < 1e-9 {
+            return Equivalence::EqualUpToGlobalPhase;
+        }
+    }
+    Equivalence::NotEqual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::generators;
+    use qcircuit::{Circuit, GateKind};
+
+    #[test]
+    fn identical_circuits_are_equal() {
+        let c = generators::qft(5);
+        assert_eq!(check_equivalence(&c, &c), Equivalence::Equal);
+        assert_eq!(unitaries_equal(&c, &c), Equivalence::Equal);
+    }
+
+    #[test]
+    fn swap_decompositions_are_equivalent() {
+        // swap(a,b) = cx(a,b) cx(b,a) cx(a,b) = cx(b,a) cx(a,b) cx(b,a).
+        let mut c1 = Circuit::new(2);
+        c1.cx(0, 1).cx(1, 0).cx(0, 1);
+        let mut c2 = Circuit::new(2);
+        c2.cx(1, 0).cx(0, 1).cx(1, 0);
+        assert!(check_equivalence(&c1, &c2).is_equivalent());
+    }
+
+    #[test]
+    fn hadamard_conjugation_identity() {
+        // H X H = Z.
+        let mut c1 = Circuit::new(3);
+        c1.h(1).x(1).h(1);
+        let mut c2 = Circuit::new(3);
+        c2.z(1);
+        assert_eq!(check_equivalence(&c1, &c2), Equivalence::Equal);
+    }
+
+    #[test]
+    fn rz_and_phase_differ_by_global_phase() {
+        let mut c1 = Circuit::new(2);
+        c1.rz(0.7, 0);
+        let mut c2 = Circuit::new(2);
+        c2.p(0.7, 0);
+        assert_eq!(
+            check_equivalence(&c1, &c2),
+            Equivalence::EqualUpToGlobalPhase
+        );
+        assert_eq!(unitaries_equal(&c1, &c2), Equivalence::EqualUpToGlobalPhase);
+    }
+
+    #[test]
+    fn single_gate_difference_is_detected() {
+        let c1 = generators::qft(4);
+        let mut c2 = generators::qft(4);
+        c2.t(2); // inject a bug
+        assert_eq!(check_equivalence(&c1, &c2), Equivalence::NotEqual);
+    }
+
+    #[test]
+    fn wrong_rotation_angle_is_detected() {
+        let mut c1 = Circuit::new(3);
+        c1.h(0).cry(0.5, 0, 2);
+        let mut c2 = Circuit::new(3);
+        c2.h(0).cry(0.5000001, 0, 2); // outside the complex-table tolerance
+        assert_eq!(check_equivalence(&c1, &c2), Equivalence::NotEqual);
+    }
+
+    #[test]
+    fn circuit_against_its_unoptimized_form() {
+        // An "optimized" circuit with cancellations vs the original.
+        let mut original = Circuit::new(4);
+        original
+            .h(0)
+            .h(0)
+            .x(1)
+            .cx(1, 2)
+            .cx(1, 2)
+            .x(1)
+            .t(3)
+            .tdg(3)
+            .s(2);
+        let mut optimized = Circuit::new(4);
+        optimized.s(2);
+        assert_eq!(check_equivalence(&original, &optimized), Equivalence::Equal);
+    }
+
+    #[test]
+    fn toffoli_decomposition_is_equivalent() {
+        // The standard 6-CX + T-count-7 Toffoli decomposition.
+        let mut dec = Circuit::new(3);
+        dec.h(2)
+            .cx(1, 2)
+            .tdg(2)
+            .cx(0, 2)
+            .t(2)
+            .cx(1, 2)
+            .tdg(2)
+            .cx(0, 2)
+            .t(1)
+            .t(2)
+            .h(2)
+            .cx(0, 1)
+            .t(0)
+            .tdg(1)
+            .cx(0, 1);
+        let mut tof = Circuit::new(3);
+        tof.ccx(0, 1, 2);
+        assert!(check_equivalence(&dec, &tof).is_equivalent());
+    }
+
+    #[test]
+    fn width_mismatch_is_not_equal() {
+        assert_eq!(
+            check_equivalence(&generators::ghz(3), &generators::ghz(4)),
+            Equivalence::NotEqual
+        );
+    }
+
+    #[test]
+    fn daggered_circuit_composes_to_identity() {
+        let c = generators::random_circuit(5, 40, 3);
+        let mut composed = c.clone();
+        composed.extend(&c.dagger());
+        let mut empty = Circuit::new(5);
+        empty.push(qcircuit::Gate::new(GateKind::Id, 0));
+        assert!(check_equivalence(&composed, &empty).is_equivalent());
+    }
+
+    #[test]
+    fn miter_stays_small_on_equivalent_deep_circuits() {
+        // The alternating scheme's promise: for equivalent circuits the
+        // running product hovers near identity, so the package stays tiny
+        // even for deep circuits whose full unitary DD would be huge.
+        let c = generators::dnn(7, 3, 5);
+        let eq = check_equivalence(&c, &c.clone());
+        assert_eq!(eq, Equivalence::Equal);
+    }
+}

@@ -1,0 +1,78 @@
+//! VQE-style energy evaluation on FlatDD.
+//!
+//! Prepares a hardware-efficient ansatz state and evaluates the energy of a
+//! transverse-field Ising Hamiltonian `H = -J * sum Z_i Z_{i+1} - h * sum X_i`
+//! with the library's Pauli-observable API, then does a coarse 1-parameter
+//! scan — the inner loop of a variational quantum eigensolver, which is
+//! exactly the "irregular" workload class where FlatDD's DMAV phase matters.
+//!
+//! ```text
+//! cargo run --release --example vqe_energy [-- <qubits>]
+//! ```
+
+use flatdd::{ConversionPolicy, FlatDdConfig, FlatDdSimulator};
+use qcircuit::{Circuit, Hamiltonian};
+
+/// One-parameter ansatz: RY(theta) wall + CX ladder, twice.
+fn ansatz(n: usize, theta: f64) -> Circuit {
+    let mut c = Circuit::named(n, "vqe_ansatz");
+    for layer in 0..2 {
+        for q in 0..n {
+            c.ry(theta * (1.0 + 0.1 * layer as f64), q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+fn energy(n: usize, theta: f64, ham: &Hamiltonian) -> f64 {
+    let circuit = ansatz(n, theta);
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 4,
+            // Parameterized rotations scramble the state quickly: go
+            // straight to DMAV (this is also the fastest choice here).
+            conversion: ConversionPolicy::Immediate,
+            ..Default::default()
+        },
+    );
+    sim.run(&circuit);
+    sim.expectation(ham)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let (j_coup, h_field) = (1.0, 0.5);
+    let ham = Hamiltonian::transverse_ising(n, j_coup, h_field);
+    println!("transverse-field Ising chain: {n} sites, J = {j_coup}, h = {h_field}");
+    println!(
+        "Hamiltonian: {} Pauli terms; ansatz: 2 x (RY wall + CX ladder)\n",
+        ham.len()
+    );
+    println!("{:>8}  {:>12}", "theta", "energy");
+
+    let mut best = (0.0f64, f64::INFINITY);
+    for k in 0..=24 {
+        let theta = k as f64 * std::f64::consts::PI / 24.0;
+        let e = energy(n, theta, &ham);
+        if e < best.1 {
+            best = (theta, e);
+        }
+        println!("{theta:>8.4}  {e:>12.6}");
+    }
+    println!("\nbest angle {:.4} with energy {:.6}", best.0, best.1);
+    println!(
+        "(classical reference: the fully-aligned product state has energy {:.3})",
+        -j_coup * (n - 1) as f64
+    );
+    assert!(
+        best.1 < -(0.5 * j_coup * (n - 1) as f64),
+        "scan must find a bound state"
+    );
+}

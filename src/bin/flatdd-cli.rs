@@ -1,0 +1,334 @@
+//! `flatdd-cli` — run quantum circuits through the FlatDD engines.
+//!
+//! ```text
+//! flatdd-cli run  <circuit> [options]   simulate and report
+//! flatdd-cli gen  <circuit> [options]   emit the circuit as OpenQASM 2.0
+//! flatdd-cli list                       list generator families
+//!
+//! <circuit> is either a path to an OpenQASM 2.0 file or a generator spec
+//! like `ghz:12`, `supremacy:16,20`, `dnn:12,4` (see `list`).
+//!
+//! run options:
+//!   --engine flatdd|dd|array   engine selection (default flatdd)
+//!   --threads <t>              worker threads (default 4)
+//!   --shots <k>                sample k bitstrings from the output
+//!   --top <k>                  print the k most probable outcomes (default 8)
+//!   --seed <u64>               generator / sampling seed (default 42)
+//!   --expect <pauli>           expectation of a Pauli label, e.g. "0.5*ZIZ"
+//!   --stats                    print engine statistics
+//! ```
+
+use flatdd::{FlatDdConfig, FlatDdSimulator, Phase};
+use qcircuit::{generators, qasm, Circuit, PauliString};
+use qdd::SplitMix64;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+flatdd-cli — hybrid DD + flat-array quantum circuit simulator
+
+Usage:
+  flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t]
+                 [--shots k] [--top k] [--seed s] [--expect PAULI] [--stats]
+  flatdd-cli gen <circuit> [--seed s]
+  flatdd-cli list
+
+<circuit> = a .qasm file path, or a generator spec such as ghz:12 or
+supremacy:16,20 (run `flatdd-cli list` for all families).";
+
+fn load_circuit(spec: &str, seed: u64) -> Circuit {
+    if spec.ends_with(".qasm") || std::path::Path::new(spec).exists() {
+        let src = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+            eprintln!("cannot read {spec}: {e}");
+            std::process::exit(1);
+        });
+        match qasm::parse_qasm(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match generators::from_spec(spec, seed) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+struct RunOpts {
+    circuit: String,
+    engine: String,
+    threads: usize,
+    shots: usize,
+    top: usize,
+    seed: u64,
+    expect: Vec<String>,
+    stats: bool,
+}
+
+fn parse_run_opts(args: &[String]) -> RunOpts {
+    let mut o = RunOpts {
+        circuit: String::new(),
+        engine: "flatdd".into(),
+        threads: 4,
+        shots: 0,
+        top: 8,
+        seed: 42,
+        expect: Vec::new(),
+        stats: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--engine" => o.engine = val("--engine"),
+            "--threads" => o.threads = val("--threads").parse().unwrap_or(4),
+            "--shots" => o.shots = val("--shots").parse().unwrap_or(0),
+            "--top" => o.top = val("--top").parse().unwrap_or(8),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or(42),
+            "--expect" => o.expect.push(val("--expect")),
+            "--stats" => o.stats = true,
+            other if o.circuit.is_empty() && !other.starts_with("--") => {
+                o.circuit = other.to_string()
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if o.circuit.is_empty() {
+        eprintln!("run: missing <circuit>\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    o
+}
+
+fn cmd_run(args: &[String]) {
+    let o = parse_run_opts(args);
+    let circuit = load_circuit(&o.circuit, o.seed);
+    let n = circuit.num_qubits();
+    println!(
+        "circuit {}: {} qubits, {} gates, depth {}",
+        if circuit.name().is_empty() {
+            &o.circuit
+        } else {
+            circuit.name()
+        },
+        n,
+        circuit.num_gates(),
+        circuit.depth()
+    );
+    if o.stats {
+        let census: Vec<String> = circuit
+            .gate_census()
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect();
+        println!("gate census: {}", census.join(" "));
+    }
+
+    let start = Instant::now();
+    // For sampling/expectation we need a live simulator; for dd/array
+    // engines fall back to the flat state.
+    let mut rng = SplitMix64::new(o.seed ^ 0xBEEF);
+    match o.engine.as_str() {
+        "flatdd" => {
+            let mut sim = FlatDdSimulator::new(
+                n,
+                FlatDdConfig {
+                    threads: o.threads,
+                    ..Default::default()
+                },
+            );
+            sim.run(&circuit);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "flatdd: {secs:.3}s, phase {:?}, converted at {:?}",
+                sim.phase(),
+                sim.stats().converted_at
+            );
+            if o.stats {
+                println!("{:#?}", sim.stats());
+            }
+            for label in &o.expect {
+                match PauliString::parse(label) {
+                    Some(p) => println!("<{label}> = {:.6}", sim.expectation_pauli(&p)),
+                    None => eprintln!("bad Pauli label `{label}`"),
+                }
+            }
+            if o.shots > 0 {
+                print_counts(
+                    &sim.sample_counts(o.shots, &mut rng.as_fn()),
+                    o.shots,
+                    n,
+                    o.top,
+                );
+            } else if sim.phase() == Phase::Dmav || n <= 22 {
+                print_heavy(&sim.amplitudes(), n, o.top);
+            }
+        }
+        "dd" => {
+            let mut sim = qdd::DdSimulator::new(n);
+            sim.run(&circuit);
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "dd engine: {secs:.3}s, state DD = {} nodes",
+                sim.state_dd_size()
+            );
+            if o.stats {
+                println!("{:#?}", sim.stats());
+                println!("{:#?}", sim.package().stats());
+            }
+            for label in &o.expect {
+                match PauliString::parse(label) {
+                    Some(p) => {
+                        let state = sim.state();
+                        let e = sim.package_mut().expectation_pauli(state, &p, n);
+                        println!("<{label}> = {e:.6}");
+                    }
+                    None => eprintln!("bad Pauli label `{label}`"),
+                }
+            }
+            if o.shots > 0 {
+                print_counts(
+                    &sim.package()
+                        .sample_counts(sim.state(), o.shots, &mut rng.as_fn()),
+                    o.shots,
+                    n,
+                    o.top,
+                );
+            } else if n <= 22 {
+                print_heavy(&sim.amplitudes(), n, o.top);
+            }
+        }
+        "array" => {
+            let mut sim = qarray::ArraySimulator::with_threads(n, o.threads);
+            sim.run(&circuit);
+            let secs = start.elapsed().as_secs_f64();
+            println!("array engine: {secs:.3}s");
+            for label in &o.expect {
+                match PauliString::parse(label) {
+                    Some(p) => {
+                        println!(
+                            "<{label}> = {:.6}",
+                            qarray::expectation_pauli(sim.state(), &p)
+                        )
+                    }
+                    None => eprintln!("bad Pauli label `{label}`"),
+                }
+            }
+            if o.shots > 0 {
+                print_counts(
+                    &qarray::sample_counts(sim.state(), o.shots, &mut rng.as_fn()),
+                    o.shots,
+                    n,
+                    o.top,
+                );
+            } else {
+                print_heavy(sim.state(), n, o.top);
+            }
+        }
+        other => {
+            eprintln!("unknown engine `{other}` (flatdd | dd | array)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_heavy(state: &[qcircuit::Complex64], n: usize, top: usize) {
+    let mut idx: Vec<usize> = (0..state.len()).collect();
+    idx.sort_by(|&a, &b| state[b].norm_sqr().total_cmp(&state[a].norm_sqr()));
+    println!("most probable outcomes:");
+    for &i in idx.iter().take(top) {
+        let p = state[i].norm_sqr();
+        if p < 1e-12 {
+            break;
+        }
+        println!("  |{i:0n$b}>  p = {p:.6}");
+    }
+}
+
+fn print_counts(counts: &[(usize, usize)], shots: usize, n: usize, top: usize) {
+    println!("sampled {shots} shots:");
+    for &(i, c) in counts.iter().take(top) {
+        println!(
+            "  |{i:0n$b}>  {c}  ({:.2}%)",
+            100.0 * c as f64 / shots as f64
+        );
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    let mut spec = String::new();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            other if spec.is_empty() && !other.starts_with("--") => spec = other.to_string(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if spec.is_empty() {
+        eprintln!("gen: missing <circuit spec>");
+        std::process::exit(2);
+    }
+    let c = load_circuit(&spec, seed);
+    print!("{}", qasm::to_qasm(&c));
+}
+
+fn cmd_list() {
+    println!("generator families (spec syntax `family:qubits[,param]`):");
+    for (spec, desc) in [
+        ("ghz:N", "GHZ state (regular)"),
+        ("adder:N", "Cuccaro ripple-carry adder (regular; N even)"),
+        ("qft:N", "quantum Fourier transform"),
+        ("dnn:N,layers", "QNN feature-map circuit (irregular)"),
+        ("vqe:N,depth", "hardware-efficient VQE ansatz (irregular)"),
+        ("knn:N", "KNN swap-test kernel (N odd)"),
+        ("swaptest:N", "swap test (N odd)"),
+        (
+            "supremacy:N,cycles",
+            "Google-style random circuit (irregular)",
+        ),
+        ("grover:N[,marked]", "Grover search"),
+        ("wstate:N", "W state"),
+        ("qaoa:N,rounds", "QAOA MaxCut"),
+        ("bv:N", "Bernstein-Vazirani"),
+        ("dj:N", "Deutsch-Jozsa"),
+        ("hs:N", "hidden shift (N even)"),
+        ("qpe:N", "quantum phase estimation"),
+        ("random:N,gates", "uniformly random circuit"),
+    ] {
+        println!("  {spec:<22} {desc}");
+    }
+}

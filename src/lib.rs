@@ -1,0 +1,8 @@
+//! Workspace root crate: hosts the runnable examples (`examples/`) and the
+//! cross-crate integration and property test suites (`tests/`). The library
+//! surface simply re-exports the member crates for convenience.
+
+pub use flatdd;
+pub use qarray;
+pub use qcircuit;
+pub use qdd;

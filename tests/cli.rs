@@ -1,0 +1,125 @@
+//! End-to-end tests of the `flatdd-cli` binary (cargo builds it for
+//! integration tests and exposes the path via `CARGO_BIN_EXE_*`).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flatdd-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli()
+        .args(args)
+        .output()
+        .expect("failed to launch flatdd-cli");
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn list_prints_families() {
+    let out = run_ok(&["list"]);
+    for family in ["ghz:N", "supremacy:N,cycles", "adder:N", "qaoa:N,rounds"] {
+        assert!(out.contains(family), "missing {family} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_ghz_reports_dd_phase() {
+    let out = run_ok(&["run", "ghz:10", "--threads", "2"]);
+    assert!(out.contains("10 qubits"));
+    assert!(out.contains("phase Dd"));
+    assert!(out.contains("converted at None"));
+    // GHZ heavy outcomes are the two arms.
+    assert!(out.contains("|0000000000>"));
+    assert!(out.contains("|1111111111>"));
+}
+
+#[test]
+fn run_supremacy_converts_and_samples() {
+    let out = run_ok(&[
+        "run",
+        "supremacy:10,12",
+        "--threads",
+        "2",
+        "--shots",
+        "50",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.contains("phase Dmav"));
+    assert!(out.contains("converted at Some("));
+    assert!(out.contains("sampled 50 shots"));
+}
+
+#[test]
+fn engines_agree_through_the_cli() {
+    let a = run_ok(&["run", "grover:8", "--engine", "flatdd", "--top", "1"]);
+    let b = run_ok(&["run", "grover:8", "--engine", "dd", "--top", "1"]);
+    let c = run_ok(&["run", "grover:8", "--engine", "array", "--top", "1"]);
+    let heavy = |s: &str| {
+        s.lines()
+            .find(|l| l.trim_start().starts_with('|'))
+            .map(|l| l.trim().to_string())
+            .expect("no outcome line")
+    };
+    let (ha, hb, hc) = (heavy(&a), heavy(&b), heavy(&c));
+    assert_eq!(ha, hb, "flatdd vs dd");
+    assert_eq!(ha, hc, "flatdd vs array");
+}
+
+#[test]
+fn expectation_flag_works() {
+    let out = run_ok(&["run", "ghz:4", "--expect", "ZZII", "--expect", "IIIZ"]);
+    // GHZ: <ZZ> on any pair = 1, single <Z> = 0.
+    assert!(out.contains("<ZZII> = 1.000000"), "{out}");
+    assert!(
+        out.contains("<IIIZ> = 0.000000") || out.contains("<IIIZ> = -0.000000"),
+        "{out}"
+    );
+}
+
+#[test]
+fn gen_emits_parseable_qasm() {
+    let qasm = run_ok(&["gen", "qft:5"]);
+    assert!(qasm.contains("OPENQASM 2.0;"));
+    let c = qcircuit::parse_qasm(&qasm).expect("CLI-generated QASM must parse");
+    assert_eq!(c.num_qubits(), 5);
+}
+
+#[test]
+fn qasm_file_round_trip_through_cli() {
+    let dir = std::env::temp_dir().join("flatdd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bell.qasm");
+    std::fs::write(
+        &path,
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+    )
+    .unwrap();
+    let out = run_ok(&["run", path.to_str().unwrap(), "--engine", "array"]);
+    assert!(out.contains("2 qubits, 2 gates"));
+    assert!(out.contains("|00>"));
+    assert!(out.contains("|11>"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_spec_fails_cleanly() {
+    let out = cli().args(["run", "bogus:5"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit family"));
+}
+
+#[test]
+fn stats_flag_prints_structured_stats() {
+    let out = run_ok(&["run", "dnn:8,3", "--stats", "--threads", "2"]);
+    assert!(out.contains("gates_dmav"));
+    assert!(out.contains("peak_state_dd_size"));
+}

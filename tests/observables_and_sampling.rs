@@ -1,0 +1,270 @@
+//! Cross-engine agreement for the measurement layer: expectation values,
+//! sampling distributions, marginals, and projective measurement must match
+//! across the DD engine, the array engine, FlatDD (both phases), and the
+//! dense reference.
+
+use flatdd::{ConversionPolicy, FlatDdConfig, FlatDdSimulator};
+use qcircuit::{dense, generators, Hamiltonian, PauliString};
+use qdd::{DdPackage, SplitMix64};
+
+fn dd_state(c: &qcircuit::Circuit) -> (DdPackage, qdd::VEdge) {
+    let mut pkg = DdPackage::default();
+    let mut s = pkg.basis_state(c.num_qubits(), 0);
+    for g in c.iter() {
+        s = pkg.apply_gate(s, g, c.num_qubits());
+    }
+    (pkg, s)
+}
+
+#[test]
+fn expectations_agree_across_all_engines() {
+    let n = 6;
+    let c = generators::random_circuit(n, 60, 5);
+    let v = dense::simulate(&c);
+    let (mut pkg, s) = dd_state(&c);
+    let mut flat = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    flat.run(&c);
+
+    let observables = vec![
+        PauliString::z(1.0, 0),
+        PauliString::x(0.5, n - 1),
+        PauliString::zz(-0.7, 1, 4),
+        PauliString::parse("0.3 * XYZIZX").unwrap(),
+        PauliString::identity(1.25),
+    ];
+    for p in observables {
+        let want = p.expectation_dense(&v);
+        let by_dd = pkg.expectation_pauli(s, &p, n);
+        let by_array = qarray::expectation_pauli(&v, &p);
+        let by_flat = flat.expectation_pauli(&p);
+        assert!((by_dd - want).abs() < 1e-8, "dd: {p}");
+        assert!((by_array - want).abs() < 1e-9, "array: {p}");
+        assert!((by_flat - want).abs() < 1e-8, "flatdd: {p}");
+    }
+}
+
+#[test]
+fn hamiltonian_energies_agree() {
+    let n = 7;
+    let c = generators::vqe(n, 2, 11);
+    let v = dense::simulate(&c);
+    for ham in [
+        Hamiltonian::transverse_ising(n, 1.0, 0.3),
+        Hamiltonian::heisenberg_xxz(n, 0.8, 1.2),
+        Hamiltonian::maxcut(&generators::qaoa_edges(n, 4), 1.0),
+    ] {
+        let want = ham.expectation_dense(&v);
+        let (mut pkg, s) = dd_state(&c);
+        assert!((pkg.expectation(s, &ham, n) - want).abs() < 1e-7);
+        assert!((qarray::expectation(&v, &ham) - want).abs() < 1e-8);
+        let mut flat = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                threads: 2,
+                conversion: ConversionPolicy::Immediate,
+                ..Default::default()
+            },
+        );
+        flat.run(&c);
+        assert!((flat.expectation(&ham) - want).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn sampling_distributions_match_probabilities_chi_square() {
+    // Chi-square-style check: empirical frequencies from both samplers stay
+    // within a few sigma of the exact probabilities.
+    let n = 5;
+    let c = generators::qft(n); // uniform output from |0>: p = 1/32 each
+    let v = dense::simulate(&c);
+    let (pkg, s) = dd_state(&c);
+    let shots = 64_000usize;
+    let mut r1 = SplitMix64::new(1);
+    let mut r2 = SplitMix64::new(2);
+    let dd_counts = pkg.sample_counts(s, shots, &mut r1.as_fn());
+    let ar_counts = qarray::sample_counts(&v, shots, &mut r2.as_fn());
+    let expect = shots as f64 / 32.0;
+    let sigma = (shots as f64 * (1.0 / 32.0) * (31.0 / 32.0)).sqrt();
+    for counts in [dd_counts, ar_counts] {
+        assert_eq!(
+            counts.len(),
+            32,
+            "QFT|0> output is uniform over all 32 outcomes"
+        );
+        for &(idx, cnt) in &counts {
+            assert!(
+                (cnt as f64 - expect).abs() < 5.0 * sigma,
+                "outcome {idx}: {cnt} vs expected {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn marginals_agree_on_every_family() {
+    for c in [
+        generators::ghz(6),
+        generators::w_state(6),
+        generators::dnn(6, 2, 3),
+        generators::qaoa(6, 2, 3),
+    ] {
+        let v = dense::simulate(&c);
+        let (pkg, s) = dd_state(&c);
+        let mut flat = FlatDdSimulator::new(
+            6,
+            FlatDdConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        flat.run(&c);
+        for q in 0..6 {
+            let want = qarray::qubit_probability_one(&v, q);
+            assert!(
+                (pkg.qubit_probability_one(s, q) - want).abs() < 1e-9,
+                "{} q{q}",
+                c.name()
+            );
+            assert!(
+                (flat.qubit_probability_one(q) - want).abs() < 1e-8,
+                "{} q{q}",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn measurement_statistics_match_marginals() {
+    // Measure qubit 0 of a W state many times: p(1) must track 1/n.
+    let n = 5;
+    let c = generators::w_state(n);
+    let mut ones = 0usize;
+    let trials = 3000;
+    let mut rng = SplitMix64::new(17);
+    let (mut pkg, s) = dd_state(&c);
+    for _ in 0..trials {
+        let (outcome, _) = pkg.measure_qubit(s, 0, n, &mut rng.as_fn());
+        ones += outcome as usize;
+    }
+    let f = ones as f64 / trials as f64;
+    assert!((f - 0.2).abs() < 0.04, "f = {f}");
+}
+
+#[test]
+fn flatdd_sampling_consistent_before_and_after_conversion() {
+    // Sampling from the same circuit must produce statistically identical
+    // marginals whether FlatDD stayed in the DD phase or was forced flat.
+    let n = 8;
+    let c = generators::qaoa(n, 2, 9);
+    let mut dd_phase = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 2,
+            conversion: ConversionPolicy::Never,
+            ..Default::default()
+        },
+    );
+    dd_phase.run(&c);
+    let mut flat_phase = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 2,
+            conversion: ConversionPolicy::Immediate,
+            ..Default::default()
+        },
+    );
+    flat_phase.run(&c);
+    let shots = 20_000;
+    let mut r1 = SplitMix64::new(31);
+    let mut r2 = SplitMix64::new(32);
+    let a = dd_phase.sample_counts(shots, &mut r1.as_fn());
+    let b = flat_phase.sample_counts(shots, &mut r2.as_fn());
+    // Compare per-qubit one-frequencies of the two sample sets.
+    let freq = |counts: &[(usize, usize)], q: usize| -> f64 {
+        counts
+            .iter()
+            .filter(|&&(i, _)| (i >> q) & 1 == 1)
+            .map(|&(_, c)| c)
+            .sum::<usize>() as f64
+            / shots as f64
+    };
+    for q in 0..n {
+        let (fa, fb) = (freq(&a, q), freq(&b, q));
+        assert!((fa - fb).abs() < 0.03, "q{q}: {fa} vs {fb}");
+    }
+}
+
+#[test]
+fn optimized_qaoa_cut_values_beat_random_guessing() {
+    // Full QAOA workflow: coarsely optimize (gamma, beta) for p = 1 against
+    // the MaxCut Hamiltonian, then sample cuts from the optimized circuit —
+    // they must beat the random-assignment baseline |E|/2.
+    let n = 8;
+    let seed = 7;
+    let edges = generators::qaoa_edges(n, seed);
+    let ham = Hamiltonian::maxcut(&edges, 1.0);
+
+    let cut_expectation = |gamma: f64, beta: f64| -> f64 {
+        let c = generators::qaoa_with_angles(n, &edges, &[(gamma, beta)]);
+        let mut sim = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        sim.run(&c);
+        sim.expectation(&ham)
+    };
+    let mut best = (0.0, 0.0, f64::NEG_INFINITY);
+    for i in 1..8 {
+        for j in 1..8 {
+            let (g, b) = (i as f64 * 0.125, j as f64 * 0.125);
+            let e = cut_expectation(g, b);
+            if e > best.2 {
+                best = (g, b, e);
+            }
+        }
+    }
+    let random_baseline = edges.len() as f64 / 2.0;
+    // p = 1 QAOA gives a modest but real advantage on irregular graphs.
+    assert!(
+        best.2 > random_baseline + 0.2,
+        "grid search found no angles above random: best E[cut] = {}",
+        best.2
+    );
+
+    // Sample from the optimized circuit and check the empirical mean cut.
+    let c = generators::qaoa_with_angles(n, &edges, &[(best.0, best.1)]);
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    sim.run(&c);
+    let mut rng = SplitMix64::new(4);
+    let shots = 4000;
+    let counts = sim.sample_counts(shots, &mut rng.as_fn());
+    let cut = |bits: usize| -> f64 {
+        edges
+            .iter()
+            .filter(|&&(a, b)| ((bits >> a) ^ (bits >> b)) & 1 == 1)
+            .count() as f64
+    };
+    let mean_cut: f64 = counts.iter().map(|&(i, c)| cut(i) * c as f64).sum::<f64>() / shots as f64;
+    assert!(
+        mean_cut > random_baseline,
+        "QAOA mean cut {mean_cut} did not beat random {random_baseline}"
+    );
+    // Sampled mean must agree with the computed expectation.
+    assert!((mean_cut - best.2).abs() < 0.3, "{mean_cut} vs {}", best.2);
+}

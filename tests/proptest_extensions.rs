@@ -1,0 +1,158 @@
+//! Property tests for the extension modules: observables, sampling,
+//! approximation, adjoint, transforms, and equivalence checking.
+
+use proptest::prelude::*;
+use qcircuit::complex::{norm_sqr, state_distance_up_to_phase};
+use qcircuit::observable::{Pauli, PauliString};
+use qcircuit::transform::{fuse_single_qubit_runs, peephole_optimize};
+use qcircuit::{dense, Circuit, Complex64, Gate, GateKind};
+use qdd::DdPackage;
+
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let kind = prop_oneof![
+        Just(GateKind::H),
+        Just(GateKind::X),
+        Just(GateKind::S),
+        Just(GateKind::Sdg),
+        Just(GateKind::T),
+        Just(GateKind::Tdg),
+        (-3.0f64..3.0).prop_map(GateKind::RY),
+        (-3.0f64..3.0).prop_map(GateKind::RZ),
+    ];
+    (kind, 0..n, proptest::option::of(0..n)).prop_map(move |(kind, target, ctl)| match ctl {
+        Some(c) if c != target => Gate::controlled(kind, target, vec![qcircuit::Control::pos(c)]),
+        _ => Gate::new(kind, target),
+    })
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                Just(Pauli::I),
+                Just(Pauli::X),
+                Just(Pauli::Y),
+                Just(Pauli::Z)
+            ],
+            n,
+        ),
+        -2.0f64..2.0,
+    )
+        .prop_map(|(ps, coeff)| PauliString::new(coeff, ps.into_iter().enumerate().collect()))
+}
+
+fn build_state(pkg: &mut DdPackage, c: &Circuit) -> qdd::VEdge {
+    let mut s = pkg.basis_state(c.num_qubits(), 0);
+    for g in c.iter() {
+        s = pkg.apply_gate(s, g, c.num_qubits());
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pauli_expectation_agrees_everywhere(c in arb_circuit(5, 30), p in arb_pauli_string(5)) {
+        let v = dense::simulate(&c);
+        let want = p.expectation_dense(&v);
+        let mut pkg = DdPackage::default();
+        let s = build_state(&mut pkg, &c);
+        prop_assert!((pkg.expectation_pauli(s, &p, 5) - want).abs() < 1e-8);
+        prop_assert!((qarray::expectation_pauli(&v, &p) - want).abs() < 1e-9);
+        // Hermitian observables have real expectations bounded by |coeff|.
+        prop_assert!(want.abs() <= p.coeff.abs() + 1e-9);
+    }
+
+    #[test]
+    fn approximation_invariants(c in arb_circuit(6, 40), log_t in -8.0f64..-1.0) {
+        let threshold = 10f64.powf(log_t);
+        let mut pkg = DdPackage::default();
+        let s = build_state(&mut pkg, &c);
+        let r = pkg.approximate(s, threshold);
+        // The result is always normalized...
+        let arr = pkg.vector_to_array(r.state, 6);
+        prop_assert!((norm_sqr(&arr) - 1.0).abs() < 1e-7);
+        // ...never larger than the input...
+        prop_assert!(r.nodes_after <= r.nodes_before);
+        // ...with a valid fidelity in [0, 1].
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.fidelity));
+        // Pruned mass bounds the infidelity loosely: fidelity >= 1 - nodes*threshold*C.
+        if threshold < 1e-6 {
+            prop_assert!(r.fidelity > 0.99, "fidelity {} at threshold {threshold}", r.fidelity);
+        }
+    }
+
+    #[test]
+    fn adjoint_respects_dagger_on_random_products(c in arb_circuit(4, 12)) {
+        let mut pkg = DdPackage::default();
+        let n = 4;
+        let mut u = pkg.identity_dd(n);
+        for g in c.iter() {
+            let gd = pkg.gate_dd(g, n);
+            u = pkg.mul_mm(gd, u);
+        }
+        let adj = pkg.adjoint(u);
+        let prod = pkg.mul_mm(adj, u);
+        let id = pkg.identity_dd(n);
+        prop_assert_eq!(prod.n, id.n, "U†U must be (a phase times) the identity node");
+        prop_assert!((pkg.cval(prod.w).abs() - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn transforms_preserve_semantics(c in arb_circuit(5, 50)) {
+        let want = dense::simulate(&c);
+        let opt = peephole_optimize(&c);
+        prop_assert!(opt.num_gates() <= c.num_gates());
+        prop_assert!(state_distance_up_to_phase(&dense::simulate(&opt), &want) < 1e-8);
+        let fused = fuse_single_qubit_runs(&c);
+        prop_assert!(state_distance_up_to_phase(&dense::simulate(&fused), &want) < 1e-8);
+    }
+
+    #[test]
+    fn equivalence_checker_accepts_self_and_rejects_perturbation(c in arb_circuit(4, 25)) {
+        prop_assert!(qdd::check_equivalence(&c, &c.clone()).is_equivalent());
+        let mut perturbed = c.clone();
+        perturbed.ry(0.37, 1); // a non-trivial extra rotation
+        prop_assert!(!qdd::check_equivalence(&c, &perturbed).is_equivalent());
+    }
+
+    #[test]
+    fn inner_product_is_cauchy_schwarz_bounded(
+        c1 in arb_circuit(5, 25),
+        c2 in arb_circuit(5, 25),
+    ) {
+        let mut pkg = DdPackage::default();
+        let a = build_state(&mut pkg, &c1);
+        let b = build_state(&mut pkg, &c2);
+        let ip = pkg.inner_product(a, b);
+        prop_assert!(ip.abs() <= 1.0 + 1e-8, "|<a|b>| = {} > 1", ip.abs());
+        // Consistency with the dense inner product.
+        let va = dense::simulate(&c1);
+        let vb = dense::simulate(&c2);
+        let want: Complex64 = va.iter().zip(&vb).map(|(&x, &y)| x.conj() * y).sum();
+        prop_assert!(ip.approx_eq(want, 1e-8));
+    }
+
+    #[test]
+    fn dd_sampler_never_emits_zero_probability_outcomes(c in arb_circuit(5, 30), seed in 0u64..1000) {
+        let mut pkg = DdPackage::default();
+        let s = build_state(&mut pkg, &c);
+        let v = dense::simulate(&c);
+        let mut rng = qdd::SplitMix64::new(seed);
+        for _ in 0..32 {
+            let idx = pkg.sample(s, &mut rng.as_fn());
+            prop_assert!(v[idx].norm_sqr() > 1e-18, "sampled impossible outcome {idx}");
+        }
+    }
+}

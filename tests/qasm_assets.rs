@@ -1,0 +1,65 @@
+//! The shipped OpenQASM sample files (`assets/qasm/`) must parse and
+//! simulate consistently on every engine.
+
+use flatdd::FlatDdConfig;
+use qcircuit::complex::state_distance;
+use qcircuit::parse_qasm;
+
+fn assets_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("assets/qasm")
+}
+
+#[test]
+fn all_assets_parse() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(assets_dir()).expect("assets/qasm must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("qasm") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let c = parse_qasm(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(c.num_qubits() >= 2, "{}", path.display());
+        assert!(c.num_gates() >= 1, "{}", path.display());
+        found += 1;
+    }
+    assert!(
+        found >= 8,
+        "expected at least 8 sample files, found {found}"
+    );
+}
+
+#[test]
+fn small_assets_simulate_identically_on_all_engines() {
+    for entry in std::fs::read_dir(assets_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("qasm") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let c = parse_qasm(&src).unwrap();
+        if c.num_qubits() > 12 {
+            continue;
+        }
+        let dd = qdd::sim::simulate(&c);
+        let ar = qarray::simulate_with_threads(&c, 2);
+        let fd = flatdd::simulate(
+            &c,
+            FlatDdConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(state_distance(&dd, &ar) < 1e-8, "{}", path.display());
+        assert!(state_distance(&dd, &fd) < 1e-8, "{}", path.display());
+    }
+}
+
+#[test]
+fn ghz_asset_produces_a_ghz_state() {
+    let src = std::fs::read_to_string(assets_dir().join("ghz_12.qasm")).unwrap();
+    let c = parse_qasm(&src).unwrap();
+    let v = qarray::simulate(&c);
+    assert!((v[0].norm_sqr() - 0.5).abs() < 1e-9);
+    assert!((v[(1 << 12) - 1].norm_sqr() - 0.5).abs() < 1e-9);
+}

@@ -1,0 +1,94 @@
+//! Moderate-size stress tests (fast in release; the `#[ignore]`d ones are
+//! for `cargo test --release -- --ignored` on a capable machine).
+
+use flatdd::{FlatDdConfig, FlatDdSimulator};
+use qcircuit::complex::{norm_sqr, state_distance};
+use qcircuit::generators;
+
+#[test]
+fn twelve_qubit_supremacy_cross_check() {
+    let n = 12;
+    let c = generators::supremacy_n(n, 14, 3);
+    let want = qarray::simulate_with_threads(&c, 2);
+    let got = flatdd::simulate(&c, FlatDdConfig { threads: 4, ..Default::default() });
+    assert!(state_distance(&got, &want) < 1e-8);
+    assert!((norm_sqr(&got) - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn deep_thousand_gate_circuit_stays_exact() {
+    let n = 10;
+    let c = generators::dnn(n, 28, 5); // ~1000+ gates
+    assert!(c.num_gates() > 1000);
+    let want = qarray::simulate_with_threads(&c, 1);
+    let got = flatdd::simulate(&c, FlatDdConfig { threads: 2, ..Default::default() });
+    assert!(state_distance(&got, &want) < 1e-7, "drift over {} gates", c.num_gates());
+}
+
+#[test]
+fn wide_regular_circuit_stays_in_dd_phase_cheaply() {
+    // 24 qubits would be 256 MB as an array; the DD engine handles it in
+    // milliseconds because GHZ never leaves the regular regime.
+    let n = 24;
+    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 2, ..Default::default() });
+    sim.run(&generators::ghz(n));
+    assert_eq!(sim.stats().converted_at, None);
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    assert!((sim.amplitude(0).abs() - s).abs() < 1e-9);
+    assert!((sim.amplitude((1 << n) - 1).abs() - s).abs() < 1e-9);
+    // Sampling works without ever materializing 2^24 amplitudes.
+    let mut rng = qdd::SplitMix64::new(1);
+    for _ in 0..20 {
+        let x = sim.sample(&mut rng.as_fn());
+        assert!(x == 0 || x == (1 << n) - 1);
+    }
+}
+
+#[test]
+fn wide_adder_is_exact_in_dd_phase() {
+    // 30-qubit adder: pure basis-state propagation, exact in the DD engine.
+    let k = 14; // n = 30
+    let a = 0b10_1101_0110_1011u64 & ((1 << k) - 1);
+    let b = 0b01_0111_1010_0110u64 & ((1 << k) - 1);
+    let c = generators::adder(k, a, b);
+    let n = c.num_qubits();
+    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 1, ..Default::default() });
+    sim.run(&c);
+    assert_eq!(sim.stats().converted_at, None);
+    // Decode the unique surviving basis state via sampling (deterministic).
+    let mut rng = qdd::SplitMix64::new(9);
+    let idx = sim.sample(&mut rng.as_fn());
+    let mut b_out = 0u64;
+    for i in 0..k {
+        b_out |= (((idx >> (2 * i + 2)) & 1) as u64) << i;
+    }
+    let carry = ((idx >> (2 * k + 1)) & 1) as u64;
+    let sum = a + b;
+    assert_eq!(b_out, sum & ((1 << k) - 1));
+    assert_eq!(carry, sum >> k);
+}
+
+#[test]
+#[ignore = "heavy: ~1 GB state; run with --release -- --ignored"]
+fn large_irregular_instance_runs_end_to_end() {
+    let n = 22;
+    let c = generators::supremacy_n(n, 12, 7);
+    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 4, ..Default::default() });
+    sim.run(&c);
+    assert_eq!(sim.phase(), flatdd::Phase::Dmav);
+    let norm: f64 = (0..1 << n).map(|i| sim.amplitude(i).norm_sqr()).sum();
+    assert!((norm - 1.0).abs() < 1e-6);
+}
+
+#[test]
+#[ignore = "heavy: paper-scale regular circuit; run with --release -- --ignored"]
+fn paper_scale_ghz_and_adder() {
+    let mut sim = FlatDdSimulator::new(23, FlatDdConfig { threads: 2, ..Default::default() });
+    sim.run(&generators::ghz(23));
+    assert_eq!(sim.stats().converted_at, None);
+
+    let c = generators::adder_n(28);
+    let mut sim = FlatDdSimulator::new(28, FlatDdConfig { threads: 2, ..Default::default() });
+    sim.run(&c);
+    assert_eq!(sim.stats().converted_at, None);
+}

@@ -1,0 +1,131 @@
+//! Circuit-transformation passes verified with the DD equivalence checker —
+//! the workflow of Burgholzer & Wille \[11\]: optimize, then formally verify
+//! the optimized circuit against the original.
+
+use flatdd::FlatDdConfig;
+use qcircuit::complex::state_distance_up_to_phase;
+use qcircuit::transform::{fuse_single_qubit_runs, peephole_optimize};
+use qcircuit::{generators, Circuit};
+use qdd::check_equivalence;
+
+#[test]
+fn peephole_output_is_formally_equivalent() {
+    for seed in 0..8u64 {
+        let c = generators::random_circuit(5, 70, seed);
+        let opt = peephole_optimize(&c);
+        assert!(
+            check_equivalence(&c, &opt).is_equivalent(),
+            "seed {seed}: optimizer broke the circuit ({} -> {} gates)",
+            c.num_gates(),
+            opt.num_gates()
+        );
+    }
+}
+
+#[test]
+fn single_qubit_fusion_is_formally_equivalent() {
+    for seed in 0..8u64 {
+        let c = generators::random_circuit(5, 70, seed + 50);
+        let fused = fuse_single_qubit_runs(&c);
+        assert!(check_equivalence(&c, &fused).is_equivalent(), "seed {seed}");
+    }
+}
+
+#[test]
+fn stacked_passes_compose() {
+    let c = generators::random_circuit(6, 120, 7);
+    let opt = fuse_single_qubit_runs(&peephole_optimize(&c));
+    assert!(opt.num_gates() <= c.num_gates());
+    assert!(check_equivalence(&c, &opt).is_equivalent());
+    // And the engines agree on the optimized circuit.
+    let a = flatdd::simulate(
+        &c,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let b = flatdd::simulate(
+        &opt,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    assert!(state_distance_up_to_phase(&a, &b) < 1e-8);
+}
+
+#[test]
+fn optimizer_shrinks_redundant_benchmarks() {
+    // QFT + inverse QFT is pure redundancy.
+    let n = 6;
+    let mut c = generators::qft(n);
+    c.extend(&generators::qft(n).dagger());
+    let opt = peephole_optimize(&c);
+    assert_eq!(
+        opt.num_gates(),
+        0,
+        "QFT·QFT† must vanish, kept {}",
+        opt.num_gates()
+    );
+}
+
+#[test]
+fn optimizer_keeps_irreducible_circuits_intact() {
+    // GHZ has nothing to cancel.
+    let c = generators::ghz(8);
+    let opt = peephole_optimize(&c);
+    assert_eq!(opt.num_gates(), c.num_gates());
+}
+
+#[test]
+fn fusion_speeds_up_gate_count_on_rotation_heavy_ansatz() {
+    let c = generators::vqe(8, 3, 3);
+    let fused = fuse_single_qubit_runs(&c);
+    // Each qubit's RY+RZ pair fuses to one Unitary: ~25% fewer gates.
+    assert!(
+        fused.num_gates() * 4 < c.num_gates() * 3,
+        "expected >25% gate reduction: {} -> {}",
+        c.num_gates(),
+        fused.num_gates()
+    );
+    assert!(check_equivalence(&c, &fused).is_equivalent());
+}
+
+#[test]
+fn optimized_circuits_simulate_identically_on_all_engines() {
+    let c = {
+        let mut c = Circuit::new(5);
+        // Deliberately redundant program.
+        c.h(0)
+            .h(0)
+            .t(1)
+            .t(1)
+            .t(1)
+            .t(1)
+            .cx(0, 2)
+            .x(3)
+            .cx(0, 2)
+            .x(3)
+            .ry(0.7, 4)
+            .ry(-0.7, 4);
+        c.h(2).s(2).sdg(2).h(2);
+        c
+    };
+    let opt = peephole_optimize(&c);
+    assert!(opt.num_gates() < c.num_gates());
+    let dense_ref = qcircuit::dense::simulate(&c);
+    for state in [
+        qdd::sim::simulate(&opt),
+        qarray::simulate(&opt),
+        flatdd::simulate(
+            &opt,
+            FlatDdConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        ),
+    ] {
+        assert!(state_distance_up_to_phase(&state, &dense_ref) < 1e-8);
+    }
+}

@@ -22,5 +22,5 @@ pub use kernel::{apply_gate_parallel, apply_gate_serial};
 pub use measure::{
     expectation, expectation_pauli, measure_qubit, qubit_probability_one, sample, sample_counts,
 };
-pub use sim::{simulate, simulate_with_threads, ArraySimulator};
+pub use sim::{simulate, simulate_with_threads, try_zeroed_state, ArraySimulator};
 pub use sync_slice::SyncUnsafeSlice;

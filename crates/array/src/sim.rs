@@ -19,15 +19,29 @@ impl ArraySimulator {
     }
 
     /// Initializes `|0...0>` over `n` qubits with a worker-thread count.
+    ///
+    /// # Panics
+    /// When the `2^n` amplitude vector cannot be allocated; use
+    /// [`Self::try_with_threads`] to handle exhaustion gracefully.
     pub fn with_threads(n: usize, threads: usize) -> Self {
+        Self::try_with_threads(n, threads)
+            .unwrap_or_else(|_| panic!("cannot allocate 2^{n} amplitudes"))
+    }
+
+    /// Fallible [`Self::with_threads`]: a refused allocation comes back as
+    /// a `TryReserveError` instead of aborting the process.
+    pub fn try_with_threads(
+        n: usize,
+        threads: usize,
+    ) -> Result<Self, std::collections::TryReserveError> {
         assert!(n >= 1 && n < usize::BITS as usize);
-        let mut state = vec![Complex64::ZERO; 1usize << n];
+        let mut state = try_zeroed_state(1usize << n)?;
         state[0] = Complex64::ONE;
-        ArraySimulator {
+        Ok(ArraySimulator {
             state,
             n,
             threads: threads.max(1),
-        }
+        })
     }
 
     /// Wraps an existing state vector (length must be a power of two).
@@ -115,6 +129,18 @@ pub fn simulate_with_threads(circuit: &Circuit, threads: usize) -> Vec<Complex64
     let mut sim = ArraySimulator::with_threads(circuit.num_qubits(), threads);
     sim.run(circuit);
     sim.into_state()
+}
+
+/// Allocates a zeroed amplitude vector of length `dim` fallibly: the
+/// reservation goes through `try_reserve_exact`, so an impossible request
+/// (e.g. a `2^n` conversion buffer over a memory budget) is an `Err`, not
+/// an abort. Zero-filling is cheap relative to gate application and keeps
+/// the buffer semantics identical to `vec![ZERO; dim]`.
+pub fn try_zeroed_state(dim: usize) -> Result<Vec<Complex64>, std::collections::TryReserveError> {
+    let mut v: Vec<Complex64> = Vec::new();
+    v.try_reserve_exact(dim)?;
+    v.resize(dim, Complex64::ZERO);
+    Ok(v)
 }
 
 #[cfg(test)]

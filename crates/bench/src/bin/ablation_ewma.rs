@@ -21,7 +21,7 @@ fn run(c: &Circuit, threads: usize, conversion: ConversionPolicy) -> (f64, Optio
     };
     let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
     let start = Instant::now();
-    sim.run(c);
+    sim.run(c).expect("benchmark run failed");
     (
         start.elapsed().as_secs_f64(),
         sim.stats().converted_at,

@@ -27,7 +27,7 @@ fn per_gate_times(
             ..Default::default()
         },
     );
-    flat.run(c);
+    flat.run(c).expect("benchmark run failed");
     let flat_times: Vec<f64> = flat.traces().iter().map(|t| t.seconds).collect();
     let converted_at = flat.stats().converted_at;
 

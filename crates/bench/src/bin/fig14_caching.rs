@@ -23,7 +23,7 @@ fn run_once(c: &Circuit, threads: usize, caching: CachingPolicy) -> (f64, f64) {
     };
     let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
     let start = std::time::Instant::now();
-    sim.run(c);
+    sim.run(c).expect("benchmark run failed");
     (start.elapsed().as_secs_f64(), sim.stats().modeled_cost)
 }
 
@@ -61,7 +61,7 @@ fn main() {
             };
             let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
             let start = std::time::Instant::now();
-            sim.run(c);
+            sim.run(c).expect("benchmark run failed");
             let time_cm = start.elapsed().as_secs_f64();
             let cost_min = sim.stats().modeled_cost;
             // C1-only total for the same gates:

@@ -11,7 +11,7 @@
 use flatdd::FlatDdConfig;
 use flatdd_bench::engines::best_of;
 use flatdd_bench::{
-    geo_mean, run_array, run_ddsim, run_flatdd, HarnessArgs, JsonWriter, RunOutcome, Table,
+    geo_mean, run_array, run_ddsim, run_flatdd, HarnessArgs, JsonWriter, RunStatus, Table,
 };
 
 fn main() {
@@ -54,7 +54,7 @@ fn main() {
         let qpp = best_of(args.reps, || run_array(c, args.threads, args.timeout_secs));
         let mb = |b: usize| format!("{:.2}", b as f64 / (1024.0 * 1024.0));
         let speedup = |base: &flatdd_bench::EngineResult| {
-            let prefix = if base.outcome == RunOutcome::TimedOut {
+            let prefix = if base.outcome == RunStatus::TimedOut {
                 "> "
             } else {
                 ""
@@ -88,17 +88,14 @@ fn main() {
             ("ddsim_seconds", dd.seconds.into()),
             (
                 "ddsim_timed_out",
-                (dd.outcome == RunOutcome::TimedOut).into(),
+                (dd.outcome == RunStatus::TimedOut).into(),
             ),
             ("ddsim_memory_bytes", dd.memory_bytes.into()),
             ("qpp_seconds", qpp.seconds.into()),
-            (
-                "qpp_timed_out",
-                (qpp.outcome == RunOutcome::TimedOut).into(),
-            ),
+            ("qpp_timed_out", (qpp.outcome == RunStatus::TimedOut).into()),
             ("qpp_memory_bytes", qpp.memory_bytes.into()),
         ]);
-        if flat.outcome == RunOutcome::Completed {
+        if flat.outcome == RunStatus::Completed {
             flat_times.push(flat.seconds);
             flat_mems.push(flat.memory_bytes as f64);
             dd_speedups.push(dd.seconds / flat.seconds.max(1e-12));

@@ -26,7 +26,7 @@ fn run_arm(c: &Circuit, threads: usize, fusion: FusionPolicy) -> Arm {
     };
     let mut sim = FlatDdSimulator::new(c.num_qubits(), cfg);
     let start = std::time::Instant::now();
-    sim.run(c);
+    sim.run(c).expect("benchmark run failed");
     let seconds = start.elapsed().as_secs_f64();
     let st = sim.stats();
     Arm {

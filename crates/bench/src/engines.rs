@@ -12,12 +12,17 @@ use qdd::DdSimulator;
 use std::time::Instant;
 
 /// Whether the run finished within budget.
+///
+/// (Named `RunStatus` to avoid clashing with [`flatdd::RunOutcome`], the
+/// engine's own progress snapshot.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RunOutcome {
+pub enum RunStatus {
     /// All gates applied.
     Completed,
     /// Stopped at the soft timeout.
     TimedOut,
+    /// The engine returned a typed error (budget breach, divergence, ...).
+    Failed,
 }
 
 /// One engine measurement.
@@ -26,7 +31,7 @@ pub struct EngineResult {
     /// Wall-clock seconds (lower bound when timed out).
     pub seconds: f64,
     /// Completion status.
-    pub outcome: RunOutcome,
+    pub outcome: RunStatus,
     /// Gates applied before stopping.
     pub gates_done: usize,
     /// Engine data-structure bytes (capacity-based, i.e. high-water).
@@ -39,8 +44,9 @@ impl EngineResult {
     /// Runtime string: seconds, or `> s` when timed out (Table-1 style).
     pub fn runtime_str(&self) -> String {
         match self.outcome {
-            RunOutcome::Completed => format!("{:.3}", self.seconds),
-            RunOutcome::TimedOut => format!("> {:.0}", self.seconds),
+            RunStatus::Completed => format!("{:.3}", self.seconds),
+            RunStatus::TimedOut => format!("> {:.0}", self.seconds),
+            RunStatus::Failed => format!("failed @ {:.3}", self.seconds),
         }
     }
 }
@@ -50,12 +56,12 @@ pub fn run_ddsim(circuit: &Circuit, timeout_secs: f64) -> EngineResult {
     let mut sim = DdSimulator::new(circuit.num_qubits());
     let start = Instant::now();
     let mut done = 0;
-    let mut outcome = RunOutcome::Completed;
+    let mut outcome = RunStatus::Completed;
     for g in circuit.iter() {
         sim.apply(g);
         done += 1;
         if start.elapsed().as_secs_f64() > timeout_secs {
-            outcome = RunOutcome::TimedOut;
+            outcome = RunStatus::TimedOut;
             break;
         }
     }
@@ -75,12 +81,12 @@ pub fn run_array(circuit: &Circuit, threads: usize, timeout_secs: f64) -> Engine
     let mut sim = ArraySimulator::with_threads(circuit.num_qubits(), threads);
     let start = Instant::now();
     let mut done = 0;
-    let mut outcome = RunOutcome::Completed;
+    let mut outcome = RunStatus::Completed;
     for g in circuit.iter() {
         sim.apply(g);
         done += 1;
         if start.elapsed().as_secs_f64() > timeout_secs {
-            outcome = RunOutcome::TimedOut;
+            outcome = RunStatus::TimedOut;
             break;
         }
     }
@@ -101,19 +107,27 @@ pub fn run_flatdd(circuit: &Circuit, cfg: FlatDdConfig, timeout_secs: f64) -> En
     let mut sim = FlatDdSimulator::new(circuit.num_qubits(), cfg);
     let start = Instant::now();
     let mut done = 0;
-    let mut outcome = RunOutcome::Completed;
+    let mut outcome = RunStatus::Completed;
     if cfg.fusion == FusionPolicy::None {
         for g in circuit.iter() {
-            sim.apply(g);
+            if sim.apply(g).is_err() {
+                outcome = RunStatus::Failed;
+                break;
+            }
             done += 1;
             if start.elapsed().as_secs_f64() > timeout_secs {
-                outcome = RunOutcome::TimedOut;
+                outcome = RunStatus::TimedOut;
                 break;
             }
         }
     } else {
-        sim.run(circuit);
-        done = circuit.num_gates();
+        match sim.run(circuit) {
+            Ok(out) => done = out.gates_applied,
+            Err(e) => {
+                outcome = RunStatus::Failed;
+                done = e.partial_outcome().map_or(0, |p| p.gates_applied);
+            }
+        }
     }
     let seconds = start.elapsed().as_secs_f64();
     let stats = sim.stats();
@@ -135,8 +149,8 @@ pub fn best_of<F: FnMut() -> EngineResult>(reps: usize, mut f: F) -> EngineResul
         best = Some(match best {
             None => r,
             Some(b) => {
-                let b_to = b.outcome == RunOutcome::TimedOut;
-                let r_to = r.outcome == RunOutcome::TimedOut;
+                let b_to = b.outcome == RunStatus::TimedOut;
+                let r_to = r.outcome == RunStatus::TimedOut;
                 if (b_to && !r_to) || (b_to == r_to && r.seconds < b.seconds) {
                     r
                 } else {
@@ -157,10 +171,10 @@ mod tests {
     fn engines_complete_small_workloads() {
         let c = generators::ghz(8);
         let dd = run_ddsim(&c, 30.0);
-        assert_eq!(dd.outcome, RunOutcome::Completed);
+        assert_eq!(dd.outcome, RunStatus::Completed);
         assert_eq!(dd.gates_done, c.num_gates());
         let ar = run_array(&c, 2, 30.0);
-        assert_eq!(ar.outcome, RunOutcome::Completed);
+        assert_eq!(ar.outcome, RunStatus::Completed);
         assert!(ar.memory_bytes >= (1 << 8) * 16);
         let fd = run_flatdd(
             &c,
@@ -170,7 +184,7 @@ mod tests {
             },
             30.0,
         );
-        assert_eq!(fd.outcome, RunOutcome::Completed);
+        assert_eq!(fd.outcome, RunStatus::Completed);
         assert!(fd.converted_at.is_none(), "GHZ must not convert");
     }
 
@@ -178,7 +192,7 @@ mod tests {
     fn timeout_reports_partial_progress() {
         let c = generators::dnn(12, 8, 3);
         let r = run_ddsim(&c, 0.000_001);
-        assert_eq!(r.outcome, RunOutcome::TimedOut);
+        assert_eq!(r.outcome, RunStatus::TimedOut);
         assert!(r.gates_done < c.num_gates());
         assert!(r.runtime_str().starts_with('>'));
     }
@@ -191,16 +205,16 @@ mod tests {
             EngineResult {
                 seconds: calls as f64,
                 outcome: if calls == 2 {
-                    RunOutcome::Completed
+                    RunStatus::Completed
                 } else {
-                    RunOutcome::TimedOut
+                    RunStatus::TimedOut
                 },
                 gates_done: 0,
                 memory_bytes: 0,
                 converted_at: None,
             }
         });
-        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.outcome, RunStatus::Completed);
         assert_eq!(r.seconds, 2.0);
     }
 }

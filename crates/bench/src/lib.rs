@@ -12,6 +12,6 @@ pub mod report;
 pub mod suite;
 
 pub use cli::HarnessArgs;
-pub use engines::{run_array, run_ddsim, run_flatdd, EngineResult, RunOutcome};
+pub use engines::{run_array, run_ddsim, run_flatdd, EngineResult, RunStatus};
 pub use report::{geo_mean, JsonWriter, Table};
 pub use suite::{table1_workloads, Workload};

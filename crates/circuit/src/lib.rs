@@ -35,5 +35,5 @@ pub use circuit::Circuit;
 pub use complex::Complex64;
 pub use gate::{Control, Gate, GateKind, Mat2};
 pub use noise::{NoiseChannel, NoiseModel};
-pub use observable::{Hamiltonian, Pauli, PauliString};
+pub use observable::{Hamiltonian, ObservableError, Pauli, PauliString};
 pub use qasm::{parse_qasm, QasmError};

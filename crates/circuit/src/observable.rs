@@ -9,6 +9,35 @@ use crate::complex::Complex64;
 use crate::gate::Mat2;
 use std::fmt;
 
+/// Error building or applying an observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservableError {
+    /// The same qubit appears twice in one Pauli string.
+    DuplicateQubit(usize),
+    /// A Pauli factor references a qubit outside the register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register width.
+        num_qubits: usize,
+    },
+}
+
+impl fmt::Display for ObservableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservableError::DuplicateQubit(q) => {
+                write!(f, "duplicate qubit {q} in Pauli string")
+            }
+            ObservableError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "Pauli on qubit {qubit} but only {num_qubits} qubits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObservableError {}
+
 /// A single-qubit Pauli operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Pauli {
@@ -60,13 +89,28 @@ pub struct PauliString {
 impl PauliString {
     /// Builds a string from (qubit, Pauli) pairs; identities are dropped,
     /// duplicate qubits are rejected.
-    pub fn new(coeff: f64, mut ops: Vec<(usize, Pauli)>) -> Self {
+    ///
+    /// # Panics
+    /// On duplicate qubits. Use [`Self::try_new`] for input that is not
+    /// known to be well-formed.
+    pub fn new(coeff: f64, ops: Vec<(usize, Pauli)>) -> Self {
+        Self::try_new(coeff, ops).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::new`]: rejects duplicate qubits with a typed error
+    /// instead of panicking.
+    pub fn try_new(
+        coeff: f64,
+        mut ops: Vec<(usize, Pauli)>,
+    ) -> std::result::Result<Self, ObservableError> {
         ops.retain(|&(_, p)| p != Pauli::I);
         ops.sort_by_key(|&(q, _)| q);
         for w in ops.windows(2) {
-            assert_ne!(w[0].0, w[1].0, "duplicate qubit {} in Pauli string", w[0].0);
+            if w[0].0 == w[1].0 {
+                return Err(ObservableError::DuplicateQubit(w[0].0));
+            }
         }
-        PauliString { coeff, ops }
+        Ok(PauliString { coeff, ops })
     }
 
     /// The identity string with a coefficient (a constant energy offset).
@@ -108,7 +152,7 @@ impl PauliString {
                 ops.push((n - 1 - i, p));
             }
         }
-        Some(PauliString::new(coeff, ops))
+        PauliString::try_new(coeff, ops).ok()
     }
 
     /// Largest qubit index referenced (None for the identity string).
@@ -123,13 +167,28 @@ impl PauliString {
 
     /// The per-level matrices of this string over `n` qubits
     /// (`mats[l]` acts on qubit `l`).
+    ///
+    /// # Panics
+    /// When a factor references a qubit `>= n`; use
+    /// [`Self::try_level_matrices`] for unvalidated widths.
     pub fn level_matrices(&self, n: usize) -> Vec<Mat2> {
+        self.try_level_matrices(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::level_matrices`]: a factor outside the register is
+    /// a typed error instead of a panic.
+    pub fn try_level_matrices(&self, n: usize) -> std::result::Result<Vec<Mat2>, ObservableError> {
         let mut mats = vec![Pauli::I.matrix(); n];
         for &(q, p) in &self.ops {
-            assert!(q < n, "Pauli on qubit {q} but only {n} qubits");
+            if q >= n {
+                return Err(ObservableError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: n,
+                });
+            }
             mats[q] = p.matrix();
         }
-        mats
+        Ok(mats)
     }
 
     /// Dense-reference expectation `<psi| P |psi>` (O(2^n · |ops|)).

@@ -245,9 +245,18 @@ enum Operand {
     Indexed(String, usize),
 }
 
+/// Maximum recursion frames while parsing one parameter expression. The
+/// expression grammar is recursive-descent; without a cap, a file like
+/// `(((((...1...)))))` recurses per paren and overflows the stack instead
+/// of returning a `QasmError`. Each nesting level costs ~3 frames
+/// (expr -> pow -> unary), so 1024 frames ≈ 340 parens — far beyond any
+/// angle expression seen in practice, far below stack exhaustion.
+const MAX_EXPR_DEPTH: usize = 1024;
+
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    expr_depth: usize,
 }
 
 impl Parser {
@@ -304,8 +313,30 @@ impl Parser {
         }
     }
 
+    /// Bumps the expression-recursion depth, erroring out (rather than
+    /// overflowing the stack) on pathologically nested input. Every
+    /// recursive production pairs this with a `leave_expr`.
+    fn enter_expr(&mut self) -> Result<()> {
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return self.err("parameter expression nested too deeply");
+        }
+        self.expr_depth += 1;
+        Ok(())
+    }
+
+    fn leave_expr(&mut self) {
+        self.expr_depth -= 1;
+    }
+
     // expr := term (('+'|'-') term)*
     fn parse_expr(&mut self) -> Result<Expr> {
+        self.enter_expr()?;
+        let r = self.parse_expr_inner();
+        self.leave_expr();
+        r
+    }
+
+    fn parse_expr_inner(&mut self) -> Result<Expr> {
         let mut lhs = self.parse_term()?;
         loop {
             if self.eat_sym('+') {
@@ -334,6 +365,13 @@ impl Parser {
 
     // pow := unary ('^' pow)?   (right associative)
     fn parse_pow(&mut self) -> Result<Expr> {
+        self.enter_expr()?;
+        let r = self.parse_pow_inner();
+        self.leave_expr();
+        r
+    }
+
+    fn parse_pow_inner(&mut self) -> Result<Expr> {
         let base = self.parse_unary()?;
         if self.eat_sym('^') {
             Ok(Expr::Bin('^', Box::new(base), Box::new(self.parse_pow()?)))
@@ -343,6 +381,13 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr> {
+        self.enter_expr()?;
+        let r = self.parse_unary_inner();
+        self.leave_expr();
+        r
+    }
+
+    fn parse_unary_inner(&mut self) -> Result<Expr> {
         if self.eat_sym('-') {
             return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
         }
@@ -693,7 +738,11 @@ pub fn parse_qasm(src: &str) -> std::result::Result<Circuit, QasmError> {
 /// Like [`parse_qasm`] but also reports the ignored measurement count.
 pub fn parse_qasm_full(src: &str) -> std::result::Result<(Circuit, usize), QasmError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        expr_depth: 0,
+    };
     // First pass: collect register declarations and gate defs while building.
     let mut calls: Vec<GateCall> = Vec::new();
     let mut b = Builder {

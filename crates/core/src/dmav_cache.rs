@@ -189,6 +189,15 @@ impl PartialBuffers {
         }
     }
 
+    /// Drops all held buffers (the DMAV rung of the memory-pressure
+    /// degradation ladder) and returns the bytes released. The next cached
+    /// DMAV re-allocates what it needs.
+    pub fn release(&mut self) -> usize {
+        let released = self.memory_bytes();
+        self.bufs = Vec::new();
+        released
+    }
+
     /// Bytes currently held.
     pub fn memory_bytes(&self) -> usize {
         self.bufs

@@ -1,0 +1,257 @@
+//! The typed error surface of the hybrid simulator.
+//!
+//! Every fallible operation on the simulation and parsing paths returns
+//! [`FlatDdError`] instead of panicking: callers under memory or time
+//! budgets receive a structured description of what was exhausted together
+//! with a partial [`RunOutcome`] snapshot, so a run can be retried with a
+//! different policy (more budget, `Never` conversion, fewer threads) instead
+//! of taking the process down.
+
+use crate::sim::{FlatDdStats, Phase};
+use std::fmt;
+use std::time::Duration;
+
+/// How far a run got — returned on success and carried inside
+/// [`FlatDdError::Deadline`] (and the other resource errors) as a partial
+/// result.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Gates fully applied so far. During the fused DMAV phase this counts
+    /// the gates handed to the fusion pass only once they have all been
+    /// multiplied in.
+    pub gates_applied: usize,
+    /// Gates in the circuit handed to [`crate::FlatDdSimulator::run`]. For
+    /// errors raised from the `apply` level (no enclosing run), this equals
+    /// `gates_applied`.
+    pub total_gates: usize,
+    /// Representation the simulator was in when the snapshot was taken.
+    pub phase: Phase,
+    /// Aggregate statistics at snapshot time.
+    pub stats: FlatDdStats,
+}
+
+impl RunOutcome {
+    /// True when every gate of the circuit was applied.
+    pub fn is_complete(&self) -> bool {
+        self.gates_applied >= self.total_gates
+    }
+}
+
+/// Typed error of the FlatDD stack.
+#[derive(Debug)]
+pub enum FlatDdError {
+    /// The configured memory budget was exceeded and the degradation ladder
+    /// (cache flush, garbage collection, conversion refusal) could not get
+    /// back under it.
+    MemoryBudgetExceeded {
+        /// Configured budget in bytes.
+        budget_bytes: usize,
+        /// Observed usage in bytes when the breach was detected.
+        observed_bytes: usize,
+        /// Which probe detected the breach (allocator accounting or RSS).
+        context: &'static str,
+        /// Snapshot of the run at the point of failure.
+        partial: Box<RunOutcome>,
+    },
+    /// The wall-clock deadline elapsed; `partial` tells the caller how far
+    /// the run got so it can be resumed or retried under another policy.
+    Deadline {
+        /// Configured deadline.
+        budget: Duration,
+        /// Elapsed wall-clock time when the breach was detected.
+        elapsed: Duration,
+        /// Snapshot of the run at the point of failure.
+        partial: Box<RunOutcome>,
+    },
+    /// The numerical-health watchdog found a non-finite amplitude or a
+    /// state norm drifted away from 1.
+    NumericalDivergence {
+        /// Observed state norm (NaN when a non-finite amplitude was found).
+        norm: f64,
+        /// Human-readable diagnostics (which probe tripped, where).
+        detail: String,
+        /// Snapshot of the run at the point of failure.
+        partial: Box<RunOutcome>,
+    },
+    /// An allocation was refused by the allocator (`try_reserve` failed).
+    AllocationFailed {
+        /// Bytes the failed allocation asked for.
+        requested_bytes: usize,
+        /// What the allocation was for.
+        context: &'static str,
+    },
+    /// OpenQASM parsing failed.
+    Qasm(qcircuit::qasm::QasmError),
+    /// An I/O operation (file access, DD deserialization) failed.
+    Io(std::io::Error),
+    /// Malformed caller input (wrong circuit width, zero qubits, ...).
+    InvalidInput(String),
+}
+
+impl FlatDdError {
+    /// A stable process exit code per error class, used by the CLI binaries:
+    /// `2` usage/invalid input, `3` QASM parse error, `4` memory budget or
+    /// allocation failure, `5` deadline, `6` numerical divergence, `7` I/O.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            FlatDdError::InvalidInput(_) => 2,
+            FlatDdError::Qasm(_) => 3,
+            FlatDdError::MemoryBudgetExceeded { .. } | FlatDdError::AllocationFailed { .. } => 4,
+            FlatDdError::Deadline { .. } => 5,
+            FlatDdError::NumericalDivergence { .. } => 6,
+            FlatDdError::Io(_) => 7,
+        }
+    }
+
+    /// The partial run snapshot, when this error carries one.
+    pub fn partial_outcome(&self) -> Option<&RunOutcome> {
+        match self {
+            FlatDdError::MemoryBudgetExceeded { partial, .. }
+            | FlatDdError::Deadline { partial, .. }
+            | FlatDdError::NumericalDivergence { partial, .. } => Some(partial),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FlatDdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatDdError::MemoryBudgetExceeded {
+                budget_bytes,
+                observed_bytes,
+                context,
+                partial,
+            } => write!(
+                f,
+                "memory budget exceeded ({context}): {observed_bytes} bytes observed \
+                 against a budget of {budget_bytes} after {} gates",
+                partial.gates_applied
+            ),
+            FlatDdError::Deadline {
+                budget,
+                elapsed,
+                partial,
+            } => write!(
+                f,
+                "deadline exceeded: {:.3}s elapsed against a budget of {:.3}s \
+                 ({} of {} gates applied)",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64(),
+                partial.gates_applied,
+                partial.total_gates
+            ),
+            FlatDdError::NumericalDivergence { norm, detail, .. } => {
+                write!(f, "numerical divergence (norm {norm}): {detail}")
+            }
+            FlatDdError::AllocationFailed {
+                requested_bytes,
+                context,
+            } => write!(
+                f,
+                "allocation of {requested_bytes} bytes for {context} failed"
+            ),
+            FlatDdError::Qasm(e) => write!(f, "{e}"),
+            FlatDdError::Io(e) => write!(f, "I/O error: {e}"),
+            FlatDdError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlatDdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlatDdError::Qasm(e) => Some(e),
+            FlatDdError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qcircuit::qasm::QasmError> for FlatDdError {
+    fn from(e: qcircuit::qasm::QasmError) -> Self {
+        FlatDdError::Qasm(e)
+    }
+}
+
+impl From<std::io::Error> for FlatDdError {
+    fn from(e: std::io::Error) -> Self {
+        FlatDdError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> RunOutcome {
+        RunOutcome {
+            gates_applied: 3,
+            total_gates: 10,
+            phase: Phase::Dd,
+            stats: FlatDdStats::default(),
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let errs = [
+            FlatDdError::InvalidInput("x".into()),
+            FlatDdError::Qasm(qcircuit::qasm::QasmError {
+                message: "m".into(),
+                line: 1,
+            }),
+            FlatDdError::MemoryBudgetExceeded {
+                budget_bytes: 1,
+                observed_bytes: 2,
+                context: "test",
+                partial: Box::new(outcome()),
+            },
+            FlatDdError::Deadline {
+                budget: Duration::from_secs(1),
+                elapsed: Duration::from_secs(2),
+                partial: Box::new(outcome()),
+            },
+            FlatDdError::NumericalDivergence {
+                norm: f64::NAN,
+                detail: "d".into(),
+                partial: Box::new(outcome()),
+            },
+            FlatDdError::Io(std::io::Error::other("io")),
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn partial_outcome_carried_by_resource_errors() {
+        let e = FlatDdError::Deadline {
+            budget: Duration::ZERO,
+            elapsed: Duration::from_millis(5),
+            partial: Box::new(outcome()),
+        };
+        let p = e.partial_outcome().expect("deadline carries a partial");
+        assert_eq!(p.gates_applied, 3);
+        assert!(!p.is_complete());
+        assert!(e.to_string().contains("3 of 10 gates"));
+        assert!(FlatDdError::InvalidInput("x".into())
+            .partial_outcome()
+            .is_none());
+    }
+
+    #[test]
+    fn error_conversions_preserve_class() {
+        let q: FlatDdError = qcircuit::qasm::QasmError {
+            message: "bad".into(),
+            line: 7,
+        }
+        .into();
+        assert_eq!(q.exit_code(), 3);
+        let io: FlatDdError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(io.exit_code(), 7);
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

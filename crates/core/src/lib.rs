@@ -21,6 +21,10 @@
 //! * [`sim`] — [`FlatDdSimulator`], the hybrid driver (Fig. 3).
 //! * [`pool`] — the fork-join thread pool behind every parallel kernel.
 //! * [`memory`] — peak-RSS probes for Table-1-style measurements.
+//! * [`govern`] — the resource governor: memory/time budgets, graceful
+//!   degradation, and the numerical-health watchdog.
+//! * [`error`] — [`FlatDdError`], the typed (panic-free) error surface,
+//!   and [`RunOutcome`], the (possibly partial) run snapshot.
 //!
 //! ## Quick start
 //!
@@ -30,7 +34,7 @@
 //!
 //! let circuit = generators::ghz(8);
 //! let mut sim = FlatDdSimulator::new(8, FlatDdConfig { threads: 4, ..Default::default() });
-//! sim.run(&circuit);
+//! sim.run(&circuit).unwrap();
 //! let amp0 = sim.amplitude(0);
 //! assert!((amp0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
 //! ```
@@ -41,8 +45,10 @@ pub mod convert;
 pub mod cost;
 pub mod dmav;
 pub mod dmav_cache;
+pub mod error;
 pub mod ewma;
 pub mod fusion;
+pub mod govern;
 pub mod memory;
 pub mod pool;
 pub mod sim;
@@ -52,11 +58,13 @@ pub use convert::{dd_to_array_parallel, ConversionPlan};
 pub use cost::{CostAnalysis, CostModel};
 pub use dmav::{dmav, dmav_no_cache, DmavAssignment};
 pub use dmav_cache::{dmav_cached, DmavCacheAssignment, DmavCacheRunStats, PartialBuffers};
+pub use error::{FlatDdError, RunOutcome};
 pub use ewma::{EwmaConfig, EwmaMonitor};
 pub use fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
+pub use govern::{Breach, GovernorConfig, ResourceGovernor};
 pub use pool::{clamp_threads, ThreadPool};
 pub use sim::{
-    simulate, CachingPolicy, ConversionPolicy, FlatDdConfig, FlatDdSimulator, FlatDdStats,
-    FusionPolicy, GateTrace, Phase,
+    simulate, try_simulate, CachingPolicy, ConversionPolicy, FlatDdConfig, FlatDdSimulator,
+    FlatDdStats, FusionPolicy, GateTrace, Phase,
 };
 pub use trajectories::{noisy_expectation, TrajectoryEstimate};

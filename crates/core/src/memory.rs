@@ -20,20 +20,28 @@ pub fn current_rss_bytes() -> Option<u64> {
 
 fn read_status_field(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix(field) {
-            let rest = rest.trim();
-            let (num, unit) = rest.split_once(char::is_whitespace)?;
-            let value: u64 = num.parse().ok()?;
-            let mult = match unit.trim() {
-                "kB" => 1024,
-                "mB" => 1024 * 1024,
-                _ => 1,
-            };
-            return Some(value * mult);
-        }
-    }
-    None
+    status
+        .lines()
+        .find_map(|line| parse_status_value(line.strip_prefix(field)?))
+}
+
+/// Parses the value part of a `/proc/self/status` line: a number followed
+/// by an optional unit. Linux emits `kB` for the Vm* fields; a bare number
+/// (no unit) is taken as bytes. Unknown units are rejected rather than
+/// silently misscaled.
+fn parse_status_value(rest: &str) -> Option<u64> {
+    let rest = rest.trim();
+    let (num, unit) = match rest.split_once(char::is_whitespace) {
+        Some((num, unit)) => (num, unit.trim()),
+        None => (rest, ""),
+    };
+    let value: u64 = num.parse().ok()?;
+    let mult = match unit {
+        "" => 1,
+        "kB" => 1024,
+        _ => return None,
+    };
+    value.checked_mul(mult)
 }
 
 /// Formats a byte count as mebibytes with two decimals (the unit of
@@ -84,5 +92,36 @@ mod tests {
     fn mib_formatting() {
         assert_eq!(fmt_mib(1024 * 1024), "1.00");
         assert_eq!(fmt_mib(1536 * 1024), "1.50");
+    }
+
+    #[test]
+    fn status_value_with_kb_unit() {
+        // The exact shape Linux emits: "VmRSS:\t  123456 kB".
+        assert_eq!(parse_status_value("  123456 kB"), Some(123456 * 1024));
+        assert_eq!(parse_status_value("\t 1 kB"), Some(1024));
+    }
+
+    #[test]
+    fn status_value_without_unit_is_bytes() {
+        // Fields like "Threads:" carry a bare number; previously these were
+        // silently dropped because split_once found no whitespace.
+        assert_eq!(parse_status_value(" 42"), Some(42));
+        assert_eq!(parse_status_value("0"), Some(0));
+    }
+
+    #[test]
+    fn status_value_rejects_unknown_units_and_garbage() {
+        // "mB" is not a unit Linux emits; guessing a scale would be worse
+        // than refusing.
+        assert_eq!(parse_status_value(" 10 mB"), None);
+        assert_eq!(parse_status_value(" 10 MB"), None);
+        assert_eq!(parse_status_value("abc kB"), None);
+        assert_eq!(parse_status_value(""), None);
+        assert_eq!(parse_status_value(" -5 kB"), None);
+    }
+
+    #[test]
+    fn status_value_overflow_is_rejected_not_wrapped() {
+        assert_eq!(parse_status_value(&format!("{} kB", u64::MAX)), None);
     }
 }

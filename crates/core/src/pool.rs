@@ -45,7 +45,18 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Creates a pool with `size` workers (>= 1). A size-1 pool runs jobs
     /// inline on the caller with no worker threads.
+    ///
+    /// # Panics
+    /// When the OS refuses to spawn a worker thread; use [`Self::try_new`]
+    /// to handle that as an error.
     pub fn new(size: usize) -> Self {
+        Self::try_new(size).expect("failed to spawn pool worker")
+    }
+
+    /// Fallible [`Self::new`]: surfaces thread-spawn failure (resource
+    /// exhaustion under a tight process limit) as an `io::Error` instead of
+    /// panicking. Already-spawned workers are joined cleanly on failure.
+    pub fn try_new(size: usize) -> std::io::Result<Self> {
         let size = size.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -61,20 +72,32 @@ impl ThreadPool {
         let mut workers = Vec::new();
         if size > 1 {
             for tid in 0..size {
-                let shared = Arc::clone(&shared);
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("flatdd-worker-{tid}"))
-                        .spawn(move || worker_loop(tid, &shared))
-                        .expect("failed to spawn pool worker"),
-                );
+                let shared_cl = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("flatdd-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared_cl));
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(e) => {
+                        // Shut down what we already started before bailing.
+                        {
+                            let mut st = shared.state.lock();
+                            st.shutdown = true;
+                            shared.work_cv.notify_all();
+                        }
+                        for w in workers {
+                            let _ = w.join();
+                        }
+                        return Err(e);
+                    }
+                }
             }
         }
-        ThreadPool {
+        Ok(ThreadPool {
             size,
             shared,
             workers,
-        }
+        })
     }
 
     /// Number of workers.

@@ -5,13 +5,23 @@
 //! the state is converted to a flat array with the parallel conversion of
 //! Section 3.1.2 and the simulation continues with DMAV (Section 3.2),
 //! optionally after DMAV-aware gate fusion (Section 3.3).
+//!
+//! Every step runs under the [`ResourceGovernor`]: wall-clock deadlines are
+//! checked before each gate, memory budgets after each gate (with a
+//! degradation ladder — compute-table flush, GC, scratch release — tried
+//! before erroring out), and a periodic numerical-health watchdog verifies
+//! the state norm in both phases. A DD-to-array conversion that would bust
+//! the memory budget is *refused* and the run continues in DD mode, with
+//! the refusal recorded in [`FlatDdStats::conversion_refusals`].
 
-use crate::convert::dd_to_array_parallel;
+use crate::convert::{dd_to_array_parallel, dd_to_array_parallel_into};
 use crate::cost::CostModel;
 use crate::dmav::{dmav_no_cache, DmavAssignment};
 use crate::dmav_cache::{dmav_cached, DmavCacheAssignment, PartialBuffers};
+use crate::error::{FlatDdError, RunOutcome};
 use crate::ewma::{EwmaConfig, EwmaMonitor};
 use crate::fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
+use crate::govern::{Breach, GovernorConfig, ResourceGovernor};
 use crate::pool::{clamp_threads, ThreadPool};
 use qcircuit::{Circuit, Complex64, Gate};
 use qdd::{DdPackage, MEdge, MacTable, VEdge};
@@ -71,6 +81,11 @@ pub struct FlatDdConfig {
     pub trace: bool,
     /// GC period (in DDMMs) during fusion.
     pub fusion_gc_every: usize,
+    /// Resource budgets and watchdog cadence. The default picks budgets up
+    /// from `FLATDD_MEMORY_BUDGET_MB` / `FLATDD_RSS_BUDGET_MB` /
+    /// `FLATDD_DEADLINE_SECS` so whole test suites and CI jobs can run
+    /// governed without code changes.
+    pub governor: GovernorConfig,
 }
 
 impl Default for FlatDdConfig {
@@ -83,6 +98,7 @@ impl Default for FlatDdConfig {
             cost_model: CostModel::default(),
             trace: false,
             fusion_gc_every: 64,
+            governor: GovernorConfig::from_env(),
         }
     }
 }
@@ -132,6 +148,12 @@ pub struct FlatDdStats {
     pub modeled_cost: f64,
     /// Largest state-vector DD observed during the DD phase.
     pub peak_state_dd_size: usize,
+    /// DD-to-array conversions refused because the flat buffers would not
+    /// fit in the memory budget (the run then stays in DD mode).
+    pub conversion_refusals: usize,
+    /// Times the memory-pressure degradation ladder (compute-table flush +
+    /// GC + scratch release) ran in response to a budget breach.
+    pub pressure_gcs: usize,
 }
 
 enum Repr {
@@ -157,23 +179,57 @@ pub struct FlatDdSimulator {
     traces: Vec<GateTrace>,
     gates_seen: usize,
     gc_threshold: usize,
+    gov: ResourceGovernor,
+    /// Total gate count of the circuit an enclosing `run` is processing
+    /// (`None` outside `run`); used to fill partial [`RunOutcome`]s.
+    run_total: Option<usize>,
+    /// Set after a refused conversion so the policy does not re-attempt
+    /// (and re-refuse) the conversion on every subsequent gate.
+    conversion_blocked: bool,
 }
 
 impl FlatDdSimulator {
     /// Initializes `|0...0>` over `n` qubits.
+    ///
+    /// # Panics
+    /// On invalid input or resource exhaustion; use [`Self::try_new`] for a
+    /// typed error instead.
     pub fn new(n: usize, cfg: FlatDdConfig) -> Self {
-        assert!(n >= 1);
+        Self::try_new(n, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: `n == 0` is [`FlatDdError::InvalidInput`],
+    /// thread-spawn failure is [`FlatDdError::Io`], and an `Immediate`
+    /// conversion policy whose flat state does not fit in the memory budget
+    /// falls back to a DD start (recorded as a conversion refusal) rather
+    /// than failing.
+    pub fn try_new(n: usize, cfg: FlatDdConfig) -> Result<Self, FlatDdError> {
+        if n == 0 {
+            return Err(FlatDdError::InvalidInput(
+                "simulator needs at least one qubit".into(),
+            ));
+        }
         let t = clamp_threads(cfg.threads, n);
-        let pool = ThreadPool::new(t);
+        let pool = ThreadPool::try_new(t)?;
+        let gov = ResourceGovernor::new(cfg.governor);
         let mut pkg = DdPackage::default();
+        let mut stats = FlatDdStats::default();
+        let mut conversion_blocked = false;
         let repr = match cfg.conversion {
             ConversionPolicy::Immediate => {
                 let dim = 1usize << n;
-                let mut v = vec![Complex64::ZERO; dim];
-                v[0] = Complex64::ONE;
-                Repr::Flat {
-                    v,
-                    w: vec![Complex64::ZERO; dim],
+                let bytes_each = dim * std::mem::size_of::<Complex64>();
+                if !gov.admits_allocation(0, 2 * bytes_each) {
+                    // The flat state would bust the budget before the first
+                    // gate: refuse and start DD-based instead.
+                    stats.conversion_refusals += 1;
+                    conversion_blocked = true;
+                    Repr::Dd(pkg.basis_state(n, 0))
+                } else {
+                    let mut v = try_flat_buffer(dim, "initial flat state")?;
+                    v[0] = Complex64::ONE;
+                    let w = try_flat_buffer(dim, "initial flat scratch")?;
+                    Repr::Flat { v, w }
                 }
             }
             _ => Repr::Dd(pkg.basis_state(n, 0)),
@@ -182,7 +238,7 @@ impl FlatDdSimulator {
             ConversionPolicy::Ewma(e) => e,
             _ => EwmaConfig::default(),
         };
-        FlatDdSimulator {
+        Ok(FlatDdSimulator {
             cfg,
             n,
             t,
@@ -192,11 +248,14 @@ impl FlatDdSimulator {
             ewma: EwmaMonitor::new(ewma_cfg),
             mac: MacTable::default(),
             scratch: PartialBuffers::default(),
-            stats: FlatDdStats::default(),
+            stats,
             traces: Vec::new(),
             gates_seen: 0,
             gc_threshold: 1 << 16,
-        }
+            gov,
+            run_total: None,
+            conversion_blocked,
+        })
     }
 
     /// Number of qubits.
@@ -232,15 +291,147 @@ impl FlatDdSimulator {
         &self.pkg
     }
 
+    /// A snapshot of how far the simulation has come, used both as the
+    /// success value of [`Self::run`] and as the partial outcome carried by
+    /// resource errors.
+    fn snapshot(&self) -> RunOutcome {
+        RunOutcome {
+            gates_applied: self.gates_seen,
+            total_gates: self.run_total.unwrap_or(self.gates_seen),
+            phase: self.phase(),
+            stats: self.stats,
+        }
+    }
+
+    fn breach_to_error(&self, breach: Breach) -> FlatDdError {
+        match breach {
+            Breach::Memory {
+                budget_bytes,
+                observed_bytes,
+                context,
+            } => FlatDdError::MemoryBudgetExceeded {
+                budget_bytes,
+                observed_bytes,
+                context,
+                partial: Box::new(self.snapshot()),
+            },
+            Breach::Deadline { budget, elapsed } => FlatDdError::Deadline {
+                budget,
+                elapsed,
+                partial: Box::new(self.snapshot()),
+            },
+        }
+    }
+
+    /// Runs the degradation ladder: release DMAV scratch, clear the MAC
+    /// memo, GC dead DD nodes, and shrink the compute tables (the only rung
+    /// that lowers *capacity*, which is what the accounting measures).
+    fn relieve_pressure(&mut self) {
+        self.scratch.release();
+        self.mac.clear();
+        match self.repr {
+            Repr::Dd(s) => self.pkg.gc(&[s], &[]),
+            Repr::Flat { .. } => self.pkg.gc(&[], &[]),
+        };
+        self.pkg.flush_caches();
+        self.stats.pressure_gcs += 1;
+    }
+
+    /// Memory-budget enforcement, called after each gate: on a breach the
+    /// degradation ladder runs first, and only a still-standing breach
+    /// becomes an error.
+    fn enforce_memory(&mut self) -> Result<(), FlatDdError> {
+        let used = self.memory_bytes();
+        let breach = match self.gov.check_memory(used) {
+            Ok(()) => return Ok(()),
+            Err(b) => b,
+        };
+        self.relieve_pressure();
+        if let Breach::Memory {
+            budget_bytes,
+            context,
+            ..
+        } = breach
+        {
+            let now = if context == "process RSS" {
+                crate::memory::current_rss_bytes().unwrap_or(u64::MAX) as usize
+            } else {
+                self.memory_bytes()
+            };
+            if now <= budget_bytes {
+                return Ok(());
+            }
+            return Err(FlatDdError::MemoryBudgetExceeded {
+                budget_bytes,
+                observed_bytes: now,
+                context,
+                partial: Box::new(self.snapshot()),
+            });
+        }
+        Err(self.breach_to_error(breach))
+    }
+
+    /// Periodic numerical-health watchdog. In the DD phase the
+    /// normalization invariant (outgoing weights of every vector node have
+    /// 2-norm 1) makes the state norm equal to the root weight's magnitude,
+    /// so the check is O(1); in the DMAV phase it scans the flat array.
+    fn enforce_health(&mut self) -> Result<(), FlatDdError> {
+        if !self.gov.health_check_due() {
+            return Ok(());
+        }
+        let tol = self.gov.config().norm_tolerance;
+        match &self.repr {
+            Repr::Dd(s) => {
+                let norm = if s.is_zero() {
+                    0.0
+                } else {
+                    self.pkg.cval(s.w).abs()
+                };
+                if !norm.is_finite() || (norm - 1.0).abs() > tol {
+                    return Err(FlatDdError::NumericalDivergence {
+                        norm,
+                        detail: "DD root weight drifted from unit norm".into(),
+                        partial: Box::new(self.snapshot()),
+                    });
+                }
+            }
+            Repr::Flat { v, .. } => {
+                let mut sq = 0.0f64;
+                for a in v {
+                    if !a.re.is_finite() || !a.im.is_finite() {
+                        return Err(FlatDdError::NumericalDivergence {
+                            norm: f64::NAN,
+                            detail: "non-finite amplitude in flat state".into(),
+                            partial: Box::new(self.snapshot()),
+                        });
+                    }
+                    sq += a.norm_sqr();
+                }
+                let norm = sq.sqrt();
+                if (norm - 1.0).abs() > tol {
+                    return Err(FlatDdError::NumericalDivergence {
+                        norm,
+                        detail: "flat state norm drifted from 1".into(),
+                        partial: Box::new(self.snapshot()),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Applies one gate (no fusion at this granularity).
-    pub fn apply(&mut self, gate: &Gate) {
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), FlatDdError> {
+        self.gov
+            .check_deadline()
+            .map_err(|b| self.breach_to_error(b))?;
         let start = self.cfg.trace.then(Instant::now);
         let phase = self.phase();
         let mut dd_size = None;
         match &mut self.repr {
             Repr::Dd(_) => {
                 self.apply_dd(gate);
-                dd_size = self.maybe_convert();
+                dd_size = self.maybe_convert()?;
             }
             Repr::Flat { .. } => {
                 let m = self.pkg.gate_dd(gate, self.n);
@@ -256,36 +447,63 @@ impl FlatDdSimulator {
             });
         }
         self.gates_seen += 1;
+        self.enforce_memory()?;
+        self.enforce_health()
     }
 
     /// Runs a whole circuit, honoring the fusion policy after conversion.
-    pub fn run(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.n, "circuit width mismatch");
+    ///
+    /// Returns a [`RunOutcome`] describing the completed run; budget
+    /// breaches come back as [`FlatDdError`]s carrying the same snapshot as
+    /// a *partial* outcome, so a caller can see how far the run got.
+    pub fn run(&mut self, circuit: &Circuit) -> Result<RunOutcome, FlatDdError> {
+        if circuit.num_qubits() != self.n {
+            return Err(FlatDdError::InvalidInput(format!(
+                "circuit is over {} qubits but the simulator holds {}",
+                circuit.num_qubits(),
+                self.n
+            )));
+        }
         let gates = circuit.gates();
+        let total = self.gates_seen + gates.len();
+        self.run_total = Some(total);
+        let result = self.run_gates(gates);
+        self.run_total = None;
+        result?;
+        Ok(RunOutcome {
+            gates_applied: self.gates_seen,
+            total_gates: total,
+            phase: self.phase(),
+            stats: self.stats,
+        })
+    }
+
+    fn run_gates(&mut self, gates: &[Gate]) -> Result<(), FlatDdError> {
         let mut idx = 0;
         // DD phase (also handles Never / pre-conversion EWMA monitoring).
         while idx < gates.len() {
             if self.phase() == Phase::Dmav {
                 break;
             }
-            self.apply(&gates[idx]);
+            self.apply(&gates[idx])?;
             idx += 1;
         }
         let remaining = &gates[idx..];
         if remaining.is_empty() {
-            return;
+            return Ok(());
         }
         match self.cfg.fusion {
             FusionPolicy::None => {
                 for g in remaining {
-                    self.apply(g);
+                    self.apply(g)?;
                 }
+                Ok(())
             }
             _ => self.run_fused(remaining),
         }
     }
 
-    fn run_fused(&mut self, gates: &[Gate]) {
+    fn run_fused(&mut self, gates: &[Gate]) -> Result<(), FlatDdError> {
         debug_assert_eq!(self.phase(), Phase::Dmav);
         let fused: FusedGates = match self.cfg.fusion {
             FusionPolicy::DmavAware => fuse_dmav_aware(
@@ -312,6 +530,9 @@ impl FlatDdSimulator {
         self.mac.clear(); // fusion may have GC'd the package
         self.stats.fused_matrices = fused.matrices.len();
         for (k, &m) in fused.matrices.iter().enumerate() {
+            self.gov
+                .check_deadline()
+                .map_err(|b| self.breach_to_error(b))?;
             let start = self.cfg.trace.then(Instant::now);
             self.apply_dmav(m);
             if let Some(s) = start {
@@ -329,8 +550,11 @@ impl FlatDdSimulator {
                 self.pkg.gc(&[], &fused.matrices[k + 1..]);
                 self.mac.clear();
             }
+            self.enforce_memory()?;
+            self.enforce_health()?;
         }
         self.gates_seen += gates.len();
+        Ok(())
     }
 
     fn apply_dd(&mut self, gate: &Gate) {
@@ -352,11 +576,13 @@ impl FlatDdSimulator {
     }
 
     /// Monitors the DD size and converts when the policy says so. Returns
-    /// the observed DD size (for tracing).
-    fn maybe_convert(&mut self) -> Option<usize> {
+    /// the observed DD size (for tracing). A conversion the memory budget
+    /// cannot admit is refused — the run stays in DD mode — rather than
+    /// surfaced as an error.
+    fn maybe_convert(&mut self) -> Result<Option<usize>, FlatDdError> {
         let state = match self.repr {
             Repr::Dd(s) => s,
-            Repr::Flat { .. } => return None,
+            Repr::Flat { .. } => return Ok(None),
         };
         let size = self.pkg.vector_dd_size(state);
         self.stats.peak_state_dd_size = self.stats.peak_state_dd_size.max(size);
@@ -366,28 +592,77 @@ impl FlatDdSimulator {
             ConversionPolicy::Immediate => true,
             ConversionPolicy::Never => false,
         };
-        if convert {
-            self.convert_now();
+        if convert && !self.conversion_blocked {
+            match self.convert_now() {
+                Ok(()) => {}
+                Err(
+                    FlatDdError::MemoryBudgetExceeded { .. } | FlatDdError::AllocationFailed { .. },
+                ) => {
+                    // Graceful degradation: stay DD-based and stop
+                    // re-attempting on every subsequent gate.
+                    self.conversion_blocked = true;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Some(size)
+        Ok(Some(size))
     }
 
     /// Forces the DD-to-DMAV conversion (parallel DD-to-array, Section
-    /// 3.1.2), regardless of policy.
-    pub fn convert_now(&mut self) {
+    /// 3.1.2), regardless of policy. The memory budget still applies: a
+    /// conversion that cannot fit is counted as a refusal and returned as
+    /// [`FlatDdError::MemoryBudgetExceeded`] (callers on the automatic path
+    /// treat that as "stay in DD mode").
+    pub fn convert_now(&mut self) -> Result<(), FlatDdError> {
         let state = match self.repr {
             Repr::Dd(s) => s,
-            Repr::Flat { .. } => return,
+            Repr::Flat { .. } => return Ok(()),
         };
+        let dim = 1usize << self.n;
+        let bytes_each = dim * std::mem::size_of::<Complex64>();
+        if !self
+            .gov
+            .admits_allocation(self.memory_bytes(), 2 * bytes_each)
+        {
+            // Try to make room before giving up.
+            self.relieve_pressure();
+            if !self
+                .gov
+                .admits_allocation(self.memory_bytes(), 2 * bytes_each)
+            {
+                self.stats.conversion_refusals += 1;
+                let budget = self.gov.config().memory_budget_bytes.unwrap_or(usize::MAX);
+                return Err(FlatDdError::MemoryBudgetExceeded {
+                    budget_bytes: budget,
+                    observed_bytes: self.memory_bytes().saturating_add(2 * bytes_each),
+                    context: "DD-to-array conversion",
+                    partial: Box::new(self.snapshot()),
+                });
+            }
+        }
         let start = Instant::now();
-        let v = dd_to_array_parallel(&self.pkg, state, self.n, &self.pool);
+        let mut v = match try_flat_buffer(dim, "conversion output") {
+            Ok(v) => v,
+            Err(e) => {
+                self.stats.conversion_refusals += 1;
+                return Err(e);
+            }
+        };
+        dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v);
+        let w = match try_flat_buffer(dim, "DMAV scratch vector") {
+            Ok(w) => w,
+            Err(e) => {
+                self.stats.conversion_refusals += 1;
+                return Err(e);
+            }
+        };
         self.stats.conversion_seconds = start.elapsed().as_secs_f64();
         self.stats.converted_at = Some(self.gates_seen);
-        let w = vec![Complex64::ZERO; v.len()];
         self.repr = Repr::Flat { v, w };
         // Drop all vector nodes (and stale gate matrices).
         self.pkg.gc(&[], &[]);
         self.mac.clear();
+        Ok(())
     }
 
     /// One DMAV step with the configured kernel policy.
@@ -483,6 +758,8 @@ impl FlatDdSimulator {
             ConversionPolicy::Ewma(e) => e,
             _ => EwmaConfig::default(),
         });
+        // The flat buffers are gone; a future conversion may fit again.
+        self.conversion_blocked = false;
         Some(size)
     }
 
@@ -558,11 +835,29 @@ impl FlatDdSimulator {
     }
 }
 
+/// Fallibly allocates a zeroed `dim`-element flat buffer, mapping allocator
+/// refusal to [`FlatDdError::AllocationFailed`].
+fn try_flat_buffer(dim: usize, context: &'static str) -> Result<Vec<Complex64>, FlatDdError> {
+    qarray::try_zeroed_state(dim).map_err(|_| FlatDdError::AllocationFailed {
+        requested_bytes: dim * std::mem::size_of::<Complex64>(),
+        context,
+    })
+}
+
 /// One-shot convenience: run `circuit` from `|0...0>` with `cfg`.
+///
+/// # Panics
+/// On any [`FlatDdError`] (budget breach, divergence, invalid input); use
+/// [`try_simulate`] under resource limits.
 pub fn simulate(circuit: &Circuit, cfg: FlatDdConfig) -> Vec<Complex64> {
-    let mut sim = FlatDdSimulator::new(circuit.num_qubits(), cfg);
-    sim.run(circuit);
-    sim.amplitudes()
+    try_simulate(circuit, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`simulate`]: returns the amplitudes or the typed error.
+pub fn try_simulate(circuit: &Circuit, cfg: FlatDdConfig) -> Result<Vec<Complex64>, FlatDdError> {
+    let mut sim = FlatDdSimulator::try_new(circuit.num_qubits(), cfg)?;
+    sim.run(circuit)?;
+    Ok(sim.amplitudes())
 }
 
 #[cfg(test)]
@@ -570,12 +865,14 @@ mod tests {
     use super::*;
     use qcircuit::complex::state_distance;
     use qcircuit::{dense, generators};
+    use std::time::Duration;
 
     const TOL: f64 = 1e-8;
 
     fn cfg(threads: usize) -> FlatDdConfig {
         FlatDdConfig {
             threads,
+            governor: GovernorConfig::unlimited(),
             ..FlatDdConfig::default()
         }
     }
@@ -666,18 +963,21 @@ mod tests {
     #[test]
     fn regular_circuits_never_convert() {
         let mut sim = FlatDdSimulator::new(10, cfg(2));
-        sim.run(&generators::ghz(10));
+        let outcome = sim.run(&generators::ghz(10)).unwrap();
         assert_eq!(sim.phase(), Phase::Dd);
         assert_eq!(sim.stats().converted_at, None);
         assert_eq!(sim.stats().gates_dd, 10);
         assert_eq!(sim.stats().gates_dmav, 0);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.gates_applied, 10);
+        assert_eq!(outcome.phase, Phase::Dd);
     }
 
     #[test]
     fn irregular_circuits_convert() {
         let n = 10;
         let mut sim = FlatDdSimulator::new(n, cfg(2));
-        sim.run(&generators::dnn(n, 3, 21));
+        sim.run(&generators::dnn(n, 3, 21)).unwrap();
         assert_eq!(sim.phase(), Phase::Dmav, "DNN must trigger conversion");
         let at = sim.stats().converted_at.expect("conversion gate recorded");
         assert!(at > 0);
@@ -697,7 +997,7 @@ mod tests {
                 ..cfg(2)
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         let traces = sim.traces();
         assert!(!traces.is_empty());
         let dd_gates = traces.iter().filter(|t| t.phase == Phase::Dd).count();
@@ -726,20 +1026,20 @@ mod tests {
         let c = generators::random_circuit(6, 50, 31);
         let mut a = FlatDdSimulator::new(6, cfg(2));
         for g in c.iter() {
-            a.apply(g);
+            a.apply(g).unwrap();
         }
         let mut b = FlatDdSimulator::new(6, cfg(2));
-        b.run(&c);
+        b.run(&c).unwrap();
         assert!(state_distance(&a.amplitudes(), &b.amplitudes()) < TOL);
     }
 
     #[test]
     fn amplitude_queries_work_in_both_phases() {
         let mut sim = FlatDdSimulator::new(5, cfg(2));
-        sim.run(&generators::ghz(5));
+        sim.run(&generators::ghz(5)).unwrap();
         assert!(sim.amplitude(0).abs() > 0.7 - TOL);
         assert_eq!(sim.phase(), Phase::Dd);
-        sim.convert_now();
+        sim.convert_now().unwrap();
         assert_eq!(sim.phase(), Phase::Dmav);
         assert!(sim.amplitude(0).abs() > 0.7 - TOL);
         assert!(sim.amplitude(31).abs() > 0.7 - TOL);
@@ -756,7 +1056,7 @@ mod tests {
                 ..cfg(4)
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         let st = sim.stats();
         assert_eq!(st.cached_dmavs + st.uncached_dmavs, st.gates_dmav);
         assert!(st.gates_dmav >= c.num_gates());
@@ -766,7 +1066,7 @@ mod tests {
     #[test]
     fn memory_accounting_is_positive() {
         let mut sim = FlatDdSimulator::new(6, cfg(2));
-        sim.run(&generators::dnn(6, 2, 1));
+        sim.run(&generators::dnn(6, 2, 1)).unwrap();
         assert!(sim.memory_bytes() > 0);
     }
 
@@ -775,12 +1075,12 @@ mod tests {
         let c = generators::ghz(6);
         // DD phase.
         let mut dd = FlatDdSimulator::new(6, cfg(2));
-        dd.run(&c);
+        dd.run(&c).unwrap();
         assert_eq!(dd.phase(), Phase::Dd);
         // Forced flat phase.
         let mut flat = FlatDdSimulator::new(6, cfg(2));
-        flat.run(&c);
-        flat.convert_now();
+        flat.run(&c).unwrap();
+        flat.convert_now().unwrap();
         assert_eq!(flat.phase(), Phase::Dmav);
         for q in 0..6 {
             let a = dd.qubit_probability_one(q);
@@ -810,7 +1110,7 @@ mod tests {
                 ..cfg(2)
             },
         );
-        a.run(&c);
+        a.run(&c).unwrap();
         let ea = a.expectation(&ham);
         let mut b = FlatDdSimulator::new(
             6,
@@ -819,7 +1119,7 @@ mod tests {
                 ..cfg(2)
             },
         );
-        b.run(&c);
+        b.run(&c).unwrap();
         let eb = b.expectation(&ham);
         assert!((ea - eb).abs() < 1e-8, "{ea} vs {eb}");
         let p = PauliString::zz(1.0, 0, 1);
@@ -840,7 +1140,7 @@ mod tests {
                 ..cfg(2)
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         assert_eq!(sim.phase(), Phase::Dmav);
         let size = sim.reconvert_to_dd().expect("was flat");
         assert_eq!(sim.phase(), Phase::Dd);
@@ -852,7 +1152,8 @@ mod tests {
         // Reconverting again is a no-op.
         assert!(sim.reconvert_to_dd().is_none());
         // And the engine keeps working in the DD phase.
-        sim.apply(&qcircuit::Gate::new(qcircuit::GateKind::X, 0));
+        sim.apply(&qcircuit::Gate::new(qcircuit::GateKind::X, 0))
+            .unwrap();
         assert!((sim.amplitude((shift ^ 1) as usize).abs() - 1.0).abs() < 1e-8);
     }
 
@@ -860,13 +1161,13 @@ mod tests {
     fn round_trip_conversion_preserves_state() {
         let c = generators::dnn(7, 2, 3);
         let mut sim = FlatDdSimulator::new(7, cfg(2));
-        sim.run(&c);
+        sim.run(&c).unwrap();
         let before = sim.amplitudes();
         if sim.phase() == Phase::Dd {
-            sim.convert_now();
+            sim.convert_now().unwrap();
         }
         sim.reconvert_to_dd();
-        sim.convert_now();
+        sim.convert_now().unwrap();
         let after = sim.amplitudes();
         assert!(state_distance(&before, &after) < 1e-9);
     }
@@ -877,9 +1178,9 @@ mod tests {
         let mut rng = qdd::SplitMix64::new(8);
         for convert in [false, true] {
             let mut sim = FlatDdSimulator::new(5, cfg(2));
-            sim.run(&c);
+            sim.run(&c).unwrap();
             if convert {
-                sim.convert_now();
+                sim.convert_now().unwrap();
             }
             let outcome = sim.measure_qubit(2, &mut rng.as_fn());
             for q in 0..5 {
@@ -890,5 +1191,156 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Governor behavior
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn zero_qubits_is_invalid_input_not_a_panic() {
+        let err = FlatDdSimulator::try_new(0, cfg(1)).err();
+        assert!(
+            matches!(err, Some(FlatDdError::InvalidInput(_))),
+            "expected InvalidInput, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn width_mismatch_is_invalid_input() {
+        let mut sim = FlatDdSimulator::new(4, cfg(1));
+        let err = sim.run(&generators::ghz(6)).unwrap_err();
+        assert!(matches!(err, FlatDdError::InvalidInput(_)));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn zero_deadline_returns_partial_outcome() {
+        let mut g = cfg(2);
+        g.governor.deadline = Some(Duration::ZERO);
+        let mut sim = FlatDdSimulator::new(8, g);
+        std::thread::sleep(Duration::from_millis(2));
+        let err = sim.run(&generators::ghz(8)).unwrap_err();
+        match &err {
+            FlatDdError::Deadline { partial, .. } => {
+                assert_eq!(partial.total_gates, 8);
+                assert_eq!(partial.gates_applied, 0, "deadline checked pre-gate");
+                assert!(!partial.is_complete());
+                assert_eq!(partial.phase, Phase::Dd);
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn refused_conversion_keeps_run_in_dd_mode() {
+        // Budget admits the DD tables but not the two 2^20 flat buffers
+        // (2 * 16 MiB), so the forced AtGate conversion must be refused and
+        // the run still complete correctly in DD mode.
+        let n = 20;
+        let mut g = cfg(2);
+        g.conversion = ConversionPolicy::AtGate(3);
+        g.governor.memory_budget_bytes = Some(16 * 1024 * 1024);
+        let mut sim = FlatDdSimulator::new(n, g);
+        let c = generators::ghz(n);
+        let outcome = sim.run(&c).expect("GHZ DD tables fit 16 MiB");
+        assert!(outcome.is_complete());
+        assert_eq!(sim.phase(), Phase::Dd, "conversion must have been refused");
+        assert!(sim.stats().conversion_refusals >= 1);
+        assert_eq!(sim.stats().converted_at, None);
+        assert!((sim.amplitude(0).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn immediate_policy_over_budget_falls_back_to_dd() {
+        // 2 * 2^20 * 16 = 32 MiB of flat state against a 16 MiB budget.
+        let mut g = cfg(1);
+        g.conversion = ConversionPolicy::Immediate;
+        g.governor.memory_budget_bytes = Some(16 * 1024 * 1024);
+        let sim = FlatDdSimulator::new(20, g);
+        assert_eq!(sim.phase(), Phase::Dd);
+        assert_eq!(sim.stats().conversion_refusals, 1);
+    }
+
+    #[test]
+    fn forced_conversion_over_budget_errors_with_refusal_recorded() {
+        let mut g = cfg(1);
+        g.governor.memory_budget_bytes = Some(16 * 1024 * 1024);
+        let mut sim = FlatDdSimulator::new(20, g);
+        let err = sim.convert_now().unwrap_err();
+        match err {
+            FlatDdError::MemoryBudgetExceeded { context, .. } => {
+                assert_eq!(context, "DD-to-array conversion");
+            }
+            other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(sim.stats().conversion_refusals, 1);
+        assert_eq!(sim.phase(), Phase::Dd);
+    }
+
+    #[test]
+    fn one_qubit_circuits_run_under_governor() {
+        let mut g = cfg(8); // threads clamp to 1 for n = 1
+        g.governor.memory_budget_bytes = Some(8 * 1024 * 1024);
+        g.governor.deadline = Some(Duration::from_secs(60));
+        let mut sim = FlatDdSimulator::new(1, g);
+        assert_eq!(sim.threads(), 1);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.z(0);
+        c.h(0);
+        let outcome = sim.run(&c).unwrap();
+        assert!(outcome.is_complete());
+        assert!((sim.amplitude(1).abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_watchdog_catches_non_unitary_evolution() {
+        use qcircuit::{Gate, GateKind};
+        let mut g = cfg(1);
+        g.governor.health_check_every = 1;
+        let mut sim = FlatDdSimulator::new(3, g);
+        // 2*I is not unitary: the state norm doubles on application.
+        let double = [
+            Complex64::new(2.0, 0.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::new(2.0, 0.0),
+        ];
+        let err = sim
+            .apply(&Gate::new(GateKind::Unitary(double), 0))
+            .unwrap_err();
+        match err {
+            FlatDdError::NumericalDivergence { norm, .. } => {
+                assert!((norm - 2.0).abs() < 1e-9, "norm {norm}");
+            }
+            other => panic!("expected NumericalDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_after_deadline_error_reports_progress() {
+        // Set a deadline that expires mid-run: first gates apply, then the
+        // error carries the partial gate count.
+        let mut g = cfg(2);
+        g.governor.deadline = Some(Duration::from_millis(5));
+        let mut sim = FlatDdSimulator::new(10, g);
+        // Enough gates that 5 ms cannot possibly finish them all... not
+        // guaranteed on fast machines, so loop until the deadline trips.
+        let c = generators::random_circuit(10, 200, 3);
+        let mut last = None;
+        for _ in 0..200 {
+            match sim.run(&c) {
+                Ok(_) => {}
+                Err(e) => {
+                    last = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = last.expect("repeated runs must eventually pass the 5 ms deadline");
+        let partial = err.partial_outcome().expect("deadline carries partial");
+        assert!(partial.gates_applied <= partial.total_gates);
     }
 }

@@ -4,6 +4,7 @@
 //! speed (regular trajectories stay in the DD phase, scrambled ones convert
 //! to DMAV), and expectations are averaged with a standard-error estimate.
 
+use crate::error::FlatDdError;
 use crate::sim::{FlatDdConfig, FlatDdSimulator};
 use qcircuit::noise::NoiseModel;
 use qcircuit::{Circuit, Hamiltonian};
@@ -27,7 +28,9 @@ impl TrajectoryEstimate {
 }
 
 /// Runs `trajectories` noisy samples of `circuit` under `model` and returns
-/// the averaged expectation of `observable`.
+/// the averaged expectation of `observable`. Budget breaches in any
+/// trajectory (the whole estimate runs under `cfg.governor`, one governor
+/// clock per trajectory) surface as the typed error.
 pub fn noisy_expectation(
     circuit: &Circuit,
     model: &NoiseModel,
@@ -35,15 +38,19 @@ pub fn noisy_expectation(
     trajectories: usize,
     cfg: FlatDdConfig,
     seed: u64,
-) -> TrajectoryEstimate {
-    assert!(trajectories >= 1);
+) -> Result<TrajectoryEstimate, FlatDdError> {
+    if trajectories == 0 {
+        return Err(FlatDdError::InvalidInput(
+            "need at least one trajectory".into(),
+        ));
+    }
     let n = circuit.num_qubits();
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     for t in 0..trajectories {
         let noisy = model.sample_trajectory(circuit, seed.wrapping_add(t as u64));
-        let mut sim = FlatDdSimulator::new(n, cfg);
-        sim.run(&noisy);
+        let mut sim = FlatDdSimulator::try_new(n, cfg)?;
+        sim.run(&noisy)?;
         let e = sim.expectation(observable);
         sum += e;
         sum_sq += e * e;
@@ -52,11 +59,11 @@ pub fn noisy_expectation(
     let mean = sum / k;
     let var = (sum_sq / k - mean * mean).max(0.0);
     let std_err = (var / k).sqrt();
-    TrajectoryEstimate {
+    Ok(TrajectoryEstimate {
         mean,
         std_err,
         trajectories,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -77,7 +84,7 @@ mod tests {
         let c = generators::ghz(5);
         let mut ham = Hamiltonian::new();
         ham.add(PauliString::zz(1.0, 0, 4));
-        let est = noisy_expectation(&c, &NoiseModel::depolarizing(0.0), &ham, 3, cfg(), 1);
+        let est = noisy_expectation(&c, &NoiseModel::depolarizing(0.0), &ham, 3, cfg(), 1).unwrap();
         assert!((est.mean - 1.0).abs() < 1e-9);
         assert!(est.std_err < 1e-9);
         assert!(est.consistent_with(1.0, 2.0));
@@ -90,7 +97,7 @@ mod tests {
         let c = generators::ghz(4);
         let mut ham = Hamiltonian::new();
         ham.add(PauliString::zz(1.0, 0, 3));
-        let est = noisy_expectation(&c, &NoiseModel::bit_flip(0.05), &ham, 400, cfg(), 7);
+        let est = noisy_expectation(&c, &NoiseModel::bit_flip(0.05), &ham, 400, cfg(), 7).unwrap();
         assert!(est.mean < 0.99, "no decay observed: {}", est.mean);
         assert!(est.mean > 0.4, "decayed too much: {}", est.mean);
         assert!(est.trajectories == 400);
@@ -110,7 +117,7 @@ mod tests {
         }
         let mut ham = Hamiltonian::new();
         ham.add(PauliString::x(1.0, 0));
-        let est = noisy_expectation(&c, &NoiseModel::phase_flip(p), &ham, 4000, cfg(), 11);
+        let est = noisy_expectation(&c, &NoiseModel::phase_flip(p), &ham, 4000, cfg(), 11).unwrap();
         let want = (1.0 - 2.0 * p).powi(k);
         assert!(
             est.consistent_with(want, 4.0),

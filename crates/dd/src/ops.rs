@@ -50,6 +50,14 @@ impl<K: Copy + PartialEq, V: Copy> DirectMap<K, V> {
         self.slots.iter_mut().for_each(|s| *s = None);
     }
 
+    /// Reallocates the slot array at `bits`, dropping every entry. Used by
+    /// the memory-pressure ladder to actually release cache memory (a plain
+    /// `clear` keeps the capacity).
+    fn shrink_to_bits(&mut self, bits: u32) {
+        self.slots = vec![None; 1usize << bits].into_boxed_slice();
+        self.mask = (1u64 << bits) - 1;
+    }
+
     fn memory_bytes(&self) -> usize {
         self.slots.len() * std::mem::size_of::<Option<(K, V)>>()
     }
@@ -82,6 +90,16 @@ impl ComputeTables {
         self.mm.clear();
         self.add_v.clear();
         self.add_m.clear();
+    }
+
+    /// Shrinks every cache to a minimal footprint (memory-pressure relief).
+    /// Subsequent operations still work — just with a smaller cache.
+    pub(crate) fn shrink_for_pressure(&mut self) {
+        const PRESSURE_BITS: u32 = 10;
+        self.mv.shrink_to_bits(PRESSURE_BITS);
+        self.mm.shrink_to_bits(PRESSURE_BITS);
+        self.add_v.shrink_to_bits(PRESSURE_BITS);
+        self.add_m.shrink_to_bits(PRESSURE_BITS);
     }
 
     pub(crate) fn stats(&self) -> ComputeStats {

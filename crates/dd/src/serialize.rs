@@ -56,7 +56,16 @@ pub fn write_vector_dd(
         let node = pkg.v_node(id);
         w.write_all(&[node.level])?;
         for e in node.e {
-            let child_ref = if e.n == TERM { 0 } else { renum[&e.n] };
+            let child_ref = if e.n == TERM {
+                0
+            } else {
+                // Post-order guarantees children precede parents; a miss
+                // means the DD is malformed (e.g. a dangling edge after a
+                // stray GC) — report it instead of panicking on the index.
+                *renum
+                    .get(&e.n)
+                    .ok_or_else(|| bad("child node not reachable in topological order"))?
+            };
             let weight = pkg.cval(e.w);
             w.write_all(&child_ref.to_le_bytes())?;
             w.write_all(&weight.re.to_le_bytes())?;
@@ -66,7 +75,9 @@ pub fn write_vector_dd(
     let root_ref = if root.is_zero() || root.n == TERM {
         0
     } else {
-        renum[&root.n]
+        *renum
+            .get(&root.n)
+            .ok_or_else(|| bad("root node missing from topological order"))?
     };
     let root_w = pkg.cval(root.w);
     w.write_all(&root_ref.to_le_bytes())?;
@@ -156,10 +167,10 @@ pub fn read_vector_dd(pkg: &mut DdPackage, r: &mut impl Read) -> io::Result<(VEd
 }
 
 /// Convenience: serialize to a byte vector.
-pub fn vector_dd_to_bytes(pkg: &DdPackage, root: VEdge, n: usize) -> Vec<u8> {
+pub fn vector_dd_to_bytes(pkg: &DdPackage, root: VEdge, n: usize) -> io::Result<Vec<u8>> {
     let mut buf = Vec::new();
-    write_vector_dd(pkg, root, n, &mut buf).expect("in-memory write cannot fail");
-    buf
+    write_vector_dd(pkg, root, n, &mut buf)?;
+    Ok(buf)
 }
 
 /// Convenience: deserialize from a byte slice.
@@ -192,7 +203,7 @@ mod tests {
         ] {
             let n = c.num_qubits();
             let (pkg, s) = state_dd(&c);
-            let bytes = vector_dd_to_bytes(&pkg, s, n);
+            let bytes = vector_dd_to_bytes(&pkg, s, n).unwrap();
             let mut pkg2 = DdPackage::default();
             let (loaded, n2) = vector_dd_from_bytes(&mut pkg2, &bytes).unwrap();
             assert_eq!(n2, n);
@@ -205,7 +216,7 @@ mod tests {
     #[test]
     fn serialized_ghz_is_tiny() {
         let (pkg, s) = state_dd(&generators::ghz(20));
-        let bytes = vector_dd_to_bytes(&pkg, s, 20);
+        let bytes = vector_dd_to_bytes(&pkg, s, 20).unwrap();
         // 39 nodes x 49 bytes + header + root << the 16 MB amplitude array.
         assert!(
             bytes.len() < 4096,
@@ -217,7 +228,7 @@ mod tests {
     #[test]
     fn loading_into_a_populated_package_shares_structure() {
         let (pkg, s) = state_dd(&generators::ghz(6));
-        let bytes = vector_dd_to_bytes(&pkg, s, 6);
+        let bytes = vector_dd_to_bytes(&pkg, s, 6).unwrap();
         // Destination already contains the same state: loading must not
         // create duplicate nodes (canonical unique table).
         let (mut pkg2, s2) = state_dd(&generators::ghz(6));
@@ -230,7 +241,7 @@ mod tests {
     #[test]
     fn zero_state_round_trips() {
         let pkg = DdPackage::default();
-        let bytes = vector_dd_to_bytes(&pkg, VEdge::ZERO, 4);
+        let bytes = vector_dd_to_bytes(&pkg, VEdge::ZERO, 4).unwrap();
         let mut pkg2 = DdPackage::default();
         let (loaded, n) = vector_dd_from_bytes(&mut pkg2, &bytes).unwrap();
         assert!(loaded.is_zero());

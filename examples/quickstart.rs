@@ -25,7 +25,7 @@ fn main() {
             ..Default::default()
         },
     );
-    sim.run(&circuit);
+    sim.run(&circuit).unwrap();
 
     println!("circuit : {} qubits, {} gates", n, circuit.num_gates());
     println!(
@@ -55,7 +55,7 @@ fn main() {
             ..Default::default()
         },
     );
-    sim2.run(&irregular);
+    sim2.run(&irregular).unwrap();
     let stats = sim2.stats();
     println!(
         "\nirregular circuit ({} gates): phase = {:?}, converted after gate {:?}",

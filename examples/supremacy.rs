@@ -34,7 +34,7 @@ fn main() {
         },
     );
     let start = std::time::Instant::now();
-    sim.run(&circuit);
+    sim.run(&circuit).unwrap();
     let elapsed = start.elapsed().as_secs_f64();
     let stats = sim.stats();
     println!(

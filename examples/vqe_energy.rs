@@ -39,7 +39,7 @@ fn energy(n: usize, theta: f64, ham: &Hamiltonian) -> f64 {
             ..Default::default()
         },
     );
-    sim.run(&circuit);
+    sim.run(&circuit).unwrap();
     sim.expectation(ham)
 }
 

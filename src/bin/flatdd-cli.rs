@@ -16,9 +16,15 @@
 //!   --seed <u64>               generator / sampling seed (default 42)
 //!   --expect <pauli>           expectation of a Pauli label, e.g. "0.5*ZIZ"
 //!   --stats                    print engine statistics
+//!   --memory-budget-mb <mb>    cap engine-accounted memory (flatdd engine)
+//!   --rss-budget-mb <mb>       cap process RSS (flatdd engine)
+//!   --deadline-secs <s>        wall-clock budget (flatdd engine)
 //! ```
+//!
+//! Budget breaches exit with the error's typed exit code (see
+//! `FlatDdError::exit_code`): 4 memory, 5 deadline, 6 divergence.
 
-use flatdd::{FlatDdConfig, FlatDdSimulator, Phase};
+use flatdd::{FlatDdConfig, FlatDdError, FlatDdSimulator, GovernorConfig, Phase};
 use qcircuit::{generators, qasm, Circuit, PauliString};
 use qdd::SplitMix64;
 use std::time::Instant;
@@ -45,6 +51,8 @@ flatdd-cli — hybrid DD + flat-array quantum circuit simulator
 Usage:
   flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t]
                  [--shots k] [--top k] [--seed s] [--expect PAULI] [--stats]
+                 [--memory-budget-mb mb] [--rss-budget-mb mb]
+                 [--deadline-secs s]
   flatdd-cli gen <circuit> [--seed s]
   flatdd-cli list
 
@@ -55,13 +63,13 @@ fn load_circuit(spec: &str, seed: u64) -> Circuit {
     if spec.ends_with(".qasm") || std::path::Path::new(spec).exists() {
         let src = std::fs::read_to_string(spec).unwrap_or_else(|e| {
             eprintln!("cannot read {spec}: {e}");
-            std::process::exit(1);
+            std::process::exit(FlatDdError::from(e).exit_code());
         });
         match qasm::parse_qasm(&src) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{e}");
-                std::process::exit(1);
+                std::process::exit(FlatDdError::from(e).exit_code());
             }
         }
     } else {
@@ -69,10 +77,17 @@ fn load_circuit(spec: &str, seed: u64) -> Circuit {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{e}");
-                std::process::exit(1);
+                std::process::exit(2);
             }
         }
     }
+}
+
+fn parse_or_die<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{raw}`");
+        std::process::exit(2);
+    })
 }
 
 struct RunOpts {
@@ -84,6 +99,9 @@ struct RunOpts {
     seed: u64,
     expect: Vec<String>,
     stats: bool,
+    memory_budget_mb: Option<u64>,
+    rss_budget_mb: Option<u64>,
+    deadline_secs: Option<f64>,
 }
 
 fn parse_run_opts(args: &[String]) -> RunOpts {
@@ -96,6 +114,9 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         seed: 42,
         expect: Vec::new(),
         stats: false,
+        memory_budget_mb: None,
+        rss_budget_mb: None,
+        deadline_secs: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,6 +134,24 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             "--seed" => o.seed = val("--seed").parse().unwrap_or(42),
             "--expect" => o.expect.push(val("--expect")),
             "--stats" => o.stats = true,
+            // A mistyped budget must not silently run unbudgeted.
+            "--memory-budget-mb" => {
+                o.memory_budget_mb = Some(parse_or_die(
+                    "--memory-budget-mb",
+                    &val("--memory-budget-mb"),
+                ))
+            }
+            "--rss-budget-mb" => {
+                o.rss_budget_mb = Some(parse_or_die("--rss-budget-mb", &val("--rss-budget-mb")))
+            }
+            "--deadline-secs" => {
+                let s: f64 = parse_or_die("--deadline-secs", &val("--deadline-secs"));
+                if !s.is_finite() || s < 0.0 {
+                    eprintln!("--deadline-secs: must be a non-negative number, got {s}");
+                    std::process::exit(2);
+                }
+                o.deadline_secs = Some(s);
+            }
             other if o.circuit.is_empty() && !other.starts_with("--") => {
                 o.circuit = other.to_string()
             }
@@ -159,14 +198,44 @@ fn cmd_run(args: &[String]) {
     let mut rng = SplitMix64::new(o.seed ^ 0xBEEF);
     match o.engine.as_str() {
         "flatdd" => {
-            let mut sim = FlatDdSimulator::new(
+            // Flags override the FLATDD_* environment variables.
+            let mut governor = GovernorConfig::from_env();
+            if let Some(mb) = o.memory_budget_mb {
+                governor.memory_budget_bytes = Some((mb as usize) << 20);
+            }
+            if let Some(mb) = o.rss_budget_mb {
+                governor.rss_budget_bytes = Some((mb as usize) << 20);
+            }
+            if let Some(s) = o.deadline_secs {
+                governor.deadline = Some(std::time::Duration::from_secs_f64(s));
+            }
+            let mut sim = match FlatDdSimulator::try_new(
                 n,
                 FlatDdConfig {
                     threads: o.threads,
+                    governor,
                     ..Default::default()
                 },
-            );
-            sim.run(&circuit);
+            ) {
+                Ok(sim) => sim,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(e.exit_code());
+                }
+            };
+            if let Err(e) = sim.run(&circuit) {
+                eprintln!("{e}");
+                if let Some(p) = e.partial_outcome() {
+                    eprintln!(
+                        "stopped after {}/{} gates in {:?} phase",
+                        p.gates_applied, p.total_gates, p.phase
+                    );
+                    if o.stats {
+                        eprintln!("{:#?}", p.stats);
+                    }
+                }
+                std::process::exit(e.exit_code());
+            }
             let secs = start.elapsed().as_secs_f64();
             println!(
                 "flatdd: {secs:.3}s, phase {:?}, converted at {:?}",

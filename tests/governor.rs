@@ -1,0 +1,87 @@
+//! End-to-end resource-governor behavior at paper-relevant scale.
+//!
+//! The headline guarantee (ISSUE acceptance): a 26-qubit run whose memory
+//! budget cannot hold the 2^26-amplitude flat array (1 GiB of Complex64,
+//! times two for the conversion scratch buffer) must still complete — the
+//! governor refuses the DD-to-array conversion, records the refusal, and
+//! the run finishes in DD mode instead of aborting or getting OOM-killed.
+
+use flatdd::{ConversionPolicy, FlatDdConfig, FlatDdError, FlatDdSimulator, GovernorConfig, Phase};
+use qcircuit::generators;
+use std::time::Duration;
+
+fn governed(budget_bytes: usize) -> GovernorConfig {
+    GovernorConfig {
+        memory_budget_bytes: Some(budget_bytes),
+        ..GovernorConfig::unlimited()
+    }
+}
+
+#[test]
+fn qubits_26_under_1gib_budget_complete_in_dd_mode() {
+    // GHZ stays regular, so the DD itself is tiny; AtGate(3) forces a
+    // conversion attempt that needs 2 * 2^26 * 16 B = 2 GiB — far over the
+    // 256 MiB budget. The run must degrade to DD-only, not fail.
+    let n = 26;
+    let budget = 256usize << 20;
+    assert!(budget < (1usize << n) * 16, "budget must not fit the array");
+    let cfg = FlatDdConfig {
+        threads: 2,
+        conversion: ConversionPolicy::AtGate(3),
+        governor: governed(budget),
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(n, cfg).unwrap();
+    let outcome = sim.run(&generators::ghz(n)).unwrap();
+
+    assert!(outcome.is_complete(), "run must finish despite the budget");
+    assert_eq!(sim.phase(), Phase::Dd, "must stay in the DD phase");
+    assert!(
+        sim.stats().conversion_refusals >= 1,
+        "the refused conversion must be visible in stats"
+    );
+    assert!(sim.stats().converted_at.is_none());
+    // The state is still correct: GHZ amplitudes at |0..0> and |1..1>.
+    let a0 = sim.amplitude(0);
+    let a1 = sim.amplitude((1usize << n) - 1);
+    assert!((a0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    assert!((a1.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+}
+
+#[test]
+fn deadline_breach_surfaces_partial_progress() {
+    let n = 16;
+    let cfg = FlatDdConfig {
+        threads: 1,
+        governor: GovernorConfig {
+            deadline: Some(Duration::ZERO),
+            ..GovernorConfig::unlimited()
+        },
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(n, cfg).unwrap();
+    let c = generators::ghz(n);
+    let err = sim.run(&c).unwrap_err();
+    match &err {
+        FlatDdError::Deadline { partial, .. } => {
+            assert_eq!(partial.total_gates, c.num_gates());
+            assert!(!partial.is_complete());
+        }
+        other => panic!("expected Deadline, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 5);
+}
+
+#[test]
+fn env_lookup_governs_without_code_changes() {
+    // `from_lookup` is the testable spine of `from_env`: the same strings
+    // CI exports must parse into byte/second budgets.
+    let cfg = GovernorConfig::from_lookup(|k| match k {
+        "FLATDD_MEMORY_BUDGET_MB" => Some("256".into()),
+        "FLATDD_DEADLINE_SECS" => Some("30".into()),
+        _ => None,
+    });
+    assert_eq!(cfg.memory_budget_bytes, Some(256 << 20));
+    assert_eq!(cfg.deadline, Some(Duration::from_secs(30)));
+    assert_eq!(cfg.rss_budget_bytes, None);
+}

@@ -29,7 +29,7 @@ fn expectations_agree_across_all_engines() {
             ..Default::default()
         },
     );
-    flat.run(&c);
+    flat.run(&c).unwrap();
 
     let observables = vec![
         PauliString::z(1.0, 0),
@@ -71,7 +71,7 @@ fn hamiltonian_energies_agree() {
                 ..Default::default()
             },
         );
-        flat.run(&c);
+        flat.run(&c).unwrap();
         assert!((flat.expectation(&ham) - want).abs() < 1e-7);
     }
 }
@@ -123,7 +123,7 @@ fn marginals_agree_on_every_family() {
                 ..Default::default()
             },
         );
-        flat.run(&c);
+        flat.run(&c).unwrap();
         for q in 0..6 {
             let want = qarray::qubit_probability_one(&v, q);
             assert!(
@@ -171,7 +171,7 @@ fn flatdd_sampling_consistent_before_and_after_conversion() {
             ..Default::default()
         },
     );
-    dd_phase.run(&c);
+    dd_phase.run(&c).unwrap();
     let mut flat_phase = FlatDdSimulator::new(
         n,
         FlatDdConfig {
@@ -180,7 +180,7 @@ fn flatdd_sampling_consistent_before_and_after_conversion() {
             ..Default::default()
         },
     );
-    flat_phase.run(&c);
+    flat_phase.run(&c).unwrap();
     let shots = 20_000;
     let mut r1 = SplitMix64::new(31);
     let mut r2 = SplitMix64::new(32);
@@ -220,7 +220,7 @@ fn optimized_qaoa_cut_values_beat_random_guessing() {
                 ..Default::default()
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         sim.expectation(&ham)
     };
     let mut best = (0.0, 0.0, f64::NEG_INFINITY);
@@ -250,7 +250,7 @@ fn optimized_qaoa_cut_values_beat_random_guessing() {
             ..Default::default()
         },
     );
-    sim.run(&c);
+    sim.run(&c).unwrap();
     let mut rng = SplitMix64::new(4);
     let shots = 4000;
     let counts = sim.sample_counts(shots, &mut rng.as_fn());

@@ -20,7 +20,7 @@ fn regular_circuits_stay_in_dd_phase() {
                 ..Default::default()
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         assert_eq!(sim.phase(), Phase::Dd, "{} must not convert", c.name());
         assert!(sim.stats().peak_state_dd_size <= 3 * c.num_qubits());
     }
@@ -40,7 +40,7 @@ fn irregular_circuits_convert_early() {
                 ..Default::default()
             },
         );
-        sim.run(&c);
+        sim.run(&c).unwrap();
         assert_eq!(sim.phase(), Phase::Dmav, "{} must convert", c.name());
         let at = sim.stats().converted_at.unwrap();
         assert!(
@@ -87,7 +87,7 @@ fn ewma_epsilon_controls_conversion_timing() {
             ..Default::default()
         };
         let mut sim = FlatDdSimulator::new(9, cfg);
-        sim.run(&c);
+        sim.run(&c).unwrap();
         sim.stats().converted_at.unwrap_or(usize::MAX)
     };
     let tight = at_for(1.2);
@@ -128,7 +128,7 @@ fn fusion_cost_ordering_matches_table_2() {
                 ..Default::default()
             };
             let mut sim = FlatDdSimulator::new(n, cfg);
-            sim.run(&c);
+            sim.run(&c).unwrap();
             sim.stats().modeled_cost
         };
         let fused = run(FusionPolicy::DmavAware);
@@ -156,7 +156,7 @@ fn per_gate_trace_shows_dd_blowup_then_flat_dmav() {
             ..Default::default()
         },
     );
-    sim.run(&c);
+    sim.run(&c).unwrap();
     let traces = sim.traces();
     let conv = sim.stats().converted_at.expect("must convert");
     let max_dd_size = traces.iter().filter_map(|t| t.dd_size).max().unwrap();
@@ -192,7 +192,7 @@ fn flatdd_memory_below_ddsim_on_irregular_circuits() {
             ..Default::default()
         },
     );
-    fd.run(&c);
+    fd.run(&c).unwrap();
     let fd_bytes = fd.memory_bytes();
     assert!(
         fd_bytes < dd_bytes,

@@ -20,7 +20,7 @@ fn checkpoint_and_resume_a_simulation() {
     for g in c.gates().iter().take(half) {
         first.apply(g);
     }
-    let bytes = vector_dd_to_bytes(first.package(), first.state(), n);
+    let bytes = vector_dd_to_bytes(first.package(), first.state(), n).unwrap();
 
     // "Resume" in a brand-new package.
     let mut pkg = DdPackage::default();
@@ -41,7 +41,7 @@ fn serialized_states_feed_the_array_engine() {
     let c = generators::w_state(n);
     let mut sim = DdSimulator::new(n);
     sim.run(&c);
-    let bytes = vector_dd_to_bytes(sim.package(), sim.state(), n);
+    let bytes = vector_dd_to_bytes(sim.package(), sim.state(), n).unwrap();
     let mut pkg = DdPackage::default();
     let (state, _) = vector_dd_from_bytes(&mut pkg, &bytes).unwrap();
     let flat = pkg.vector_to_array(state, n);
@@ -56,11 +56,14 @@ fn serialized_states_feed_the_array_engine() {
 
 #[test]
 fn dot_export_works_on_live_simulation_states() {
-    let mut sim = FlatDdSimulator::new(6, FlatDdConfig {
-        threads: 1,
-        ..Default::default()
-    });
-    sim.run(&generators::w_state(6));
+    let mut sim = FlatDdSimulator::new(
+        6,
+        FlatDdConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    sim.run(&generators::w_state(6)).unwrap();
     // W state stays in the DD phase; package + a fresh DD of its amplitudes
     // render to DOT.
     let amps = sim.amplitudes();
@@ -75,10 +78,19 @@ fn dot_export_works_on_live_simulation_states() {
 fn census_reflects_generator_structure() {
     let c = generators::supremacy_n(8, 10, 3);
     let census = c.gate_census();
-    let get = |k: &str| census.iter().find(|(n, _)| n == k).map(|&(_, v)| v).unwrap_or(0);
+    let get = |k: &str| {
+        census
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
     assert_eq!(get("h"), 8, "one initial H per qubit");
     assert!(get("cz") > 0);
-    assert!(get("sx") + get("sy") + get("t") == 10 * 8, "one 1q gate per qubit per cycle");
+    assert!(
+        get("sx") + get("sy") + get("t") == 10 * 8,
+        "one 1q gate per qubit per cycle"
+    );
 }
 
 #[test]

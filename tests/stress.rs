@@ -10,7 +10,13 @@ fn twelve_qubit_supremacy_cross_check() {
     let n = 12;
     let c = generators::supremacy_n(n, 14, 3);
     let want = qarray::simulate_with_threads(&c, 2);
-    let got = flatdd::simulate(&c, FlatDdConfig { threads: 4, ..Default::default() });
+    let got = flatdd::simulate(
+        &c,
+        FlatDdConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
     assert!(state_distance(&got, &want) < 1e-8);
     assert!((norm_sqr(&got) - 1.0).abs() < 1e-8);
 }
@@ -21,8 +27,18 @@ fn deep_thousand_gate_circuit_stays_exact() {
     let c = generators::dnn(n, 28, 5); // ~1000+ gates
     assert!(c.num_gates() > 1000);
     let want = qarray::simulate_with_threads(&c, 1);
-    let got = flatdd::simulate(&c, FlatDdConfig { threads: 2, ..Default::default() });
-    assert!(state_distance(&got, &want) < 1e-7, "drift over {} gates", c.num_gates());
+    let got = flatdd::simulate(
+        &c,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    assert!(
+        state_distance(&got, &want) < 1e-7,
+        "drift over {} gates",
+        c.num_gates()
+    );
 }
 
 #[test]
@@ -30,8 +46,14 @@ fn wide_regular_circuit_stays_in_dd_phase_cheaply() {
     // 24 qubits would be 256 MB as an array; the DD engine handles it in
     // milliseconds because GHZ never leaves the regular regime.
     let n = 24;
-    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 2, ..Default::default() });
-    sim.run(&generators::ghz(n));
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    sim.run(&generators::ghz(n)).unwrap();
     assert_eq!(sim.stats().converted_at, None);
     let s = std::f64::consts::FRAC_1_SQRT_2;
     assert!((sim.amplitude(0).abs() - s).abs() < 1e-9);
@@ -52,8 +74,14 @@ fn wide_adder_is_exact_in_dd_phase() {
     let b = 0b01_0111_1010_0110u64 & ((1 << k) - 1);
     let c = generators::adder(k, a, b);
     let n = c.num_qubits();
-    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 1, ..Default::default() });
-    sim.run(&c);
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    sim.run(&c).unwrap();
     assert_eq!(sim.stats().converted_at, None);
     // Decode the unique surviving basis state via sampling (deterministic).
     let mut rng = qdd::SplitMix64::new(9);
@@ -73,8 +101,14 @@ fn wide_adder_is_exact_in_dd_phase() {
 fn large_irregular_instance_runs_end_to_end() {
     let n = 22;
     let c = generators::supremacy_n(n, 12, 7);
-    let mut sim = FlatDdSimulator::new(n, FlatDdConfig { threads: 4, ..Default::default() });
-    sim.run(&c);
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    sim.run(&c).unwrap();
     assert_eq!(sim.phase(), flatdd::Phase::Dmav);
     let norm: f64 = (0..1 << n).map(|i| sim.amplitude(i).norm_sqr()).sum();
     assert!((norm - 1.0).abs() < 1e-6);
@@ -83,12 +117,24 @@ fn large_irregular_instance_runs_end_to_end() {
 #[test]
 #[ignore = "heavy: paper-scale regular circuit; run with --release -- --ignored"]
 fn paper_scale_ghz_and_adder() {
-    let mut sim = FlatDdSimulator::new(23, FlatDdConfig { threads: 2, ..Default::default() });
-    sim.run(&generators::ghz(23));
+    let mut sim = FlatDdSimulator::new(
+        23,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    sim.run(&generators::ghz(23)).unwrap();
     assert_eq!(sim.stats().converted_at, None);
 
     let c = generators::adder_n(28);
-    let mut sim = FlatDdSimulator::new(28, FlatDdConfig { threads: 2, ..Default::default() });
-    sim.run(&c);
+    let mut sim = FlatDdSimulator::new(
+        28,
+        FlatDdConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    sim.run(&c).unwrap();
     assert_eq!(sim.stats().converted_at, None);
 }

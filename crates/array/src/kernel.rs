@@ -6,6 +6,7 @@
 //! and each pair is independent, so pairs are partitioned across threads.
 
 use crate::sync_slice::SyncUnsafeSlice;
+use crate::vecops;
 use qcircuit::{Complex64, Gate};
 
 /// Precomputed dispatch data for one gate application.
@@ -66,6 +67,13 @@ pub fn apply_gate_serial(state: &mut [Complex64], gate: &Gate) {
 
 fn apply_range(state: &mut [Complex64], plan: &GatePlan, start: usize, end: usize) {
     let m = plan.m;
+    if plan.pos_mask | plan.neg_mask == 0 && plan.tbit >= 2 {
+        // Control-free gates touch *contiguous* amplitude runs, which the
+        // vectorized kernels eat whole (targets 0 produce unit runs, where
+        // the scalar loops below are faster).
+        apply_range_runs(state, plan, start, end);
+        return;
+    }
     if plan.diagonal {
         // Diagonal fast path: no pairing, pure scaling.
         for g in start..end {
@@ -100,6 +108,30 @@ fn apply_range(state: &mut [Complex64], plan: &GatePlan, start: usize, end: usiz
             state[i] = m[0] * a0 + m[1] * a1;
             state[j] = m[2] * a0 + m[3] * a1;
         }
+    }
+}
+
+/// Control-free run decomposition: consecutive groups sharing their high
+/// bits map to the contiguous slices `state[i..i+run]` (target bit 0) and
+/// `state[i+tbit..i+tbit+run]` (target bit 1), so one [`vecops`] call
+/// processes a whole run instead of one amplitude pair per iteration.
+fn apply_range_runs(state: &mut [Complex64], plan: &GatePlan, start: usize, end: usize) {
+    let mut g = start;
+    while g < end {
+        let i = plan.pair_index(g);
+        let run = (plan.tbit - (g & plan.low_mask)).min(end - g);
+        let (head, tail) = state.split_at_mut(i + plan.tbit);
+        let lo = &mut head[i..i + run];
+        let hi = &mut tail[..run];
+        if plan.diagonal {
+            vecops::scale_in_place(lo, plan.m[0]);
+            vecops::scale_in_place(hi, plan.m[3]);
+        } else {
+            // General and anti-diagonal blocks share the dense 2x2 kernel
+            // (the zero entries multiply out exactly).
+            vecops::apply_2x2(lo, hi, &plan.m);
+        }
+        g += run;
     }
 }
 

@@ -10,6 +10,9 @@
 //! * [`sim`] — [`ArraySimulator`], the full-state simulator.
 //! * [`sync_slice`] — [`SyncUnsafeSlice`], the disjoint-parallel-write
 //!   primitive shared with FlatDD's DMAV kernels.
+//! * [`vecops`] — vectorized complex primitives (axpy/scale/dot/2x2 blocks)
+//!   with runtime scalar-vs-AVX2 dispatch, shared by every hot loop of the
+//!   workspace.
 
 #![warn(missing_docs)]
 
@@ -17,6 +20,7 @@ pub mod kernel;
 pub mod measure;
 pub mod sim;
 pub mod sync_slice;
+pub mod vecops;
 
 pub use kernel::{apply_gate_parallel, apply_gate_serial};
 pub use measure::{

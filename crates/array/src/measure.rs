@@ -2,6 +2,7 @@
 //! collapse, and Pauli expectation values — the array-engine counterpart of
 //! `qdd::sampling` / `qdd::inner`.
 
+use crate::vecops;
 use qcircuit::observable::{Hamiltonian, Pauli, PauliString};
 use qcircuit::Complex64;
 
@@ -51,12 +52,17 @@ pub fn sample_counts(
 /// Marginal probability that qubit `q` measures 1.
 pub fn qubit_probability_one(state: &[Complex64], q: usize) -> f64 {
     let bit = 1usize << q;
-    state
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i & bit != 0)
-        .map(|(_, a)| a.norm_sqr())
-        .sum()
+    if bit >= state.len() {
+        return 0.0;
+    }
+    // Indices with bit `q` set form contiguous runs of length `bit`.
+    let mut p1 = 0.0;
+    let mut base = 0;
+    while base < state.len() {
+        p1 += vecops::norm_sqr(&state[base + bit..base + 2 * bit]);
+        base += 2 * bit;
+    }
+    p1
 }
 
 /// Projectively measures qubit `q` in place: draws the outcome, zeroes the
@@ -67,13 +73,23 @@ pub fn measure_qubit(state: &mut [Complex64], q: usize, rand01: &mut impl FnMut(
     let prob = if outcome { p1 } else { 1.0 - p1 };
     assert!(prob > 1e-15, "measured an impossible outcome");
     let bit = 1usize << q;
-    let scale = 1.0 / prob.sqrt();
-    for (i, a) in state.iter_mut().enumerate() {
-        if ((i & bit) != 0) == outcome {
-            *a = *a * scale;
+    let scale = Complex64::real(1.0 / prob.sqrt());
+    if bit >= state.len() {
+        // Qubit above the register: outcome is always 0, nothing collapses.
+        vecops::scale_in_place(state, scale);
+        return outcome;
+    }
+    let mut base = 0;
+    while base < state.len() {
+        let (zero_half, one_half) = state[base..base + 2 * bit].split_at_mut(bit);
+        let (keep, kill) = if outcome {
+            (one_half, zero_half)
         } else {
-            *a = Complex64::ZERO;
-        }
+            (zero_half, one_half)
+        };
+        vecops::scale_in_place(keep, scale);
+        kill.fill(Complex64::ZERO);
+        base += 2 * bit;
     }
     outcome
 }

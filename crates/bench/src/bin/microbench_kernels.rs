@@ -1,0 +1,158 @@
+//! Kernel microbenchmarks: ns/amplitude for the hot vecops primitives
+//! (`axpy`, `mac2x2`, `sum_into`, the conversion scalar task) and a whole
+//! per-gate DMAV application, under the SIMD backend selected at startup
+//! (`FLATDD_SIMD={auto,scalar,avx2}`).
+//!
+//! Emits `results/microbench_kernels.json` (override with `--json PATH`).
+//! Run once per backend and compare the `ns_per_amp` columns:
+//!
+//! ```text
+//! cargo run --release --bin microbench_kernels
+//! FLATDD_SIMD=scalar cargo run --release --bin microbench_kernels -- \
+//!     --json results/microbench_kernels_scalar.json
+//! ```
+
+use flatdd::{dmav_no_cache, DmavAssignment, ThreadPool};
+use flatdd_bench::{HarnessArgs, JsonWriter, Table};
+use qarray::vecops;
+use qcircuit::gate::{Gate, GateKind};
+use qcircuit::Complex64;
+use qdd::DdPackage;
+use std::time::Instant;
+
+/// Deterministic, non-trivial amplitudes (no RNG dependency).
+fn fill(v: &mut [Complex64]) {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for a in v.iter_mut() {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let re = ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) - 0.5;
+        let im = ((x >> 22) as f64) * (1.0 / (1u64 << 42) as f64) - 0.5;
+        *a = Complex64::new(re, im);
+    }
+}
+
+/// Median seconds of `reps` runs of `f` (each run returns amplitudes touched).
+fn time_median(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(reps);
+    let mut amps = 0;
+    for _ in 0..reps.max(1) {
+        let s = Instant::now();
+        amps = f();
+        times.push(s.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], amps)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let reps = args.reps.max(5);
+    // Cache-resident working set so the vector kernels measure compute, not
+    // memory bandwidth; an inner loop amortizes the timer overhead.
+    let len = ((1usize << 14) as f64 * args.scale).round().max(1024.0) as usize;
+    let iters = ((1usize << 23) / len).max(1);
+    let backend = vecops::backend().name();
+    println!(
+        "Kernel microbenchmarks — backend {backend}, {len} amplitudes x {iters} iters, {reps} reps\n"
+    );
+
+    let mut v = vec![Complex64::ZERO; len];
+    let mut w = vec![Complex64::ZERO; len];
+    fill(&mut v);
+    fill(&mut w);
+    let f = Complex64::new(std::f64::consts::FRAC_1_SQRT_2, -0.25);
+
+    let mut json = JsonWriter::new();
+    let mut table = Table::new(vec!["kernel", "ns_per_amp", "amplitudes"]);
+    let mut report = |name: &str, secs: f64, amps: usize, json: &mut JsonWriter| {
+        let ns = secs * 1e9 / amps.max(1) as f64;
+        table.row(vec![name.into(), format!("{ns:.3}"), amps.to_string()]);
+        json.record(vec![
+            ("kernel", name.into()),
+            ("backend", backend.into()),
+            ("ns_per_amp", ns.into()),
+            ("amplitudes", amps.into()),
+            ("seconds", secs.into()),
+        ]);
+    };
+
+    // axpy: w += f * v (the DMAV identity-block fast path).
+    let (secs, amps) = time_median(reps, || {
+        for _ in 0..iters {
+            vecops::axpy(&mut w, f, &v);
+        }
+        len * iters
+    });
+    report("axpy", secs, amps, &mut json);
+
+    // conversion scalar task: dst = f * src (phase 2 of the parallel
+    // DD-to-array conversion writes every amplitude exactly like this).
+    let (secs, amps) = time_median(reps, || {
+        for _ in 0..iters {
+            vecops::scale(&mut w, f, &v);
+        }
+        len * iters
+    });
+    report("conversion_scale", secs, amps, &mut json);
+
+    // sum_into: out += part (partial-buffer summation of cached DMAV).
+    let (secs, amps) = time_median(reps, || {
+        for _ in 0..iters {
+            vecops::sum_into(&mut w, &v);
+        }
+        len * iters
+    });
+    report("sum_into", secs, amps, &mut json);
+
+    // mac2x2: dense 2x2 bottom-level blocks, len/2 applications per run.
+    let m = [
+        Complex64::new(0.6, 0.1),
+        Complex64::new(-0.2, 0.7),
+        Complex64::new(0.3, -0.4),
+        Complex64::new(0.5, 0.5),
+    ];
+    let (secs, amps) = time_median(reps, || {
+        for _ in 0..iters {
+            for i in (0..len).step_by(2) {
+                let (v0, v1) = (v[i], v[i + 1]);
+                vecops::mac2x2(&mut w[i..i + 2], &m, v0, v1);
+            }
+        }
+        len * iters
+    });
+    report("mac2x2", secs, amps, &mut json);
+
+    // Whole per-gate DMAV (no caching): H on a middle qubit of an
+    // n-qubit flat state, parallel across `--threads` workers.
+    let n = (((1usize << 20) as f64 * args.scale).round().max(1024.0) as usize)
+        .next_power_of_two()
+        .trailing_zeros() as usize;
+    let dim = 1usize << n;
+    let t = args.threads.max(1).next_power_of_two().min(1 << n.min(8));
+    let mut pkg = DdPackage::default();
+    let m_edge = pkg.gate_dd(&Gate::new(GateKind::H, n / 2), n);
+    let asg = DmavAssignment::build(&pkg, m_edge, n, t);
+    let pool = ThreadPool::new(t);
+    let mut state = vec![Complex64::ZERO; dim];
+    let mut out = vec![Complex64::ZERO; dim];
+    fill(&mut state);
+    let (secs, amps) = time_median(reps, || {
+        dmav_no_cache(&pkg, &asg, &state, &mut out, &pool);
+        dim
+    });
+    report("dmav_per_gate", secs, amps, &mut json);
+
+    table.print();
+    let path = args
+        .json
+        .clone()
+        .or_else(|| Some("results/microbench_kernels.json".into()));
+    if let Some(p) = &path {
+        if let Some(dir) = std::path::Path::new(p).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    json.write_if(&path);
+}

@@ -15,7 +15,7 @@
 //! (filling 2^n amplitudes) is done by the pool workers on disjoint ranges.
 
 use crate::pool::ThreadPool;
-use qarray::SyncUnsafeSlice;
+use qarray::{vecops, SyncUnsafeSlice};
 use qcircuit::Complex64;
 use qdd::{DdPackage, VEdge};
 
@@ -220,9 +220,7 @@ pub fn dd_to_array_parallel_into(
                     view.slice_mut(st.dst + start, len),
                 )
             };
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = st.factor * s;
-            }
+            vecops::scale(dst, st.factor, src);
         });
     }
 }

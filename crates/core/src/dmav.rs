@@ -10,8 +10,9 @@
 //! Each thread owns rows `[tid*h, (tid+1)*h)` of the output (row-space
 //! evaluation), so the parallel writes are disjoint by construction.
 
+use crate::error::FlatDdError;
 use crate::pool::ThreadPool;
-use qarray::SyncUnsafeSlice;
+use qarray::{vecops, SyncUnsafeSlice};
 use qcircuit::Complex64;
 use qdd::{DdPackage, MEdge};
 
@@ -35,12 +36,26 @@ pub struct DmavAssignment {
 
 impl DmavAssignment {
     /// Runs `Assign` (Algorithm 1, lines 8-14) for matrix `m` over `n`
-    /// qubits on `t` threads. `t` must be a power of two with
-    /// `log2(t) <= n`.
+    /// qubits on `t` threads. Panicking wrapper over [`Self::try_build`]
+    /// for callers that have already validated `t` (tests, benches).
     pub fn build(pkg: &DdPackage, m: MEdge, n: usize, t: usize) -> Self {
-        assert!(t.is_power_of_two(), "thread count must be a power of two");
+        Self::try_build(pkg, m, n, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `Assign`: `t` must be a power of two with `log2(t) <= n`,
+    /// otherwise [`FlatDdError::InvalidInput`] is returned.
+    pub fn try_build(pkg: &DdPackage, m: MEdge, n: usize, t: usize) -> Result<Self, FlatDdError> {
+        if !t.is_power_of_two() {
+            return Err(FlatDdError::InvalidInput(format!(
+                "thread count must be a power of two, got {t}"
+            )));
+        }
         let log_t = t.trailing_zeros() as usize;
-        assert!(log_t <= n, "need log2(t) <= n for the border-level scheme");
+        if log_t > n {
+            return Err(FlatDdError::InvalidInput(format!(
+                "need log2(t) <= n for the border-level scheme, got t={t} n={n}"
+            )));
+        }
         let mut asg = DmavAssignment {
             t,
             h: (1usize << n) / t,
@@ -51,12 +66,24 @@ impl DmavAssignment {
         };
         let border = n as i64 - log_t as i64 - 1;
         asg.assign(pkg, m, Complex64::ONE, 0, 0, n as i64 - 1, border);
-        asg
+        Ok(asg)
     }
 
     /// Total number of tasks across threads.
     pub fn total_tasks(&self) -> usize {
         self.m_edges.iter().map(|v| v.len()).sum()
+    }
+
+    /// Heap bytes held by the task lists (for plan-cache accounting).
+    pub fn memory_bytes(&self) -> usize {
+        let per_task = std::mem::size_of::<MEdge>()
+            + std::mem::size_of::<usize>()
+            + std::mem::size_of::<Complex64>();
+        self.m_edges
+            .iter()
+            .map(|v| v.capacity() * per_task)
+            .sum::<usize>()
+            + 3 * self.t * std::mem::size_of::<Vec<()>>()
     }
 
     // The argument list mirrors Assign/AssignCache in the paper verbatim.
@@ -137,23 +164,20 @@ pub(crate) fn run_task(
     if pkg.identity_node_id(node.level) == Some(m_r.n) {
         // f * identity block: W[i_w..] += f * V[i_v..].
         let len = 1usize << (l + 1);
-        let dst = &mut w[i_w..i_w + len];
-        let src = &v[i_v..i_v + len];
-        for (d, &s) in dst.iter_mut().zip(src) {
-            *d = d.mac(f, s);
-        }
+        vecops::axpy(&mut w[i_w..i_w + len], f, &v[i_v..i_v + len]);
         return;
     }
     if l == 0 {
-        // Children are terminal: unroll the 2x2 block.
-        for i in 0..2usize {
-            for j in 0..2usize {
-                let e = node.e[2 * i + j];
-                if !e.is_zero() {
-                    w[i_w + i] = w[i_w + i].mac(f * pkg.cval(e.w), v[i_v + j]);
-                }
+        // Children are terminal: one dense 2x2 MAC (zero edges contribute
+        // exact-zero coefficients, which the kernel multiplies out).
+        let mut m = [Complex64::ZERO; 4];
+        for (k, c) in m.iter_mut().enumerate() {
+            let e = node.e[k];
+            if !e.is_zero() {
+                *c = f * pkg.cval(e.w);
             }
         }
+        vecops::mac2x2(&mut w[i_w..i_w + 2], &m, v[i_v], v[i_v + 1]);
         return;
     }
     for i in 0..2usize {
@@ -187,13 +211,15 @@ pub fn dmav_no_cache(
         asg.t,
         "assignment and pool thread counts differ"
     );
-    w.fill(Complex64::ZERO);
     let view = SyncUnsafeSlice::new(w);
     let h = asg.h;
     pool.run(|tid| {
         // SAFETY: thread `tid` exclusively owns output rows
         // [tid*h, (tid+1)*h) — the row-space partition of Algorithm 1.
         let chunk = unsafe { view.slice_mut(tid * h, h) };
+        // Each worker zeroes its own rows: first-touch locality, and the
+        // dispatcher no longer walks all 2^n amplitudes serially.
+        chunk.fill(Complex64::ZERO);
         for j in 0..asg.m_edges[tid].len() {
             run_task(
                 pkg,
@@ -359,5 +385,24 @@ mod tests {
         let mut pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
         DmavAssignment::build(&pkg, m, 3, 3);
+    }
+
+    #[test]
+    fn try_build_reports_invalid_input() {
+        let mut pkg = DdPackage::default();
+        let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
+        for t in [3usize, 16] {
+            match DmavAssignment::try_build(&pkg, m, 3, t) {
+                Err(FlatDdError::InvalidInput(msg)) => {
+                    assert!(
+                        msg.contains("power of two") || msg.contains("log2"),
+                        "{msg}"
+                    );
+                }
+                Err(e) => panic!("wrong error class for t={t}: {e}"),
+                Ok(_) => panic!("expected InvalidInput for t={t}"),
+            }
+        }
+        assert!(DmavAssignment::try_build(&pkg, m, 3, 4).is_ok());
     }
 }

@@ -13,8 +13,9 @@
 //! the end (Algorithm 2, lines 11-13).
 
 use crate::dmav::run_task;
+use crate::error::FlatDdError;
 use crate::pool::ThreadPool;
-use qarray::SyncUnsafeSlice;
+use qarray::{vecops, SyncUnsafeSlice};
 use qcircuit::Complex64;
 use qdd::fxhash::FxHashMap;
 use qdd::{DdPackage, MEdge};
@@ -45,11 +46,26 @@ pub struct DmavCacheAssignment {
 }
 
 impl DmavCacheAssignment {
-    /// Runs `AssignCache` (Algorithm 2, lines 16-26).
+    /// Runs `AssignCache` (Algorithm 2, lines 16-26). Panicking wrapper over
+    /// [`Self::try_build`] for callers that have already validated `t`.
     pub fn build(pkg: &DdPackage, m: MEdge, n: usize, t: usize) -> Self {
-        assert!(t.is_power_of_two(), "thread count must be a power of two");
+        Self::try_build(pkg, m, n, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible `AssignCache`: `t` must be a power of two with
+    /// `log2(t) <= n`, otherwise [`FlatDdError::InvalidInput`] is returned.
+    pub fn try_build(pkg: &DdPackage, m: MEdge, n: usize, t: usize) -> Result<Self, FlatDdError> {
+        if !t.is_power_of_two() {
+            return Err(FlatDdError::InvalidInput(format!(
+                "thread count must be a power of two, got {t}"
+            )));
+        }
         let log_t = t.trailing_zeros() as usize;
-        assert!(log_t <= n, "need log2(t) <= n for the border-level scheme");
+        if log_t > n {
+            return Err(FlatDdError::InvalidInput(format!(
+                "need log2(t) <= n for the border-level scheme, got t={t} n={n}"
+            )));
+        }
         let mut asg = DmavCacheAssignment {
             t,
             h: (1usize << n) / t,
@@ -64,7 +80,7 @@ impl DmavCacheAssignment {
         let border = n as i64 - log_t as i64 - 1;
         asg.assign(pkg, m, Complex64::ONE, 0, 0, n as i64 - 1, border);
         asg.assign_buffers();
-        asg
+        Ok(asg)
     }
 
     // The argument list mirrors Assign/AssignCache in the paper verbatim.
@@ -148,6 +164,25 @@ impl DmavCacheAssignment {
         self.m_edges.iter().map(|v| v.len()).sum()
     }
 
+    /// Heap bytes held by the task lists and buffer maps (for plan-cache
+    /// accounting).
+    pub fn memory_bytes(&self) -> usize {
+        let per_task = std::mem::size_of::<MEdge>()
+            + std::mem::size_of::<usize>()
+            + std::mem::size_of::<Complex64>();
+        self.m_edges
+            .iter()
+            .map(|v| v.capacity() * per_task)
+            .sum::<usize>()
+            + self.buffer_of.capacity() * std::mem::size_of::<usize>()
+            + self
+                .buffer_segments
+                .iter()
+                .map(|v| v.capacity())
+                .sum::<usize>()
+            + 4 * self.t * std::mem::size_of::<Vec<()>>()
+    }
+
     /// Number of cache hits this assignment will produce (repeated nodes
     /// within a thread's task list) — the `H` of the cost model.
     pub fn cache_hits(&self) -> usize {
@@ -172,21 +207,40 @@ pub struct PartialBuffers {
 
 impl PartialBuffers {
     /// Ensures `count` buffers of length `len`, zeroing only the segments
-    /// this assignment will actually touch (segment size `h`).
-    fn prepare(&mut self, count: usize, len: usize, segments: &[Vec<bool>], h: usize) {
+    /// this assignment will actually touch (segment size `h`). Reused
+    /// buffers are zeroed by the pool workers — each owns segment `tid` of
+    /// every buffer — instead of the dispatcher walking them serially.
+    fn prepare(
+        &mut self,
+        count: usize,
+        len: usize,
+        segments: &[Vec<bool>],
+        h: usize,
+        pool: &ThreadPool,
+    ) {
         self.bufs.resize_with(count.max(self.bufs.len()), Vec::new);
+        let mut reused: Vec<(SyncUnsafeSlice<'_, Complex64>, &Vec<bool>)> = Vec::new();
         for (b, segs) in self.bufs.iter_mut().zip(segments).take(count) {
             if b.len() != len {
+                // Fresh allocation: the resize itself zeroes everything.
                 b.clear();
                 b.resize(len, Complex64::ZERO);
             } else {
-                for (seg, &occ) in segs.iter().enumerate() {
-                    if occ {
-                        b[seg * h..(seg + 1) * h].fill(Complex64::ZERO);
-                    }
-                }
+                reused.push((SyncUnsafeSlice::new(b.as_mut_slice()), segs));
             }
         }
+        if reused.is_empty() {
+            return;
+        }
+        pool.run(|tid| {
+            for (view, segs) in &reused {
+                if segs.get(tid).copied().unwrap_or(false) {
+                    // SAFETY: worker `tid` exclusively owns segment `tid`
+                    // of every buffer.
+                    unsafe { view.slice_mut(tid * h, h) }.fill(Complex64::ZERO);
+                }
+            }
+        });
     }
 
     /// Drops all held buffers (the DMAV rung of the memory-pressure
@@ -236,7 +290,7 @@ pub fn dmav_cached(
     );
     let h = asg.h;
     let dim = v.len();
-    scratch.prepare(asg.num_buffers, dim, &asg.buffer_segments, h);
+    scratch.prepare(asg.num_buffers, dim, &asg.buffer_segments, h, pool);
     let views: Vec<SyncUnsafeSlice<'_, Complex64>> = scratch
         .bufs
         .iter_mut()
@@ -263,9 +317,7 @@ pub fn dmav_cached(
                 // earlier; `start` is a segment only this task writes.
                 // Threads sharing the buffer own disjoint segment sets.
                 let (src, dst) = unsafe { (buf.slice(cached_start, h), buf.slice_mut(start, h)) };
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d = factor * s;
-                }
+                vecops::scale(dst, factor, src);
                 hits += 1;
             } else {
                 // SAFETY: same disjointness argument as above.
@@ -291,9 +343,7 @@ pub fn dmav_cached(
                 continue;
             }
             let part = unsafe { view.slice(tid * h, h) };
-            for (o, &p) in out.iter_mut().zip(part) {
-                *o += p;
-            }
+            vecops::sum_into(out, part);
         }
     });
 
@@ -435,10 +485,11 @@ mod tests {
     fn scratch_buffers_are_reused() {
         let mut scratch = PartialBuffers::default();
         check_gate(&Gate::new(GateKind::H, 4), 5, 2);
+        let pool = ThreadPool::new(2);
         let segs = vec![vec![true, true], vec![true, false]];
-        scratch.prepare(2, 32, &segs, 16);
+        scratch.prepare(2, 32, &segs, 16, &pool);
         let bytes = scratch.memory_bytes();
-        scratch.prepare(2, 32, &segs, 16);
+        scratch.prepare(2, 32, &segs, 16, &pool);
         assert_eq!(scratch.memory_bytes(), bytes, "no reallocation on reuse");
     }
 
@@ -467,6 +518,15 @@ mod tests {
         dense::apply_gate(&mut want, &Gate::new(GateKind::H, 5));
         dense::apply_gate(&mut want, &Gate::new(GateKind::T, 5));
         assert!(state_distance(&w2, &want) < TOL);
+    }
+
+    #[test]
+    fn try_build_reports_invalid_input() {
+        let mut pkg = DdPackage::default();
+        let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
+        assert!(DmavCacheAssignment::try_build(&pkg, m, 3, 5).is_err());
+        assert!(DmavCacheAssignment::try_build(&pkg, m, 3, 16).is_err());
+        assert!(DmavCacheAssignment::try_build(&pkg, m, 3, 2).is_ok());
     }
 
     #[test]

@@ -22,9 +22,12 @@ use crate::error::{FlatDdError, RunOutcome};
 use crate::ewma::{EwmaConfig, EwmaMonitor};
 use crate::fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
 use crate::govern::{Breach, GovernorConfig, ResourceGovernor};
+use crate::plan_cache::PlanCache;
 use crate::pool::{clamp_threads, ThreadPool};
+use qarray::vecops;
 use qcircuit::{Circuit, Complex64, Gate};
 use qdd::{DdPackage, MEdge, MacTable, VEdge};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// When to convert from DD-based simulation to DMAV.
@@ -81,6 +84,10 @@ pub struct FlatDdConfig {
     pub trace: bool,
     /// GC period (in DDMMs) during fusion.
     pub fusion_gc_every: usize,
+    /// Byte budget of the DMAV plan cache (memoized `Assign`/`AssignCache`
+    /// task lists, keyed by matrix root edge). `0` disables memoization;
+    /// every DMAV then replans from scratch.
+    pub plan_cache_bytes: usize,
     /// Resource budgets and watchdog cadence. The default picks budgets up
     /// from `FLATDD_MEMORY_BUDGET_MB` / `FLATDD_RSS_BUDGET_MB` /
     /// `FLATDD_DEADLINE_SECS` so whole test suites and CI jobs can run
@@ -98,6 +105,7 @@ impl Default for FlatDdConfig {
             cost_model: CostModel::default(),
             trace: false,
             fusion_gc_every: 64,
+            plan_cache_bytes: 32 << 20,
             governor: GovernorConfig::from_env(),
         }
     }
@@ -154,6 +162,11 @@ pub struct FlatDdStats {
     /// Times the memory-pressure degradation ladder (compute-table flush +
     /// GC + scratch release) ran in response to a budget breach.
     pub pressure_gcs: usize,
+    /// DMAV plan-cache lookups answered by a memoized assignment (the
+    /// recursive `Assign`/`AssignCache` descent was skipped).
+    pub dmav_plan_hits: usize,
+    /// DMAV plan-cache lookups that had to build a fresh assignment.
+    pub dmav_plan_misses: usize,
 }
 
 enum Repr {
@@ -175,6 +188,7 @@ pub struct FlatDdSimulator {
     ewma: EwmaMonitor,
     mac: MacTable,
     scratch: PartialBuffers,
+    plans: PlanCache,
     stats: FlatDdStats,
     traces: Vec<GateTrace>,
     gates_seen: usize,
@@ -248,6 +262,7 @@ impl FlatDdSimulator {
             ewma: EwmaMonitor::new(ewma_cfg),
             mac: MacTable::default(),
             scratch: PartialBuffers::default(),
+            plans: PlanCache::new(cfg.plan_cache_bytes),
             stats,
             traces: Vec::new(),
             gates_seen: 0,
@@ -329,6 +344,7 @@ impl FlatDdSimulator {
     fn relieve_pressure(&mut self) {
         self.scratch.release();
         self.mac.clear();
+        self.plans.clear();
         match self.repr {
             Repr::Dd(s) => self.pkg.gc(&[s], &[]),
             Repr::Flat { .. } => self.pkg.gc(&[], &[]),
@@ -396,16 +412,15 @@ impl FlatDdSimulator {
                 }
             }
             Repr::Flat { v, .. } => {
-                let mut sq = 0.0f64;
-                for a in v {
-                    if !a.re.is_finite() || !a.im.is_finite() {
-                        return Err(FlatDdError::NumericalDivergence {
-                            norm: f64::NAN,
-                            detail: "non-finite amplitude in flat state".into(),
-                            partial: Box::new(self.snapshot()),
-                        });
-                    }
-                    sq += a.norm_sqr();
+                // The vectorized reduction propagates non-finite amplitudes
+                // into the sum, so one pass covers both checks.
+                let sq = vecops::norm_sqr(v);
+                if !sq.is_finite() {
+                    return Err(FlatDdError::NumericalDivergence {
+                        norm: f64::NAN,
+                        detail: "non-finite amplitude in flat state".into(),
+                        partial: Box::new(self.snapshot()),
+                    });
                 }
                 let norm = sq.sqrt();
                 if (norm - 1.0).abs() > tol {
@@ -435,7 +450,7 @@ impl FlatDdSimulator {
             }
             Repr::Flat { .. } => {
                 let m = self.pkg.gate_dd(gate, self.n);
-                self.apply_dmav(m);
+                self.apply_dmav(m)?;
             }
         }
         if let Some(s) = start {
@@ -534,7 +549,7 @@ impl FlatDdSimulator {
                 .check_deadline()
                 .map_err(|b| self.breach_to_error(b))?;
             let start = self.cfg.trace.then(Instant::now);
-            self.apply_dmav(m);
+            self.apply_dmav(m)?;
             if let Some(s) = start {
                 self.traces.push(GateTrace {
                     gate_index: self.gates_seen,
@@ -665,59 +680,64 @@ impl FlatDdSimulator {
         Ok(())
     }
 
-    /// One DMAV step with the configured kernel policy.
-    fn apply_dmav(&mut self, m: MEdge) {
-        let (v, w) = match &mut self.repr {
-            Repr::Flat { v, w } => (v, w),
-            Repr::Dd(_) => unreachable!("apply_dmav requires the flat representation"),
-        };
-        let use_cache = match self.cfg.caching {
-            CachingPolicy::Always => {
-                let asg = DmavCacheAssignment::build(&self.pkg, m, self.n, self.t);
-                let st = dmav_cached(&self.pkg, &asg, v, w, &self.pool, &mut self.scratch);
-                self.stats.cache_hits += st.hits;
-                true
-            }
-            CachingPolicy::Never => {
-                let asg = DmavAssignment::build(&self.pkg, m, self.n, self.t);
-                dmav_no_cache(&self.pkg, &asg, v, w, &self.pool);
-                false
-            }
+    /// One DMAV step with the configured kernel policy. The assignment is
+    /// fetched through the plan cache, so repeated gate matrices skip the
+    /// recursive `Assign`/`AssignCache` descent.
+    fn apply_dmav(&mut self, m: MEdge) -> Result<(), FlatDdError> {
+        enum Plan {
+            Cached(Arc<DmavCacheAssignment>),
+            Plain(Arc<DmavAssignment>),
+        }
+        let (n, t) = (self.n, self.t);
+        let plan = match self.cfg.caching {
+            CachingPolicy::Always => Plan::Cached(self.plans.get_cached(&self.pkg, m, n, t)?),
+            CachingPolicy::Never => Plan::Plain(self.plans.get_plain(&self.pkg, m, n, t)?),
             CachingPolicy::CostModel => {
-                let asg = DmavCacheAssignment::build(&self.pkg, m, self.n, self.t);
+                let asg = self.plans.get_cached(&self.pkg, m, n, t)?;
                 let analysis = self.cfg.cost_model.analyze_with_assignment(
                     &self.pkg,
                     &mut self.mac,
                     &asg,
                     m,
-                    self.n,
-                    self.t,
+                    n,
+                    t,
                 );
                 self.stats.modeled_cost += analysis.cost();
                 if analysis.prefer_cached() {
-                    let st = dmav_cached(&self.pkg, &asg, v, w, &self.pool, &mut self.scratch);
-                    self.stats.cache_hits += st.hits;
-                    true
+                    Plan::Cached(asg)
                 } else {
-                    let asg = DmavAssignment::build(&self.pkg, m, self.n, self.t);
-                    dmav_no_cache(&self.pkg, &asg, v, w, &self.pool);
-                    false
+                    Plan::Plain(self.plans.get_plain(&self.pkg, m, n, t)?)
                 }
             }
         };
-        if use_cache {
-            self.stats.cached_dmavs += 1;
-        } else {
-            self.stats.uncached_dmavs += 1;
+        self.stats.dmav_plan_hits = self.plans.hits() as usize;
+        self.stats.dmav_plan_misses = self.plans.misses() as usize;
+        let (v, w) = match &mut self.repr {
+            Repr::Flat { v, w } => (v, w),
+            Repr::Dd(_) => unreachable!("apply_dmav requires the flat representation"),
+        };
+        match &plan {
+            Plan::Cached(asg) => {
+                let st = dmav_cached(&self.pkg, asg, v, w, &self.pool, &mut self.scratch);
+                self.stats.cache_hits += st.hits;
+                self.stats.cached_dmavs += 1;
+            }
+            Plan::Plain(asg) => {
+                dmav_no_cache(&self.pkg, asg, v, w, &self.pool);
+                self.stats.uncached_dmavs += 1;
+            }
         }
         std::mem::swap(v, w);
         self.stats.gates_dmav += 1;
-        // Bound matrix-DD growth in long unfused DMAV phases.
+        // Bound matrix-DD growth in long unfused DMAV phases. (The GC bumps
+        // the package epoch, which invalidates the plan cache on the next
+        // lookup — node ids may be recycled.)
         let live = self.pkg.stats();
         if live.m_nodes + live.v_nodes > self.gc_threshold {
             self.pkg.gc(&[], &[]);
             self.mac.clear();
         }
+        Ok(())
     }
 
     /// The final amplitudes (DD phase: parallel conversion; DMAV phase: the
@@ -831,7 +851,10 @@ impl FlatDdSimulator {
             Repr::Dd(_) => 0,
             Repr::Flat { v, w } => (v.capacity() + w.capacity()) * std::mem::size_of::<Complex64>(),
         };
-        self.pkg.stats().memory_bytes + flat + self.scratch.memory_bytes()
+        self.pkg.stats().memory_bytes
+            + flat
+            + self.scratch.memory_bytes()
+            + self.plans.memory_bytes()
     }
 }
 
@@ -1061,6 +1084,52 @@ mod tests {
         assert_eq!(st.cached_dmavs + st.uncached_dmavs, st.gates_dmav);
         assert!(st.gates_dmav >= c.num_gates());
         assert!(st.modeled_cost > 0.0);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_deep_repeated_gate_circuits() {
+        // 50 identical layers: after the first layer every gate matrix is a
+        // repeat, so nearly every DMAV plan lookup must hit.
+        let n = 8;
+        let mut c = Circuit::new(n);
+        for _ in 0..50 {
+            for q in 0..n {
+                c.h(q);
+                c.t(q);
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+        }
+        let mut sim = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Immediate,
+                ..cfg(4)
+            },
+        );
+        sim.run(&c).unwrap();
+        let st = sim.stats();
+        // At least one plan lookup per DMAV (the cost-model path looks up
+        // both variants when it prefers the plain kernel).
+        let total = st.dmav_plan_hits + st.dmav_plan_misses;
+        assert!(total >= st.gates_dmav);
+        let rate = st.dmav_plan_hits as f64 / total as f64;
+        assert!(rate > 0.9, "plan hit rate {rate} (hits {total})");
+
+        // Disabling the cache must not change the result.
+        let mut plain = FlatDdSimulator::new(
+            n,
+            FlatDdConfig {
+                conversion: ConversionPolicy::Immediate,
+                plan_cache_bytes: 0,
+                ..cfg(4)
+            },
+        );
+        plain.run(&c).unwrap();
+        assert_eq!(plain.stats().dmav_plan_hits, 0);
+        assert!(plain.stats().dmav_plan_misses >= plain.stats().gates_dmav);
+        assert!(state_distance(&sim.amplitudes(), &plain.amplitudes()) < 1e-9);
     }
 
     #[test]

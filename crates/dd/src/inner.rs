@@ -5,11 +5,18 @@
 //! node per level), and `<psi|P|psi>` combines the two — the standard way
 //! DD packages evaluate observables.
 
+use crate::ctable::CIdx;
 use crate::fxhash::FxHashMap;
 use crate::node::{MEdge, VEdge, TERM};
 use crate::package::DdPackage;
+use qarray::vecops;
 use qcircuit::observable::{Hamiltonian, PauliString};
 use qcircuit::{Complex64, Mat2};
+
+/// Sub-vectors of at most `2^FLAT_BLOCK_QUBITS` amplitudes are expanded
+/// densely (once per node, memoized) and reduced with the vectorized dot
+/// kernel in [`DdPackage::inner_product_flat`].
+const FLAT_BLOCK_QUBITS: usize = 6;
 
 impl DdPackage {
     /// Inner product `<a|b>` (conjugate-linear in `a`).
@@ -54,6 +61,65 @@ impl DdPackage {
     /// Squared norm `<v|v>` (1 for a normalized simulation state).
     pub fn vector_norm_sqr(&self, v: VEdge) -> f64 {
         self.inner_product(v, v).re
+    }
+
+    /// Inner product `<a|flat>` between a vector DD and a flat amplitude
+    /// array (conjugate-linear in the DD argument), without materializing
+    /// the DD: the descent stops at sub-vectors of at most
+    /// `2^FLAT_BLOCK_QUBITS` amplitudes, expands each distinct node once
+    /// (memoized — DD sharing makes this cheap), and reduces every block
+    /// against the matching slice of `flat` with the vectorized dot kernel.
+    ///
+    /// `flat.len()` must be `2^n` for the DD's qubit count `n`.
+    pub fn inner_product_flat(&self, a: VEdge, flat: &[Complex64]) -> Complex64 {
+        if a.is_zero() {
+            return Complex64::ZERO;
+        }
+        if a.is_terminal() {
+            assert_eq!(flat.len(), 1, "flat array width mismatch");
+            return self.cval(a.w).conj() * flat[0];
+        }
+        let levels = self.v_node(a.n).level as usize + 1;
+        assert_eq!(flat.len(), 1usize << levels, "flat array width mismatch");
+        let mut blocks: FxHashMap<u32, Vec<Complex64>> = FxHashMap::default();
+        self.inner_flat_rec(a, Complex64::ONE, 0, flat, &mut blocks)
+    }
+
+    fn inner_flat_rec(
+        &self,
+        e: VEdge,
+        f: Complex64,
+        offset: usize,
+        flat: &[Complex64],
+        blocks: &mut FxHashMap<u32, Vec<Complex64>>,
+    ) -> Complex64 {
+        if e.is_zero() {
+            return Complex64::ZERO;
+        }
+        let w = f * self.cval(e.w);
+        if e.is_terminal() {
+            return w.conj() * flat[offset];
+        }
+        let node = *self.v_node(e.n);
+        let len = 1usize << (node.level as usize + 1);
+        if len <= (1 << FLAT_BLOCK_QUBITS) {
+            let block = blocks.entry(e.n).or_insert_with(|| {
+                let mut buf = vec![Complex64::ZERO; len];
+                self.write_vector(
+                    VEdge {
+                        n: e.n,
+                        w: CIdx::ONE,
+                    },
+                    node.level as usize + 1,
+                    &mut buf,
+                );
+                buf
+            });
+            return w.conj() * vecops::dot(block, &flat[offset..offset + len]);
+        }
+        let half = len / 2;
+        self.inner_flat_rec(node.e[0], w, offset, flat, blocks)
+            + self.inner_flat_rec(node.e[1], w, offset + half, flat, blocks)
     }
 
     /// Fidelity `|<a|b>|^2`.
@@ -189,6 +255,25 @@ mod tests {
         let got = pkg.inner_product(s1, s2);
         let want = dense_inner(&dense::simulate(&c1), &dense::simulate(&c2));
         assert!(got.approx_eq(want, TOL), "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn flat_inner_product_matches_dense_reference() {
+        // n=5 sits below FLAT_BLOCK_QUBITS (pure block path); n=8 sits
+        // above it (descent + block path).
+        for (n, depth) in [(5usize, 40usize), (8, 60)] {
+            let c1 = generators::random_circuit(n, depth, 1);
+            let c2 = generators::random_circuit(n, depth, 2);
+            let (pkg, s1) = state_dd(&c1);
+            let flat = dense::simulate(&c2);
+            let got = pkg.inner_product_flat(s1, &flat);
+            let want = dense_inner(&dense::simulate(&c1), &flat);
+            assert!(got.approx_eq(want, TOL), "n={n}: {got:?} vs {want:?}");
+            // <s|s> over the flat copy of the same state is the norm.
+            let self_flat = dense::simulate(&c1);
+            let norm = pkg.inner_product_flat(s1, &self_flat);
+            assert!((norm.re - 1.0).abs() < 1e-8 && norm.im.abs() < 1e-8);
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct DdPackage {
     /// Cached identity chains: `id_cache[l]` = identity DD over levels `0..l`.
     id_cache: Vec<MEdge>,
     stamp: u32,
+    /// Bumped by every [`Self::gc`] sweep. Node ids are recycled by the
+    /// sweep, so anything keyed by node id (e.g. the DMAV plan cache) must
+    /// be dropped when this changes.
+    gc_epoch: u64,
 }
 
 impl Default for DdPackage {
@@ -54,7 +58,16 @@ impl DdPackage {
             compute: ComputeTables::default(),
             id_cache: vec![MEdge::terminal(CIdx::ONE)],
             stamp: 0,
+            gc_epoch: 0,
         }
+    }
+
+    /// Monotone garbage-collection epoch: incremented by every [`Self::gc`]
+    /// sweep. Caches keyed by node id are valid only while this is
+    /// unchanged.
+    #[inline(always)]
+    pub fn gc_epoch(&self) -> u64 {
+        self.gc_epoch
     }
 
     // ---- complex values ----------------------------------------------------
@@ -459,6 +472,7 @@ impl DdPackage {
         let fv = self.v.sweep(stamp);
         let fm = self.m.sweep(stamp);
         self.compute.clear();
+        self.gc_epoch += 1;
         (fv, fm)
     }
 
@@ -715,6 +729,17 @@ mod tests {
         let arr2 = p.vector_to_array(dead2, 4);
         assert!(close(&arr2, &dense::basis_state(4, 10)));
         let _ = dead; // not used after gc
+    }
+
+    #[test]
+    fn gc_bumps_the_epoch() {
+        let mut p = DdPackage::default();
+        assert_eq!(p.gc_epoch(), 0);
+        let keep = p.basis_state(4, 5);
+        p.gc(&[keep], &[]);
+        assert_eq!(p.gc_epoch(), 1);
+        p.gc(&[keep], &[]);
+        assert_eq!(p.gc_epoch(), 2);
     }
 
     #[test]

@@ -10,6 +10,9 @@ pub struct ArraySimulator {
     state: Vec<Complex64>,
     n: usize,
     threads: usize,
+    /// Cached handle on the global `array.gates` counter (one registry
+    /// lookup per simulator, one relaxed add per gate).
+    gates_applied: qtelemetry::Counter,
 }
 
 impl ArraySimulator {
@@ -41,6 +44,7 @@ impl ArraySimulator {
             state,
             n,
             threads: threads.max(1),
+            gates_applied: qtelemetry::counter("array.gates"),
         })
     }
 
@@ -52,6 +56,7 @@ impl ArraySimulator {
             state,
             n,
             threads: threads.max(1),
+            gates_applied: qtelemetry::counter("array.gates"),
         }
     }
 
@@ -82,6 +87,7 @@ impl ArraySimulator {
 
     /// Applies one gate in place.
     pub fn apply(&mut self, gate: &Gate) {
+        self.gates_applied.inc();
         if self.threads > 1 {
             apply_gate_parallel(&mut self.state, gate, self.threads);
         } else {

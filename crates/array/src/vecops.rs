@@ -83,10 +83,15 @@ fn detect() -> Backend {
 }
 
 /// The backend in use, selected on first call and fixed for the process
-/// lifetime.
+/// lifetime. The selection is recorded as the `array.vecops_backend` label
+/// in the global metrics registry.
 #[inline]
 pub fn backend() -> Backend {
-    *BACKEND.get_or_init(detect)
+    *BACKEND.get_or_init(|| {
+        let b = detect();
+        qtelemetry::set_label("array.vecops_backend", b.name());
+        b
+    })
 }
 
 macro_rules! dispatch {

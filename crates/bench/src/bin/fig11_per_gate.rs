@@ -30,6 +30,7 @@ fn per_gate_times(
     flat.run(c).expect("benchmark run failed");
     let flat_times: Vec<f64> = flat.traces().iter().map(|t| t.seconds).collect();
     let converted_at = flat.stats().converted_at;
+    flat.publish_metrics();
 
     // DD engine, per gate, soft timeout.
     let mut dd_times = Vec::new();
@@ -115,5 +116,7 @@ fn main() {
             tail(&ar)
         );
     }
+    // Embed the unified metrics registry in the results file.
+    json.set_meta_raw(flatdd::telemetry::metrics_json());
     json.write_if(&args.json);
 }

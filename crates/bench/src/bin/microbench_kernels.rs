@@ -145,6 +145,10 @@ fn main() {
     report("dmav_per_gate", secs, amps, &mut json);
 
     table.print();
+    // Embed the unified metrics registry (vecops backend label, DD package
+    // gauges) in the results file.
+    pkg.publish_metrics();
+    json.set_meta_raw(flatdd::telemetry::metrics_json());
     let path = args
         .json
         .clone()

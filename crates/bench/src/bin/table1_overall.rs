@@ -130,5 +130,7 @@ fn main() {
         "  memory vs Quantum++-eq   : {:.2}x less (paper: 1.93x)",
         geo_mean(&qpp_mem_ratio)
     );
+    // Embed the unified metrics registry in the results file.
+    json.set_meta_raw(flatdd::telemetry::metrics_json());
     json.write_if(&args.json);
 }

@@ -1,0 +1,126 @@
+//! Telemetry overhead gate: verifies that the instrumented per-gate path
+//! stays within a configurable budget of the telemetry-disabled path.
+//!
+//! Methodology: one long-lived FlatDD simulator in the DMAV phase (the
+//! `Immediate` conversion policy converts on the first gate) applies the
+//! same unitary gate batch over and over. Batches alternate between
+//! telemetry *disabled* (no sinks — the fast path is one relaxed atomic
+//! load) and telemetry *enabled* into a null sink (events are constructed
+//! and dispatched, then dropped). Taking the *minimum* over `--reps`
+//! interleaved pairs filters scheduler noise (telemetry cost is strictly
+//! additive, so best-vs-best is the honest comparison); the reported
+//! overhead is `(enabled - disabled) / disabled`.
+//!
+//! Exits non-zero when the enabled-path overhead exceeds
+//! `--max-overhead-pct` (default 2.0), so CI can gate on it.
+
+use flatdd::telemetry::{self, Event, EventSink};
+use flatdd::{CachingPolicy, ConversionPolicy, FlatDdConfig, FlatDdSimulator};
+use qcircuit::gate::{Control, Gate, GateKind};
+use std::time::Instant;
+
+/// Swallows every event after full dispatch (measures emit cost, not I/O).
+struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// The unitary batch: rotations and entanglers cycling over all qubits, so
+/// the state stays normalized no matter how many times it is applied.
+fn gate_batch(n: usize, len: usize) -> Vec<Gate> {
+    (0..len)
+        .map(|i| {
+            let q = i % n;
+            match i % 3 {
+                0 => Gate::new(GateKind::RX(0.3 + 0.01 * q as f64), q),
+                1 => Gate::new(GateKind::RY(0.7 - 0.02 * q as f64), q),
+                _ => Gate::controlled(GateKind::X, (q + 1) % n, vec![Control::pos(q)]),
+            }
+        })
+        .collect()
+}
+
+fn apply_batch(sim: &mut FlatDdSimulator, batch: &[Gate]) -> f64 {
+    let start = Instant::now();
+    for g in batch {
+        sim.apply(g).expect("overhead batch must stay in budget");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut max_overhead_pct = 2.0f64;
+    let mut reps = 15usize;
+    let mut n = 14usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--max-overhead-pct" => {
+                max_overhead_pct = val("--max-overhead-pct").parse().unwrap_or(2.0)
+            }
+            "--reps" => reps = val("--reps").parse().unwrap_or(15),
+            "--qubits" => n = val("--qubits").parse().unwrap_or(14),
+            other => {
+                eprintln!(
+                    "unknown flag `{other}`\n\nUsage: telemetry_overhead \
+                     [--max-overhead-pct p] [--reps r] [--qubits n]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    reps = reps.max(3);
+
+    let mut sim = FlatDdSimulator::new(
+        n,
+        FlatDdConfig {
+            threads: 1,
+            conversion: ConversionPolicy::Immediate,
+            caching: CachingPolicy::Always,
+            ..Default::default()
+        },
+    );
+    let batch = gate_batch(n, 64);
+    // Warm-up: trigger the conversion, fault in buffers, fill the plan cache.
+    for _ in 0..3 {
+        apply_batch(&mut sim, &batch);
+    }
+
+    let (mut disabled, mut enabled) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        assert!(!telemetry::enabled(), "leaked sink before disabled batch");
+        disabled.push(apply_batch(&mut sim, &batch));
+        let id = telemetry::add_sink(Box::new(NullSink));
+        enabled.push(apply_batch(&mut sim, &batch));
+        telemetry::remove_sink(id);
+    }
+    let (dis, en) = (best(&disabled), best(&enabled));
+    let overhead_pct = (en - dis) / dis * 100.0;
+    let per_gate_ns = dis * 1e9 / batch.len() as f64;
+    println!(
+        "telemetry overhead: {n} qubits, {} gates/batch, {reps} reps",
+        batch.len()
+    );
+    println!(
+        "  disabled : {:.3} ms/batch ({per_gate_ns:.0} ns/gate)",
+        dis * 1e3
+    );
+    println!("  enabled  : {:.3} ms/batch (null sink)", en * 1e3);
+    println!("  overhead : {overhead_pct:+.2}% (budget {max_overhead_pct:.2}%)");
+    if overhead_pct > max_overhead_pct {
+        eprintln!("FAIL: telemetry overhead {overhead_pct:.2}% > {max_overhead_pct:.2}%");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

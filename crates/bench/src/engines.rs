@@ -131,6 +131,7 @@ pub fn run_flatdd(circuit: &Circuit, cfg: FlatDdConfig, timeout_secs: f64) -> En
     }
     let seconds = start.elapsed().as_secs_f64();
     let stats = sim.stats();
+    sim.publish_metrics();
     EngineResult {
         seconds,
         outcome,

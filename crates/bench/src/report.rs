@@ -88,6 +88,7 @@ impl Table {
 /// extra dependency for the harness outputs.
 pub struct JsonWriter {
     records: Vec<Vec<(String, JsonValue)>>,
+    meta: Option<String>,
 }
 
 /// A JSON scalar.
@@ -149,7 +150,16 @@ impl JsonWriter {
     pub fn new() -> Self {
         JsonWriter {
             records: Vec::new(),
+            meta: None,
         }
+    }
+
+    /// Attaches an already-serialized JSON value (e.g.
+    /// `flatdd::telemetry::metrics_json()`) as run metadata: the output
+    /// becomes `{"metrics": <raw>, "records": [...]}` instead of a bare
+    /// array. The string must be valid JSON; it is embedded verbatim.
+    pub fn set_meta_raw(&mut self, raw_json: String) {
+        self.meta = Some(raw_json);
     }
 
     /// Appends one flat record.
@@ -162,8 +172,20 @@ impl JsonWriter {
         );
     }
 
-    /// Serializes all records as a JSON array.
+    /// Serializes the records — a bare JSON array, or (with
+    /// [`Self::set_meta_raw`]) an object wrapping metadata and records.
     pub fn render(&self) -> String {
+        match &self.meta {
+            None => self.render_records(),
+            Some(meta) => format!(
+                "{{\n\"metrics\": {},\n\"records\": {}\n}}",
+                meta,
+                self.render_records()
+            ),
+        }
+    }
+
+    fn render_records(&self) -> String {
         let mut out = String::from("[\n");
         for (i, rec) in self.records.iter().enumerate() {
             out.push_str("  {");

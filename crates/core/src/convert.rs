@@ -18,6 +18,8 @@ use crate::pool::ThreadPool;
 use qarray::{vecops, SyncUnsafeSlice};
 use qcircuit::Complex64;
 use qdd::{DdPackage, VEdge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A leaf work item: fill the sub-vector of `edge` starting at `index`.
 #[derive(Clone, Copy, Debug)]
@@ -169,6 +171,20 @@ fn fill_rec(
     fill_rec(pkg, node.e[1], index + half, w, view);
 }
 
+/// Telemetry breakdown of one parallel conversion — the Figure 4a
+/// load-balance data surfaced per worker.
+#[derive(Clone, Debug, Default)]
+pub struct ConversionBreakdown {
+    /// Fill tasks assigned to each worker (index = pool thread id).
+    pub fill_tasks: Vec<usize>,
+    /// Wall-clock nanoseconds each worker spent filling. Empty when
+    /// telemetry is disabled — the per-worker clocks are only read when a
+    /// sink is listening.
+    pub worker_nanos: Vec<u64>,
+    /// Deferred scalar-multiplication tasks (the Figure 4b optimization).
+    pub scalar_tasks: usize,
+}
+
 /// Converts a vector DD into a flat array using the pool — the FlatDD
 /// parallel conversion of Figure 4.
 pub fn dd_to_array_parallel(
@@ -178,27 +194,38 @@ pub fn dd_to_array_parallel(
     pool: &ThreadPool,
 ) -> Vec<Complex64> {
     let mut out = vec![Complex64::ZERO; 1usize << n];
-    dd_to_array_parallel_into(pkg, root, n, pool, &mut out);
+    let _ = dd_to_array_parallel_into(pkg, root, n, pool, &mut out);
     out
 }
 
 /// Same as [`dd_to_array_parallel`] but writing into a caller buffer
-/// (which must be zeroed).
+/// (which must be zeroed). Returns the per-worker breakdown for telemetry.
 pub fn dd_to_array_parallel_into(
     pkg: &DdPackage,
     root: VEdge,
     n: usize,
     pool: &ThreadPool,
     out: &mut [Complex64],
-) {
+) -> ConversionBreakdown {
     assert_eq!(out.len(), 1usize << n);
     let t = pool.size();
     let plan = ConversionPlan::build(pkg, root, n, t);
     let view = SyncUnsafeSlice::new(out);
-    // Phase 1: parallel fill of disjoint ranges.
+    // Phase 1: parallel fill of disjoint ranges. Per-worker wall clocks are
+    // only taken when a telemetry sink is installed.
+    let timed = qtelemetry::enabled();
+    let clocks: Vec<AtomicU64> = if timed {
+        (0..t).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
     pool.run(|tid| {
+        let t0 = timed.then(Instant::now);
         for task in &plan.fill[tid] {
             fill_task(pkg, task, &view);
+        }
+        if let Some(t0) = t0 {
+            clocks[tid].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     });
     // Phase 2: scalar multiplications, deepest first (a shallower task's
@@ -222,6 +249,11 @@ pub fn dd_to_array_parallel_into(
             };
             vecops::scale(dst, st.factor, src);
         });
+    }
+    ConversionBreakdown {
+        fill_tasks: plan.fill_counts(),
+        worker_nanos: clocks.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        scalar_tasks: plan.scalar.len(),
     }
 }
 

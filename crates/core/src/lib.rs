@@ -27,6 +27,9 @@
 //!   degradation, and the numerical-health watchdog.
 //! * [`error`] — [`FlatDdError`], the typed (panic-free) error surface,
 //!   and [`RunOutcome`], the (possibly partial) run snapshot.
+//! * [`telemetry`] — the unified observability surface (structured gate
+//!   events, Chrome-trace export, cross-crate metrics registry),
+//!   re-exported from the `qtelemetry` crate.
 //!
 //! ## Quick start
 //!
@@ -57,7 +60,14 @@ pub mod pool;
 pub mod sim;
 pub mod trajectories;
 
-pub use convert::{dd_to_array_parallel, ConversionPlan};
+/// The unified telemetry surface (structured events, Chrome-trace export,
+/// cross-crate metrics registry), re-exported so downstream users need only
+/// depend on `flatdd`.
+pub use qtelemetry as telemetry;
+
+pub use convert::{
+    dd_to_array_parallel, dd_to_array_parallel_into, ConversionBreakdown, ConversionPlan,
+};
 pub use cost::{CostAnalysis, CostModel};
 pub use dmav::{dmav, dmav_no_cache, DmavAssignment};
 pub use dmav_cache::{dmav_cached, DmavCacheAssignment, DmavCacheRunStats, PartialBuffers};

@@ -44,6 +44,19 @@ pub enum ConversionPolicy {
     Never,
 }
 
+impl ConversionPolicy {
+    /// Compact policy name used in telemetry events and the phase-transition
+    /// log line (`"ewma"`, `"at-gate"`, `"immediate"`, `"never"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConversionPolicy::Ewma(_) => "ewma",
+            ConversionPolicy::AtGate(_) => "at-gate",
+            ConversionPolicy::Immediate => "immediate",
+            ConversionPolicy::Never => "never",
+        }
+    }
+}
+
 /// Per-gate kernel selection for DMAV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CachingPolicy {
@@ -120,6 +133,16 @@ pub enum Phase {
     Dmav,
 }
 
+impl Phase {
+    /// Lower-case label used in telemetry events (`"dd"` / `"dmav"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Dd => "dd",
+            Phase::Dmav => "dmav",
+        }
+    }
+}
+
 /// One per-gate trace record (the Figure 11 data).
 #[derive(Clone, Copy, Debug)]
 pub struct GateTrace {
@@ -167,6 +190,77 @@ pub struct FlatDdStats {
     pub dmav_plan_hits: usize,
     /// DMAV plan-cache lookups that had to build a fresh assignment.
     pub dmav_plan_misses: usize,
+    /// DD compute-table matrix-vector probes (since the last per-run reset).
+    pub ct_mv_lookups: u64,
+    /// DD compute-table matrix-vector hits.
+    pub ct_mv_hits: u64,
+    /// Matrix-vector hit ratio (`0.0` when there were no probes).
+    pub ct_mv_hit_rate: f64,
+    /// DD compute-table matrix-matrix probes.
+    pub ct_mm_lookups: u64,
+    /// DD compute-table matrix-matrix hits.
+    pub ct_mm_hits: u64,
+    /// Matrix-matrix hit ratio.
+    pub ct_mm_hit_rate: f64,
+    /// DD compute-table addition probes (vector + matrix adds).
+    pub ct_add_lookups: u64,
+    /// DD compute-table addition hits.
+    pub ct_add_hits: u64,
+    /// Addition hit ratio.
+    pub ct_add_hit_rate: f64,
+}
+
+impl FlatDdStats {
+    /// Serializes the statistics as one stable JSON object (fields in
+    /// declaration order; `converted_at` is `null` when no conversion
+    /// happened). This is what the CLI's `--stats-json` prints.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn num(o: &mut String, k: &str, v: f64) {
+            use std::fmt::Write as _;
+            if v.is_finite() {
+                let _ = write!(o, "\"{k}\": {v}, ");
+            } else {
+                let _ = write!(o, "\"{k}\": null, ");
+            }
+        }
+        let mut o = String::from("{");
+        let _ = write!(o, "\"gates_dd\": {}, ", self.gates_dd);
+        let _ = write!(o, "\"gates_dmav\": {}, ", self.gates_dmav);
+        match self.converted_at {
+            Some(at) => {
+                let _ = write!(o, "\"converted_at\": {at}, ");
+            }
+            None => o.push_str("\"converted_at\": null, "),
+        }
+        num(&mut o, "conversion_seconds", self.conversion_seconds);
+        let _ = write!(o, "\"cached_dmavs\": {}, ", self.cached_dmavs);
+        let _ = write!(o, "\"uncached_dmavs\": {}, ", self.uncached_dmavs);
+        let _ = write!(o, "\"cache_hits\": {}, ", self.cache_hits);
+        let _ = write!(o, "\"fused_matrices\": {}, ", self.fused_matrices);
+        num(&mut o, "modeled_cost", self.modeled_cost);
+        let _ = write!(o, "\"peak_state_dd_size\": {}, ", self.peak_state_dd_size);
+        let _ = write!(o, "\"conversion_refusals\": {}, ", self.conversion_refusals);
+        let _ = write!(o, "\"pressure_gcs\": {}, ", self.pressure_gcs);
+        let _ = write!(o, "\"dmav_plan_hits\": {}, ", self.dmav_plan_hits);
+        let _ = write!(o, "\"dmav_plan_misses\": {}, ", self.dmav_plan_misses);
+        let _ = write!(o, "\"ct_mv_lookups\": {}, ", self.ct_mv_lookups);
+        let _ = write!(o, "\"ct_mv_hits\": {}, ", self.ct_mv_hits);
+        num(&mut o, "ct_mv_hit_rate", self.ct_mv_hit_rate);
+        let _ = write!(o, "\"ct_mm_lookups\": {}, ", self.ct_mm_lookups);
+        let _ = write!(o, "\"ct_mm_hits\": {}, ", self.ct_mm_hits);
+        num(&mut o, "ct_mm_hit_rate", self.ct_mm_hit_rate);
+        let _ = write!(o, "\"ct_add_lookups\": {}, ", self.ct_add_lookups);
+        let _ = write!(o, "\"ct_add_hits\": {}, ", self.ct_add_hits);
+        // Last field without the trailing separator.
+        if self.ct_add_hit_rate.is_finite() {
+            let _ = write!(o, "\"ct_add_hit_rate\": {}", self.ct_add_hit_rate);
+        } else {
+            o.push_str("\"ct_add_hit_rate\": null");
+        }
+        o.push('}');
+        o
+    }
 }
 
 enum Repr {
@@ -200,6 +294,20 @@ pub struct FlatDdSimulator {
     /// Set after a refused conversion so the policy does not re-attempt
     /// (and re-refuse) the conversion on every subsequent gate.
     conversion_blocked: bool,
+    /// Process-unique id stamped on this simulator's telemetry events.
+    telemetry_id: u64,
+    /// Plan-cache counters at the last per-run stats reset: the cache is
+    /// shared across runs, so per-run numbers are deltas from here.
+    plan_hits_base: u64,
+    plan_misses_base: u64,
+    /// Compute-table counters at the last per-run stats reset.
+    compute_base: qdd::ComputeStats,
+    /// Whether the most recent DMAV's plan lookup hit the cache.
+    last_plan_hit: Option<bool>,
+    /// Cached global-counter handles (one registry lookup per simulator,
+    /// one relaxed add per gate).
+    ctr_gates_dd: qtelemetry::Counter,
+    ctr_gates_dmav: qtelemetry::Counter,
 }
 
 impl FlatDdSimulator {
@@ -270,6 +378,13 @@ impl FlatDdSimulator {
             gov,
             run_total: None,
             conversion_blocked,
+            telemetry_id: qtelemetry::next_id(),
+            plan_hits_base: 0,
+            plan_misses_base: 0,
+            compute_base: qdd::ComputeStats::default(),
+            last_plan_hit: None,
+            ctr_gates_dd: qtelemetry::counter("core.gates_dd"),
+            ctr_gates_dmav: qtelemetry::counter("core.gates_dmav"),
         })
     }
 
@@ -291,9 +406,33 @@ impl FlatDdSimulator {
         }
     }
 
-    /// Aggregate run statistics.
+    /// Process-unique id identifying this simulator in telemetry events.
+    pub fn telemetry_id(&self) -> u64 {
+        self.telemetry_id
+    }
+
+    /// Aggregate run statistics, including the DD compute-table hit rates
+    /// (computed as deltas from the last per-run reset).
     pub fn stats(&self) -> FlatDdStats {
-        self.stats
+        fn ratio(hits: u64, lookups: u64) -> f64 {
+            if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            }
+        }
+        let mut s = self.stats;
+        let c = self.pkg.compute_stats();
+        s.ct_mv_lookups = c.mv_lookups.saturating_sub(self.compute_base.mv_lookups);
+        s.ct_mv_hits = c.mv_hits.saturating_sub(self.compute_base.mv_hits);
+        s.ct_mv_hit_rate = ratio(s.ct_mv_hits, s.ct_mv_lookups);
+        s.ct_mm_lookups = c.mm_lookups.saturating_sub(self.compute_base.mm_lookups);
+        s.ct_mm_hits = c.mm_hits.saturating_sub(self.compute_base.mm_hits);
+        s.ct_mm_hit_rate = ratio(s.ct_mm_hits, s.ct_mm_lookups);
+        s.ct_add_lookups = c.add_lookups.saturating_sub(self.compute_base.add_lookups);
+        s.ct_add_hits = c.add_hits.saturating_sub(self.compute_base.add_hits);
+        s.ct_add_hit_rate = ratio(s.ct_add_hits, s.ct_add_lookups);
+        s
     }
 
     /// Per-gate trace (empty unless `cfg.trace`).
@@ -314,11 +453,33 @@ impl FlatDdSimulator {
             gates_applied: self.gates_seen,
             total_gates: self.run_total.unwrap_or(self.gates_seen),
             phase: self.phase(),
-            stats: self.stats,
+            stats: self.stats(),
         }
     }
 
     fn breach_to_error(&self, breach: Breach) -> FlatDdError {
+        if qtelemetry::enabled() {
+            let (action, detail) = match &breach {
+                Breach::Memory {
+                    budget_bytes,
+                    observed_bytes,
+                    context,
+                } => (
+                    "memory_breach",
+                    format!("budget={budget_bytes} observed={observed_bytes} ({context})"),
+                ),
+                Breach::Deadline { budget, elapsed } => (
+                    "deadline_breach",
+                    format!("budget={budget:?} elapsed={elapsed:?}"),
+                ),
+            };
+            qtelemetry::emit(qtelemetry::Event::Governor {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                action,
+                detail,
+            });
+        }
         match breach {
             Breach::Memory {
                 budget_bytes,
@@ -351,6 +512,15 @@ impl FlatDdSimulator {
         };
         self.pkg.flush_caches();
         self.stats.pressure_gcs += 1;
+        qtelemetry::counter("core.pressure_gcs").inc();
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::Governor {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                action: "pressure_gc",
+                detail: format!("memory_bytes={}", self.memory_bytes()),
+            });
+        }
     }
 
     /// Memory-budget enforcement, called after each gate: on a breach the
@@ -391,12 +561,25 @@ impl FlatDdSimulator {
     /// normalization invariant (outgoing weights of every vector node have
     /// 2-norm 1) makes the state norm equal to the root weight's magnitude,
     /// so the check is O(1); in the DMAV phase it scans the flat array.
+    /// Emits a watchdog telemetry event (no-op when telemetry is off).
+    fn watchdog_note(&self, norm: f64, ok: bool) {
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::Watchdog {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                norm,
+                ok,
+            });
+        }
+    }
+
     fn enforce_health(&mut self) -> Result<(), FlatDdError> {
         if !self.gov.health_check_due() {
             return Ok(());
         }
+        qtelemetry::counter("core.watchdog_checks").inc();
         let tol = self.gov.config().norm_tolerance;
-        match &self.repr {
+        let norm = match &self.repr {
             Repr::Dd(s) => {
                 let norm = if s.is_zero() {
                     0.0
@@ -404,18 +587,21 @@ impl FlatDdSimulator {
                     self.pkg.cval(s.w).abs()
                 };
                 if !norm.is_finite() || (norm - 1.0).abs() > tol {
+                    self.watchdog_note(norm, false);
                     return Err(FlatDdError::NumericalDivergence {
                         norm,
                         detail: "DD root weight drifted from unit norm".into(),
                         partial: Box::new(self.snapshot()),
                     });
                 }
+                norm
             }
             Repr::Flat { v, .. } => {
                 // The vectorized reduction propagates non-finite amplitudes
                 // into the sum, so one pass covers both checks.
                 let sq = vecops::norm_sqr(v);
                 if !sq.is_finite() {
+                    self.watchdog_note(f64::NAN, false);
                     return Err(FlatDdError::NumericalDivergence {
                         norm: f64::NAN,
                         detail: "non-finite amplitude in flat state".into(),
@@ -424,14 +610,17 @@ impl FlatDdSimulator {
                 }
                 let norm = sq.sqrt();
                 if (norm - 1.0).abs() > tol {
+                    self.watchdog_note(norm, false);
                     return Err(FlatDdError::NumericalDivergence {
                         norm,
                         detail: "flat state norm drifted from 1".into(),
                         partial: Box::new(self.snapshot()),
                     });
                 }
+                norm
             }
-        }
+        };
+        self.watchdog_note(norm, true);
         Ok(())
     }
 
@@ -440,9 +629,12 @@ impl FlatDdSimulator {
         self.gov
             .check_deadline()
             .map_err(|b| self.breach_to_error(b))?;
-        let start = self.cfg.trace.then(Instant::now);
+        let telemetry = qtelemetry::enabled();
+        let start = (self.cfg.trace || telemetry).then(Instant::now);
+        let ts_us = telemetry.then(qtelemetry::now_us);
         let phase = self.phase();
         let mut dd_size = None;
+        self.last_plan_hit = None;
         match &mut self.repr {
             Repr::Dd(_) => {
                 self.apply_dd(gate);
@@ -453,12 +645,26 @@ impl FlatDdSimulator {
                 self.apply_dmav(m)?;
             }
         }
-        if let Some(s) = start {
+        let seconds = start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
+        if self.cfg.trace {
             self.traces.push(GateTrace {
                 gate_index: self.gates_seen,
                 phase,
-                seconds: s.elapsed().as_secs_f64(),
+                seconds,
                 dd_size,
+            });
+        }
+        if telemetry {
+            qtelemetry::emit(qtelemetry::Event::Gate {
+                sim: self.telemetry_id,
+                ts_us: ts_us.unwrap_or(0.0),
+                dur_us: seconds * 1e6,
+                index: self.gates_seen,
+                phase: phase.label(),
+                dd_size,
+                ewma: (phase == Phase::Dd).then(|| self.ewma.value()),
+                plan_hit: self.last_plan_hit,
+                fused: false,
             });
         }
         self.gates_seen += 1;
@@ -479,18 +685,52 @@ impl FlatDdSimulator {
                 self.n
             )));
         }
+        self.reset_run_stats();
+        qtelemetry::counter("core.runs").inc();
         let gates = circuit.gates();
         let total = self.gates_seen + gates.len();
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::RunStart {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                qubits: self.n,
+                threads: self.t,
+                gates: gates.len(),
+                phase: self.phase().label(),
+            });
+        }
         self.run_total = Some(total);
         let result = self.run_gates(gates);
         self.run_total = None;
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::RunEnd {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                gates_applied: self.gates_seen,
+                phase: self.phase().label(),
+                ok: result.is_ok(),
+            });
+        }
         result?;
         Ok(RunOutcome {
             gates_applied: self.gates_seen,
             total_gates: total,
             phase: self.phase(),
-            stats: self.stats,
+            stats: self.stats(),
         })
+    }
+
+    /// Resets the per-run statistics at the top of [`Self::run`]: the
+    /// aggregate counters restart from zero, while monotonic sources (plan
+    /// cache, DD compute tables) are re-baselined so [`Self::stats`]
+    /// reports deltas attributable to this run.
+    fn reset_run_stats(&mut self) {
+        self.stats = FlatDdStats::default();
+        self.traces.clear();
+        self.plan_hits_base = self.plans.hits();
+        self.plan_misses_base = self.plans.misses();
+        self.compute_base = self.pkg.compute_stats();
+        self.last_plan_hit = None;
     }
 
     fn run_gates(&mut self, gates: &[Gate]) -> Result<(), FlatDdError> {
@@ -520,6 +760,9 @@ impl FlatDdSimulator {
 
     fn run_fused(&mut self, gates: &[Gate]) -> Result<(), FlatDdError> {
         debug_assert_eq!(self.phase(), Phase::Dmav);
+        let telemetry = qtelemetry::enabled();
+        let fuse_ts = telemetry.then(qtelemetry::now_us);
+        let fuse_t0 = telemetry.then(Instant::now);
         let fused: FusedGates = match self.cfg.fusion {
             FusionPolicy::DmavAware => fuse_dmav_aware(
                 &mut self.pkg,
@@ -544,18 +787,45 @@ impl FlatDdSimulator {
         };
         self.mac.clear(); // fusion may have GC'd the package
         self.stats.fused_matrices = fused.matrices.len();
+        if telemetry {
+            qtelemetry::emit(qtelemetry::Event::Fusion {
+                sim: self.telemetry_id,
+                ts_us: fuse_ts.unwrap_or(0.0),
+                dur_us: fuse_t0
+                    .map(|t| t.elapsed().as_secs_f64() * 1e6)
+                    .unwrap_or(0.0),
+                gates_in: gates.len(),
+                matrices_out: fused.matrices.len(),
+            });
+        }
         for (k, &m) in fused.matrices.iter().enumerate() {
             self.gov
                 .check_deadline()
                 .map_err(|b| self.breach_to_error(b))?;
-            let start = self.cfg.trace.then(Instant::now);
+            let start = (self.cfg.trace || telemetry).then(Instant::now);
+            let ts_us = telemetry.then(qtelemetry::now_us);
+            self.last_plan_hit = None;
             self.apply_dmav(m)?;
-            if let Some(s) = start {
+            let seconds = start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
+            if self.cfg.trace {
                 self.traces.push(GateTrace {
                     gate_index: self.gates_seen,
                     phase: Phase::Dmav,
-                    seconds: s.elapsed().as_secs_f64(),
+                    seconds,
                     dd_size: None,
+                });
+            }
+            if telemetry {
+                qtelemetry::emit(qtelemetry::Event::Gate {
+                    sim: self.telemetry_id,
+                    ts_us: ts_us.unwrap_or(0.0),
+                    dur_us: seconds * 1e6,
+                    index: self.gates_seen + k,
+                    phase: "dmav",
+                    dd_size: None,
+                    ewma: None,
+                    plan_hit: self.last_plan_hit,
+                    fused: true,
                 });
             }
             // GC between fused DMAVs keeps matrix DDs bounded; remaining
@@ -581,6 +851,7 @@ impl FlatDdSimulator {
         let new_state = self.pkg.mul_mv(g, state);
         self.repr = Repr::Dd(new_state);
         self.stats.gates_dd += 1;
+        self.ctr_gates_dd.inc();
         let live = self.pkg.stats();
         if live.v_nodes + live.m_nodes > self.gc_threshold {
             self.pkg.gc(&[new_state], &[]);
@@ -609,7 +880,7 @@ impl FlatDdSimulator {
         };
         if convert && !self.conversion_blocked {
             match self.convert_now() {
-                Ok(()) => {}
+                Ok(()) => self.phase_transition_note(size),
                 Err(
                     FlatDdError::MemoryBudgetExceeded { .. } | FlatDdError::AllocationFailed { .. },
                 ) => {
@@ -621,6 +892,31 @@ impl FlatDdSimulator {
             }
         }
         Ok(Some(size))
+    }
+
+    /// Announces the DD-to-DMAV phase transition: a one-line human log on
+    /// stderr (disable with `FLATDD_PHASE_LOG=0`) plus a structured
+    /// [`qtelemetry::Event::PhaseTransition`] when telemetry is on.
+    fn phase_transition_note(&self, dd_size: usize) {
+        let at_gate = self.gates_seen;
+        let ewma = self.ewma.value();
+        let policy = self.cfg.conversion.label();
+        if phase_log_enabled() {
+            eprintln!(
+                "[flatdd] phase transition at gate {at_gate}: dd_size={dd_size} \
+                 ewma={ewma:.1} policy={policy} -> dmav"
+            );
+        }
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::PhaseTransition {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                at_gate,
+                dd_size,
+                ewma,
+                policy,
+            });
+        }
     }
 
     /// Forces the DD-to-DMAV conversion (parallel DD-to-array, Section
@@ -646,6 +942,7 @@ impl FlatDdSimulator {
                 .admits_allocation(self.memory_bytes(), 2 * bytes_each)
             {
                 self.stats.conversion_refusals += 1;
+                self.conversion_refusal_note();
                 let budget = self.gov.config().memory_budget_bytes.unwrap_or(usize::MAX);
                 return Err(FlatDdError::MemoryBudgetExceeded {
                     budget_bytes: budget,
@@ -655,29 +952,71 @@ impl FlatDdSimulator {
                 });
             }
         }
+        let telemetry = qtelemetry::enabled();
+        let ts_us = telemetry.then(qtelemetry::now_us);
         let start = Instant::now();
         let mut v = match try_flat_buffer(dim, "conversion output") {
             Ok(v) => v,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
+                self.conversion_refusal_note();
                 return Err(e);
             }
         };
-        dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v);
+        let breakdown = dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v);
         let w = match try_flat_buffer(dim, "DMAV scratch vector") {
             Ok(w) => w,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
+                self.conversion_refusal_note();
                 return Err(e);
             }
         };
         self.stats.conversion_seconds = start.elapsed().as_secs_f64();
         self.stats.converted_at = Some(self.gates_seen);
+        qtelemetry::counter("core.conversions").inc();
+        if telemetry {
+            let workers = breakdown
+                .fill_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &tasks)| qtelemetry::WorkerFill {
+                    worker: i,
+                    tasks,
+                    dur_us: breakdown.worker_nanos.get(i).copied().unwrap_or(0) as f64 / 1e3,
+                })
+                .collect();
+            qtelemetry::emit(qtelemetry::Event::Conversion {
+                sim: self.telemetry_id,
+                ts_us: ts_us.unwrap_or(0.0),
+                dur_us: self.stats.conversion_seconds * 1e6,
+                at_gate: self.gates_seen,
+                workers,
+                scalar_tasks: breakdown.scalar_tasks,
+            });
+        }
         self.repr = Repr::Flat { v, w };
         // Drop all vector nodes (and stale gate matrices).
         self.pkg.gc(&[], &[]);
         self.mac.clear();
         Ok(())
+    }
+
+    /// Telemetry note for a refused conversion (counter + governor event).
+    fn conversion_refusal_note(&self) {
+        qtelemetry::counter("core.conversion_refusals").inc();
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::Governor {
+                sim: self.telemetry_id,
+                ts_us: qtelemetry::now_us(),
+                action: "conversion_refused",
+                detail: format!(
+                    "at_gate={} memory_bytes={}",
+                    self.gates_seen,
+                    self.memory_bytes()
+                ),
+            });
+        }
     }
 
     /// One DMAV step with the configured kernel policy. The assignment is
@@ -689,6 +1028,7 @@ impl FlatDdSimulator {
             Plain(Arc<DmavAssignment>),
         }
         let (n, t) = (self.n, self.t);
+        let hits_before = self.plans.hits();
         let plan = match self.cfg.caching {
             CachingPolicy::Always => Plan::Cached(self.plans.get_cached(&self.pkg, m, n, t)?),
             CachingPolicy::Never => Plan::Plain(self.plans.get_plain(&self.pkg, m, n, t)?),
@@ -710,8 +1050,12 @@ impl FlatDdSimulator {
                 }
             }
         };
-        self.stats.dmav_plan_hits = self.plans.hits() as usize;
-        self.stats.dmav_plan_misses = self.plans.misses() as usize;
+        // Cache counters are monotonic across the simulator's lifetime; the
+        // stats report the delta attributable to the current run.
+        self.stats.dmav_plan_hits = self.plans.hits().saturating_sub(self.plan_hits_base) as usize;
+        self.stats.dmav_plan_misses =
+            self.plans.misses().saturating_sub(self.plan_misses_base) as usize;
+        self.last_plan_hit = Some(self.plans.hits() > hits_before);
         let (v, w) = match &mut self.repr {
             Repr::Flat { v, w } => (v, w),
             Repr::Dd(_) => unreachable!("apply_dmav requires the flat representation"),
@@ -729,6 +1073,7 @@ impl FlatDdSimulator {
         }
         std::mem::swap(v, w);
         self.stats.gates_dmav += 1;
+        self.ctr_gates_dmav.inc();
         // Bound matrix-DD growth in long unfused DMAV phases. (The GC bumps
         // the package epoch, which invalidates the plan cache on the next
         // lookup — node ids may be recycled.)
@@ -856,6 +1201,56 @@ impl FlatDdSimulator {
             + self.scratch.memory_bytes()
             + self.plans.memory_bytes()
     }
+
+    /// Publishes a gauge snapshot of this simulator (run stats, plan cache,
+    /// governor, DD package) into the global [`qtelemetry`] metrics
+    /// registry, for serialization via [`qtelemetry::metrics_json`].
+    pub fn publish_metrics(&self) {
+        let s = self.stats();
+        qtelemetry::gauge("sim.gates_dd").set(s.gates_dd as f64);
+        qtelemetry::gauge("sim.gates_dmav").set(s.gates_dmav as f64);
+        qtelemetry::gauge("sim.converted_at").set(s.converted_at.map_or(-1.0, |g| g as f64));
+        qtelemetry::gauge("sim.conversion_seconds").set(s.conversion_seconds);
+        qtelemetry::gauge("sim.conversion_refusals").set(s.conversion_refusals as f64);
+        qtelemetry::gauge("sim.pressure_gcs").set(s.pressure_gcs as f64);
+        qtelemetry::gauge("sim.cached_dmavs").set(s.cached_dmavs as f64);
+        qtelemetry::gauge("sim.uncached_dmavs").set(s.uncached_dmavs as f64);
+        qtelemetry::gauge("sim.cache_hits").set(s.cache_hits as f64);
+        qtelemetry::gauge("sim.fused_matrices").set(s.fused_matrices as f64);
+        qtelemetry::gauge("sim.modeled_cost").set(s.modeled_cost);
+        qtelemetry::gauge("sim.peak_state_dd_size").set(s.peak_state_dd_size as f64);
+        qtelemetry::gauge("sim.dmav_plan_hits").set(s.dmav_plan_hits as f64);
+        qtelemetry::gauge("sim.dmav_plan_misses").set(s.dmav_plan_misses as f64);
+        qtelemetry::gauge("sim.ct_mv_hit_rate").set(s.ct_mv_hit_rate);
+        qtelemetry::gauge("sim.ct_mm_hit_rate").set(s.ct_mm_hit_rate);
+        qtelemetry::gauge("sim.ct_add_hit_rate").set(s.ct_add_hit_rate);
+        qtelemetry::gauge("sim.threads").set(self.t as f64);
+        qtelemetry::gauge("sim.memory_bytes").set(self.memory_bytes() as f64);
+        qtelemetry::gauge("plan_cache.entries").set(self.plans.len() as f64);
+        qtelemetry::gauge("plan_cache.memory_bytes").set(self.plans.memory_bytes() as f64);
+        qtelemetry::gauge("plan_cache.hits").set(self.plans.hits() as f64);
+        qtelemetry::gauge("plan_cache.misses").set(self.plans.misses() as f64);
+        qtelemetry::gauge("governor.elapsed_seconds").set(self.gov.elapsed().as_secs_f64());
+        if let Some(b) = self.gov.config().memory_budget_bytes {
+            qtelemetry::gauge("governor.memory_budget_bytes").set(b as f64);
+        }
+        // Forces backend detection so the `array.vecops_backend` label is
+        // present even for runs that never left the DD phase.
+        let _ = vecops::backend();
+        self.pkg.publish_metrics();
+    }
+}
+
+/// Whether the human-readable one-line phase-transition log is on (the
+/// default); `FLATDD_PHASE_LOG=0` (or `false`/`off`) silences it.
+fn phase_log_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        !matches!(
+            std::env::var("FLATDD_PHASE_LOG").as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Fallibly allocates a zeroed `dim`-element flat buffer, mapping allocator

@@ -40,6 +40,8 @@ pub struct DdPackage {
     /// sweep, so anything keyed by node id (e.g. the DMAV plan cache) must
     /// be dropped when this changes.
     gc_epoch: u64,
+    /// Process-unique id stamped on this package's telemetry events.
+    telemetry_id: u64,
 }
 
 impl Default for DdPackage {
@@ -59,7 +61,14 @@ impl DdPackage {
             id_cache: vec![MEdge::terminal(CIdx::ONE)],
             stamp: 0,
             gc_epoch: 0,
+            telemetry_id: qtelemetry::next_id(),
         }
+    }
+
+    /// Process-unique id identifying this package in telemetry events.
+    #[inline(always)]
+    pub fn telemetry_id(&self) -> u64 {
+        self.telemetry_id
     }
 
     /// Monotone garbage-collection epoch: incremented by every [`Self::gc`]
@@ -446,6 +455,8 @@ impl DdPackage {
     /// The operation caches are invalidated. Returns `(vector_nodes_freed,
     /// matrix_nodes_freed)`.
     pub fn gc(&mut self, v_roots: &[VEdge], m_roots: &[MEdge]) -> (usize, usize) {
+        let sweep_t0 =
+            qtelemetry::enabled().then(|| (qtelemetry::now_us(), std::time::Instant::now()));
         let stamp = self.next_stamp();
         let mut vstack: Vec<VEdge> = v_roots.to_vec();
         while let Some(cur) = vstack.pop() {
@@ -473,6 +484,18 @@ impl DdPackage {
         let fm = self.m.sweep(stamp);
         self.compute.clear();
         self.gc_epoch += 1;
+        qtelemetry::counter("dd.gc_sweeps").inc();
+        qtelemetry::counter("dd.gc_nodes_freed").add((fv + fm) as u64);
+        if let Some((ts_us, t0)) = sweep_t0 {
+            qtelemetry::emit(qtelemetry::Event::GcSweep {
+                pkg: self.telemetry_id,
+                ts_us,
+                dur_us: t0.elapsed().as_secs_f64() * 1e6,
+                v_freed: fv,
+                m_freed: fm,
+                epoch: self.gc_epoch,
+            });
+        }
         (fv, fm)
     }
 
@@ -485,6 +508,7 @@ impl DdPackage {
     pub fn flush_caches(&mut self) -> usize {
         let before = self.compute.memory_bytes();
         self.compute.shrink_for_pressure();
+        qtelemetry::counter("dd.cache_flushes").inc();
         before.saturating_sub(self.compute.memory_bytes())
     }
 
@@ -506,6 +530,34 @@ impl DdPackage {
     /// Hit/miss counters of the operation caches.
     pub fn compute_stats(&self) -> crate::ops::ComputeStats {
         self.compute.stats()
+    }
+
+    /// Publishes this package's statistics (node/table sizes, compute-table
+    /// hit rates) as gauges in the global [`qtelemetry`] metrics registry.
+    /// Call at snapshot boundaries (end of run, `--metrics-out` dump).
+    pub fn publish_metrics(&self) {
+        use qtelemetry::gauge;
+        fn ratio(hits: u64, lookups: u64) -> f64 {
+            if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            }
+        }
+        let s = self.stats();
+        gauge("dd.v_nodes").set(s.v_nodes as f64);
+        gauge("dd.m_nodes").set(s.m_nodes as f64);
+        gauge("dd.peak_v_nodes").set(s.peak_v_nodes as f64);
+        gauge("dd.peak_m_nodes").set(s.peak_m_nodes as f64);
+        gauge("dd.complex_values").set(s.complex_values as f64);
+        gauge("dd.memory_bytes").set(s.memory_bytes as f64);
+        let c = self.compute_stats();
+        gauge("dd.ct_mv_lookups").set(c.mv_lookups as f64);
+        gauge("dd.ct_mv_hit_rate").set(ratio(c.mv_hits, c.mv_lookups));
+        gauge("dd.ct_mm_lookups").set(c.mm_lookups as f64);
+        gauge("dd.ct_mm_hit_rate").set(ratio(c.mm_hits, c.mm_lookups));
+        gauge("dd.ct_add_lookups").set(c.add_lookups as f64);
+        gauge("dd.ct_add_hit_rate").set(ratio(c.add_hits, c.add_lookups));
     }
 }
 

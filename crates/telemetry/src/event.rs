@@ -1,0 +1,431 @@
+//! The structured event taxonomy and its JSONL serialization.
+//!
+//! Every event carries a `ts_us` timestamp on the process-wide telemetry
+//! clock ([`crate::now_us`]) and, where applicable, the id of the emitting
+//! simulator or DD package ([`crate::next_id`]). Span-like events
+//! (gates, conversions, fusion, GC sweeps) stamp their *start* time plus a
+//! `dur_us` duration, which is what the Chrome-trace exporter needs.
+
+use crate::{escape_into, json_f64};
+use std::fmt::Write as _;
+
+/// Per-worker share of the parallel DD-to-array conversion (the Figure 4a
+/// load-balance breakdown).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerFill {
+    /// Worker (pool thread) index.
+    pub worker: usize,
+    /// Fill tasks assigned to this worker.
+    pub tasks: usize,
+    /// Wall-clock microseconds this worker spent filling.
+    pub dur_us: f64,
+}
+
+/// One telemetry event.
+///
+/// The JSONL form (one object per line, [`Event::to_jsonl`]) keys each
+/// record with a stable `"type"` discriminant; field names match the Rust
+/// field names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A circuit run started on a simulator.
+    RunStart {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Start timestamp (µs on the telemetry clock).
+        ts_us: f64,
+        /// Qubit count.
+        qubits: usize,
+        /// Worker threads.
+        threads: usize,
+        /// Gates the run will apply.
+        gates: usize,
+        /// Phase the run starts in (`"dd"` / `"dmav"`).
+        phase: &'static str,
+    },
+    /// A circuit run finished (successfully or not).
+    RunEnd {
+        /// Emitting simulator id.
+        sim: u64,
+        /// End timestamp (µs).
+        ts_us: f64,
+        /// Gates applied over the simulator's lifetime.
+        gates_applied: usize,
+        /// Phase the run ended in.
+        phase: &'static str,
+        /// Whether the run completed without a typed error.
+        ok: bool,
+    },
+    /// One gate application (or one fused DMAV matrix).
+    Gate {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Gate start timestamp (µs).
+        ts_us: f64,
+        /// Gate duration (µs).
+        dur_us: f64,
+        /// Gate index in application order.
+        index: usize,
+        /// Phase the gate ran in (`"dd"` / `"dmav"`).
+        phase: &'static str,
+        /// State-vector DD size after the gate (DD phase only).
+        dd_size: Option<usize>,
+        /// EWMA monitor value after the gate (DD phase only).
+        ewma: Option<f64>,
+        /// Whether the DMAV plan cache answered this gate's plan lookup
+        /// (DMAV phase only).
+        plan_hit: Option<bool>,
+        /// True when this record covers a fused matrix rather than an
+        /// original circuit gate.
+        fused: bool,
+    },
+    /// The conversion policy fired: the run switches from DD to DMAV.
+    PhaseTransition {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Timestamp (µs).
+        ts_us: f64,
+        /// Gate index after which the transition happens.
+        at_gate: usize,
+        /// State-vector DD size at the transition.
+        dd_size: usize,
+        /// EWMA monitor value at the transition.
+        ewma: f64,
+        /// Conversion policy label (`"ewma"`, `"at-gate"`, ...).
+        policy: &'static str,
+    },
+    /// The parallel DD-to-array conversion, with its load-balance breakdown.
+    Conversion {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Conversion start timestamp (µs).
+        ts_us: f64,
+        /// Total conversion duration (µs).
+        dur_us: f64,
+        /// Gate index after which the conversion ran.
+        at_gate: usize,
+        /// Per-worker fill spans.
+        workers: Vec<WorkerFill>,
+        /// Deferred scalar-multiplication tasks (the Figure 4b optimization).
+        scalar_tasks: usize,
+    },
+    /// A gate-fusion pass (DMAV-aware or k-operations).
+    Fusion {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Fusion start timestamp (µs).
+        ts_us: f64,
+        /// Fusion planning duration (µs).
+        dur_us: f64,
+        /// Gates fed into the pass.
+        gates_in: usize,
+        /// Fused matrices produced.
+        matrices_out: usize,
+    },
+    /// A DD garbage-collection sweep.
+    GcSweep {
+        /// Emitting DD-package id.
+        pkg: u64,
+        /// Sweep start timestamp (µs).
+        ts_us: f64,
+        /// Sweep duration (µs).
+        dur_us: f64,
+        /// Vector nodes freed.
+        v_freed: usize,
+        /// Matrix nodes freed.
+        m_freed: usize,
+        /// Package GC epoch after the sweep.
+        epoch: u64,
+    },
+    /// A resource-governor decision (pressure GC, conversion refusal,
+    /// budget breach, ...).
+    Governor {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Timestamp (µs).
+        ts_us: f64,
+        /// Decision kind (`"pressure_gc"`, `"conversion_refused"`, ...).
+        action: &'static str,
+        /// Free-form context.
+        detail: String,
+    },
+    /// A numerical-health watchdog check.
+    Watchdog {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Timestamp (µs).
+        ts_us: f64,
+        /// Observed state 2-norm (NaN when non-finite amplitudes found).
+        norm: f64,
+        /// Whether the check passed.
+        ok: bool,
+    },
+}
+
+impl Event {
+    /// Stable discriminant used as the JSONL `"type"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::RunEnd { .. } => "run_end",
+            Event::Gate { .. } => "gate",
+            Event::PhaseTransition { .. } => "phase_transition",
+            Event::Conversion { .. } => "conversion",
+            Event::Fusion { .. } => "fusion",
+            Event::GcSweep { .. } => "gc_sweep",
+            Event::Governor { .. } => "governor",
+            Event::Watchdog { .. } => "watchdog",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut o = String::with_capacity(160);
+        o.push_str("{\"type\":\"");
+        o.push_str(self.kind());
+        o.push('"');
+        match self {
+            Event::RunStart {
+                sim,
+                ts_us,
+                qubits,
+                threads,
+                gates,
+                phase,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_usize(&mut o, "qubits", *qubits);
+                push_usize(&mut o, "threads", *threads);
+                push_usize(&mut o, "gates", *gates);
+                push_str(&mut o, "phase", phase);
+            }
+            Event::RunEnd {
+                sim,
+                ts_us,
+                gates_applied,
+                phase,
+                ok,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_usize(&mut o, "gates_applied", *gates_applied);
+                push_str(&mut o, "phase", phase);
+                push_bool(&mut o, "ok", *ok);
+            }
+            Event::Gate {
+                sim,
+                ts_us,
+                dur_us,
+                index,
+                phase,
+                dd_size,
+                ewma,
+                plan_hit,
+                fused,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_usize(&mut o, "index", *index);
+                push_str(&mut o, "phase", phase);
+                if let Some(s) = dd_size {
+                    push_usize(&mut o, "dd_size", *s);
+                }
+                if let Some(e) = ewma {
+                    push_f64(&mut o, "ewma", *e);
+                }
+                if let Some(h) = plan_hit {
+                    push_bool(&mut o, "plan_hit", *h);
+                }
+                if *fused {
+                    push_bool(&mut o, "fused", true);
+                }
+            }
+            Event::PhaseTransition {
+                sim,
+                ts_us,
+                at_gate,
+                dd_size,
+                ewma,
+                policy,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_usize(&mut o, "at_gate", *at_gate);
+                push_usize(&mut o, "dd_size", *dd_size);
+                push_f64(&mut o, "ewma", *ewma);
+                push_str(&mut o, "policy", policy);
+            }
+            Event::Conversion {
+                sim,
+                ts_us,
+                dur_us,
+                at_gate,
+                workers,
+                scalar_tasks,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_usize(&mut o, "at_gate", *at_gate);
+                push_usize(&mut o, "scalar_tasks", *scalar_tasks);
+                o.push_str(",\"workers\":[");
+                for (i, w) in workers.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(
+                        o,
+                        "{{\"worker\":{},\"tasks\":{},\"dur_us\":",
+                        w.worker, w.tasks
+                    );
+                    json_f64(&mut o, w.dur_us);
+                    o.push('}');
+                }
+                o.push(']');
+            }
+            Event::Fusion {
+                sim,
+                ts_us,
+                dur_us,
+                gates_in,
+                matrices_out,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_usize(&mut o, "gates_in", *gates_in);
+                push_usize(&mut o, "matrices_out", *matrices_out);
+            }
+            Event::GcSweep {
+                pkg,
+                ts_us,
+                dur_us,
+                v_freed,
+                m_freed,
+                epoch,
+            } => {
+                push_u64(&mut o, "pkg", *pkg);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_usize(&mut o, "v_freed", *v_freed);
+                push_usize(&mut o, "m_freed", *m_freed);
+                push_u64(&mut o, "epoch", *epoch);
+            }
+            Event::Governor {
+                sim,
+                ts_us,
+                action,
+                detail,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_str(&mut o, "action", action);
+                push_str(&mut o, "detail", detail);
+            }
+            Event::Watchdog {
+                sim,
+                ts_us,
+                norm,
+                ok,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "norm", *norm);
+                push_bool(&mut o, "ok", *ok);
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+fn push_u64(o: &mut String, k: &str, v: u64) {
+    let _ = write!(o, ",\"{k}\":{v}");
+}
+
+fn push_usize(o: &mut String, k: &str, v: usize) {
+    let _ = write!(o, ",\"{k}\":{v}");
+}
+
+fn push_bool(o: &mut String, k: &str, v: bool) {
+    let _ = write!(o, ",\"{k}\":{v}");
+}
+
+fn push_f64(o: &mut String, k: &str, v: f64) {
+    let _ = write!(o, ",\"{k}\":");
+    json_f64(o, v);
+}
+
+fn push_str(o: &mut String, k: &str, v: &str) {
+    let _ = write!(o, ",\"{k}\":\"");
+    escape_into(o, v);
+    o.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_event_jsonl_shape() {
+        let e = Event::Gate {
+            sim: 7,
+            ts_us: 12.5,
+            dur_us: 3.25,
+            index: 42,
+            phase: "dd",
+            dd_size: Some(128),
+            ewma: Some(96.5),
+            plan_hit: None,
+            fused: false,
+        };
+        let s = e.to_jsonl();
+        assert!(s.starts_with("{\"type\":\"gate\""), "{s}");
+        assert!(s.contains("\"sim\":7"));
+        assert!(s.contains("\"index\":42"));
+        assert!(s.contains("\"dd_size\":128"));
+        assert!(s.contains("\"ewma\":96.5"));
+        assert!(!s.contains("plan_hit"), "None fields must be omitted");
+        assert!(!s.contains("fused"), "non-fused gates omit the flag");
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn conversion_event_serializes_workers() {
+        let e = Event::Conversion {
+            sim: 1,
+            ts_us: 0.0,
+            dur_us: 100.0,
+            at_gate: 9,
+            workers: vec![
+                WorkerFill {
+                    worker: 0,
+                    tasks: 3,
+                    dur_us: 50.0,
+                },
+                WorkerFill {
+                    worker: 1,
+                    tasks: 2,
+                    dur_us: 48.0,
+                },
+            ],
+            scalar_tasks: 1,
+        };
+        let s = e.to_jsonl();
+        assert!(s.contains("\"workers\":[{\"worker\":0,\"tasks\":3,\"dur_us\":50}"));
+        assert!(s.contains("\"scalar_tasks\":1"));
+    }
+
+    #[test]
+    fn detail_strings_are_escaped() {
+        let e = Event::Governor {
+            sim: 1,
+            ts_us: 0.0,
+            action: "breach",
+            detail: "say \"no\"\n".into(),
+        };
+        assert!(e.to_jsonl().contains("say \\\"no\\\"\\n"));
+    }
+}

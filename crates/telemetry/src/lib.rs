@@ -1,0 +1,131 @@
+//! # qtelemetry — unified telemetry for the FlatDD stack
+//!
+//! Three coordinated surfaces, shared by every crate of the workspace:
+//!
+//! * **Structured events** ([`event::Event`]): per-gate records, phase
+//!   transitions, DD-to-array conversions (with a per-worker load-balance
+//!   breakdown), garbage-collection sweeps, resource-governor decisions,
+//!   and watchdog checks. Events flow through pluggable [`sink::EventSink`]s
+//!   — a JSONL file writer ([`sink::JsonlSink`]) and an in-memory recorder
+//!   ([`sink::Recorder`]) ship with the crate.
+//! * **Chrome-trace export** ([`chrome::chrome_trace_json`]): renders a
+//!   recorded event stream as a `chrome://tracing` / Perfetto timeline —
+//!   the DD phase, the conversion (with per-worker fill sub-spans), DMAV
+//!   gate spans, fusion groups, GC sweeps.
+//! * **Metrics registry** ([`metrics`]): process-global named counters,
+//!   gauges, and labels backed by relaxed atomics, snapshot-able at any
+//!   point and serialized to stable (sorted-key) JSON.
+//!
+//! ## Overhead contract
+//!
+//! Telemetry is disabled until a sink is installed. The *only* cost on the
+//! disabled path is one relaxed atomic load per would-be event
+//! ([`sink::enabled`]); callers are expected to guard event *construction*
+//! behind it:
+//!
+//! ```
+//! if qtelemetry::enabled() {
+//!     qtelemetry::emit(qtelemetry::Event::Governor {
+//!         sim: 1,
+//!         ts_us: qtelemetry::now_us(),
+//!         action: "pressure_gc",
+//!         detail: String::new(),
+//!     });
+//! }
+//! ```
+//!
+//! Registry counters are always on — an uncontended relaxed `fetch_add` —
+//! and are only placed on per-gate (not per-amplitude) paths. The
+//! `telemetry_overhead` harness binary verifies the whole-gate overhead
+//! stays within the budget.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::chrome_trace_json;
+pub use event::{Event, WorkerFill};
+pub use metrics::{counter, gauge, metrics_json, reset_metrics, set_label, Counter, Gauge};
+pub use sink::{
+    add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, EventSink, JsonlSink, Recorder,
+    SinkId,
+};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Microseconds since the process-wide telemetry epoch (the first call to
+/// this function). All event timestamps share this clock, so spans from
+/// different components line up on one timeline.
+pub fn now_us() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// Hands out process-unique ids for telemetry sources (simulators, DD
+/// packages), so events from concurrent instances can be told apart.
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding quotes).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders an `f64` as a JSON number (`null` when not finite).
+pub(crate) fn json_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_ids_unique() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+        let i = next_id();
+        let j = next_id();
+        assert_ne!(i, j);
+    }
+
+    #[test]
+    fn escaping_covers_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+        let mut n = String::new();
+        json_f64(&mut n, f64::NAN);
+        assert_eq!(n, "null");
+        let mut n = String::new();
+        json_f64(&mut n, 1.5);
+        assert_eq!(n, "1.5");
+    }
+}

@@ -1,0 +1,210 @@
+//! The process-global metrics registry.
+//!
+//! Named **counters** (monotonic `u64`, incremented at the source),
+//! **gauges** (last-write-wins `f64`, published at snapshot boundaries),
+//! and **labels** (string facts such as the SIMD backend). Handles are
+//! `Arc`-backed atomics: look one up once ([`counter`] / [`gauge`]), cache
+//! it, and update with relaxed operations — no lock on the hot path.
+//!
+//! [`metrics_json`] serializes the whole registry with sorted keys, so the
+//! output is stable across runs and directly diffable / `jq`-able:
+//!
+//! ```json
+//! {"counters": {"dd.gc_sweeps": 3, ...},
+//!  "gauges": {"sim.gates_dmav": 120.0, ...},
+//!  "labels": {"array.vecops_backend": "avx2"}}
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A monotonic counter handle. Cheap to clone; all clones share the value.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge handle (stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    labels: Mutex<BTreeMap<String, String>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        labels: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Gets (or registers) the counter named `name`. Dotted names namespace by
+/// component: `dd.gc_sweeps`, `core.conversions`, `array.gates`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock(&registry().counters);
+    Counter(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    ))
+}
+
+/// Gets (or registers) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock(&registry().gauges);
+    Gauge(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+    ))
+}
+
+/// Sets a string label (e.g. the selected SIMD backend).
+pub fn set_label(name: &str, value: impl Into<String>) {
+    lock(&registry().labels).insert(name.to_string(), value.into());
+}
+
+/// Zeroes every counter and gauge and clears all labels. Registered names
+/// stay registered (existing handles keep working). Intended for tests and
+/// for harnesses that take per-section snapshots.
+pub fn reset_metrics() {
+    for v in lock(&registry().counters).values() {
+        v.store(0, Ordering::Relaxed);
+    }
+    for v in lock(&registry().gauges).values() {
+        v.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    lock(&registry().labels).clear();
+}
+
+/// Serializes the registry as stable (sorted-key) JSON.
+pub fn metrics_json() -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    {
+        let map = lock(&registry().counters);
+        for (i, (k, v)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            crate::escape_into(&mut out, k);
+            use std::fmt::Write as _;
+            let _ = write!(out, "\": {}", v.load(Ordering::Relaxed));
+        }
+        if !map.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("},\n  \"gauges\": {");
+    {
+        let map = lock(&registry().gauges);
+        for (i, (k, v)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            crate::escape_into(&mut out, k);
+            out.push_str("\": ");
+            crate::json_f64(&mut out, f64::from_bits(v.load(Ordering::Relaxed)));
+        }
+        if !map.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("},\n  \"labels\": {");
+    {
+        let map = lock(&registry().labels);
+        for (i, (k, v)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            crate::escape_into(&mut out, k);
+            out.push_str("\": \"");
+            crate::escape_into(&mut out, v);
+            out.push('"');
+        }
+        if !map.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+    out.push_str("}\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let c = counter("test.metrics.count");
+        let before = c.get();
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), before + 3);
+        // A second lookup shares the same atomic.
+        assert_eq!(counter("test.metrics.count").get(), before + 3);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        set_label("test.metrics.label", "hello");
+
+        let json = metrics_json();
+        assert!(json.contains("\"test.metrics.count\""));
+        assert!(json.contains("\"test.metrics.gauge\": 2.5"));
+        assert!(json.contains("\"test.metrics.label\": \"hello\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"labels\""));
+    }
+
+    #[test]
+    fn json_keys_are_sorted() {
+        gauge("test.sort.b").set(1.0);
+        gauge("test.sort.a").set(1.0);
+        let json = metrics_json();
+        let a = json.find("test.sort.a").unwrap();
+        let b = json.find("test.sort.b").unwrap();
+        assert!(a < b, "BTreeMap must render keys in order");
+    }
+}

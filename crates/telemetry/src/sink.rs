@@ -1,0 +1,234 @@
+//! Pluggable event sinks and the process-global dispatch point.
+//!
+//! Telemetry is *off* until a sink is installed with [`add_sink`]; the
+//! disabled fast path is one relaxed atomic load ([`enabled`]). Installed
+//! sinks receive every event emitted anywhere in the process, in emission
+//! order (the dispatch lock serializes concurrent emitters).
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Receives emitted events. Implementations must be cheap: they run under
+/// the global dispatch lock.
+pub trait EventSink: Send {
+    /// Handles one event.
+    fn emit(&mut self, event: &Event);
+    /// Flushes any buffered output (default: no-op).
+    fn flush(&mut self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINKS: Mutex<Vec<(u64, Box<dyn EventSink>)>> = Mutex::new(Vec::new());
+static NEXT_SINK_ID: Mutex<u64> = Mutex::new(1);
+
+fn sinks() -> MutexGuard<'static, Vec<(u64, Box<dyn EventSink>)>> {
+    // Sinks must keep working even if a panicking test poisoned the lock.
+    SINKS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether any sink is installed. One relaxed load — this is the *entire*
+/// cost of telemetry on the disabled path, and callers should guard event
+/// construction behind it.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Dispatches an event to every installed sink. A no-op (after the relaxed
+/// check) when telemetry is disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let mut guard = sinks();
+    for (_, sink) in guard.iter_mut() {
+        sink.emit(&event);
+    }
+}
+
+/// Handle for removing a sink installed with [`add_sink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+/// Installs a sink and enables telemetry.
+pub fn add_sink(sink: Box<dyn EventSink>) -> SinkId {
+    let id = {
+        let mut next = NEXT_SINK_ID.lock().unwrap_or_else(|e| e.into_inner());
+        let id = *next;
+        *next += 1;
+        id
+    };
+    let mut guard = sinks();
+    guard.push((id, sink));
+    ENABLED.store(true, Ordering::Relaxed);
+    SinkId(id)
+}
+
+/// Flushes and removes one sink; telemetry turns off when the last sink
+/// goes away.
+pub fn remove_sink(id: SinkId) {
+    let mut guard = sinks();
+    if let Some(pos) = guard.iter().position(|(i, _)| *i == id.0) {
+        let (_, mut sink) = guard.remove(pos);
+        sink.flush();
+    }
+    if guard.is_empty() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Flushes and removes every sink, disabling telemetry.
+pub fn clear_sinks() {
+    let mut guard = sinks();
+    for (_, sink) in guard.iter_mut() {
+        sink.flush();
+    }
+    guard.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Flushes every installed sink (e.g. before `std::process::exit`, which
+/// runs no destructors).
+pub fn flush_sinks() {
+    let mut guard = sinks();
+    for (_, sink) in guard.iter_mut() {
+        sink.flush();
+    }
+}
+
+/// Writes each event as one JSON object per line to any [`Write`] target.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL file sink at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer (stderr, a socket, a `Vec<u8>`, ...).
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Collects events in memory, for tests and for post-run export (the CLI
+/// records a run, then renders the Chrome trace from the recording).
+///
+/// Clone handles share the same buffer; keep one clone and install the
+/// other with [`Recorder::sink`].
+#[derive(Clone, Default)]
+pub struct Recorder {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An installable sink feeding this recorder.
+    pub fn sink(&self) -> Box<dyn EventSink> {
+        Box::new(Recorder {
+            events: Arc::clone(&self.events),
+        })
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl EventSink for Recorder {
+    fn emit(&mut self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watchdog(sim: u64) -> Event {
+        Event::Watchdog {
+            sim,
+            ts_us: 1.0,
+            norm: 1.0,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn sinks_toggle_enabled_and_record() {
+        // Single test (module-level) owning the global sink registry: the
+        // other unit tests in this crate do not install sinks.
+        assert!(!enabled());
+        emit(watchdog(1)); // silently dropped
+        let rec = Recorder::new();
+        let id = add_sink(rec.sink());
+        assert!(enabled());
+        emit(watchdog(2));
+        assert_eq!(rec.events().len(), 1);
+        remove_sink(id);
+        assert!(!enabled());
+        emit(watchdog(3));
+        assert_eq!(rec.events().len(), 1, "removed sink must not receive");
+
+        // Two sinks fan out; clear_sinks turns everything off.
+        let a = Recorder::new();
+        let b = Recorder::new();
+        add_sink(a.sink());
+        add_sink(b.sink());
+        emit(watchdog(4));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        clear_sinks();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&watchdog(5));
+        sink.emit(&watchdog(6));
+        let text = String::from_utf8(sink.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            assert!(l.starts_with("{\"type\":\"watchdog\""));
+            assert!(l.ends_with('}'));
+        }
+    }
+}

@@ -15,11 +15,24 @@
 //!   --top <k>                  print the k most probable outcomes (default 8)
 //!   --seed <u64>               generator / sampling seed (default 42)
 //!   --expect <pauli>           expectation of a Pauli label, e.g. "0.5*ZIZ"
-//!   --stats                    print engine statistics
+//!   --stats                    print engine statistics (human-readable, stderr)
+//!   --stats-json <path|->      write run stats as JSON (`-` = stdout)
+//!   --trace-out <path>         write a Chrome-trace (chrome://tracing,
+//!                              Perfetto) timeline of the run
+//!   --metrics-out <path|->     write the unified metrics registry as JSON
+//!   --events-out <path>        write the structured event stream as JSONL
 //!   --memory-budget-mb <mb>    cap engine-accounted memory (flatdd engine)
 //!   --rss-budget-mb <mb>       cap process RSS (flatdd engine)
 //!   --deadline-secs <s>        wall-clock budget (flatdd engine)
 //! ```
+//!
+//! The environment variable `FLATDD_TRACE=<path>` is a `--events-out`
+//! default (the flag wins when both are given).
+//!
+//! Output-channel convention: machine-readable payloads (amplitudes,
+//! samples, expectations, `--stats-json -`, `--metrics-out -`) go to
+//! stdout; human commentary (circuit summaries, timings, `--stats`) goes
+//! to stderr.
 //!
 //! Budget breaches exit with the error's typed exit code (see
 //! `FlatDdError::exit_code`): 4 memory, 5 deadline, 6 divergence.
@@ -51,6 +64,8 @@ flatdd-cli — hybrid DD + flat-array quantum circuit simulator
 Usage:
   flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t]
                  [--shots k] [--top k] [--seed s] [--expect PAULI] [--stats]
+                 [--stats-json path|-] [--trace-out path]
+                 [--metrics-out path|-] [--events-out path]
                  [--memory-budget-mb mb] [--rss-budget-mb mb]
                  [--deadline-secs s]
   flatdd-cli gen <circuit> [--seed s]
@@ -99,6 +114,10 @@ struct RunOpts {
     seed: u64,
     expect: Vec<String>,
     stats: bool,
+    stats_json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
     memory_budget_mb: Option<u64>,
     rss_budget_mb: Option<u64>,
     deadline_secs: Option<f64>,
@@ -114,6 +133,10 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         seed: 42,
         expect: Vec::new(),
         stats: false,
+        stats_json: None,
+        trace_out: None,
+        metrics_out: None,
+        events_out: None,
         memory_budget_mb: None,
         rss_budget_mb: None,
         deadline_secs: None,
@@ -134,6 +157,10 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             "--seed" => o.seed = val("--seed").parse().unwrap_or(42),
             "--expect" => o.expect.push(val("--expect")),
             "--stats" => o.stats = true,
+            "--stats-json" => o.stats_json = Some(val("--stats-json")),
+            "--trace-out" => o.trace_out = Some(val("--trace-out")),
+            "--metrics-out" => o.metrics_out = Some(val("--metrics-out")),
+            "--events-out" => o.events_out = Some(val("--events-out")),
             // A mistyped budget must not silently run unbudgeted.
             "--memory-budget-mb" => {
                 o.memory_budget_mb = Some(parse_or_die(
@@ -168,11 +195,76 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
     o
 }
 
+/// CLI telemetry plumbing: installs the requested sinks up front and, on
+/// [`Telemetry::finish`], renders the Chrome trace / metrics JSON and
+/// flushes everything (also on error paths, where `std::process::exit`
+/// would otherwise drop buffered output).
+struct Telemetry {
+    recorder: Option<flatdd::telemetry::Recorder>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl Telemetry {
+    fn init(o: &RunOpts) -> Telemetry {
+        // The flag wins over the FLATDD_TRACE environment default.
+        let events_path = o
+            .events_out
+            .clone()
+            .or_else(|| std::env::var("FLATDD_TRACE").ok().filter(|s| !s.is_empty()));
+        if let Some(path) = events_path {
+            match flatdd::telemetry::JsonlSink::create(&path) {
+                Ok(sink) => {
+                    flatdd::telemetry::add_sink(Box::new(sink));
+                }
+                Err(e) => {
+                    eprintln!("--events-out: cannot create {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let recorder = o.trace_out.as_ref().map(|_| {
+            let rec = flatdd::telemetry::Recorder::new();
+            flatdd::telemetry::add_sink(rec.sink());
+            rec
+        });
+        Telemetry {
+            recorder,
+            trace_out: o.trace_out.clone(),
+            metrics_out: o.metrics_out.clone(),
+        }
+    }
+
+    fn finish(&self) {
+        flatdd::telemetry::flush_sinks();
+        if let (Some(rec), Some(path)) = (&self.recorder, &self.trace_out) {
+            let json = flatdd::telemetry::chrome_trace_json(&rec.events());
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("--trace-out: cannot write {path}: {e}");
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            let json = flatdd::telemetry::metrics_json();
+            write_payload("--metrics-out", path, &json);
+        }
+    }
+}
+
+/// Writes a machine-readable payload to `path`, with `-` meaning stdout.
+fn write_payload(flag: &str, path: &str, json: &str) {
+    if path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+        eprintln!("{flag}: cannot write {path}: {e}");
+    }
+}
+
 fn cmd_run(args: &[String]) {
     let o = parse_run_opts(args);
+    let tele = Telemetry::init(&o);
     let circuit = load_circuit(&o.circuit, o.seed);
     let n = circuit.num_qubits();
-    println!(
+    eprintln!(
         "circuit {}: {} qubits, {} gates, depth {}",
         if circuit.name().is_empty() {
             &o.circuit
@@ -189,7 +281,7 @@ fn cmd_run(args: &[String]) {
             .iter()
             .map(|(k, v)| format!("{k}:{v}"))
             .collect();
-        println!("gate census: {}", census.join(" "));
+        eprintln!("gate census: {}", census.join(" "));
     }
 
     let start = Instant::now();
@@ -233,18 +325,27 @@ fn cmd_run(args: &[String]) {
                     if o.stats {
                         eprintln!("{:#?}", p.stats);
                     }
+                    if let Some(path) = &o.stats_json {
+                        write_payload("--stats-json", path, &p.stats.to_json());
+                    }
                 }
+                sim.publish_metrics();
+                tele.finish();
                 std::process::exit(e.exit_code());
             }
             let secs = start.elapsed().as_secs_f64();
-            println!(
+            eprintln!(
                 "flatdd: {secs:.3}s, phase {:?}, converted at {:?}",
                 sim.phase(),
                 sim.stats().converted_at
             );
             if o.stats {
-                println!("{:#?}", sim.stats());
+                eprintln!("{:#?}", sim.stats());
             }
+            if let Some(path) = &o.stats_json {
+                write_payload("--stats-json", path, &sim.stats().to_json());
+            }
+            sim.publish_metrics();
             for label in &o.expect {
                 match PauliString::parse(label) {
                     Some(p) => println!("<{label}> = {:.6}", sim.expectation_pauli(&p)),
@@ -266,14 +367,18 @@ fn cmd_run(args: &[String]) {
             let mut sim = qdd::DdSimulator::new(n);
             sim.run(&circuit);
             let secs = start.elapsed().as_secs_f64();
-            println!(
+            eprintln!(
                 "dd engine: {secs:.3}s, state DD = {} nodes",
                 sim.state_dd_size()
             );
             if o.stats {
-                println!("{:#?}", sim.stats());
-                println!("{:#?}", sim.package().stats());
+                eprintln!("{:#?}", sim.stats());
+                eprintln!("{:#?}", sim.package().stats());
             }
+            if o.stats_json.is_some() {
+                eprintln!("--stats-json: only supported by the flatdd engine");
+            }
+            sim.package().publish_metrics();
             for label in &o.expect {
                 match PauliString::parse(label) {
                     Some(p) => {
@@ -300,7 +405,10 @@ fn cmd_run(args: &[String]) {
             let mut sim = qarray::ArraySimulator::with_threads(n, o.threads);
             sim.run(&circuit);
             let secs = start.elapsed().as_secs_f64();
-            println!("array engine: {secs:.3}s");
+            eprintln!("array engine: {secs:.3}s");
+            if o.stats_json.is_some() {
+                eprintln!("--stats-json: only supported by the flatdd engine");
+            }
             for label in &o.expect {
                 match PauliString::parse(label) {
                     Some(p) => {
@@ -328,6 +436,7 @@ fn cmd_run(args: &[String]) {
             std::process::exit(2);
         }
     }
+    tele.finish();
 }
 
 fn print_heavy(state: &[qcircuit::Complex64], n: usize, top: usize) {

@@ -7,7 +7,10 @@ fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_flatdd-cli"))
 }
 
-fn run_ok(args: &[&str]) -> String {
+/// Runs the CLI and returns `(stdout, stderr)`: machine-readable payloads
+/// (outcomes, samples, expectations, `--stats-json -`) land on stdout;
+/// human commentary (summaries, timings, `--stats`) on stderr.
+fn run_split(args: &[&str]) -> (String, String) {
     let out = cli()
         .args(args)
         .output()
@@ -19,7 +22,15 @@ fn run_ok(args: &[&str]) -> String {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
-    String::from_utf8_lossy(&out.stdout).into_owned()
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let (stdout, stderr) = run_split(args);
+    stdout + &stderr
 }
 
 #[test]
@@ -119,7 +130,74 @@ fn bad_spec_fails_cleanly() {
 
 #[test]
 fn stats_flag_prints_structured_stats() {
-    let out = run_ok(&["run", "dnn:8,3", "--stats", "--threads", "2"]);
-    assert!(out.contains("gates_dmav"));
-    assert!(out.contains("peak_state_dd_size"));
+    let (stdout, stderr) = run_split(&["run", "dnn:8,3", "--stats", "--threads", "2"]);
+    // Human-readable stats belong on stderr, keeping stdout machine-clean.
+    assert!(stderr.contains("gates_dmav"), "{stderr}");
+    assert!(stderr.contains("peak_state_dd_size"));
+    assert!(!stdout.contains("gates_dmav"), "{stdout}");
+}
+
+#[test]
+fn human_commentary_on_stderr_results_on_stdout() {
+    let (stdout, stderr) = run_split(&["run", "ghz:8", "--threads", "2", "--stats-json", "-"]);
+    for human in ["qubits", "gate census", "flatdd:"] {
+        assert!(
+            !stdout.contains(human),
+            "stdout polluted by `{human}`:\n{stdout}"
+        );
+    }
+    assert!(stderr.contains("8 qubits"));
+    // `--stats-json -` puts one JSON object on stdout, then the outcomes.
+    let json_line = stdout.lines().next().expect("stats JSON line");
+    assert!(json_line.starts_with("{\"gates_dd\":"), "{json_line}");
+    assert!(json_line.ends_with('}'));
+    assert!(json_line.contains("\"ct_mv_hit_rate\":"));
+    assert!(stdout.contains("|00000000>"));
+}
+
+#[test]
+fn telemetry_flags_write_valid_files() {
+    let dir = std::env::temp_dir().join(format!("flatdd_cli_tele_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    let events = dir.join("events.jsonl");
+    run_split(&[
+        "run",
+        "dnn:8,3",
+        "--threads",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--events-out",
+        events.to_str().unwrap(),
+    ]);
+    let trace = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"dmav phase\""), "DNN must convert");
+    let metrics = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics.contains("\"core.runs\": 1"), "{metrics}");
+    assert!(metrics.contains("\"sim.gates_dmav\""));
+    let events = std::fs::read_to_string(&events).unwrap();
+    assert!(events.lines().count() > 2);
+    assert!(events.lines().all(|l| l.starts_with("{\"type\":\"")));
+    assert!(events.contains("\"type\":\"phase_transition\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flatdd_trace_env_var_enables_event_stream() {
+    let path = std::env::temp_dir().join(format!("flatdd_env_trace_{}.jsonl", std::process::id()));
+    let out = cli()
+        .args(["run", "ghz:6", "--threads", "1"])
+        .env("FLATDD_TRACE", &path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let events = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(events.contains("\"type\":\"run_start\""), "{events}");
+    assert!(events.contains("\"type\":\"run_end\""));
 }

@@ -1,0 +1,767 @@
+//! Crash-safe checkpoint files (format `FDCP1`).
+//!
+//! A checkpoint captures everything a resumed run needs to continue
+//! *exactly* where an interrupted one stopped: the gate cursor, the phase,
+//! the EWMA monitor, the persisted run statistics, the sampling RNG
+//! position — and the state itself, in whichever representation was live.
+//! The DD phase reuses the compact QDDV1 serializer (a regular state is
+//! kilobytes on disk); the flat phase writes the raw amplitude array in
+//! chunks.
+//!
+//! ## Byte layout (little-endian; see DESIGN.md §10)
+//!
+//! ```text
+//! magic "FDCP1\0" | u32 version (=1)
+//! u32 header_len | header bytes          | u32 CRC32(header bytes)
+//! u8 payload kind (0=dd, 1=flat)
+//! u64 payload_len | payload bytes        | u32 CRC32(payload bytes)
+//! ```
+//!
+//! Header fields, in order: `u64 circuit_hash`, `u64 config_fingerprint`,
+//! `u32 n`, `u64 gate_cursor`, `u8 phase`, `u8 conversion_blocked`,
+//! EWMA state (`f64 v`, `u8 seeded`, `u64 observations`), `u64 rng_seed`,
+//! `u64 rng_pos`, then the persisted [`FlatDdStats`] subset (12 fields).
+//!
+//! ## Atomic installation
+//!
+//! A checkpoint is written to `<path>.tmp`, fsync'd, then renamed over
+//! `<path>` (and the parent directory fsync'd), so `<path>` always holds
+//! either the previous complete checkpoint or the new complete one — a
+//! crash mid-write can never leave a half-written file under the real
+//! name. Every structural defect a torn or bit-flipped file *can* exhibit
+//! is detected at load time by the section CRCs and bounds checks and
+//! surfaced as [`FlatDdError::CorruptCheckpoint`], never a panic.
+
+use crate::error::FlatDdError;
+use crate::ewma::EwmaState;
+use crate::faults;
+use crate::sim::{FlatDdStats, Phase};
+use qcircuit::{Circuit, Complex64};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 6] = b"FDCP1\0";
+const VERSION: u32 = 1;
+/// Serialized header size for format version 1.
+const HEADER_LEN_V1: usize = 8 + 8 + 4 + 8 + 1 + 1 + (8 + 1 + 8) + 8 + 8 + 12 * 8;
+/// Amplitudes per chunk when writing/reading the flat payload.
+const FLAT_CHUNK: usize = 1 << 15;
+
+/// When the simulator writes checkpoints, and where.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Installed checkpoint file (the `*.tmp` sibling is transient).
+    pub path: PathBuf,
+    /// Write a checkpoint every this many applied gates (`None` = only on
+    /// breach/signal).
+    pub every_gates: Option<usize>,
+    /// Write a checkpoint when a resumable budget breach (memory/deadline)
+    /// or a polled signal ends the run.
+    pub on_breach: bool,
+    /// Sampling RNG seed to persist, so a resumed run's measurement draws
+    /// match the uninterrupted run's.
+    pub rng_seed: u64,
+}
+
+impl CheckpointPolicy {
+    /// Policy writing to `path` on breaches/signals only.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every_gates: None,
+            on_breach: true,
+            rng_seed: 0,
+        }
+    }
+
+    /// Adds a periodic trigger.
+    pub fn every(mut self, gates: usize) -> Self {
+        self.every_gates = (gates > 0).then_some(gates);
+        self
+    }
+}
+
+/// The parsed checkpoint header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointHeader {
+    /// FNV-1a fingerprint of the circuit (qubits + every gate).
+    pub circuit_hash: u64,
+    /// FNV-1a fingerprint of the result-relevant config (conversion,
+    /// caching, fusion policies — thread count deliberately excluded).
+    pub config_fingerprint: u64,
+    /// Qubit count.
+    pub n: u32,
+    /// Gates already applied when the checkpoint was taken.
+    pub gate_cursor: u64,
+    /// Phase the state payload is in.
+    pub phase: Phase,
+    /// Whether conversion had been refused and blocked.
+    pub conversion_blocked: bool,
+    /// EWMA monitor state at the cursor.
+    pub ewma: EwmaState,
+    /// Sampling RNG seed (from [`CheckpointPolicy::rng_seed`]).
+    pub rng_seed: u64,
+    /// Reserved RNG stream position (0 until sampling mid-run exists).
+    pub rng_pos: u64,
+    /// Persisted run statistics (the compute-table delta fields are
+    /// re-baselined on resume and intentionally not stored).
+    pub stats: FlatDdStats,
+}
+
+/// The state payload of a loaded checkpoint.
+#[derive(Debug)]
+pub enum CheckpointState {
+    /// QDDV1 bytes (DD phase) — deserialize with
+    /// `qdd::serialize::vector_dd_from_bytes` into the resuming package.
+    Dd(Vec<u8>),
+    /// The flat amplitude array (DMAV phase).
+    Flat(Vec<Complex64>),
+}
+
+/// The state payload to write (borrowed; nothing is copied up front).
+pub enum CheckpointPayload<'a> {
+    /// QDDV1 bytes.
+    Dd(&'a [u8]),
+    /// Flat amplitudes.
+    Flat(&'a [Complex64]),
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected) with a const-built table — no dependencies.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC32 (IEEE 802.3 polynomial).
+#[derive(Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh digest.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a fingerprints.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Content fingerprint of a circuit: qubit count plus the `Debug` rendering
+/// of every gate (which covers kind, targets, controls, and parameters).
+pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(circuit.num_qubits() as u64).to_le_bytes());
+    h = fnv1a(h, &(circuit.gates().len() as u64).to_le_bytes());
+    let mut buf = String::new();
+    for g in circuit.iter() {
+        use std::fmt::Write as _;
+        buf.clear();
+        let _ = write!(buf, "{g:?}");
+        h = fnv1a(h, buf.as_bytes());
+        h = fnv1a(h, b";");
+    }
+    h
+}
+
+/// Fingerprint of the result-relevant simulator configuration. Thread
+/// count, trace/telemetry flags, and governor budgets are excluded: they
+/// change performance, not the final state, so a resume may legitimately
+/// use different values (e.g. a larger memory budget after a breach).
+pub fn config_fingerprint(cfg: &crate::sim::FlatDdConfig) -> u64 {
+    let s = format!("{:?}|{:?}|{:?}", cfg.conversion, cfg.caching, cfg.fusion);
+    fnv1a(FNV_OFFSET, s.as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Write path.
+
+fn corrupt(detail: impl Into<String>) -> FlatDdError {
+    FlatDdError::CorruptCheckpoint {
+        detail: detail.into(),
+    }
+}
+
+fn encode_header(h: &CheckpointHeader) -> Vec<u8> {
+    let mut b = Vec::with_capacity(HEADER_LEN_V1);
+    b.extend_from_slice(&h.circuit_hash.to_le_bytes());
+    b.extend_from_slice(&h.config_fingerprint.to_le_bytes());
+    b.extend_from_slice(&h.n.to_le_bytes());
+    b.extend_from_slice(&h.gate_cursor.to_le_bytes());
+    b.push(match h.phase {
+        Phase::Dd => 0,
+        Phase::Dmav => 1,
+    });
+    b.push(h.conversion_blocked as u8);
+    b.extend_from_slice(&h.ewma.v.to_le_bytes());
+    b.push(h.ewma.seeded as u8);
+    b.extend_from_slice(&(h.ewma.observations as u64).to_le_bytes());
+    b.extend_from_slice(&h.rng_seed.to_le_bytes());
+    b.extend_from_slice(&h.rng_pos.to_le_bytes());
+    let s = &h.stats;
+    b.extend_from_slice(&(s.gates_dd as u64).to_le_bytes());
+    b.extend_from_slice(&(s.gates_dmav as u64).to_le_bytes());
+    b.extend_from_slice(&s.converted_at.map_or(0u64, |g| g as u64 + 1).to_le_bytes());
+    b.extend_from_slice(&s.conversion_seconds.to_le_bytes());
+    b.extend_from_slice(&(s.cached_dmavs as u64).to_le_bytes());
+    b.extend_from_slice(&(s.uncached_dmavs as u64).to_le_bytes());
+    b.extend_from_slice(&(s.cache_hits as u64).to_le_bytes());
+    b.extend_from_slice(&(s.fused_matrices as u64).to_le_bytes());
+    b.extend_from_slice(&s.modeled_cost.to_le_bytes());
+    b.extend_from_slice(&(s.peak_state_dd_size as u64).to_le_bytes());
+    b.extend_from_slice(&(s.conversion_refusals as u64).to_le_bytes());
+    b.extend_from_slice(&(s.pressure_gcs as u64).to_le_bytes());
+    debug_assert_eq!(b.len(), HEADER_LEN_V1);
+    b
+}
+
+/// Writes a checkpoint to `path` with atomic installation. Returns the
+/// installed file's size in bytes.
+pub fn write_checkpoint(
+    path: &Path,
+    header: &CheckpointHeader,
+    payload: CheckpointPayload<'_>,
+) -> Result<u64, FlatDdError> {
+    let tmp = tmp_path(path);
+    let bytes = write_tmp(&tmp, header, payload).map_err(FlatDdError::Io)?;
+    // Deterministic corruption hooks: damage the fully-written temp file
+    // exactly where a torn write or a flipped medium bit would, then let
+    // the normal installation proceed — the *loader* must catch it.
+    if let Some(faults::FaultAction::Truncate(len)) = faults::fires(faults::SITE_CKPT_TRUNCATE) {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&tmp)
+            .map_err(FlatDdError::Io)?;
+        f.set_len(len.min(bytes)).map_err(FlatDdError::Io)?;
+        f.sync_all().map_err(FlatDdError::Io)?;
+    }
+    if let Some(faults::FaultAction::BitFlip(bit)) = faults::fires(faults::SITE_CKPT_BITFLIP) {
+        flip_bit(&tmp, bit).map_err(FlatDdError::Io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(FlatDdError::Io)?;
+    sync_parent_dir(path);
+    Ok(std::fs::metadata(path).map(|m| m.len()).unwrap_or(bytes))
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn write_tmp(
+    tmp: &Path,
+    header: &CheckpointHeader,
+    payload: CheckpointPayload<'_>,
+) -> io::Result<u64> {
+    let file = File::create(tmp)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+
+    let hb = encode_header(header);
+    w.write_all(&(hb.len() as u32).to_le_bytes())?;
+    w.write_all(&hb)?;
+    w.write_all(&crc32(&hb).to_le_bytes())?;
+
+    let mut crc = Crc32::new();
+    match payload {
+        CheckpointPayload::Dd(bytes) => {
+            w.write_all(&[0u8])?;
+            w.write_all(&(bytes.len() as u64).to_le_bytes())?;
+            crc.update(bytes);
+            w.write_all(bytes)?;
+        }
+        CheckpointPayload::Flat(amps) => {
+            w.write_all(&[1u8])?;
+            w.write_all(&((amps.len() * 16) as u64).to_le_bytes())?;
+            let mut chunk = Vec::with_capacity(FLAT_CHUNK.min(amps.len()) * 16);
+            for block in amps.chunks(FLAT_CHUNK) {
+                chunk.clear();
+                for a in block {
+                    chunk.extend_from_slice(&a.re.to_le_bytes());
+                    chunk.extend_from_slice(&a.im.to_le_bytes());
+                }
+                crc.update(&chunk);
+                w.write_all(&chunk)?;
+            }
+        }
+    }
+    w.write_all(&crc.finish().to_le_bytes())?;
+    w.flush()?;
+    let file = w.into_inner().map_err(|e| e.into_error())?;
+    file.sync_all()?;
+    Ok(file.metadata()?.len())
+}
+
+fn sync_parent_dir(path: &Path) {
+    // Durability of the rename itself; best-effort (some filesystems refuse
+    // to open directories for sync — the rename atomicity still holds).
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+fn flip_bit(path: &Path, bit: u64) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let byte_index = (bit / 8) % len;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(byte_index))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= 1 << (bit % 8);
+    f.seek(SeekFrom::Start(byte_index))?;
+    f.write_all(&b)?;
+    f.sync_all()
+}
+
+// ---------------------------------------------------------------------------
+// Read path.
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FlatDdError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| corrupt("header shorter than its declared fields"))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FlatDdError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, FlatDdError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FlatDdError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, FlatDdError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_header(bytes: &[u8]) -> Result<CheckpointHeader, FlatDdError> {
+    let mut c = Cursor { b: bytes, pos: 0 };
+    let circuit_hash = c.u64()?;
+    let config_fingerprint = c.u64()?;
+    let n = c.u32()?;
+    if n == 0 || n > 64 {
+        return Err(corrupt(format!("implausible qubit count {n}")));
+    }
+    let gate_cursor = c.u64()?;
+    let phase = match c.u8()? {
+        0 => Phase::Dd,
+        1 => Phase::Dmav,
+        k => return Err(corrupt(format!("unknown phase tag {k}"))),
+    };
+    let conversion_blocked = match c.u8()? {
+        0 => false,
+        1 => true,
+        k => return Err(corrupt(format!("bad conversion_blocked flag {k}"))),
+    };
+    let ewma_v = c.f64()?;
+    if !ewma_v.is_finite() {
+        return Err(corrupt("non-finite EWMA value"));
+    }
+    let ewma_seeded = match c.u8()? {
+        0 => false,
+        1 => true,
+        k => return Err(corrupt(format!("bad ewma seeded flag {k}"))),
+    };
+    let ewma_obs = c.u64()?;
+    let rng_seed = c.u64()?;
+    let rng_pos = c.u64()?;
+    let stats = FlatDdStats {
+        gates_dd: c.u64()? as usize,
+        gates_dmav: c.u64()? as usize,
+        converted_at: match c.u64()? {
+            0 => None,
+            g => Some((g - 1) as usize),
+        },
+        conversion_seconds: c.f64()?,
+        cached_dmavs: c.u64()? as usize,
+        uncached_dmavs: c.u64()? as usize,
+        cache_hits: c.u64()? as usize,
+        fused_matrices: c.u64()? as usize,
+        modeled_cost: c.f64()?,
+        peak_state_dd_size: c.u64()? as usize,
+        conversion_refusals: c.u64()? as usize,
+        pressure_gcs: c.u64()? as usize,
+        ..FlatDdStats::default()
+    };
+    if c.pos != bytes.len() {
+        return Err(corrupt("trailing bytes after header fields"));
+    }
+    Ok(CheckpointHeader {
+        circuit_hash,
+        config_fingerprint,
+        n,
+        gate_cursor,
+        phase,
+        conversion_blocked,
+        ewma: EwmaState {
+            v: ewma_v,
+            seeded: ewma_seeded,
+            observations: ewma_obs as usize,
+        },
+        rng_seed,
+        rng_pos,
+        stats,
+    })
+}
+
+fn read_exactly(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), FlatDdError> {
+    r.read_exact(buf)
+        .map_err(|_| corrupt(format!("truncated while reading {what}")))
+}
+
+/// Reads and validates only the header of a checkpoint file — cheap even
+/// for multi-gigabyte flat checkpoints (the payload is not touched).
+pub fn read_header(path: &Path) -> Result<CheckpointHeader, FlatDdError> {
+    let file = File::open(path).map_err(FlatDdError::Io)?;
+    let mut r = BufReader::new(file);
+    read_header_from(&mut r).map(|(h, _)| h)
+}
+
+/// Parses magic, version, and the checksummed header; returns the header
+/// and the total prefix length consumed.
+fn read_header_from(r: &mut impl Read) -> Result<(CheckpointHeader, u64), FlatDdError> {
+    let mut magic = [0u8; 6];
+    read_exactly(r, &mut magic, "magic")?;
+    if &magic != MAGIC {
+        return Err(corrupt("not a FlatDD checkpoint (bad magic)"));
+    }
+    let mut v4 = [0u8; 4];
+    read_exactly(r, &mut v4, "version")?;
+    let version = u32::from_le_bytes(v4);
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported format version {version}")));
+    }
+    read_exactly(r, &mut v4, "header length")?;
+    let hlen = u32::from_le_bytes(v4) as usize;
+    if hlen != HEADER_LEN_V1 {
+        return Err(corrupt(format!(
+            "header length {hlen} does not match format version 1 ({HEADER_LEN_V1})"
+        )));
+    }
+    let mut hb = vec![0u8; hlen];
+    read_exactly(r, &mut hb, "header")?;
+    read_exactly(r, &mut v4, "header checksum")?;
+    if u32::from_le_bytes(v4) != crc32(&hb) {
+        return Err(corrupt("header checksum mismatch"));
+    }
+    let header = decode_header(&hb)?;
+    Ok((header, (6 + 4 + 4 + hlen + 4) as u64))
+}
+
+/// Reads and fully validates a checkpoint file: magic, version, both CRCs,
+/// and every structural bound. Corruption of any kind comes back as
+/// [`FlatDdError::CorruptCheckpoint`] — never a panic or OOM (payload
+/// lengths are validated against the actual file size before allocating).
+pub fn read_checkpoint(path: &Path) -> Result<(CheckpointHeader, CheckpointState), FlatDdError> {
+    let file = File::open(path).map_err(FlatDdError::Io)?;
+    let file_len = file.metadata().map_err(FlatDdError::Io)?.len();
+    let mut r = BufReader::new(file);
+    let (header, prefix) = read_header_from(&mut r)?;
+
+    let mut k = [0u8; 1];
+    read_exactly(&mut r, &mut k, "payload kind")?;
+    let mut l8 = [0u8; 8];
+    read_exactly(&mut r, &mut l8, "payload length")?;
+    let plen = u64::from_le_bytes(l8);
+    // The payload must account for every remaining byte except its CRC —
+    // checked against the real file size so a corrupted length can neither
+    // truncate the read nor demand an absurd allocation.
+    let expected = file_len
+        .checked_sub(prefix + 1 + 8 + 4)
+        .ok_or_else(|| corrupt("file too short for a payload section"))?;
+    if plen != expected {
+        return Err(corrupt(format!(
+            "payload length {plen} does not match file size (expected {expected})"
+        )));
+    }
+
+    let mut crc = Crc32::new();
+    let state = match k[0] {
+        0 => {
+            let mut bytes = Vec::new();
+            bytes
+                .try_reserve_exact(plen as usize)
+                .map_err(|_| corrupt("DD payload too large to allocate"))?;
+            bytes.resize(plen as usize, 0);
+            read_exactly(&mut r, &mut bytes, "DD payload")?;
+            crc.update(&bytes);
+            CheckpointState::Dd(bytes)
+        }
+        1 => {
+            if plen % 16 != 0 {
+                return Err(corrupt("flat payload length not a multiple of 16"));
+            }
+            let count = (plen / 16) as usize;
+            let dim = 1u64.checked_shl(header.n).unwrap_or(0);
+            if count as u64 != dim {
+                return Err(corrupt(format!(
+                    "flat payload holds {count} amplitudes, expected 2^{}",
+                    header.n
+                )));
+            }
+            let mut amps = qarray::try_zeroed_state(count)
+                .map_err(|_| corrupt("flat payload too large to allocate"))?;
+            let mut chunk = vec![0u8; FLAT_CHUNK.min(count) * 16];
+            let mut filled = 0usize;
+            while filled < count {
+                let take = FLAT_CHUNK.min(count - filled);
+                let buf = &mut chunk[..take * 16];
+                read_exactly(&mut r, buf, "flat payload")?;
+                crc.update(buf);
+                for (i, a) in amps[filled..filled + take].iter_mut().enumerate() {
+                    let off = i * 16;
+                    let re = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let im = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+                    if !re.is_finite() || !im.is_finite() {
+                        return Err(corrupt("non-finite amplitude in flat payload"));
+                    }
+                    *a = Complex64::new(re, im);
+                }
+                filled += take;
+            }
+            CheckpointState::Flat(amps)
+        }
+        k => return Err(corrupt(format!("unknown payload kind {k}"))),
+    };
+    let mut c4 = [0u8; 4];
+    read_exactly(&mut r, &mut c4, "payload checksum")?;
+    if u32::from_le_bytes(c4) != crc.finish() {
+        return Err(corrupt("payload checksum mismatch"));
+    }
+    Ok((header, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(phase: Phase) -> CheckpointHeader {
+        CheckpointHeader {
+            circuit_hash: 0xDEAD_BEEF_1234_5678,
+            config_fingerprint: 42,
+            n: 3,
+            gate_cursor: 7,
+            phase,
+            conversion_blocked: false,
+            ewma: EwmaState {
+                v: 12.5,
+                seeded: true,
+                observations: 7,
+            },
+            rng_seed: 99,
+            rng_pos: 0,
+            stats: FlatDdStats {
+                gates_dd: 5,
+                gates_dmav: 2,
+                converted_at: Some(5),
+                conversion_seconds: 0.25,
+                peak_state_dd_size: 31,
+                ..FlatDdStats::default()
+            },
+        }
+    }
+
+    fn tmp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("flatdd_ckpt_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic "123456789" check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_encode_decode_round_trips() {
+        for phase in [Phase::Dd, Phase::Dmav] {
+            let h = header(phase);
+            let b = encode_header(&h);
+            assert_eq!(b.len(), HEADER_LEN_V1);
+            assert_eq!(decode_header(&b).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn flat_checkpoint_round_trips() {
+        let path = tmp_file("flat");
+        let amps: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(i as f64 * 0.25, -(i as f64)))
+            .collect();
+        let bytes = write_checkpoint(&path, &header(Phase::Dmav), {
+            CheckpointPayload::Flat(&amps)
+        })
+        .unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(!tmp_path(&path).exists(), "tmp file must be renamed away");
+        let (h, state) = read_checkpoint(&path).unwrap();
+        assert_eq!(h, header(Phase::Dmav));
+        match state {
+            CheckpointState::Flat(v) => assert_eq!(v, amps),
+            _ => panic!("expected flat payload"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dd_checkpoint_round_trips() {
+        let path = tmp_file("dd");
+        let payload = b"pretend-qddv1-bytes".to_vec();
+        write_checkpoint(&path, &header(Phase::Dd), CheckpointPayload::Dd(&payload)).unwrap();
+        let (h, state) = read_checkpoint(&path).unwrap();
+        assert_eq!(h.phase, Phase::Dd);
+        match state {
+            CheckpointState::Dd(b) => assert_eq!(b, payload),
+            _ => panic!("expected dd payload"),
+        }
+        // Header-only peek agrees and is cheap.
+        assert_eq!(read_header(&path).unwrap(), h);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_and_bitflip_is_rejected_without_panic() {
+        let path = tmp_file("corrupt");
+        let amps: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.0))
+            .collect();
+        write_checkpoint(&path, &header(Phase::Dmav), CheckpointPayload::Flat(&amps)).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let damaged = tmp_file("damaged");
+        for len in 0..good.len() {
+            std::fs::write(&damaged, &good[..len]).unwrap();
+            assert!(
+                matches!(
+                    read_checkpoint(&damaged),
+                    Err(FlatDdError::CorruptCheckpoint { .. })
+                ),
+                "truncation to {len} bytes must be CorruptCheckpoint"
+            );
+        }
+        for i in 0..good.len() {
+            let mut bytes = good.clone();
+            bytes[i] ^= 0x10;
+            std::fs::write(&damaged, &bytes).unwrap();
+            assert!(
+                matches!(
+                    read_checkpoint(&damaged),
+                    Err(FlatDdError::CorruptCheckpoint { .. })
+                ),
+                "bit flip at byte {i} must be CorruptCheckpoint"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&damaged).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt() {
+        let e = read_checkpoint(Path::new("/nonexistent/flatdd.ckpt")).unwrap_err();
+        assert!(matches!(e, FlatDdError::Io(_)));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        use qcircuit::generators;
+        let a = generators::ghz(6);
+        let b = generators::ghz(6);
+        let c = generators::ghz(7);
+        let d = generators::qft(6);
+        assert_eq!(circuit_fingerprint(&a), circuit_fingerprint(&b));
+        assert_ne!(circuit_fingerprint(&a), circuit_fingerprint(&c));
+        assert_ne!(circuit_fingerprint(&a), circuit_fingerprint(&d));
+
+        let base = crate::sim::FlatDdConfig::default();
+        let mut other_threads = base;
+        other_threads.threads = 1;
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&other_threads),
+            "thread count must not affect the fingerprint"
+        );
+        let mut other_policy = base;
+        other_policy.conversion = crate::sim::ConversionPolicy::Never;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&other_policy));
+    }
+}

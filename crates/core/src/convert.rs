@@ -220,6 +220,9 @@ pub fn dd_to_array_parallel_into(
         Vec::new()
     };
     pool.run(|tid| {
+        if tid == 0 && crate::faults::fires(crate::faults::SITE_CONVERT_WORKER).is_some() {
+            panic!("fault injection: conversion worker panic");
+        }
         let t0 = timed.then(Instant::now);
         for task in &plan.fill[tid] {
             fill_task(pkg, task, &view);

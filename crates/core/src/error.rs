@@ -86,12 +86,39 @@ pub enum FlatDdError {
     Io(std::io::Error),
     /// Malformed caller input (wrong circuit width, zero qubits, ...).
     InvalidInput(String),
+    /// The run was interrupted by a signal (SIGINT/SIGTERM) polled at a
+    /// gate boundary. When checkpointing is configured the simulator wrote
+    /// a checkpoint before raising this, so the run is resumable.
+    Interrupted {
+        /// The delivered signal number.
+        signal: i32,
+        /// Snapshot of the run at the interruption point.
+        partial: Box<RunOutcome>,
+    },
+    /// A checkpoint file failed validation (bad magic/version, checksum
+    /// mismatch, truncation, or a header that does not match the circuit
+    /// and config being resumed).
+    CorruptCheckpoint {
+        /// What failed, and where in the file.
+        detail: String,
+    },
+    /// A worker thread panicked during a parallel section (DD-to-array
+    /// conversion). The panic was contained; the simulator state may be
+    /// stale but the process survives with a typed error.
+    WorkerPanic {
+        /// Which parallel section the panic escaped from.
+        context: &'static str,
+        /// Snapshot of the run at the point of failure.
+        partial: Box<RunOutcome>,
+    },
 }
 
 impl FlatDdError {
     /// A stable process exit code per error class, used by the CLI binaries:
     /// `2` usage/invalid input, `3` QASM parse error, `4` memory budget or
-    /// allocation failure, `5` deadline, `6` numerical divergence, `7` I/O.
+    /// allocation failure, `5` deadline, `6` numerical divergence, `7` I/O,
+    /// `8` interrupted by signal (resumable when a checkpoint was written),
+    /// `9` corrupt/mismatched checkpoint, `10` contained worker panic.
     pub fn exit_code(&self) -> i32 {
         match self {
             FlatDdError::InvalidInput(_) => 2,
@@ -100,6 +127,9 @@ impl FlatDdError {
             FlatDdError::Deadline { .. } => 5,
             FlatDdError::NumericalDivergence { .. } => 6,
             FlatDdError::Io(_) => 7,
+            FlatDdError::Interrupted { .. } => 8,
+            FlatDdError::CorruptCheckpoint { .. } => 9,
+            FlatDdError::WorkerPanic { .. } => 10,
         }
     }
 
@@ -108,9 +138,23 @@ impl FlatDdError {
         match self {
             FlatDdError::MemoryBudgetExceeded { partial, .. }
             | FlatDdError::Deadline { partial, .. }
-            | FlatDdError::NumericalDivergence { partial, .. } => Some(partial),
+            | FlatDdError::NumericalDivergence { partial, .. }
+            | FlatDdError::Interrupted { partial, .. }
+            | FlatDdError::WorkerPanic { partial, .. } => Some(partial),
             _ => None,
         }
+    }
+
+    /// True for errors after which the run can be picked up from a
+    /// checkpoint (`--resume-from`): budget breaches and signal
+    /// interruptions, where the state itself is still sound.
+    pub fn is_resumable(&self) -> bool {
+        matches!(
+            self,
+            FlatDdError::MemoryBudgetExceeded { .. }
+                | FlatDdError::Deadline { .. }
+                | FlatDdError::Interrupted { .. }
+        )
     }
 }
 
@@ -154,6 +198,19 @@ impl fmt::Display for FlatDdError {
             FlatDdError::Qasm(e) => write!(f, "{e}"),
             FlatDdError::Io(e) => write!(f, "I/O error: {e}"),
             FlatDdError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            FlatDdError::Interrupted { signal, partial } => write!(
+                f,
+                "interrupted by {} after {} of {} gates",
+                crate::signal::signal_name(*signal),
+                partial.gates_applied,
+                partial.total_gates
+            ),
+            FlatDdError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
+            }
+            FlatDdError::WorkerPanic { context, .. } => {
+                write!(f, "worker thread panicked during {context}")
+            }
         }
     }
 }
@@ -218,6 +275,17 @@ mod tests {
                 partial: Box::new(outcome()),
             },
             FlatDdError::Io(std::io::Error::other("io")),
+            FlatDdError::Interrupted {
+                signal: 15,
+                partial: Box::new(outcome()),
+            },
+            FlatDdError::CorruptCheckpoint {
+                detail: "header checksum".into(),
+            },
+            FlatDdError::WorkerPanic {
+                context: "conversion",
+                partial: Box::new(outcome()),
+            },
         ];
         let mut codes: Vec<i32> = errs.iter().map(|e| e.exit_code()).collect();
         codes.sort_unstable();
@@ -240,6 +308,35 @@ mod tests {
         assert!(FlatDdError::InvalidInput("x".into())
             .partial_outcome()
             .is_none());
+    }
+
+    #[test]
+    fn resumable_classes() {
+        assert!(FlatDdError::Interrupted {
+            signal: 2,
+            partial: Box::new(outcome()),
+        }
+        .is_resumable());
+        assert!(FlatDdError::Deadline {
+            budget: Duration::ZERO,
+            elapsed: Duration::ZERO,
+            partial: Box::new(outcome()),
+        }
+        .is_resumable());
+        assert!(!FlatDdError::CorruptCheckpoint { detail: "x".into() }.is_resumable());
+        assert!(!FlatDdError::NumericalDivergence {
+            norm: f64::NAN,
+            detail: "d".into(),
+            partial: Box::new(outcome()),
+        }
+        .is_resumable());
+        let i = FlatDdError::Interrupted {
+            signal: 15,
+            partial: Box::new(outcome()),
+        };
+        assert_eq!(i.exit_code(), 8);
+        assert!(i.to_string().contains("SIGTERM"));
+        assert!(i.partial_outcome().is_some());
     }
 
     #[test]

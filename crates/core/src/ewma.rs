@@ -48,6 +48,19 @@ pub struct EwmaMonitor {
     observations: usize,
 }
 
+/// A monitor's mutable state, detached from its config — what a checkpoint
+/// persists so a resumed run continues the moving average exactly where the
+/// interrupted run left it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EwmaState {
+    /// Current moving-average value `v_i`.
+    pub v: f64,
+    /// Whether the average has been seeded by a first observation.
+    pub seeded: bool,
+    /// Number of sizes observed so far.
+    pub observations: usize,
+}
+
 impl EwmaMonitor {
     /// Creates a monitor.
     pub fn new(cfg: EwmaConfig) -> Self {
@@ -72,6 +85,24 @@ impl EwmaMonitor {
     /// Number of sizes observed.
     pub fn observations(&self) -> usize {
         self.observations
+    }
+
+    /// Exports the mutable state for checkpointing.
+    pub fn state(&self) -> EwmaState {
+        EwmaState {
+            v: self.v,
+            seeded: self.seeded,
+            observations: self.observations,
+        }
+    }
+
+    /// Restores a previously exported state (the config stays this
+    /// monitor's own — resume validation rejects mismatched configs before
+    /// this is reached).
+    pub fn restore(&mut self, s: EwmaState) {
+        self.v = s.v;
+        self.seeded = s.seeded;
+        self.observations = s.observations;
     }
 
     /// Records the DD size after one gate. Returns `true` when the
@@ -179,6 +210,25 @@ mod tests {
             v_before,
             "triggering observation must not pollute v"
         );
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut m = monitor();
+        for s in [100, 120, 90, 400] {
+            m.observe(s);
+        }
+        let saved = m.state();
+        let mut fresh = monitor();
+        fresh.restore(saved);
+        assert_eq!(fresh.state(), saved);
+        assert_eq!(fresh.value(), m.value());
+        assert_eq!(fresh.observations(), m.observations());
+        // Both copies must agree on every subsequent decision.
+        for s in [100, 100, 500, 80] {
+            assert_eq!(fresh.observe(s), m.observe(s));
+            assert_eq!(fresh.value(), m.value());
+        }
     }
 
     #[test]

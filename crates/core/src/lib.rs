@@ -27,6 +27,13 @@
 //!   degradation, and the numerical-health watchdog.
 //! * [`error`] — [`FlatDdError`], the typed (panic-free) error surface,
 //!   and [`RunOutcome`], the (possibly partial) run snapshot.
+//! * [`checkpoint`] — crash-safe checkpoint files (checksummed sections,
+//!   atomic rename installation) behind `--checkpoint-every` /
+//!   `--resume-from`.
+//! * [`signal`](mod@signal) — flag-based SIGINT/SIGTERM handling polled at
+//!   gate boundaries.
+//! * [`faults`] — the deterministic fault-injection registry
+//!   (`FLATDD_FAULTS`) that makes every degradation path testable.
 //! * [`telemetry`] — the unified observability surface (structured gate
 //!   events, Chrome-trace export, cross-crate metrics registry),
 //!   re-exported from the `qtelemetry` crate.
@@ -46,17 +53,20 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod convert;
 pub mod cost;
 pub mod dmav;
 pub mod dmav_cache;
 pub mod error;
 pub mod ewma;
+pub mod faults;
 pub mod fusion;
 pub mod govern;
 pub mod memory;
 pub mod plan_cache;
 pub mod pool;
+pub mod signal;
 pub mod sim;
 pub mod trajectories;
 
@@ -65,6 +75,10 @@ pub mod trajectories;
 /// depend on `flatdd`.
 pub use qtelemetry as telemetry;
 
+pub use checkpoint::{
+    circuit_fingerprint, config_fingerprint, read_checkpoint, read_header, write_checkpoint,
+    CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
+};
 pub use convert::{
     dd_to_array_parallel, dd_to_array_parallel_into, ConversionBreakdown, ConversionPlan,
 };

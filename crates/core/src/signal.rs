@@ -1,0 +1,131 @@
+//! Flag-based SIGINT/SIGTERM handling.
+//!
+//! A default-disposition SIGINT kills the process wherever it happens to
+//! be — mid-checkpoint-write, with telemetry sinks unflushed, with the run
+//! unreported. This module installs async-signal-safe handlers that only
+//! set an atomic flag; the simulator polls the flag at gate boundaries
+//! ([`crate::FlatDdSimulator::apply`]) and turns it into a typed
+//! [`crate::FlatDdError::Interrupted`] — optionally after writing a
+//! checkpoint — so callers unwind through the normal error path, flush
+//! their sinks, and exit with a stable code.
+//!
+//! The handler is one-shot per signal: the **first** SIGINT/SIGTERM sets
+//! the flag and restores the default disposition, so a second signal kills
+//! the process immediately (the standard escape hatch when graceful
+//! shutdown hangs).
+//!
+//! Handlers are opt-in — nothing is installed until
+//! [`install_handlers`] is called (the CLI does; library users decide).
+
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// SIGINT signal number (POSIX).
+pub const SIGINT: i32 = 2;
+/// SIGTERM signal number (POSIX).
+pub const SIGTERM: i32 = 15;
+
+/// Last received signal number; 0 = none.
+static PENDING: AtomicI32 = AtomicI32::new(0);
+
+#[cfg(unix)]
+mod imp {
+    use super::PENDING;
+    use std::sync::atomic::Ordering;
+
+    // Bind the C library's `signal(2)` directly — handlers here only touch
+    // an atomic, which is async-signal-safe, and taking no libc dependency
+    // keeps the workspace std-only.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIG_DFL: usize = 0;
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(sig: i32) {
+        PENDING.store(sig, Ordering::Relaxed);
+        // One-shot: a second signal of the same kind gets the default
+        // (terminating) disposition.
+        unsafe {
+            signal(sig, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install(signums: &[i32]) -> bool {
+        let mut ok = true;
+        for &s in signums {
+            ok &= unsafe { signal(s, on_signal as extern "C" fn(i32) as usize) } != SIG_ERR;
+        }
+        ok
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install(_signums: &[i32]) -> bool {
+        false
+    }
+}
+
+/// Installs the flag-setting handlers for SIGINT and SIGTERM. Returns
+/// `false` when installation failed (or the platform has no POSIX
+/// signals), in which case the default dispositions remain.
+pub fn install_handlers() -> bool {
+    imp::install(&[SIGINT, SIGTERM])
+}
+
+/// The pending signal, if any, *without* consuming it.
+pub fn pending() -> Option<i32> {
+    match PENDING.load(Ordering::Relaxed) {
+        0 => None,
+        s => Some(s),
+    }
+}
+
+/// Takes (and clears) the pending signal. The simulator calls this when it
+/// converts the flag into [`crate::FlatDdError::Interrupted`], so one
+/// signal interrupts one run instead of poisoning every run after it.
+pub fn take() -> Option<i32> {
+    match PENDING.swap(0, Ordering::Relaxed) {
+        0 => None,
+        s => Some(s),
+    }
+}
+
+/// Sets the flag as if `sig` had been delivered (tests; also lets embedders
+/// route their own shutdown mechanism through the same graceful path).
+pub fn raise_flag(sig: i32) {
+    PENDING.store(sig, Ordering::Relaxed);
+}
+
+/// Human-readable name of a handled signal number.
+pub fn signal_name(sig: i32) -> &'static str {
+    match sig {
+        SIGINT => "SIGINT",
+        SIGTERM => "SIGTERM",
+        _ => "signal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_take_semantics() {
+        // Note: no real signals here — other tests share the process.
+        assert_eq!(take(), None);
+        raise_flag(SIGTERM);
+        assert_eq!(pending(), Some(SIGTERM));
+        assert_eq!(take(), Some(SIGTERM));
+        assert_eq!(take(), None, "take consumes the flag");
+        assert_eq!(pending(), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(signal_name(SIGINT), "SIGINT");
+        assert_eq!(signal_name(SIGTERM), "SIGTERM");
+        assert_eq!(signal_name(99), "signal");
+    }
+}

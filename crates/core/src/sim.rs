@@ -14,19 +14,25 @@
 //! the memory budget is *refused* and the run continues in DD mode, with
 //! the refusal recorded in [`FlatDdStats::conversion_refusals`].
 
+use crate::checkpoint::{
+    self, CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
+};
 use crate::convert::{dd_to_array_parallel, dd_to_array_parallel_into};
 use crate::cost::CostModel;
 use crate::dmav::{dmav_no_cache, DmavAssignment};
 use crate::dmav_cache::{dmav_cached, DmavCacheAssignment, PartialBuffers};
 use crate::error::{FlatDdError, RunOutcome};
 use crate::ewma::{EwmaConfig, EwmaMonitor};
+use crate::faults;
 use crate::fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
 use crate::govern::{Breach, GovernorConfig, ResourceGovernor};
 use crate::plan_cache::PlanCache;
 use crate::pool::{clamp_threads, ThreadPool};
+use crate::signal;
 use qarray::vecops;
 use qcircuit::{Circuit, Complex64, Gate};
 use qdd::{DdPackage, MEdge, MacTable, VEdge};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -157,7 +163,7 @@ pub struct GateTrace {
 }
 
 /// Aggregate statistics of a FlatDD run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FlatDdStats {
     /// Gates executed in the DD phase.
     pub gates_dd: usize,
@@ -304,6 +310,16 @@ pub struct FlatDdSimulator {
     compute_base: qdd::ComputeStats,
     /// Whether the most recent DMAV's plan lookup hit the cache.
     last_plan_hit: Option<bool>,
+    /// Checkpoint triggers and destination (`None` = checkpointing off).
+    ckpt: Option<CheckpointPolicy>,
+    /// Gates applied since the last written checkpoint.
+    gates_since_ckpt: usize,
+    /// Path of the most recently written (or resumed-from) checkpoint.
+    last_checkpoint: Option<PathBuf>,
+    /// Fingerprint of the circuit an enclosing `run`/`run_from` is
+    /// processing, stamped into checkpoints so resume can validate; 0 when
+    /// no run provided one.
+    active_circuit_hash: u64,
     /// Cached global-counter handles (one registry lookup per simulator,
     /// one relaxed add per gate).
     ctr_gates_dd: qtelemetry::Counter,
@@ -383,6 +399,10 @@ impl FlatDdSimulator {
             plan_misses_base: 0,
             compute_base: qdd::ComputeStats::default(),
             last_plan_hit: None,
+            ckpt: None,
+            gates_since_ckpt: 0,
+            last_checkpoint: None,
+            active_circuit_hash: 0,
             ctr_gates_dd: qtelemetry::counter("core.gates_dd"),
             ctr_gates_dmav: qtelemetry::counter("core.gates_dmav"),
         })
@@ -438,6 +458,175 @@ impl FlatDdSimulator {
     /// Per-gate trace (empty unless `cfg.trace`).
     pub fn traces(&self) -> &[GateTrace] {
         &self.traces
+    }
+
+    /// Gates applied over this simulator's lifetime (the checkpoint gate
+    /// cursor).
+    pub fn gates_applied(&self) -> usize {
+        self.gates_seen
+    }
+
+    /// Installs (or removes) the checkpoint policy. With a policy in
+    /// place, checkpoints are written every `every_gates` applied gates,
+    /// and — when `on_breach` is set — once more when a resumable error
+    /// (budget breach or polled signal) ends a [`Self::run`].
+    pub fn set_checkpoint_policy(&mut self, policy: Option<CheckpointPolicy>) {
+        self.ckpt = policy;
+        self.gates_since_ckpt = 0;
+    }
+
+    /// The active checkpoint policy.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.ckpt.as_ref()
+    }
+
+    /// Path of the most recently written (or resumed-from) checkpoint.
+    pub fn last_checkpoint(&self) -> Option<&Path> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Writes a checkpoint to the policy path now, regardless of triggers.
+    /// Returns the installed file's size in bytes.
+    pub fn save_checkpoint(&mut self) -> Result<u64, FlatDdError> {
+        let policy = self
+            .ckpt
+            .clone()
+            .ok_or_else(|| FlatDdError::InvalidInput("no checkpoint policy configured".into()))?;
+        let telemetry = qtelemetry::enabled();
+        let ts_us = telemetry.then(qtelemetry::now_us);
+        let start = Instant::now();
+        let header = CheckpointHeader {
+            circuit_hash: self.active_circuit_hash,
+            config_fingerprint: checkpoint::config_fingerprint(&self.cfg),
+            n: self.n as u32,
+            gate_cursor: self.gates_seen as u64,
+            phase: self.phase(),
+            conversion_blocked: self.conversion_blocked,
+            ewma: self.ewma.state(),
+            rng_seed: policy.rng_seed,
+            rng_pos: 0,
+            stats: self.stats,
+        };
+        let bytes = match &self.repr {
+            Repr::Dd(s) => {
+                let b = qdd::serialize::vector_dd_to_bytes(&self.pkg, *s, self.n)?;
+                checkpoint::write_checkpoint(&policy.path, &header, CheckpointPayload::Dd(&b))?
+            }
+            Repr::Flat { v, .. } => {
+                checkpoint::write_checkpoint(&policy.path, &header, CheckpointPayload::Flat(v))?
+            }
+        };
+        let dur_us = start.elapsed().as_secs_f64() * 1e6;
+        self.gates_since_ckpt = 0;
+        self.last_checkpoint = Some(policy.path.clone());
+        qtelemetry::counter("checkpoint.writes").inc();
+        qtelemetry::gauge("checkpoint.bytes").set(bytes as f64);
+        qtelemetry::gauge("checkpoint.write_us").set(dur_us);
+        if telemetry {
+            qtelemetry::emit(qtelemetry::Event::Checkpoint {
+                sim: self.telemetry_id,
+                ts_us: ts_us.unwrap_or(0.0),
+                dur_us,
+                op: "write",
+                bytes,
+                gate_cursor: self.gates_seen,
+                phase: self.phase().label(),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Rebuilds a simulator from a checkpoint of an interrupted run over
+    /// `circuit`. Validation order: file integrity first (magic, version,
+    /// section checksums — [`FlatDdError::CorruptCheckpoint`]), then
+    /// compatibility (circuit hash, config fingerprint, qubit count, gate
+    /// cursor — [`FlatDdError::InvalidInput`]). On success the returned
+    /// simulator is positioned exactly at the saved gate cursor in the
+    /// saved phase; continue with [`Self::run_from`]. The returned header
+    /// hands the caller the persisted RNG seed.
+    ///
+    /// Governor budgets start fresh: a deadline measures *this* process's
+    /// wall clock, which is what makes "breach, checkpoint, retry with a
+    /// larger budget" a sensible loop.
+    pub fn resume_from(
+        path: &Path,
+        cfg: FlatDdConfig,
+        circuit: &Circuit,
+    ) -> Result<(Self, CheckpointHeader), FlatDdError> {
+        let telemetry = qtelemetry::enabled();
+        let ts_us = telemetry.then(qtelemetry::now_us);
+        let start = Instant::now();
+        let (header, state) = checkpoint::read_checkpoint(path)?;
+        if header.n as usize != circuit.num_qubits() {
+            return Err(FlatDdError::InvalidInput(format!(
+                "checkpoint is over {} qubits but the circuit has {}",
+                header.n,
+                circuit.num_qubits()
+            )));
+        }
+        if header.circuit_hash != checkpoint::circuit_fingerprint(circuit) {
+            return Err(FlatDdError::InvalidInput(
+                "checkpoint was taken for a different circuit (content hash mismatch)".into(),
+            ));
+        }
+        if header.config_fingerprint != checkpoint::config_fingerprint(&cfg) {
+            return Err(FlatDdError::InvalidInput(
+                "checkpoint was taken under a different configuration \
+                 (conversion/caching/fusion fingerprint mismatch)"
+                    .into(),
+            ));
+        }
+        if header.gate_cursor as usize > circuit.gates().len() {
+            return Err(FlatDdError::CorruptCheckpoint {
+                detail: format!(
+                    "gate cursor {} is beyond the {}-gate circuit",
+                    header.gate_cursor,
+                    circuit.gates().len()
+                ),
+            });
+        }
+        let mut sim = Self::try_new(header.n as usize, cfg)?;
+        match state {
+            CheckpointState::Dd(bytes) => {
+                let (root, n2) = qdd::serialize::vector_dd_from_bytes(&mut sim.pkg, &bytes)
+                    .map_err(|e| FlatDdError::CorruptCheckpoint {
+                        detail: format!("DD payload: {e}"),
+                    })?;
+                if n2 != header.n as usize {
+                    return Err(FlatDdError::CorruptCheckpoint {
+                        detail: format!("DD payload is over {n2} qubits, header says {}", header.n),
+                    });
+                }
+                sim.repr = Repr::Dd(root);
+                // Drop the |0...0> state try_new built.
+                sim.pkg.gc(&[root], &[]);
+            }
+            CheckpointState::Flat(v) => {
+                let w = try_flat_buffer(v.len(), "resume scratch vector")?;
+                sim.repr = Repr::Flat { v, w };
+                sim.pkg.gc(&[], &[]);
+            }
+        }
+        sim.gates_seen = header.gate_cursor as usize;
+        sim.stats = header.stats;
+        sim.conversion_blocked = header.conversion_blocked;
+        sim.ewma.restore(header.ewma);
+        sim.active_circuit_hash = header.circuit_hash;
+        sim.last_checkpoint = Some(path.to_path_buf());
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        qtelemetry::counter("checkpoint.loads").inc();
+        if telemetry {
+            qtelemetry::emit(qtelemetry::Event::Checkpoint {
+                sim: sim.telemetry_id,
+                ts_us: ts_us.unwrap_or(0.0),
+                dur_us: start.elapsed().as_secs_f64() * 1e6,
+                op: "load",
+                bytes,
+                gate_cursor: sim.gates_seen,
+                phase: sim.phase().label(),
+            });
+        }
+        Ok((sim, header))
     }
 
     /// The underlying DD package.
@@ -626,6 +815,17 @@ impl FlatDdSimulator {
 
     /// Applies one gate (no fusion at this granularity).
     pub fn apply(&mut self, gate: &Gate) -> Result<(), FlatDdError> {
+        // Signal poll (one relaxed load when quiet): a delivered
+        // SIGINT/SIGTERM ends the run with a typed, resumable error at this
+        // gate boundary instead of killing the process mid-write.
+        if signal::pending().is_some() {
+            if let Some(sig) = signal::take() {
+                return Err(FlatDdError::Interrupted {
+                    signal: sig,
+                    partial: Box::new(self.snapshot()),
+                });
+            }
+        }
         self.gov
             .check_deadline()
             .map_err(|b| self.breach_to_error(b))?;
@@ -643,6 +843,13 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => {
                 let m = self.pkg.gate_dd(gate, self.n);
                 self.apply_dmav(m)?;
+                if faults::fires(faults::SITE_STATE_NAN).is_some() {
+                    if let Repr::Flat { v, .. } = &mut self.repr {
+                        if let Some(a) = v.first_mut() {
+                            *a = Complex64::new(f64::NAN, 0.0);
+                        }
+                    }
+                }
             }
         }
         let seconds = start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
@@ -669,7 +876,14 @@ impl FlatDdSimulator {
         }
         self.gates_seen += 1;
         self.enforce_memory()?;
-        self.enforce_health()
+        self.enforce_health()?;
+        self.gates_since_ckpt += 1;
+        if let Some(every) = self.ckpt.as_ref().and_then(|p| p.every_gates) {
+            if self.gates_since_ckpt >= every {
+                self.save_checkpoint()?;
+            }
+        }
+        Ok(())
     }
 
     /// Runs a whole circuit, honoring the fusion policy after conversion.
@@ -689,6 +903,77 @@ impl FlatDdSimulator {
         qtelemetry::counter("core.runs").inc();
         let gates = circuit.gates();
         let total = self.gates_seen + gates.len();
+        if self.ckpt.is_some() {
+            self.active_circuit_hash = checkpoint::circuit_fingerprint(circuit);
+        }
+        self.run_span(gates, total)
+    }
+
+    /// Runs only the first `upto` gates of `circuit`, recording the *full*
+    /// circuit's content hash, so a checkpoint written at the prefix
+    /// boundary resumes cleanly over the same circuit with
+    /// [`Self::resume_from`] + [`Self::run_from`] (staged execution; also
+    /// the backbone of the checkpoint/resume tests).
+    pub fn run_prefix(
+        &mut self,
+        circuit: &Circuit,
+        upto: usize,
+    ) -> Result<RunOutcome, FlatDdError> {
+        if circuit.num_qubits() != self.n {
+            return Err(FlatDdError::InvalidInput(format!(
+                "circuit is over {} qubits but the simulator holds {}",
+                circuit.num_qubits(),
+                self.n
+            )));
+        }
+        let gates = circuit.gates();
+        if upto > gates.len() {
+            return Err(FlatDdError::InvalidInput(format!(
+                "prefix of {upto} gates requested from a {}-gate circuit",
+                gates.len()
+            )));
+        }
+        self.reset_run_stats();
+        qtelemetry::counter("core.runs").inc();
+        if self.ckpt.is_some() {
+            self.active_circuit_hash = checkpoint::circuit_fingerprint(circuit);
+        }
+        self.run_span(&gates[..upto], gates.len())
+    }
+
+    /// Continues an interrupted run: applies the gates of `circuit` *after*
+    /// the current gate cursor ([`Self::gates_applied`], restored by
+    /// [`Self::resume_from`]). Unlike [`Self::run`], per-run statistics are
+    /// NOT reset — the restored counters keep accumulating, so a resumed
+    /// run reports totals as if it had never been interrupted.
+    pub fn run_from(&mut self, circuit: &Circuit) -> Result<RunOutcome, FlatDdError> {
+        if circuit.num_qubits() != self.n {
+            return Err(FlatDdError::InvalidInput(format!(
+                "circuit is over {} qubits but the simulator holds {}",
+                circuit.num_qubits(),
+                self.n
+            )));
+        }
+        let gates = circuit.gates();
+        if self.gates_seen > gates.len() {
+            return Err(FlatDdError::InvalidInput(format!(
+                "gate cursor {} is beyond the {}-gate circuit",
+                self.gates_seen,
+                gates.len()
+            )));
+        }
+        qtelemetry::counter("core.resumed_runs").inc();
+        self.active_circuit_hash = checkpoint::circuit_fingerprint(circuit);
+        let start = self.gates_seen;
+        self.run_span(&gates[start..], gates.len())
+    }
+
+    /// Shared tail of [`Self::run`] / [`Self::run_from`]: applies `gates`,
+    /// emits the run start/end events, and — when a resumable error ends
+    /// the run under an `on_breach` checkpoint policy — writes a final
+    /// checkpoint at the (still consistent) gate boundary the error left
+    /// the state at, so the run can be picked up with `--resume-from`.
+    fn run_span(&mut self, gates: &[Gate], total: usize) -> Result<RunOutcome, FlatDdError> {
         if qtelemetry::enabled() {
             qtelemetry::emit(qtelemetry::Event::RunStart {
                 sim: self.telemetry_id,
@@ -710,6 +995,15 @@ impl FlatDdSimulator {
                 phase: self.phase().label(),
                 ok: result.is_ok(),
             });
+        }
+        if let Err(e) = &result {
+            if e.is_resumable() && self.ckpt.as_ref().is_some_and(|p| p.on_breach) {
+                // Best-effort: the original error is what the caller must
+                // see; a failed final checkpoint only costs resumability.
+                if let Err(ce) = self.save_checkpoint() {
+                    eprintln!("[flatdd] failed to write checkpoint on breach: {ce}");
+                }
+            }
         }
         result?;
         Ok(RunOutcome {
@@ -963,7 +1257,21 @@ impl FlatDdSimulator {
                 return Err(e);
             }
         };
-        let breakdown = dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v);
+        // Worker panics (including injected ones) are contained here: the
+        // pool re-raises a job panic on the dispatching thread, the DD
+        // state is untouched, and the caller gets a typed error instead of
+        // an abort.
+        let breakdown = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v)
+        })) {
+            Ok(b) => b,
+            Err(_) => {
+                return Err(FlatDdError::WorkerPanic {
+                    context: "DD-to-array conversion",
+                    partial: Box::new(self.snapshot()),
+                });
+            }
+        };
         let w = match try_flat_buffer(dim, "DMAV scratch vector") {
             Ok(w) => w,
             Err(e) => {
@@ -1254,8 +1562,15 @@ fn phase_log_enabled() -> bool {
 }
 
 /// Fallibly allocates a zeroed `dim`-element flat buffer, mapping allocator
-/// refusal to [`FlatDdError::AllocationFailed`].
+/// refusal to [`FlatDdError::AllocationFailed`]. The `alloc.flat` fault
+/// site makes the refusal injectable without needing a real OOM.
 fn try_flat_buffer(dim: usize, context: &'static str) -> Result<Vec<Complex64>, FlatDdError> {
+    if faults::fires(faults::SITE_ALLOC_FLAT).is_some() {
+        return Err(FlatDdError::AllocationFailed {
+            requested_bytes: dim * std::mem::size_of::<Complex64>(),
+            context,
+        });
+    }
     qarray::try_zeroed_state(dim).map_err(|_| FlatDdError::AllocationFailed {
         requested_bytes: dim * std::mem::size_of::<Complex64>(),
         context,

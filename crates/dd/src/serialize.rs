@@ -114,11 +114,23 @@ pub fn read_vector_dd(pkg: &mut DdPackage, r: &mut impl Read) -> io::Result<(VEd
     if n == 0 || n > 64 {
         return Err(bad("implausible qubit count"));
     }
-    let mut edges: Vec<VEdge> = Vec::with_capacity(count + 1);
+    // A state DD over n qubits has at most 2^n - 1 nodes; a count above
+    // that can only come from corruption. Checked *before* any allocation
+    // so a bogus 4-billion count cannot OOM the loader, and the initial
+    // reservation is additionally capped — the stream itself (49 bytes per
+    // node) naturally bounds growth from there.
+    if n < 32 && count > (1usize << n) {
+        return Err(bad("node count exceeds 2^n"));
+    }
+    let mut edges: Vec<VEdge> = Vec::with_capacity(count.min(1 << 16) + 1);
+    let mut levels: Vec<u8> = Vec::with_capacity(count.min(1 << 16) + 1);
     // Slot 0 = terminal with weight folded at use sites.
     for k in 0..count {
         let mut level = [0u8; 1];
         r.read_exact(&mut level)?;
+        if usize::from(level[0]) >= n {
+            return Err(bad("node level out of range for qubit count"));
+        }
         let mut child = [VEdge::ZERO; 2];
         for c in child.iter_mut() {
             let child_ref = read_u32(r)? as usize;
@@ -133,6 +145,12 @@ pub fn read_vector_dd(pkg: &mut DdPackage, r: &mut impl Read) -> io::Result<(VEd
             } else if child_ref == 0 {
                 VEdge::terminal(pkg.clookup(weight))
             } else if child_ref <= k {
+                // A well-formed DD is ordered: children live strictly
+                // below their parent. A violation would silently mis-link
+                // the rebuilt diagram, so reject it here.
+                if levels[child_ref - 1] >= level[0] {
+                    return Err(bad("child level not below parent level"));
+                }
                 let base = edges[child_ref - 1];
                 let wi = pkg.clookup(weight);
                 pkg.scale_v(base, wi)
@@ -142,6 +160,7 @@ pub fn read_vector_dd(pkg: &mut DdPackage, r: &mut impl Read) -> io::Result<(VEd
         }
         let rebuilt = pkg.make_vnode(level[0], child);
         edges.push(rebuilt);
+        levels.push(level[0]);
     }
     let root_ref = read_u32(r)? as usize;
     let re = read_f64(r)?;
@@ -266,6 +285,52 @@ mod tests {
         bytes.extend_from_slice(&0.0f64.to_le_bytes());
         bytes.extend_from_slice(&0.0f64.to_le_bytes());
         assert!(vector_dd_from_bytes(&mut pkg, &bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_bytes_table() {
+        // A valid stream, then systematic damage: every truncation length
+        // and a byte-flip sweep must produce Err (or a still-valid stream
+        // for flips that keep invariants), and must never panic.
+        let (pkg, s) = state_dd(&generators::qft(5));
+        let good = vector_dd_to_bytes(&pkg, s, 5).unwrap();
+        assert!(good.len() > 60);
+
+        for len in 0..good.len() {
+            let mut pkg2 = DdPackage::default();
+            assert!(
+                vector_dd_from_bytes(&mut pkg2, &good[..len]).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+
+        for i in 0..good.len() {
+            for bit in [0u8, 3, 7] {
+                let mut bytes = good.clone();
+                bytes[i] ^= 1 << bit;
+                let mut pkg2 = DdPackage::default();
+                // Flips inside f64 weight bytes can yield a different but
+                // structurally valid DD — only absence of panics and of
+                // non-finite weights is guaranteed. Structural fields
+                // (refs, counts, levels) must either error or keep bounds.
+                let _ = vector_dd_from_bytes(&mut pkg2, &bytes);
+            }
+        }
+
+        // Crafted structural corruptions that must be caught explicitly.
+        let craft = |patch: &dyn Fn(&mut Vec<u8>)| {
+            let mut bytes = good.clone();
+            patch(&mut bytes);
+            let mut pkg2 = DdPackage::default();
+            vector_dd_from_bytes(&mut pkg2, &bytes)
+        };
+        // Node count far beyond 2^n.
+        assert!(craft(&|b| b[10..14].copy_from_slice(&u32::MAX.to_le_bytes())).is_err());
+        // First node's level >= n.
+        assert!(craft(&|b| b[14] = 64).is_err());
+        // Qubit count 0 / implausible.
+        assert!(craft(&|b| b[6..10].copy_from_slice(&0u32.to_le_bytes())).is_err());
+        assert!(craft(&|b| b[6..10].copy_from_slice(&65u32.to_le_bytes())).is_err());
     }
 
     #[test]

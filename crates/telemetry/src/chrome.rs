@@ -301,6 +301,41 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 t.arg_str("ok", if *ok { "true" } else { "false" }, false);
                 t.close();
             }
+            Event::Checkpoint {
+                sim,
+                ts_us,
+                dur_us,
+                op,
+                bytes,
+                gate_cursor,
+                phase,
+            } => {
+                let tl = sims.entry(*sim).or_default();
+                tl.see(*ts_us + *dur_us);
+                let name = if *op == "load" {
+                    "checkpoint load"
+                } else {
+                    "checkpoint write"
+                };
+                t.span(name, *sim, TID_PHASES, *ts_us, *dur_us);
+                t.arg_num("bytes", *bytes as f64, true);
+                t.arg_num("gate_cursor", *gate_cursor as f64, false);
+                t.arg_str("phase", phase, false);
+                t.close();
+            }
+            Event::Fault {
+                ts_us,
+                site,
+                action,
+            } => {
+                // Faults carry no simulator id; park them on the first
+                // simulator's governor track (pid 0 when none recorded yet).
+                let pid = sims.keys().next().copied().unwrap_or(0);
+                t.instant("fault_injected", pid, TID_GOVERNOR, *ts_us);
+                t.arg_str("site", site, true);
+                t.arg_str("action", action, false);
+                t.close();
+            }
         }
     }
 

@@ -160,6 +160,33 @@ pub enum Event {
         /// Whether the check passed.
         ok: bool,
     },
+    /// A checkpoint written or loaded (kind `checkpoint_write` /
+    /// `checkpoint_load`, picked by `op`).
+    Checkpoint {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Operation start timestamp (µs).
+        ts_us: f64,
+        /// Operation duration (µs).
+        dur_us: f64,
+        /// `"write"` or `"load"`.
+        op: &'static str,
+        /// Checkpoint file size in bytes.
+        bytes: u64,
+        /// Gate cursor the checkpoint covers (gates already applied).
+        gate_cursor: usize,
+        /// Phase the state was captured in (`"dd"` / `"dmav"`).
+        phase: &'static str,
+    },
+    /// A fault-injection site fired (kind `fault_injected`).
+    Fault {
+        /// Timestamp (µs).
+        ts_us: f64,
+        /// Registered site name (e.g. `alloc.flat`).
+        site: String,
+        /// Action label (`error`, `panic`, `nan`, `truncate`, `bitflip`).
+        action: &'static str,
+    },
 }
 
 impl Event {
@@ -175,6 +202,14 @@ impl Event {
             Event::GcSweep { .. } => "gc_sweep",
             Event::Governor { .. } => "governor",
             Event::Watchdog { .. } => "watchdog",
+            Event::Checkpoint { op, .. } => {
+                if *op == "load" {
+                    "checkpoint_load"
+                } else {
+                    "checkpoint_write"
+                }
+            }
+            Event::Fault { .. } => "fault_injected",
         }
     }
 
@@ -335,6 +370,31 @@ impl Event {
                 push_f64(&mut o, "norm", *norm);
                 push_bool(&mut o, "ok", *ok);
             }
+            Event::Checkpoint {
+                sim,
+                ts_us,
+                dur_us,
+                op: _,
+                bytes,
+                gate_cursor,
+                phase,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_u64(&mut o, "bytes", *bytes);
+                push_usize(&mut o, "gate_cursor", *gate_cursor);
+                push_str(&mut o, "phase", phase);
+            }
+            Event::Fault {
+                ts_us,
+                site,
+                action,
+            } => {
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_str(&mut o, "site", site);
+                push_str(&mut o, "action", action);
+            }
         }
         o.push('}');
         o
@@ -416,6 +476,45 @@ mod tests {
         let s = e.to_jsonl();
         assert!(s.contains("\"workers\":[{\"worker\":0,\"tasks\":3,\"dur_us\":50}"));
         assert!(s.contains("\"scalar_tasks\":1"));
+    }
+
+    #[test]
+    fn checkpoint_and_fault_events_jsonl_shape() {
+        let w = Event::Checkpoint {
+            sim: 2,
+            ts_us: 10.0,
+            dur_us: 250.0,
+            op: "write",
+            bytes: 4096,
+            gate_cursor: 17,
+            phase: "dmav",
+        };
+        let s = w.to_jsonl();
+        assert!(s.starts_with("{\"type\":\"checkpoint_write\""), "{s}");
+        assert!(s.contains("\"bytes\":4096"));
+        assert!(s.contains("\"gate_cursor\":17"));
+        assert!(s.contains("\"phase\":\"dmav\""));
+
+        let l = Event::Checkpoint {
+            sim: 2,
+            ts_us: 10.0,
+            dur_us: 250.0,
+            op: "load",
+            bytes: 4096,
+            gate_cursor: 17,
+            phase: "dmav",
+        };
+        assert!(l.to_jsonl().starts_with("{\"type\":\"checkpoint_load\""));
+
+        let f = Event::Fault {
+            ts_us: 1.0,
+            site: "alloc.flat".into(),
+            action: "error",
+        };
+        let s = f.to_jsonl();
+        assert!(s.starts_with("{\"type\":\"fault_injected\""), "{s}");
+        assert!(s.contains("\"site\":\"alloc.flat\""));
+        assert!(s.contains("\"action\":\"error\""));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   --memory-budget-mb <mb>    cap engine-accounted memory (flatdd engine)
 //!   --rss-budget-mb <mb>       cap process RSS (flatdd engine)
 //!   --deadline-secs <s>        wall-clock budget (flatdd engine)
+//!   --checkpoint-path <path>   write crash-safe checkpoints here (flatdd)
+//!   --checkpoint-every <g>     also checkpoint every g applied gates
+//!   --resume-from <path>       resume a prior run from a checkpoint file
 //! ```
 //!
 //! The environment variable `FLATDD_TRACE=<path>` is a `--events-out`
@@ -35,7 +38,10 @@
 //! to stderr.
 //!
 //! Budget breaches exit with the error's typed exit code (see
-//! `FlatDdError::exit_code`): 4 memory, 5 deadline, 6 divergence.
+//! `FlatDdError::exit_code`): 4 memory, 5 deadline, 6 divergence,
+//! 8 interrupted (SIGINT/SIGTERM), 9 corrupt checkpoint, 10 worker panic.
+//! Resumable exits (4, 5, 8) write a final checkpoint when a
+//! `--checkpoint-path` is configured and print the `--resume-from` hint.
 
 use flatdd::{FlatDdConfig, FlatDdError, FlatDdSimulator, GovernorConfig, Phase};
 use qcircuit::{generators, qasm, Circuit, PauliString};
@@ -67,7 +73,8 @@ Usage:
                  [--stats-json path|-] [--trace-out path]
                  [--metrics-out path|-] [--events-out path]
                  [--memory-budget-mb mb] [--rss-budget-mb mb]
-                 [--deadline-secs s]
+                 [--deadline-secs s] [--checkpoint-path path]
+                 [--checkpoint-every gates] [--resume-from path]
   flatdd-cli gen <circuit> [--seed s]
   flatdd-cli list
 
@@ -121,6 +128,9 @@ struct RunOpts {
     memory_budget_mb: Option<u64>,
     rss_budget_mb: Option<u64>,
     deadline_secs: Option<f64>,
+    checkpoint_path: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume_from: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> RunOpts {
@@ -140,6 +150,9 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         memory_budget_mb: None,
         rss_budget_mb: None,
         deadline_secs: None,
+        checkpoint_path: None,
+        checkpoint_every: None,
+        resume_from: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -179,6 +192,17 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
                 }
                 o.deadline_secs = Some(s);
             }
+            "--checkpoint-path" => o.checkpoint_path = Some(val("--checkpoint-path")),
+            // A mistyped interval must not silently disable checkpointing.
+            "--checkpoint-every" => {
+                let g: usize = parse_or_die("--checkpoint-every", &val("--checkpoint-every"));
+                if g == 0 {
+                    eprintln!("--checkpoint-every: must be at least 1 gate");
+                    std::process::exit(2);
+                }
+                o.checkpoint_every = Some(g);
+            }
+            "--resume-from" => o.resume_from = Some(val("--resume-from")),
             other if o.circuit.is_empty() && !other.starts_with("--") => {
                 o.circuit = other.to_string()
             }
@@ -284,6 +308,13 @@ fn cmd_run(args: &[String]) {
         eprintln!("gate census: {}", census.join(" "));
     }
 
+    if o.engine != "flatdd"
+        && (o.checkpoint_path.is_some() || o.checkpoint_every.is_some() || o.resume_from.is_some())
+    {
+        eprintln!("--checkpoint-path/--checkpoint-every/--resume-from: only supported by the flatdd engine");
+        std::process::exit(2);
+    }
+
     let start = Instant::now();
     // For sampling/expectation we need a live simulator; for dd/array
     // engines fall back to the flat state.
@@ -301,21 +332,69 @@ fn cmd_run(args: &[String]) {
             if let Some(s) = o.deadline_secs {
                 governor.deadline = Some(std::time::Duration::from_secs_f64(s));
             }
-            let mut sim = match FlatDdSimulator::try_new(
-                n,
-                FlatDdConfig {
-                    threads: o.threads,
-                    governor,
-                    ..Default::default()
-                },
-            ) {
-                Ok(sim) => sim,
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(e.exit_code());
-                }
+            let cfg = FlatDdConfig {
+                threads: o.threads,
+                governor,
+                ..Default::default()
             };
-            if let Err(e) = sim.run(&circuit) {
+            // Flag-based signal handling: SIGINT/SIGTERM set a flag polled
+            // at gate boundaries, so sinks flush and checkpoints install
+            // even when the run is cut short.
+            flatdd::signal::install_handlers();
+            let (mut sim, resumed_seed) = match &o.resume_from {
+                Some(path) => {
+                    match FlatDdSimulator::resume_from(std::path::Path::new(path), cfg, &circuit) {
+                        Ok((sim, header)) => {
+                            eprintln!(
+                                "resumed from {path}: gate {}/{} in {:?} phase",
+                                header.gate_cursor,
+                                circuit.num_gates(),
+                                header.phase
+                            );
+                            (sim, Some(header.rng_seed))
+                        }
+                        Err(e) => {
+                            eprintln!("--resume-from {path}: {e}");
+                            tele.finish();
+                            std::process::exit(e.exit_code());
+                        }
+                    }
+                }
+                None => match FlatDdSimulator::try_new(n, cfg) {
+                    Ok(sim) => (sim, None),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(e.exit_code());
+                    }
+                },
+            };
+            // A resumed run inherits the original sampling seed so the final
+            // output distribution matches the uninterrupted run.
+            if let Some(seed) = resumed_seed {
+                rng = SplitMix64::new(seed ^ 0xBEEF);
+            }
+            // Checkpointing continues on resume: default the path to the
+            // file being resumed when no --checkpoint-path is given.
+            let ckpt_path = o.checkpoint_path.clone().or_else(|| {
+                (o.checkpoint_every.is_some() || o.resume_from.is_some()).then(|| {
+                    o.resume_from
+                        .clone()
+                        .unwrap_or_else(|| "flatdd.ckpt".into())
+                })
+            });
+            if let Some(path) = ckpt_path {
+                let mut policy = flatdd::CheckpointPolicy::at(path);
+                if let Some(g) = o.checkpoint_every {
+                    policy = policy.every(g);
+                }
+                policy.rng_seed = resumed_seed.unwrap_or(o.seed);
+                sim.set_checkpoint_policy(Some(policy));
+            }
+            let result = match o.resume_from {
+                Some(_) => sim.run_from(&circuit),
+                None => sim.run(&circuit),
+            };
+            if let Err(e) = result {
                 eprintln!("{e}");
                 if let Some(p) = e.partial_outcome() {
                     eprintln!(
@@ -327,6 +406,11 @@ fn cmd_run(args: &[String]) {
                     }
                     if let Some(path) = &o.stats_json {
                         write_payload("--stats-json", path, &p.stats.to_json());
+                    }
+                }
+                if e.is_resumable() {
+                    if let Some(path) = sim.last_checkpoint() {
+                        eprintln!("resumable: rerun with --resume-from {}", path.display());
                     }
                 }
                 sim.publish_metrics();

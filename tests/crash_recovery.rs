@@ -1,0 +1,181 @@
+//! End-to-end crash recovery through the CLI binary: a run killed with
+//! SIGKILL mid-flat-phase must resume from its last installed checkpoint
+//! and print exactly the same output distribution as an uninterrupted
+//! run, and a SIGTERM'd run must exit with the typed resumable code after
+//! writing a final checkpoint.
+
+#![cfg(unix)]
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLI: &str = env!("CARGO_BIN_EXE_flatdd-cli");
+const CIRCUIT: &str = "supremacy:19,14";
+const SEED: &str = "9";
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "flatdd-crash-test-{}-{tag}.ckpt",
+        std::process::id()
+    ))
+}
+
+/// The machine-readable portion of a run's stdout (the outcome table).
+fn outcomes(stdout: &[u8]) -> String {
+    let s = String::from_utf8_lossy(stdout);
+    match s.find("most probable outcomes:") {
+        Some(i) => s[i..].to_string(),
+        None => panic!("no outcome table in stdout: {s:?}"),
+    }
+}
+
+fn clean_run() -> String {
+    let out = Command::new(CLI)
+        .args(["run", CIRCUIT, "--seed", SEED, "--threads", "2"])
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn clean run");
+    assert!(out.status.success(), "clean run failed");
+    outcomes(&out.stdout)
+}
+
+/// Polls until `path` holds a loadable *flat-phase* checkpoint (a
+/// half-written `*.tmp` never satisfies this — that is the point of the
+/// atomic rename).
+fn wait_for_flat_checkpoint(path: &Path, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Ok(h) = flatdd::read_header(path) {
+            if h.phase == flatdd::Phase::Dmav {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+#[test]
+fn sigkill_mid_run_resumes_to_identical_output() {
+    let want = clean_run();
+    let ckpt = tmp("sigkill");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let mut child = Command::new(CLI)
+        .args([
+            "run",
+            CIRCUIT,
+            "--seed",
+            SEED,
+            "--threads",
+            "2",
+            "--checkpoint-every",
+            "10",
+            "--checkpoint-path",
+            ckpt.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointing run");
+
+    // Let it get past the conversion into the flat phase, then kill -9 —
+    // no signal handler, no flush, the hardest possible interruption.
+    let saw_checkpoint = wait_for_flat_checkpoint(&ckpt, Duration::from_secs(60));
+    let still_running = child.try_wait().expect("try_wait").is_none();
+    child.kill().ok();
+    child.wait().expect("wait");
+    assert!(
+        saw_checkpoint,
+        "no flat-phase checkpoint appeared within 60s"
+    );
+    assert!(
+        still_running,
+        "run finished before it could be killed; grow CIRCUIT to keep this test honest"
+    );
+
+    // The killed run was mid-flat-phase.
+    let header = flatdd::read_header(&ckpt).expect("killed run left a loadable checkpoint");
+    assert_eq!(
+        header.phase,
+        flatdd::Phase::Dmav,
+        "expected a flat-phase checkpoint"
+    );
+
+    let out = Command::new(CLI)
+        .args([
+            "run",
+            CIRCUIT,
+            "--seed",
+            SEED,
+            "--threads",
+            "2",
+            "--resume-from",
+            ckpt.to_str().unwrap(),
+        ])
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn resume run");
+    assert!(out.status.success(), "resume run failed");
+    assert_eq!(
+        outcomes(&out.stdout),
+        want,
+        "resumed output distribution differs from the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn sigterm_checkpoints_and_exits_resumable() {
+    let ckpt = tmp("sigterm");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let mut child = Command::new(CLI)
+        .args([
+            "run",
+            CIRCUIT,
+            "--seed",
+            SEED,
+            "--threads",
+            "2",
+            "--checkpoint-path",
+            ckpt.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn run");
+
+    // Give it time to pass the conversion, then ask it to stop politely.
+    std::thread::sleep(Duration::from_millis(700));
+    assert!(
+        child.try_wait().expect("try_wait").is_none(),
+        "run finished before SIGTERM; grow CIRCUIT to keep this test honest"
+    );
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "expected the Interrupted exit code"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("interrupted by SIGTERM"),
+        "missing interruption note: {stderr}"
+    );
+    assert!(
+        stderr.contains("--resume-from"),
+        "missing resumable hint: {stderr}"
+    );
+    // The final on-breach checkpoint is loadable and positioned mid-run.
+    let header = flatdd::read_header(&ckpt).expect("SIGTERM left a loadable checkpoint");
+    assert!(header.gate_cursor > 0);
+    let _ = std::fs::remove_file(&ckpt);
+}

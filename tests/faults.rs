@@ -1,0 +1,181 @@
+//! Fault-injection integration: every `FLATDD_FAULTS` site must turn into
+//! the documented typed, recoverable behavior — graceful DD fallback for
+//! allocation failures, a contained `WorkerPanic` for conversion-worker
+//! panics, a watchdog trip for NaN poisoning, and `CorruptCheckpoint` for
+//! damaged checkpoint files.
+//!
+//! The registry is process-global, so every test serializes on [`LOCK`]
+//! and disarms in a drop guard (panics included).
+
+use flatdd::{
+    faults, CheckpointPolicy, ConversionPolicy, FlatDdConfig, FlatDdError, FlatDdSimulator,
+    GovernorConfig, Phase,
+};
+use qcircuit::generators;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the test and guarantees disarm-on-exit (even on panic).
+struct Armed<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> Armed<'a> {
+    fn new(spec: &str) -> Self {
+        let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        faults::set_spec(spec).unwrap();
+        Armed(guard)
+    }
+}
+
+impl Drop for Armed<'_> {
+    fn drop(&mut self) {
+        faults::clear();
+    }
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "flatdd-fault-test-{}-{tag}.ckpt",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn alloc_failure_degrades_to_dd_phase() {
+    let _armed = Armed::new("alloc.flat:error:always");
+    let c = generators::from_spec("vqe:8,2", 1).unwrap();
+    let cfg = FlatDdConfig {
+        conversion: ConversionPolicy::AtGate(6),
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(8, cfg).unwrap();
+    // The forced conversion hits the injected allocation failure; the run
+    // must complete entirely DD-based with the refusal recorded.
+    sim.run(&c).unwrap();
+    assert_eq!(sim.phase(), Phase::Dd);
+    assert!(sim.stats().conversion_refusals >= 1);
+    assert_eq!(sim.stats().converted_at, None);
+}
+
+#[test]
+fn conversion_worker_panic_is_contained() {
+    let _armed = Armed::new("convert.worker_panic:panic");
+    let c = generators::from_spec("vqe:8,2", 2).unwrap();
+    let cfg = FlatDdConfig {
+        conversion: ConversionPolicy::AtGate(6),
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(8, cfg).unwrap();
+    let err = sim.run(&c).unwrap_err();
+    match &err {
+        FlatDdError::WorkerPanic { context, partial } => {
+            assert_eq!(*context, "DD-to-array conversion");
+            assert!(partial.gates_applied < c.num_gates());
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 10);
+    // The fault was one-shot (`Once` default): the simulator is still
+    // usable and a fresh run now converts and completes.
+    faults::clear();
+    let mut sim2 = FlatDdSimulator::try_new(
+        8,
+        FlatDdConfig {
+            conversion: ConversionPolicy::AtGate(6),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    sim2.run(&c).unwrap();
+    assert_eq!(sim2.phase(), Phase::Dmav);
+}
+
+#[test]
+fn nan_poisoning_trips_the_watchdog() {
+    let _armed = Armed::new("state.nan:nan");
+    let c = generators::from_spec("vqe:8,2", 3).unwrap();
+    let cfg = FlatDdConfig {
+        conversion: ConversionPolicy::AtGate(4),
+        governor: GovernorConfig {
+            health_check_every: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(8, cfg).unwrap();
+    let err = sim.run(&c).unwrap_err();
+    match &err {
+        FlatDdError::NumericalDivergence { detail, .. } => {
+            assert!(
+                detail.contains("NaN") || detail.contains("finite") || detail.contains("norm"),
+                "unexpected watchdog detail: {detail}"
+            );
+        }
+        other => panic!("expected NumericalDivergence, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 6);
+}
+
+#[test]
+fn truncated_checkpoint_write_is_rejected_on_load() {
+    let _armed = Armed::new("checkpoint.truncate:truncate=100");
+    let c = generators::ghz(8);
+    let path = tmp_path("truncate");
+    let mut sim = FlatDdSimulator::try_new(8, FlatDdConfig::default()).unwrap();
+    sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path)));
+    sim.run(&c).unwrap();
+    // The write itself "succeeds" — the damage models a crash mid-write.
+    sim.save_checkpoint().unwrap();
+    match FlatDdSimulator::resume_from(&path, FlatDdConfig::default(), &c) {
+        Err(FlatDdError::CorruptCheckpoint { .. }) => {}
+        Err(e) => panic!("expected CorruptCheckpoint, got {e}"),
+        Ok(_) => panic!("truncated checkpoint was accepted"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bitflipped_checkpoint_write_is_rejected_on_load() {
+    let _armed = Armed::new("checkpoint.bitflip:bitflip=333");
+    let c = generators::ghz(8);
+    let path = tmp_path("bitflip");
+    let mut sim = FlatDdSimulator::try_new(8, FlatDdConfig::default()).unwrap();
+    sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path)));
+    sim.run(&c).unwrap();
+    sim.save_checkpoint().unwrap();
+    match FlatDdSimulator::resume_from(&path, FlatDdConfig::default(), &c) {
+        Err(err @ FlatDdError::CorruptCheckpoint { .. }) => assert_eq!(err.exit_code(), 9),
+        Err(e) => panic!("expected CorruptCheckpoint, got {e}"),
+        Ok(_) => panic!("bit-flipped checkpoint was accepted"),
+    }
+}
+
+#[test]
+fn disarmed_runs_are_unaffected() {
+    let _armed = Armed::new("");
+    let c = generators::from_spec("vqe:8,2", 4).unwrap();
+    let cfg = FlatDdConfig {
+        conversion: ConversionPolicy::AtGate(6),
+        ..Default::default()
+    };
+    let mut sim = FlatDdSimulator::try_new(8, cfg).unwrap();
+    sim.run(&c).unwrap();
+    assert_eq!(sim.phase(), Phase::Dmav);
+}
+
+#[test]
+fn every_site_is_registered() {
+    // The CI smoke job iterates `sites()`; pin the catalog so a new site
+    // cannot be added without a smoke entry (this list is the contract).
+    let sites = faults::sites();
+    for s in [
+        "alloc.flat",
+        "convert.worker_panic",
+        "state.nan",
+        "checkpoint.truncate",
+        "checkpoint.bitflip",
+    ] {
+        assert!(sites.contains(&s), "fault site {s} missing from registry");
+    }
+    assert_eq!(sites.len(), 5, "new fault site needs a CI smoke entry");
+}

@@ -21,6 +21,11 @@ use qdd::{DdPackage, MEdge, MacTable};
 pub struct FusedGates {
     /// Fused gate matrices, in application order.
     pub matrices: Vec<MEdge>,
+    /// How many original gates each matrix folds, aligned with
+    /// `matrices` (a leading identity matrix folds 0). Summing a prefix
+    /// gives the original-gate cursor at that matrix boundary, which is
+    /// what makes a checkpoint written mid-span resumable.
+    pub gate_counts: Vec<usize>,
     /// Total modeled DMAV cost (Eq. 5) of the fused sequence.
     pub total_cost: f64,
     /// Number of original gates that went in.
@@ -55,10 +60,12 @@ pub fn fuse_dmav_aware(
 ) -> FusedGates {
     let mut mac = MacTable::default();
     let mut out: Vec<MEdge> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
     let mut total_cost = 0.0f64;
     // M_p = identity, C_p = 0 (line 2).
     let mut m_p = pkg.identity_dd(n);
     let mut c_p = 0.0f64;
+    let mut g_p = 0usize;
     let mut ddmm_since_gc = 0usize;
 
     for gate in gates {
@@ -70,12 +77,15 @@ pub fn fuse_dmav_aware(
         if c_i + c_p < c_ip {
             // Sequential DMAV is cheaper: emit M_p, restart from M_i.
             out.push(m_p);
+            counts.push(g_p);
             total_cost += c_p;
             m_p = m_i;
             c_p = c_i;
+            g_p = 1;
         } else {
             m_p = m_ip;
             c_p = c_ip;
+            g_p += 1;
         }
         ddmm_since_gc += 1;
         if ddmm_since_gc >= gc_every {
@@ -89,9 +99,11 @@ pub fn fuse_dmav_aware(
     }
     // Flush the trailing accumulated matrix (implicit in the paper).
     out.push(m_p);
+    counts.push(g_p);
     total_cost += c_p;
     FusedGates {
         matrices: out,
+        gate_counts: counts,
         total_cost,
         original_gates: gates.len(),
     }
@@ -111,6 +123,7 @@ pub fn fuse_k_operations(
     assert!(k >= 1);
     let mut mac = MacTable::default();
     let mut out: Vec<MEdge> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
     let mut total_cost = 0.0f64;
     let mut ddmm_since_gc = 0usize;
     for chunk in gates.chunks(k) {
@@ -129,9 +142,11 @@ pub fn fuse_k_operations(
         }
         total_cost += model.cost_no_cache(mac.count(pkg, m), t);
         out.push(m);
+        counts.push(chunk.len());
     }
     FusedGates {
         matrices: out,
+        gate_counts: counts,
         total_cost,
         original_gates: gates.len(),
     }
@@ -154,6 +169,7 @@ pub fn no_fusion(
         out.push(m);
     }
     FusedGates {
+        gate_counts: vec![1; out.len()],
         matrices: out,
         total_cost,
         original_gates: gates.len(),
@@ -169,8 +185,15 @@ mod tests {
     const TOL: f64 = 1e-8;
 
     /// Applies a fused sequence to |0...0> through dense matrices (ground
-    /// truth check of semantic equivalence).
+    /// truth check of semantic equivalence). Also asserts the per-matrix
+    /// gate counts partition the original gate sequence — the invariant
+    /// mid-span checkpoint cursors depend on.
     fn apply_fused(pkg: &DdPackage, fused: &FusedGates, n: usize) -> Vec<Complex64> {
+        assert_eq!(fused.gate_counts.len(), fused.matrices.len());
+        assert_eq!(
+            fused.gate_counts.iter().sum::<usize>(),
+            fused.original_gates
+        );
         let mut v = dense::zero_state(n);
         for &m in &fused.matrices {
             let dm = pkg.matrix_to_dense(m, n);

@@ -880,10 +880,24 @@ impl FlatDdSimulator {
         self.gates_since_ckpt += 1;
         if let Some(every) = self.ckpt.as_ref().and_then(|p| p.every_gates) {
             if self.gates_since_ckpt >= every {
-                self.save_checkpoint()?;
+                self.periodic_checkpoint();
             }
         }
         Ok(())
+    }
+
+    /// Periodic checkpoint write, best-effort: a transient failure (disk
+    /// full, permissions) must not abort a run whose state is perfectly
+    /// healthy, so the error is logged and counted while the previously
+    /// installed checkpoint stays valid. The cadence counter resets either
+    /// way, so the next attempt comes a full interval later instead of on
+    /// every subsequent gate.
+    fn periodic_checkpoint(&mut self) {
+        if let Err(e) = self.save_checkpoint() {
+            self.gates_since_ckpt = 0;
+            qtelemetry::counter("checkpoint.write_failures").inc();
+            eprintln!("[flatdd] periodic checkpoint write failed (run continues): {e}");
+        }
     }
 
     /// Runs a whole circuit, honoring the fusion policy after conversion.
@@ -1001,6 +1015,7 @@ impl FlatDdSimulator {
                 // Best-effort: the original error is what the caller must
                 // see; a failed final checkpoint only costs resumability.
                 if let Err(ce) = self.save_checkpoint() {
+                    qtelemetry::counter("checkpoint.write_failures").inc();
                     eprintln!("[flatdd] failed to write checkpoint on breach: {ce}");
                 }
             }
@@ -1092,7 +1107,21 @@ impl FlatDdSimulator {
                 matrices_out: fused.matrices.len(),
             });
         }
+        debug_assert_eq!(fused.gate_counts.iter().sum::<usize>(), gates.len());
         for (k, &m) in fused.matrices.iter().enumerate() {
+            // Signal poll and deadline check both fire *before* this matrix
+            // mutates the state, and the cursor advances right after each
+            // matrix commits, so every resumable exit from this loop leaves
+            // `gates_seen` in sync with the state — the on-breach checkpoint
+            // written by `run_span` resumes without re-applying gates.
+            if signal::pending().is_some() {
+                if let Some(sig) = signal::take() {
+                    return Err(FlatDdError::Interrupted {
+                        signal: sig,
+                        partial: Box::new(self.snapshot()),
+                    });
+                }
+            }
             self.gov
                 .check_deadline()
                 .map_err(|b| self.breach_to_error(b))?;
@@ -1114,7 +1143,7 @@ impl FlatDdSimulator {
                     sim: self.telemetry_id,
                     ts_us: ts_us.unwrap_or(0.0),
                     dur_us: seconds * 1e6,
-                    index: self.gates_seen + k,
+                    index: self.gates_seen,
                     phase: "dmav",
                     dd_size: None,
                     ewma: None,
@@ -1122,6 +1151,7 @@ impl FlatDdSimulator {
                     fused: true,
                 });
             }
+            self.gates_seen += fused.gate_counts[k];
             // GC between fused DMAVs keeps matrix DDs bounded; remaining
             // matrices are roots.
             let live = self.pkg.stats();
@@ -1131,8 +1161,13 @@ impl FlatDdSimulator {
             }
             self.enforce_memory()?;
             self.enforce_health()?;
+            self.gates_since_ckpt += fused.gate_counts[k];
+            if let Some(every) = self.ckpt.as_ref().and_then(|p| p.every_gates) {
+                if self.gates_since_ckpt >= every {
+                    self.periodic_checkpoint();
+                }
+            }
         }
-        self.gates_seen += gates.len();
         Ok(())
     }
 

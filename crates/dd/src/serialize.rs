@@ -114,13 +114,15 @@ pub fn read_vector_dd(pkg: &mut DdPackage, r: &mut impl Read) -> io::Result<(VEd
     if n == 0 || n > 64 {
         return Err(bad("implausible qubit count"));
     }
-    // A state DD over n qubits has at most 2^n - 1 nodes; a count above
-    // that can only come from corruption. Checked *before* any allocation
-    // so a bogus 4-billion count cannot OOM the loader, and the initial
-    // reservation is additionally capped — the stream itself (49 bytes per
-    // node) naturally bounds growth from there.
-    if n < 32 && count > (1usize << n) {
-        return Err(bad("node count exceeds 2^n"));
+    // A state DD over n qubits has at most 2^n - 1 nodes; a count of 2^n
+    // or more can only come from corruption. Checked in u64 (so the bound
+    // applies for every n up to 63; a u32 count can't exceed it for
+    // n >= 33 anyway) *before* any allocation so a bogus 4-billion count
+    // cannot OOM the loader, and the initial reservation is additionally
+    // capped — the stream itself (49 bytes per node) naturally bounds
+    // growth from there.
+    if n < 64 && count as u64 >= 1u64 << n {
+        return Err(bad("node count exceeds the 2^n - 1 bound"));
     }
     let mut edges: Vec<VEdge> = Vec::with_capacity(count.min(1 << 16) + 1);
     let mut levels: Vec<u8> = Vec::with_capacity(count.min(1 << 16) + 1);

@@ -5,7 +5,8 @@
 //! rejected with typed errors — never a panic.
 
 use flatdd::{
-    CheckpointPolicy, ConversionPolicy, FlatDdConfig, FlatDdError, FlatDdSimulator, Phase,
+    CheckpointPolicy, ConversionPolicy, FlatDdConfig, FlatDdError, FlatDdSimulator, FusionPolicy,
+    Phase,
 };
 use proptest::prelude::*;
 use qcircuit::complex::state_distance;
@@ -219,6 +220,83 @@ fn periodic_checkpoints_fire_during_run() {
     resumed.run_from(&c).unwrap();
     assert_eq!(resumed.gates_applied(), c.num_gates());
     let _ = std::fs::remove_file(&path);
+}
+
+/// A deterministic 6-layer circuit over `n` qubits: `n` gates per layer,
+/// mixing rotations and entanglers (used by the fused-phase tests, which
+/// need an exact gate count).
+fn layered_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..6 {
+        for q in 0..n {
+            if (l + q) % 3 == 0 {
+                c.cx(q, (q + 1) % n);
+            } else {
+                c.rx(0.21 + 0.07 * (l * n + q) as f64, q);
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn periodic_checkpoint_mid_fused_span_resumes_exactly() {
+    // Fusion folds several original gates into each DMAV matrix; the gate
+    // cursor must advance matrix by matrix so a checkpoint written inside
+    // the fused span resumes without re-applying (or skipping) gates.
+    // KOperations(4) + every(5) makes the cadence deterministic: with
+    // conversion after gate 12 of 36, the last installed checkpoint lands
+    // at a matrix boundary strictly inside the fused span.
+    let c = layered_circuit(6);
+    assert_eq!(c.num_gates(), 36);
+    let cfg = FlatDdConfig {
+        threads: 2,
+        conversion: ConversionPolicy::AtGate(12),
+        fusion: FusionPolicy::KOperations(4),
+        ..Default::default()
+    };
+    let mut clean = FlatDdSimulator::try_new(6, cfg).unwrap();
+    clean.run(&c).unwrap();
+    let want = clean.amplitudes();
+
+    let path = tmp_ckpt("fused-periodic");
+    let mut sim = FlatDdSimulator::try_new(6, cfg).unwrap();
+    sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path).every(5)));
+    sim.run(&c).unwrap();
+
+    let header = flatdd::read_header(&path).unwrap();
+    assert!(
+        header.gate_cursor > 12 && (header.gate_cursor as usize) < c.num_gates(),
+        "checkpoint cursor {} should sit strictly inside the fused flat span",
+        header.gate_cursor
+    );
+    assert_eq!(header.phase, Phase::Dmav);
+
+    let (mut resumed, _) = FlatDdSimulator::resume_from(&path, cfg, &c).unwrap();
+    resumed.run_from(&c).unwrap();
+    assert_eq!(resumed.gates_applied(), c.num_gates());
+    let d = state_distance(&resumed.amplitudes(), &want);
+    assert!(
+        d < TOL,
+        "resume from a mid-fused-span checkpoint deviates by {d:.3e}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dmav_aware_fusion_checkpoint_resumes_exactly() {
+    // Same property under the cost-driven fusion policy (data-dependent
+    // grouping): cut at exact gate boundaries across the fused span.
+    let c = layered_circuit(6);
+    let cfg = FlatDdConfig {
+        threads: 2,
+        conversion: ConversionPolicy::AtGate(12),
+        fusion: FusionPolicy::DmavAware,
+        ..Default::default()
+    };
+    for cut in [15, 24, c.num_gates() - 1] {
+        assert_resume_matches(&c, &cfg, cut, "fused-dmav-aware");
+    }
 }
 
 /// Strategy: one random gate over `n` qubits (mirrors the engine

@@ -139,6 +139,8 @@ fn sigterm_checkpoints_and_exits_resumable() {
             SEED,
             "--threads",
             "2",
+            "--checkpoint-every",
+            "10",
             "--checkpoint-path",
             ckpt.to_str().unwrap(),
         ])
@@ -147,10 +149,16 @@ fn sigterm_checkpoints_and_exits_resumable() {
         .spawn()
         .expect("spawn run");
 
-    // Give it time to pass the conversion, then ask it to stop politely.
-    std::thread::sleep(Duration::from_millis(700));
+    // Wait for hard evidence the run is mid-flat-phase (a fixed sleep
+    // races the run on fast machines), then ask it to stop politely.
+    let saw_checkpoint = wait_for_flat_checkpoint(&ckpt, Duration::from_secs(60));
+    let still_running = child.try_wait().expect("try_wait").is_none();
     assert!(
-        child.try_wait().expect("try_wait").is_none(),
+        saw_checkpoint,
+        "no flat-phase checkpoint appeared within 60s"
+    );
+    assert!(
+        still_running,
         "run finished before SIGTERM; grow CIRCUIT to keep this test honest"
     );
     let term = Command::new("kill")

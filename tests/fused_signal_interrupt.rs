@@ -1,0 +1,75 @@
+//! A SIGINT/SIGTERM flag raised while the simulator is in the *fused*
+//! flat phase must be honored at the next fused-matrix boundary — not
+//! silently ignored until the circuit finishes — and the on-breach
+//! checkpoint it triggers must resume to the uninterrupted amplitudes.
+//!
+//! This lives in its own integration binary: the signal flag is
+//! process-global, and a raised flag would poison any other test whose
+//! simulator polls it concurrently.
+
+use flatdd::{
+    signal, CheckpointPolicy, ConversionPolicy, FlatDdConfig, FlatDdError, FlatDdSimulator,
+    FusionPolicy, Phase,
+};
+use qcircuit::complex::state_distance;
+use qcircuit::Circuit;
+
+/// Deterministic 36-gate circuit over 6 qubits (mirrors the
+/// checkpoint_resume harness).
+fn layered_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..6 {
+        for q in 0..n {
+            if (l + q) % 3 == 0 {
+                c.cx(q, (q + 1) % n);
+            } else {
+                c.rx(0.21 + 0.07 * (l * n + q) as f64, q);
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn signal_during_fused_flat_phase_interrupts_checkpoints_and_resumes() {
+    let c = layered_circuit(6);
+    let cfg = FlatDdConfig {
+        threads: 2,
+        conversion: ConversionPolicy::AtGate(12),
+        fusion: FusionPolicy::DmavAware,
+        ..Default::default()
+    };
+    let mut clean = FlatDdSimulator::try_new(6, cfg).unwrap();
+    clean.run(&c).unwrap();
+    let want = clean.amplitudes();
+
+    let path = std::env::temp_dir().join(format!(
+        "flatdd-fused-signal-test-{}.ckpt",
+        std::process::id()
+    ));
+    let mut sim = FlatDdSimulator::try_new(6, cfg).unwrap();
+    sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path)));
+    sim.run_prefix(&c, 20).unwrap();
+    assert_eq!(sim.phase(), Phase::Dmav, "cut must land in the flat phase");
+
+    // The flag is polled at the top of each fused-matrix iteration, so the
+    // continuation must stop at gate 20 instead of running to completion.
+    signal::raise_flag(signal::SIGTERM);
+    match sim.run_from(&c) {
+        Err(FlatDdError::Interrupted { signal: s, partial }) => {
+            assert_eq!(s, signal::SIGTERM);
+            assert_eq!(partial.gates_applied, 20);
+        }
+        other => panic!("expected Interrupted from the fused loop, got {other:?}"),
+    }
+    assert_eq!(signal::pending(), None, "the poll must consume the flag");
+    drop(sim);
+
+    // The on-breach checkpoint resumes to the uninterrupted amplitudes.
+    let (mut resumed, header) = FlatDdSimulator::resume_from(&path, cfg, &c).unwrap();
+    assert_eq!(header.gate_cursor, 20);
+    resumed.run_from(&c).unwrap();
+    let d = state_distance(&resumed.amplitudes(), &want);
+    assert!(d < 1e-12, "resumed state deviates by {d:.3e}");
+    let _ = std::fs::remove_file(&path);
+}

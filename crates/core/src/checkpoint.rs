@@ -62,9 +62,18 @@ pub struct CheckpointPolicy {
     /// Sampling RNG seed to persist, so a resumed run's measurement draws
     /// match the uninterrupted run's.
     pub rng_seed: u64,
+    /// Extra attempts after a failed (or verification-rejected) periodic
+    /// checkpoint write. `0` restores the old single-best-effort behavior.
+    pub write_retries: u32,
+    /// Backoff before the first retry, doubling per attempt (capped at
+    /// [`CheckpointPolicy::MAX_RETRY_BACKOFF_MS`]).
+    pub retry_backoff_ms: u64,
 }
 
 impl CheckpointPolicy {
+    /// Ceiling for the doubling retry backoff.
+    pub const MAX_RETRY_BACKOFF_MS: u64 = 200;
+
     /// Policy writing to `path` on breaches/signals only.
     pub fn at(path: impl Into<PathBuf>) -> Self {
         CheckpointPolicy {
@@ -72,12 +81,21 @@ impl CheckpointPolicy {
             every_gates: None,
             on_breach: true,
             rng_seed: 0,
+            write_retries: 2,
+            retry_backoff_ms: 10,
         }
     }
 
     /// Adds a periodic trigger.
     pub fn every(mut self, gates: usize) -> Self {
         self.every_gates = (gates > 0).then_some(gates);
+        self
+    }
+
+    /// Overrides the periodic-write retry budget.
+    pub fn retries(mut self, attempts: u32, backoff_ms: u64) -> Self {
+        self.write_retries = attempts;
+        self.retry_backoff_ms = backoff_ms;
         self
     }
 }
@@ -271,19 +289,40 @@ fn encode_header(h: &CheckpointHeader) -> Vec<u8> {
     b
 }
 
-/// Writes a checkpoint to `path` with atomic installation. Returns the
-/// installed file's size in bytes.
+/// Writes a checkpoint to `path` with atomic installation, probing the
+/// process-global fault registry. Returns the installed file's size in
+/// bytes.
 pub fn write_checkpoint(
     path: &Path,
     header: &CheckpointHeader,
     payload: CheckpointPayload<'_>,
+) -> Result<u64, FlatDdError> {
+    write_checkpoint_probed(path, header, payload, &faults::fires)
+}
+
+/// [`write_checkpoint`] with corruption hooks routed through a per-run
+/// context instead of the global `FLATDD_FAULTS` registry.
+pub fn write_checkpoint_with(
+    path: &Path,
+    header: &CheckpointHeader,
+    payload: CheckpointPayload<'_>,
+    ctx: &crate::RunContext,
+) -> Result<u64, FlatDdError> {
+    write_checkpoint_probed(path, header, payload, &|site| ctx.fires(site))
+}
+
+fn write_checkpoint_probed(
+    path: &Path,
+    header: &CheckpointHeader,
+    payload: CheckpointPayload<'_>,
+    probe: &dyn Fn(&str) -> Option<faults::FaultAction>,
 ) -> Result<u64, FlatDdError> {
     let tmp = tmp_path(path);
     let bytes = write_tmp(&tmp, header, payload).map_err(FlatDdError::Io)?;
     // Deterministic corruption hooks: damage the fully-written temp file
     // exactly where a torn write or a flipped medium bit would, then let
     // the normal installation proceed — the *loader* must catch it.
-    if let Some(faults::FaultAction::Truncate(len)) = faults::fires(faults::SITE_CKPT_TRUNCATE) {
+    if let Some(faults::FaultAction::Truncate(len)) = probe(faults::SITE_CKPT_TRUNCATE) {
         let f = OpenOptions::new()
             .write(true)
             .open(&tmp)
@@ -291,7 +330,7 @@ pub fn write_checkpoint(
         f.set_len(len.min(bytes)).map_err(FlatDdError::Io)?;
         f.sync_all().map_err(FlatDdError::Io)?;
     }
-    if let Some(faults::FaultAction::BitFlip(bit)) = faults::fires(faults::SITE_CKPT_BITFLIP) {
+    if let Some(faults::FaultAction::BitFlip(bit)) = probe(faults::SITE_CKPT_BITFLIP) {
         flip_bit(&tmp, bit).map_err(FlatDdError::Io)?;
     }
     std::fs::rename(&tmp, path).map_err(FlatDdError::Io)?;
@@ -303,6 +342,49 @@ fn tmp_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".tmp");
     PathBuf::from(os)
+}
+
+/// Deletes stale `*.tmp` checkpoint files under `dir`, returning the
+/// removed paths. A crash between `write_tmp` and the atomic rename can
+/// orphan a temp file; the installed checkpoint (if any) is untouched, so
+/// the orphan is pure garbage. Only files that are recognizably checkpoint
+/// temps — empty, or starting with the `FDCP1` magic — are removed; other
+/// people's `*.tmp` files are left alone. One line per removal is logged
+/// to stderr.
+pub fn sweep_stale_tmp(dir: &Path) -> Vec<PathBuf> {
+    let mut removed = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return removed,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tmp") {
+            continue;
+        }
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let mut magic = [0u8; 6];
+        let is_ckpt_tmp = match File::open(&path) {
+            Ok(mut f) => match f.read_exact(&mut magic) {
+                Ok(()) => &magic == MAGIC,
+                // Shorter than the magic (including empty): a torn first
+                // write of a checkpoint temp.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => true,
+                Err(_) => false,
+            },
+            Err(_) => false,
+        };
+        if is_ckpt_tmp && std::fs::remove_file(&path).is_ok() {
+            eprintln!(
+                "[flatdd] removed stale checkpoint temp {}",
+                path.display()
+            );
+            removed.push(path);
+        }
+    }
+    removed
 }
 
 fn write_tmp(

@@ -1,0 +1,218 @@
+//! Per-run execution context.
+//!
+//! PR 1–5 built the robustness primitives — governor budgets, FDCP1
+//! checkpoints, fault injection, telemetry — on process-global state: one
+//! signal flag, one `OnceLock` metrics registry, one `FLATDD_FAULTS` rule
+//! set. That is correct for a batch CLI and fatally wrong for a daemon
+//! running N jobs at once, where cancelling one job must not interrupt its
+//! neighbors and one job's stats must not bleed into another's.
+//!
+//! [`RunContext`] is the bundle the simulator now carries instead:
+//!
+//! * a **cancellation flag** with the same signal-number semantics as
+//!   [`crate::signal`] (the scheduler cancels a job by raising SIGTERM on
+//!   its context; the CLI's default context additionally follows the real
+//!   process flag),
+//! * a **metrics registry** handle ([`qtelemetry::MetricsRegistry`]),
+//! * a **fault registry** handle ([`crate::faults::FaultRegistry`]).
+//!
+//! Contexts are cheap to clone — clones share state, so the scheduler keeps
+//! one clone as a remote control while the worker thread drives the
+//! simulator with another. [`RunContext::process`] reproduces the old
+//! single-tenant behavior exactly and is the default everywhere, so the
+//! CLI, examples, and existing tests are unchanged.
+
+use crate::faults::FaultRegistry;
+use crate::signal;
+use qtelemetry::MetricsRegistry;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// Shared, clonable execution context for one simulation run (one job).
+#[derive(Clone)]
+pub struct RunContext {
+    /// Pending per-job cancellation signal; 0 = none. Same numbering as
+    /// [`crate::signal`] so `Interrupted { signal }` reporting is uniform.
+    cancel: Arc<AtomicI32>,
+    /// When true (the CLI default), [`RunContext::poll_cancel`] also drains
+    /// the process-global signal flag, preserving PR 5's Ctrl-C behavior.
+    follow_process_signals: bool,
+    metrics: MetricsRegistry,
+    faults: Arc<FaultRegistry>,
+}
+
+impl std::fmt::Debug for RunContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunContext")
+            .field("cancel", &self.cancel.load(Ordering::Relaxed))
+            .field("follow_process_signals", &self.follow_process_signals)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunContext {
+    /// The single-tenant default: global metrics registry, global fault
+    /// registry, and cancellation follows the process signal flag. This is
+    /// what `FlatDdSimulator::try_new` uses, so the CLI and every
+    /// pre-existing caller keep their exact previous behavior.
+    pub fn process() -> Self {
+        RunContext {
+            cancel: Arc::new(AtomicI32::new(0)),
+            follow_process_signals: true,
+            metrics: qtelemetry::metrics::global().clone(),
+            faults: Arc::new(FaultRegistry::disarmed()),
+        }
+    }
+
+    /// A fully isolated context: fresh metrics registry, disarmed fault
+    /// registry, and cancellation only through [`RunContext::cancel`] —
+    /// process signals are ignored. This is what the serve scheduler hands
+    /// each job.
+    pub fn isolated() -> Self {
+        RunContext {
+            cancel: Arc::new(AtomicI32::new(0)),
+            follow_process_signals: false,
+            metrics: MetricsRegistry::new(),
+            faults: Arc::new(FaultRegistry::disarmed()),
+        }
+    }
+
+    /// Replaces the metrics registry handle.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Arms this context's scoped fault registry from a `FLATDD_FAULTS`-
+    /// grammar spec (replacing the current rule set).
+    pub fn with_faults_spec(self, spec: &str) -> Result<Self, String> {
+        self.faults.set_spec(spec)?;
+        Ok(self)
+    }
+
+    /// This run's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// This run's fault registry. For a [`RunContext::process`] context the
+    /// scoped registry is empty, and fault probes fall through to the
+    /// process-global `FLATDD_FAULTS` registry (see [`RunContext::fires`]).
+    pub fn faults(&self) -> &FaultRegistry {
+        &self.faults
+    }
+
+    /// Probes a fault site: the scoped registry first, then — only for
+    /// process contexts — the global `FLATDD_FAULTS` registry. Isolated
+    /// contexts never observe globally armed faults.
+    #[inline]
+    pub fn fires(&self, site: &str) -> Option<crate::faults::FaultAction> {
+        if let Some(a) = self.faults.fires(site) {
+            return Some(a);
+        }
+        if self.follow_process_signals {
+            return crate::faults::fires(site);
+        }
+        None
+    }
+
+    /// Requests cancellation of this run, as if signal `sig` (use
+    /// [`signal::SIGTERM`] for a generic stop) had been delivered to it.
+    /// The simulator honors it at its next gate / fused-matrix boundary.
+    pub fn cancel(&self, sig: i32) {
+        self.cancel.store(sig, Ordering::Relaxed);
+    }
+
+    /// True if cancellation is currently requested (without consuming it).
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed) != 0
+            || (self.follow_process_signals && signal::pending().is_some())
+    }
+
+    /// Takes (and clears) the pending cancellation, per-job flag first,
+    /// then — for process contexts — the process signal flag. The simulator
+    /// calls this when it converts the flag into
+    /// [`crate::FlatDdError::Interrupted`], so one cancellation interrupts
+    /// one run instead of poisoning every run after it.
+    pub fn take_cancel(&self) -> Option<i32> {
+        match self.cancel.swap(0, Ordering::Relaxed) {
+            0 => {
+                if self.follow_process_signals {
+                    signal::take()
+                } else {
+                    None
+                }
+            }
+            s => Some(s),
+        }
+    }
+
+    /// True if `other` is a handle to this same context's cancel flag.
+    pub fn same_run_as(&self, other: &RunContext) -> bool {
+        Arc::ptr_eq(&self.cancel, &other.cancel)
+    }
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext::process()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_cancel_is_per_context() {
+        let a = RunContext::isolated();
+        let b = RunContext::isolated();
+        a.cancel(signal::SIGTERM);
+        assert!(a.cancel_requested());
+        assert!(!b.cancel_requested(), "cancel must not leak across jobs");
+        assert_eq!(a.take_cancel(), Some(signal::SIGTERM));
+        assert_eq!(a.take_cancel(), None, "take consumes the flag");
+        assert_eq!(b.take_cancel(), None);
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = RunContext::isolated();
+        let remote = a.clone();
+        remote.cancel(signal::SIGINT);
+        assert_eq!(a.take_cancel(), Some(signal::SIGINT));
+        assert!(a.same_run_as(&remote));
+        assert!(!a.same_run_as(&RunContext::isolated()));
+    }
+
+    #[test]
+    fn isolated_ignores_process_flag_and_global_faults() {
+        let ctx = RunContext::isolated();
+        // Raise and immediately clear the process flag around the check so
+        // this test cannot poison others even on failure.
+        signal::raise_flag(signal::SIGTERM);
+        let saw = ctx.cancel_requested();
+        let took = ctx.take_cancel();
+        signal::take();
+        assert!(!saw, "isolated contexts must ignore process signals");
+        assert_eq!(took, None);
+    }
+
+    #[test]
+    fn scoped_faults_do_not_leak() {
+        let a = RunContext::isolated()
+            .with_faults_spec("alloc.flat:error:always")
+            .unwrap();
+        let b = RunContext::isolated();
+        assert!(a.fires(crate::faults::SITE_ALLOC_FLAT).is_some());
+        assert!(b.fires(crate::faults::SITE_ALLOC_FLAT).is_none());
+    }
+
+    #[test]
+    fn isolated_metrics_do_not_touch_global() {
+        let ctx = RunContext::isolated();
+        ctx.metrics().counter("test.ctx.gates").add(7);
+        assert_eq!(ctx.metrics().counter("test.ctx.gates").get(), 7);
+        assert_eq!(qtelemetry::counter("test.ctx.gates").get(), 0);
+    }
+}

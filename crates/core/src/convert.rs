@@ -200,12 +200,38 @@ pub fn dd_to_array_parallel(
 
 /// Same as [`dd_to_array_parallel`] but writing into a caller buffer
 /// (which must be zeroed). Returns the per-worker breakdown for telemetry.
+/// Probes the process-global fault registry.
 pub fn dd_to_array_parallel_into(
     pkg: &DdPackage,
     root: VEdge,
     n: usize,
     pool: &ThreadPool,
     out: &mut [Complex64],
+) -> ConversionBreakdown {
+    dd_to_array_parallel_into_probed(pkg, root, n, pool, out, &crate::faults::fires)
+}
+
+/// [`dd_to_array_parallel_into`] with the worker-panic fault site routed
+/// through a per-run context instead of the global registry, so chaos
+/// tests can panic one job's conversion without touching its neighbors.
+pub fn dd_to_array_parallel_into_with(
+    pkg: &DdPackage,
+    root: VEdge,
+    n: usize,
+    pool: &ThreadPool,
+    out: &mut [Complex64],
+    ctx: &crate::RunContext,
+) -> ConversionBreakdown {
+    dd_to_array_parallel_into_probed(pkg, root, n, pool, out, &|site| ctx.fires(site))
+}
+
+fn dd_to_array_parallel_into_probed(
+    pkg: &DdPackage,
+    root: VEdge,
+    n: usize,
+    pool: &ThreadPool,
+    out: &mut [Complex64],
+    probe: &(dyn Fn(&str) -> Option<crate::faults::FaultAction> + Sync),
 ) -> ConversionBreakdown {
     assert_eq!(out.len(), 1usize << n);
     let t = pool.size();
@@ -220,7 +246,7 @@ pub fn dd_to_array_parallel_into(
         Vec::new()
     };
     pool.run(|tid| {
-        if tid == 0 && crate::faults::fires(crate::faults::SITE_CONVERT_WORKER).is_some() {
+        if tid == 0 && probe(crate::faults::SITE_CONVERT_WORKER).is_some() {
             panic!("fault injection: conversion worker panic");
         }
         let t0 = timed.then(Instant::now);

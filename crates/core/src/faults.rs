@@ -10,7 +10,8 @@
 //!
 //! ## Activation
 //!
-//! Faults are compiled in always and armed through the environment:
+//! Faults are compiled in always. The process-global registry (used by the
+//! CLI and by any simulator not given its own) arms through the environment:
 //!
 //! ```text
 //! FLATDD_FAULTS=site:action[:when][,site:action[:when]...]
@@ -25,13 +26,18 @@
 //! * `when` — `once` (default: fire on the first hit only), `always`, or an
 //!   integer `N` (fire on the N-th hit only, 1-based).
 //!
+//! Multi-tenant serving additionally needs faults scoped to one job, so a
+//! chaos test can poison one simulation without touching its neighbors:
+//! [`FaultRegistry`] is the instantiable form, carried per job by
+//! [`crate::RunContext`] and armed with the same spec grammar.
+//!
 //! ## Overhead contract
 //!
-//! Same discipline as telemetry: with `FLATDD_FAULTS` unset (or empty) the
-//! cost of a site is **one relaxed atomic load** after first-use
-//! initialization — the `telemetry_overhead` bench budget applies
-//! unchanged. The registry slow path (string match + hit counting) only
-//! runs while at least one fault is armed.
+//! Same discipline as telemetry: with no rule armed the cost of a site is
+//! **one relaxed atomic load** after first-use initialization — the
+//! `telemetry_overhead` bench budget applies unchanged. The registry slow
+//! path (string match + hit counting) only runs while at least one fault
+//! is armed.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -105,38 +111,119 @@ struct Rule {
     fired: bool,
 }
 
-/// `true` while at least one rule is armed. Starts `true` ("unknown") so
-/// the first [`fires`] call initializes from the environment; after an
-/// empty init it stays `false` and every site costs one relaxed load.
-static ARMED: AtomicBool = AtomicBool::new(true);
-static RULES: OnceLock<Mutex<Vec<Rule>>> = OnceLock::new();
+/// An isolated set of armed fault rules. One lives behind [`global`] for
+/// the single-tenant surface; serving hands each job its own so chaos in
+/// one simulation cannot leak into another.
+#[derive(Debug)]
+pub struct FaultRegistry {
+    /// `true` while at least one rule is armed — the one-load fast path.
+    armed: AtomicBool,
+    rules: Mutex<Vec<Rule>>,
+}
 
-fn rules() -> &'static Mutex<Vec<Rule>> {
-    RULES.get_or_init(|| {
+impl Default for FaultRegistry {
+    fn default() -> Self {
+        Self::disarmed()
+    }
+}
+
+impl FaultRegistry {
+    /// A registry with nothing armed.
+    pub fn disarmed() -> Self {
+        FaultRegistry {
+            armed: AtomicBool::new(false),
+            rules: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A registry armed from a spec string (the `FLATDD_FAULTS` grammar).
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let reg = Self::disarmed();
+        reg.set_spec(spec)?;
+        Ok(reg)
+    }
+
+    /// Replaces the armed rule set from a spec string; an empty spec
+    /// disarms everything.
+    pub fn set_spec(&self, spec: &str) -> Result<(), String> {
+        let parsed = parse_spec(spec)?;
+        let mut guard = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        self.armed.store(!parsed.is_empty(), Ordering::Relaxed);
+        *guard = parsed;
+        Ok(())
+    }
+
+    /// Disarms every fault (test teardown).
+    pub fn clear(&self) {
+        let _ = self.set_spec("");
+    }
+
+    /// The failpoint probe: returns the armed action when `site` fires on
+    /// this hit. The disarmed fast path is a single relaxed atomic load.
+    #[inline]
+    pub fn fires(&self, site: &str) -> Option<FaultAction> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.fires_slow(site)
+    }
+
+    #[cold]
+    fn fires_slow(&self, site: &str) -> Option<FaultAction> {
+        let mut guard = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        let rule = guard.iter_mut().find(|r| r.site == site)?;
+        rule.hits += 1;
+        let fire = match rule.when {
+            When::Always => true,
+            When::Once => !rule.fired,
+            When::OnNth(n) => rule.hits == n,
+        };
+        if !fire {
+            return None;
+        }
+        rule.fired = true;
+        let action = rule.action;
+        drop(guard);
+        qtelemetry::counter("faults.injected").inc();
+        if qtelemetry::enabled() {
+            qtelemetry::emit(qtelemetry::Event::Fault {
+                ts_us: qtelemetry::now_us(),
+                site: site.to_string(),
+                action: action.label(),
+            });
+        }
+        Some(action)
+    }
+}
+
+/// The process-global registry, armed once from `FLATDD_FAULTS`. The CLI
+/// and any simulator without a scoped [`crate::RunContext`] probe this one.
+pub fn global() -> &'static FaultRegistry {
+    static GLOBAL: OnceLock<FaultRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
         let spec = std::env::var("FLATDD_FAULTS").unwrap_or_default();
-        let parsed = parse_spec(&spec).unwrap_or_else(|e| {
+        FaultRegistry::from_spec(&spec).unwrap_or_else(|e| {
             eprintln!("[flatdd] ignoring malformed FLATDD_FAULTS: {e}");
-            Vec::new()
-        });
-        ARMED.store(!parsed.is_empty(), Ordering::Relaxed);
-        Mutex::new(parsed)
+            FaultRegistry::disarmed()
+        })
     })
 }
 
-/// Replaces the armed rule set from a spec string (the `FLATDD_FAULTS`
-/// grammar). Intended for tests, which must not mutate process-global
-/// environment; an empty spec disarms everything.
+/// Replaces the [`global`] rule set (see [`FaultRegistry::set_spec`]).
+/// Intended for tests, which must not mutate process-global environment.
 pub fn set_spec(spec: &str) -> Result<(), String> {
-    let parsed = parse_spec(spec)?;
-    let mut guard = rules().lock().unwrap();
-    ARMED.store(!parsed.is_empty(), Ordering::Relaxed);
-    *guard = parsed;
-    Ok(())
+    global().set_spec(spec)
 }
 
-/// Disarms every fault (test teardown).
+/// Disarms every [`global`] fault (test teardown).
 pub fn clear() {
-    let _ = set_spec("");
+    global().clear();
+}
+
+/// Probes the [`global`] registry (see [`FaultRegistry::fires`]).
+#[inline]
+pub fn fires(site: &str) -> Option<FaultAction> {
+    global().fires(site)
 }
 
 fn parse_spec(spec: &str) -> Result<Vec<Rule>, String> {
@@ -198,43 +285,6 @@ fn parse_action(raw: &str) -> Option<FaultAction> {
     }
 }
 
-/// The failpoint probe: returns the armed action when `site` fires on this
-/// hit. The disarmed fast path is a single relaxed atomic load.
-#[inline]
-pub fn fires(site: &str) -> Option<FaultAction> {
-    if !ARMED.load(Ordering::Relaxed) {
-        return None;
-    }
-    fires_slow(site)
-}
-
-#[cold]
-fn fires_slow(site: &str) -> Option<FaultAction> {
-    let mut guard = rules().lock().unwrap();
-    let rule = guard.iter_mut().find(|r| r.site == site)?;
-    rule.hits += 1;
-    let fire = match rule.when {
-        When::Always => true,
-        When::Once => !rule.fired,
-        When::OnNth(n) => rule.hits == n,
-    };
-    if !fire {
-        return None;
-    }
-    rule.fired = true;
-    let action = rule.action;
-    drop(guard);
-    qtelemetry::counter("faults.injected").inc();
-    if qtelemetry::enabled() {
-        qtelemetry::emit(qtelemetry::Event::Fault {
-            ts_us: qtelemetry::now_us(),
-            site: site.to_string(),
-            action: action.label(),
-        });
-    }
-    Some(action)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +343,17 @@ mod tests {
             FaultAction::Truncate(128)
         });
         clear();
+    }
+
+    #[test]
+    fn scoped_registries_fire_independently() {
+        // No LOCK needed: scoped registries never touch the global one.
+        let a = FaultRegistry::from_spec("alloc.flat:error:always").unwrap();
+        let b = FaultRegistry::disarmed();
+        assert_eq!(a.fires(SITE_ALLOC_FLAT), Some(FaultAction::Error));
+        assert_eq!(b.fires(SITE_ALLOC_FLAT), None);
+        assert_eq!(a.fires(SITE_ALLOC_FLAT), Some(FaultAction::Error));
+        a.clear();
+        assert_eq!(a.fires(SITE_ALLOC_FLAT), None);
     }
 }

@@ -32,8 +32,15 @@
 //!   `--resume-from`.
 //! * [`signal`](mod@signal) — flag-based SIGINT/SIGTERM handling polled at
 //!   gate boundaries.
+//! * [`context`] — [`RunContext`], the per-run bundle of cancellation
+//!   flag, metrics registry, and fault registry that makes concurrent
+//!   jobs isolated from one another.
 //! * [`faults`] — the deterministic fault-injection registry
 //!   (`FLATDD_FAULTS`) that makes every degradation path testable.
+//! * [`serve`] — the multi-job daemon behind `flatdd-serve`: HTTP/JSON
+//!   job intake, admission control against a server-wide memory budget,
+//!   checkpoint-based preemption, retry with backoff, and restart
+//!   recovery from a spool directory.
 //! * [`telemetry`] — the unified observability surface (structured gate
 //!   events, Chrome-trace export, cross-crate metrics registry),
 //!   re-exported from the `qtelemetry` crate.
@@ -54,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod context;
 pub mod convert;
 pub mod cost;
 pub mod dmav;
@@ -66,6 +74,7 @@ pub mod govern;
 pub mod memory;
 pub mod plan_cache;
 pub mod pool;
+pub mod serve;
 pub mod signal;
 pub mod sim;
 pub mod trajectories;
@@ -76,11 +85,14 @@ pub mod trajectories;
 pub use qtelemetry as telemetry;
 
 pub use checkpoint::{
-    circuit_fingerprint, config_fingerprint, read_checkpoint, read_header, write_checkpoint,
-    CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
+    circuit_fingerprint, config_fingerprint, read_checkpoint, read_header, sweep_stale_tmp,
+    write_checkpoint, write_checkpoint_with, CheckpointHeader, CheckpointPayload,
+    CheckpointPolicy, CheckpointState,
 };
+pub use context::RunContext;
 pub use convert::{
-    dd_to_array_parallel, dd_to_array_parallel_into, ConversionBreakdown, ConversionPlan,
+    dd_to_array_parallel, dd_to_array_parallel_into, dd_to_array_parallel_into_with,
+    ConversionBreakdown, ConversionPlan,
 };
 pub use cost::{CostAnalysis, CostModel};
 pub use dmav::{dmav, dmav_no_cache, DmavAssignment};

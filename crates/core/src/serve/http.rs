@@ -1,0 +1,148 @@
+//! A deliberately small HTTP/1.1 server edge for the job API.
+//!
+//! Parses one request per connection (the daemon answers with
+//! `Connection: close`, so clients like `curl` work out of the box) and
+//! enforces the two limits that matter for a robust daemon: a read
+//! timeout, so a stalled client cannot wedge the accept loop, and a body
+//! cap, so a hostile `Content-Length` cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (inline QASM included).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+/// Per-connection read timeout.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads and parses one request from `stream`. `Err` is a human-readable
+/// reason suitable for a 400 response (or a log line when the client is
+/// already gone).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a full response and flushes. Errors are ignored (the client may
+/// have hung up; the daemon must not care).
+pub fn respond(stream: &mut TcpStream, status: u32, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Convenience: respond with a JSON payload.
+pub fn respond_json(stream: &mut TcpStream, status: u32, body: &str) {
+    respond(stream, status, "application/json", body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_post_with_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request(&mut s).unwrap()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(
+            b"POST /jobs?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\n{\"\":1",
+        )
+        .unwrap();
+        // Body is 4 bytes even though we sent 6 — the parser must stop at
+        // Content-Length, not at EOF.
+        let req = t.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"\":");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request(&mut s)
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let huge = MAX_BODY_BYTES + 1;
+        c.write_all(format!("POST / HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n").as_bytes())
+            .unwrap();
+        assert!(t.join().unwrap().is_err());
+    }
+}

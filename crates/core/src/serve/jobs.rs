@@ -1,0 +1,486 @@
+//! Job model and spool persistence for the serving daemon.
+//!
+//! A **job** is one simulation request: a circuit (generator spec or
+//! inline QASM), a seed, and per-job resource limits. Every job owns a
+//! durable record in the **spool directory**:
+//!
+//! ```text
+//! <spool>/job-<id>.json    the spec + last observed state (atomic rename)
+//! <spool>/job-<id>.ckpt    FDCP1 checkpoint (periodic / preemption / drain)
+//! <spool>/serve.port       the bound TCP port, written once at startup
+//! ```
+//!
+//! The record is rewritten on every state transition, so a daemon killed
+//! at any instant can rebuild its queue on restart: `queued`, `running`,
+//! and `preempted` records are re-admitted (resuming from the checkpoint
+//! when one is installed and loadable), terminal records are served as
+//! history. This is the restart-recovery contract exercised by
+//! `tests/serve_recovery.rs`.
+
+use super::json::{self, Json};
+use crate::error::FlatDdError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Default priority for jobs that do not ask for one.
+pub const DEFAULT_PRIORITY: i64 = 0;
+
+/// What a client asked the daemon to run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Generator spec (`ghz:12`, `supremacy:16,8`, ...). Ignored when
+    /// `qasm` is set.
+    pub circuit: String,
+    /// Inline OpenQASM 2.0 source, overriding `circuit`.
+    pub qasm: Option<String>,
+    /// Generator / sampling seed.
+    pub seed: u64,
+    /// Worker threads for this job's simulator.
+    pub threads: usize,
+    /// Scheduling priority: higher runs first and may preempt lower.
+    pub priority: i64,
+    /// Per-job wall-clock budget.
+    pub deadline_secs: Option<f64>,
+    /// Per-job engine memory budget (also the admission estimate).
+    pub memory_budget_mb: Option<u64>,
+    /// Periodic checkpoint interval in gates (`None` = breach/drain only).
+    pub checkpoint_every: Option<usize>,
+    /// Force DD-to-array conversion at this gate index (`None` = the
+    /// default EWMA trigger). Lets chaos tests drive the conversion path
+    /// deterministically.
+    pub convert_at_gate: Option<usize>,
+    /// Scoped fault spec (`FLATDD_FAULTS` grammar) armed on this job's
+    /// context only — chaos testing one tenant must not touch the others.
+    pub faults: Option<String>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            circuit: String::new(),
+            qasm: None,
+            seed: 42,
+            threads: 2,
+            priority: DEFAULT_PRIORITY,
+            deadline_secs: None,
+            memory_budget_mb: None,
+            checkpoint_every: None,
+            convert_at_gate: None,
+            faults: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a client-submitted JSON body, rejecting unknown fields (a
+    /// typo'd limit silently ignored is a limit not applied).
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let obj = match v {
+            Json::Obj(m) => m,
+            _ => return Err("job spec must be a JSON object".into()),
+        };
+        let mut spec = JobSpec::default();
+        for (k, v) in obj {
+            match k.as_str() {
+                "circuit" => {
+                    spec.circuit = v.as_str().ok_or("`circuit` must be a string")?.to_string()
+                }
+                "qasm" => spec.qasm = Some(v.as_str().ok_or("`qasm` must be a string")?.to_string()),
+                "seed" => spec.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?,
+                "threads" => {
+                    let t = v.as_u64().ok_or("`threads` must be a positive integer")?;
+                    if t == 0 {
+                        return Err("`threads` must be at least 1".into());
+                    }
+                    spec.threads = t as usize;
+                }
+                "priority" => {
+                    spec.priority = v.as_f64().ok_or("`priority` must be a number")? as i64
+                }
+                "deadline_secs" => {
+                    let s = v.as_f64().ok_or("`deadline_secs` must be a number")?;
+                    if !s.is_finite() || s <= 0.0 {
+                        return Err("`deadline_secs` must be a positive number".into());
+                    }
+                    spec.deadline_secs = Some(s);
+                }
+                "memory_budget_mb" => {
+                    spec.memory_budget_mb =
+                        Some(v.as_u64().ok_or("`memory_budget_mb` must be an integer")?)
+                }
+                "checkpoint_every" => {
+                    let g = v.as_u64().ok_or("`checkpoint_every` must be an integer")?;
+                    if g == 0 {
+                        return Err("`checkpoint_every` must be at least 1 gate".into());
+                    }
+                    spec.checkpoint_every = Some(g as usize);
+                }
+                "convert_at_gate" => {
+                    spec.convert_at_gate =
+                        Some(v.as_u64().ok_or("`convert_at_gate` must be an integer")? as usize)
+                }
+                "faults" => {
+                    spec.faults = Some(v.as_str().ok_or("`faults` must be a string")?.to_string())
+                }
+                other => return Err(format!("unknown job field `{other}`")),
+            }
+        }
+        if spec.circuit.is_empty() && spec.qasm.is_none() {
+            return Err("job spec needs `circuit` or `qasm`".into());
+        }
+        Ok(spec)
+    }
+
+    /// Serializes the spec (inverse of [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("circuit".into(), Json::Str(self.circuit.clone()));
+        if let Some(q) = &self.qasm {
+            m.insert("qasm".into(), Json::Str(q.clone()));
+        }
+        m.insert("seed".into(), Json::Num(self.seed as f64));
+        m.insert("threads".into(), Json::Num(self.threads as f64));
+        m.insert("priority".into(), Json::Num(self.priority as f64));
+        if let Some(s) = self.deadline_secs {
+            m.insert("deadline_secs".into(), Json::Num(s));
+        }
+        if let Some(mb) = self.memory_budget_mb {
+            m.insert("memory_budget_mb".into(), Json::Num(mb as f64));
+        }
+        if let Some(g) = self.checkpoint_every {
+            m.insert("checkpoint_every".into(), Json::Num(g as f64));
+        }
+        if let Some(g) = self.convert_at_gate {
+            m.insert("convert_at_gate".into(), Json::Num(g as f64));
+        }
+        if let Some(f) = &self.faults {
+            m.insert("faults".into(), Json::Str(f.clone()));
+        }
+        Json::Obj(m)
+    }
+}
+
+/// Lifecycle of one job. `Preempted` is non-terminal: the job was
+/// checkpointed to make room (or for a drain) and waits in the queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker and an admission slot.
+    Queued,
+    /// A worker is driving its simulator right now.
+    Running,
+    /// Checkpointed and re-queued (preemption or daemon drain).
+    Preempted,
+    /// Finished successfully.
+    Done,
+    /// Finished with a typed error; the exit code is recorded.
+    Failed,
+    /// Cancelled by the client.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Preempted => "preempted",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn from_label(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "preempted" => JobState::Preempted,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// True once the job can never run again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// What a finished job reports back.
+#[derive(Clone, Debug, Default)]
+pub struct JobResult {
+    /// Gates applied (equals the circuit total on success).
+    pub gates_applied: usize,
+    /// Total gates in the circuit.
+    pub total_gates: usize,
+    /// Final simulation phase label (`dd` / `dmav`).
+    pub phase: String,
+    /// Wall-clock seconds spent simulating (all attempts).
+    pub elapsed_secs: f64,
+    /// The top amplitudes by probability: `(basis index, re, im)`,
+    /// descending. Full `f64` precision survives the JSON round trip, so
+    /// recovery tests can compare against an uninterrupted run at 1e-12.
+    pub heavy: Vec<(usize, f64, f64)>,
+    /// `FlatDdStats::to_json` payload.
+    pub stats_json: String,
+    /// The job's scoped metrics registry, dumped as JSON.
+    pub metrics_json: String,
+}
+
+/// The durable record: spec + state + outcome, one JSON file per job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Daemon-assigned id (monotonic, persisted across restarts).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Exit code for `Failed` (the `FlatDdError::exit_code` table).
+    pub exit_code: Option<i32>,
+    /// Human-readable error for `Failed`.
+    pub error: Option<String>,
+    /// Transient-failure retries consumed so far.
+    pub retries: u32,
+    /// Times this job was preempted or drained mid-run.
+    pub preemptions: u32,
+    /// Result payload for `Done`.
+    pub result: Option<JobResult>,
+}
+
+impl JobRecord {
+    /// A fresh queued record.
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            exit_code: None,
+            error: None,
+            retries: 0,
+            preemptions: 0,
+            result: None,
+        }
+    }
+
+    /// The record file for job `id` in `spool`.
+    pub fn path(spool: &Path, id: u64) -> PathBuf {
+        spool.join(format!("job-{id}.json"))
+    }
+
+    /// The checkpoint file for job `id` in `spool`.
+    pub fn ckpt_path(spool: &Path, id: u64) -> PathBuf {
+        spool.join(format!("job-{id}.ckpt"))
+    }
+
+    /// Full status object served on `GET /jobs/{id}` (also the persisted
+    /// on-disk form — one schema, one parser).
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("id".into(), Json::Num(self.id as f64));
+        m.insert("state".into(), Json::Str(self.state.label().into()));
+        m.insert("spec".into(), self.spec.to_json());
+        m.insert("retries".into(), Json::Num(self.retries as f64));
+        m.insert("preemptions".into(), Json::Num(self.preemptions as f64));
+        if let Some(c) = self.exit_code {
+            m.insert("exit_code".into(), Json::Num(c as f64));
+        }
+        if let Some(e) = &self.error {
+            m.insert("error".into(), Json::Str(e.clone()));
+        }
+        if let Some(r) = &self.result {
+            let heavy: Vec<Json> = r
+                .heavy
+                .iter()
+                .map(|&(i, re, im)| {
+                    Json::obj(vec![
+                        ("index", Json::Num(i as f64)),
+                        ("re", Json::Num(re)),
+                        ("im", Json::Num(im)),
+                    ])
+                })
+                .collect();
+            m.insert(
+                "result".into(),
+                Json::obj(vec![
+                    ("gates_applied", Json::Num(r.gates_applied as f64)),
+                    ("total_gates", Json::Num(r.total_gates as f64)),
+                    ("phase", Json::Str(r.phase.clone())),
+                    ("elapsed_secs", Json::Num(r.elapsed_secs)),
+                    ("heavy", Json::Arr(heavy)),
+                    ("stats", raw_or_null(&r.stats_json)),
+                    ("metrics", raw_or_null(&r.metrics_json)),
+                ]),
+            );
+        }
+        Json::Obj(m)
+    }
+
+    /// Parses a persisted record (tolerates `result` payloads from newer
+    /// versions by ignoring fields it does not know).
+    pub fn from_json(v: &Json) -> Result<JobRecord, String> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("record missing `id`")?;
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::from_label)
+            .ok_or("record missing `state`")?;
+        let spec = JobSpec::from_json(v.get("spec").ok_or("record missing `spec`")?)?;
+        let mut rec = JobRecord::new(id, spec);
+        rec.state = state;
+        rec.retries = v.get("retries").and_then(Json::as_u64).unwrap_or(0) as u32;
+        rec.preemptions = v.get("preemptions").and_then(Json::as_u64).unwrap_or(0) as u32;
+        rec.exit_code = v
+            .get("exit_code")
+            .and_then(Json::as_f64)
+            .map(|c| c as i32);
+        rec.error = v
+            .get("error")
+            .and_then(Json::as_str)
+            .map(|s| s.to_string());
+        if let Some(r) = v.get("result") {
+            let mut result = JobResult {
+                gates_applied: r.get("gates_applied").and_then(Json::as_u64).unwrap_or(0) as usize,
+                total_gates: r.get("total_gates").and_then(Json::as_u64).unwrap_or(0) as usize,
+                phase: r
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                elapsed_secs: r.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                heavy: Vec::new(),
+                stats_json: r.get("stats").map(|s| s.to_string()).unwrap_or_default(),
+                metrics_json: r.get("metrics").map(|s| s.to_string()).unwrap_or_default(),
+            };
+            if let Some(Json::Arr(items)) = r.get("heavy") {
+                for it in items {
+                    let idx = it.get("index").and_then(Json::as_u64).unwrap_or(0) as usize;
+                    let re = it.get("re").and_then(Json::as_f64).unwrap_or(0.0);
+                    let im = it.get("im").and_then(Json::as_f64).unwrap_or(0.0);
+                    result.heavy.push((idx, re, im));
+                }
+            }
+            rec.result = Some(result);
+        }
+        Ok(rec)
+    }
+
+    /// Durably writes the record: tmp sibling, then atomic rename — the
+    /// same install discipline as FDCP1 checkpoints, so a crash leaves
+    /// either the old record or the new one, never a torn file.
+    pub fn persist(&self, spool: &Path) -> Result<(), FlatDdError> {
+        let path = Self::path(spool, self.id);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, format!("{}\n", self.to_json()))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+fn raw_or_null(s: &str) -> Json {
+    if s.is_empty() {
+        Json::Null
+    } else {
+        Json::Raw(s.to_string())
+    }
+}
+
+/// Loads every `job-*.json` record in `spool`, sorted by id. Unreadable
+/// records are reported on stderr and skipped — one corrupt file must not
+/// take the daemon down.
+pub fn load_spool(spool: &Path) -> Vec<JobRecord> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(spool) {
+        Ok(e) => e,
+        Err(_) => return out,
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("job-") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| json::parse(&src))
+            .and_then(|v| JobRecord::from_json(&v));
+        match parsed {
+            Ok(rec) => out.push(rec),
+            Err(e) => eprintln!("[flatdd-serve] skipping {}: {e}", path.display()),
+        }
+    }
+    out.sort_by_key(|r| r.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            circuit: "ghz:6".into(),
+            seed: 7,
+            threads: 1,
+            priority: 3,
+            deadline_secs: Some(2.5),
+            memory_budget_mb: Some(64),
+            checkpoint_every: Some(10),
+            convert_at_gate: Some(12),
+            faults: Some("state.nan:nan:once".into()),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips() {
+        let s = spec();
+        let back = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn spec_rejects_unknown_and_invalid_fields() {
+        assert!(JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","turbo":1}"#).unwrap())
+            .unwrap_err()
+            .contains("unknown job field"));
+        assert!(JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","threads":0}"#).unwrap())
+            .is_err());
+        assert!(JobSpec::from_json(&json::parse(r#"{"seed":1}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn record_persist_and_reload() {
+        let dir = std::env::temp_dir().join(format!("flatdd-jobs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rec = JobRecord::new(12, spec());
+        rec.state = JobState::Done;
+        rec.retries = 1;
+        rec.result = Some(JobResult {
+            gates_applied: 11,
+            total_gates: 11,
+            phase: "dmav".into(),
+            elapsed_secs: 0.25,
+            heavy: vec![(0, 0.707_106_781_186_547_6, 0.0), (63, -0.5, 0.25)],
+            stats_json: r#"{"gates_dd":5}"#.into(),
+            metrics_json: String::new(),
+        });
+        rec.persist(&dir).unwrap();
+        let loaded = load_spool(&dir);
+        let got = loaded.iter().find(|r| r.id == 12).unwrap();
+        assert_eq!(got.state, JobState::Done);
+        assert_eq!(got.spec, rec.spec);
+        let r = got.result.as_ref().unwrap();
+        assert_eq!(r.heavy[0].1, 0.707_106_781_186_547_6, "f64 must roundtrip");
+        assert_eq!(r.heavy[1].0, 63);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

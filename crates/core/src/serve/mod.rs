@@ -1,0 +1,211 @@
+//! Multi-job serving: the engine behind the `flatdd-serve` daemon.
+//!
+//! PR 1–5 hardened one simulation at a time — typed errors, resource
+//! governance, crash-safe checkpoints, fault injection. This module turns
+//! those primitives into a long-running service that accepts circuits over
+//! HTTP/JSON and runs many of them concurrently without letting them hurt
+//! each other:
+//!
+//! * [`json`] / [`http`] — a dependency-free wire layer (the crate policy
+//!   is no external crates; `std::net` and a small JSON codec suffice).
+//! * [`jobs`] — the job model and its durable spool records.
+//! * [`scheduler`] — admission against a server-wide memory budget,
+//!   priority preemption via checkpoints, capped-backoff retry, worker
+//!   panic containment, and restart recovery.
+//!
+//! The HTTP surface (all responses JSON, `Connection: close`):
+//!
+//! | Method & path            | Purpose                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `POST /jobs`             | submit a job spec; `202` with the id, `429` when the queue is full, `503` while draining |
+//! | `GET /jobs`              | summaries of every known job              |
+//! | `GET /jobs/{id}`         | full status: state, retries, result, stats, per-job metrics |
+//! | `POST /jobs/{id}/cancel` | cancel (`DELETE /jobs/{id}` is an alias)  |
+//! | `GET /metrics`           | the daemon's `serve.*` metrics registry   |
+//! | `GET /healthz`           | liveness + `ok`/`draining` + load         |
+//!
+//! Routing is a pure function ([`route`]) so the whole API surface is
+//! unit-testable without sockets; `flatdd-serve` owns only the listener
+//! loop and process signals.
+
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod scheduler;
+
+pub use jobs::{JobRecord, JobResult, JobSpec, JobState};
+pub use scheduler::{CancelOutcome, Scheduler, SchedulerHandle, ServeConfig, SubmitError};
+
+use json::Json;
+
+/// Name of the file (inside the spool) holding the bound TCP port.
+pub const PORT_FILE: &str = "serve.port";
+
+fn err_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::Str(msg.into()))]).to_string()
+}
+
+/// Dispatches one parsed request against the scheduler, returning
+/// `(status, JSON body)`.
+pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let (running, queued) = handle.load();
+            let status = if handle.draining() { "draining" } else { "ok" };
+            (
+                200,
+                Json::obj(vec![
+                    ("status", Json::Str(status.into())),
+                    ("running", Json::Num(running as f64)),
+                    ("queued", Json::Num(queued as f64)),
+                ])
+                .to_string(),
+            )
+        }
+        ("GET", ["metrics"]) => (200, handle.metrics().to_json()),
+        ("GET", ["jobs"]) => {
+            let items: Vec<Json> = handle
+                .jobs()
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("id", Json::Num(r.id as f64)),
+                        ("state", Json::Str(r.state.label().into())),
+                        ("circuit", Json::Str(r.spec.circuit.clone())),
+                        ("priority", Json::Num(r.spec.priority as f64)),
+                        ("retries", Json::Num(r.retries as f64)),
+                    ])
+                })
+                .collect();
+            (
+                200,
+                Json::obj(vec![("jobs", Json::Arr(items))]).to_string(),
+            )
+        }
+        ("POST", ["jobs"]) => {
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(s) => s,
+                Err(_) => return (400, err_body("body is not UTF-8")),
+            };
+            let spec = match json::parse(body).and_then(|v| JobSpec::from_json(&v)) {
+                Ok(s) => s,
+                Err(e) => return (400, err_body(&e)),
+            };
+            match handle.submit(spec) {
+                Ok(id) => (
+                    202,
+                    Json::obj(vec![
+                        ("id", Json::Num(id as f64)),
+                        ("state", Json::Str("queued".into())),
+                    ])
+                    .to_string(),
+                ),
+                Err(SubmitError::QueueFull) => (429, err_body("queue full")),
+                Err(SubmitError::Draining) => (503, err_body("draining")),
+                Err(SubmitError::Invalid(e)) => (400, err_body(&e)),
+            }
+        }
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match handle.job(id) {
+                Some(rec) => (200, format!("{}", rec.to_json())),
+                None => (404, err_body("no such job")),
+            },
+            None => (400, err_body("bad job id")),
+        },
+        ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match handle.cancel(id) {
+                CancelOutcome::Cancelled => (
+                    200,
+                    Json::obj(vec![
+                        ("id", Json::Num(id as f64)),
+                        ("cancelled", Json::Bool(true)),
+                    ])
+                    .to_string(),
+                ),
+                CancelOutcome::AlreadyTerminal => (409, err_body("job already finished")),
+                CancelOutcome::NotFound => (404, err_body("no such job")),
+            },
+            None => (400, err_body("bad job id")),
+        },
+        ("GET" | "POST" | "DELETE", _) => (404, err_body("no such endpoint")),
+        _ => (405, err_body("method not allowed")),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> http::Request {
+        http::Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn tiny_sched(name: &str) -> (Scheduler, std::path::PathBuf) {
+        let spool = std::env::temp_dir().join(format!(
+            "flatdd-serve-route-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&spool).ok();
+        let mut cfg = ServeConfig::at(&spool);
+        cfg.workers = 1;
+        cfg.queue_cap = 2;
+        (Scheduler::start(cfg).unwrap(), spool)
+    }
+
+    #[test]
+    fn healthz_metrics_and_404() {
+        let (sched, spool) = tiny_sched("health");
+        let h = sched.handle();
+        let (code, body) = route(&h, &req("GET", "/healthz", ""));
+        assert_eq!(code, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        let (code, body) = route(&h, &req("GET", "/metrics", ""));
+        assert_eq!(code, 200);
+        json::parse(&body).expect("metrics must be valid JSON");
+        assert_eq!(route(&h, &req("GET", "/nope", "")).0, 404);
+        assert_eq!(route(&h, &req("PUT", "/jobs", "")).0, 405);
+        assert_eq!(route(&h, &req("GET", "/jobs/zzz", "")).0, 400);
+        sched.drain();
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn submit_poll_and_queue_full() {
+        let (sched, spool) = tiny_sched("submit");
+        let h = sched.handle();
+        assert_eq!(route(&h, &req("POST", "/jobs", "not json")).0, 400);
+        assert_eq!(
+            route(&h, &req("POST", "/jobs", r#"{"circuit":"bogus:3"}"#)).0,
+            400
+        );
+        let (code, body) = route(
+            &h,
+            &req("POST", "/jobs", r#"{"circuit":"ghz:6","threads":1}"#),
+        );
+        assert_eq!(code, 202, "{body}");
+        let id = json::parse(&body)
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(h.wait_idle(std::time::Duration::from_secs(30)));
+        let (code, body) = route(&h, &req("GET", &format!("/jobs/{id}"), ""));
+        assert_eq!(code, 200);
+        let v = json::parse(&body).unwrap();
+        assert_eq!(v.get("state").and_then(Json::as_str), Some("done"));
+        let (code, body) = route(&h, &req("GET", "/jobs", ""));
+        assert_eq!(code, 200);
+        assert!(body.contains("\"circuit\":\"ghz:6\""), "{body}");
+        sched.drain();
+        std::fs::remove_dir_all(&spool).ok();
+    }
+}

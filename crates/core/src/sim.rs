@@ -17,7 +17,8 @@
 use crate::checkpoint::{
     self, CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
 };
-use crate::convert::{dd_to_array_parallel, dd_to_array_parallel_into};
+use crate::context::RunContext;
+use crate::convert::{dd_to_array_parallel, dd_to_array_parallel_into_with};
 use crate::cost::CostModel;
 use crate::dmav::{dmav_no_cache, DmavAssignment};
 use crate::dmav_cache::{dmav_cached, DmavCacheAssignment, PartialBuffers};
@@ -28,7 +29,6 @@ use crate::fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
 use crate::govern::{Breach, GovernorConfig, ResourceGovernor};
 use crate::plan_cache::PlanCache;
 use crate::pool::{clamp_threads, ThreadPool};
-use crate::signal;
 use qarray::vecops;
 use qcircuit::{Circuit, Complex64, Gate};
 use qdd::{DdPackage, MEdge, MacTable, VEdge};
@@ -320,10 +320,14 @@ pub struct FlatDdSimulator {
     /// processing, stamped into checkpoints so resume can validate; 0 when
     /// no run provided one.
     active_circuit_hash: u64,
-    /// Cached global-counter handles (one registry lookup per simulator,
-    /// one relaxed add per gate).
+    /// Cached counter handles into this run's metrics registry (one
+    /// registry lookup per simulator, one relaxed add per gate).
     ctr_gates_dd: qtelemetry::Counter,
     ctr_gates_dmav: qtelemetry::Counter,
+    /// Per-run execution context: cancellation flag, metrics registry, and
+    /// fault registry. [`RunContext::process`] for single-tenant callers;
+    /// the serve scheduler hands each job an isolated one.
+    ctx: RunContext,
 }
 
 impl FlatDdSimulator {
@@ -342,6 +346,14 @@ impl FlatDdSimulator {
     /// falls back to a DD start (recorded as a conversion refusal) rather
     /// than failing.
     pub fn try_new(n: usize, cfg: FlatDdConfig) -> Result<Self, FlatDdError> {
+        Self::try_new_with(n, cfg, RunContext::process())
+    }
+
+    /// [`Self::try_new`] with an explicit per-run context. Metrics and
+    /// fault probes route through `ctx`, and the run is cancellable via
+    /// [`RunContext::cancel`] — the isolation the multi-job daemon builds
+    /// on.
+    pub fn try_new_with(n: usize, cfg: FlatDdConfig, ctx: RunContext) -> Result<Self, FlatDdError> {
         if n == 0 {
             return Err(FlatDdError::InvalidInput(
                 "simulator needs at least one qubit".into(),
@@ -364,9 +376,9 @@ impl FlatDdSimulator {
                     conversion_blocked = true;
                     Repr::Dd(pkg.basis_state(n, 0))
                 } else {
-                    let mut v = try_flat_buffer(dim, "initial flat state")?;
+                    let mut v = try_flat_buffer(dim, "initial flat state", &ctx)?;
                     v[0] = Complex64::ONE;
-                    let w = try_flat_buffer(dim, "initial flat scratch")?;
+                    let w = try_flat_buffer(dim, "initial flat scratch", &ctx)?;
                     Repr::Flat { v, w }
                 }
             }
@@ -403,9 +415,16 @@ impl FlatDdSimulator {
             gates_since_ckpt: 0,
             last_checkpoint: None,
             active_circuit_hash: 0,
-            ctr_gates_dd: qtelemetry::counter("core.gates_dd"),
-            ctr_gates_dmav: qtelemetry::counter("core.gates_dmav"),
+            ctr_gates_dd: ctx.metrics().counter("core.gates_dd"),
+            ctr_gates_dmav: ctx.metrics().counter("core.gates_dmav"),
+            ctx,
         })
+    }
+
+    /// This simulator's execution context. Clone it to keep a remote
+    /// control (e.g. to cancel the run from another thread).
+    pub fn context(&self) -> &RunContext {
+        &self.ctx
     }
 
     /// Number of qubits.
@@ -510,18 +529,26 @@ impl FlatDdSimulator {
         let bytes = match &self.repr {
             Repr::Dd(s) => {
                 let b = qdd::serialize::vector_dd_to_bytes(&self.pkg, *s, self.n)?;
-                checkpoint::write_checkpoint(&policy.path, &header, CheckpointPayload::Dd(&b))?
+                checkpoint::write_checkpoint_with(
+                    &policy.path,
+                    &header,
+                    CheckpointPayload::Dd(&b),
+                    &self.ctx,
+                )?
             }
-            Repr::Flat { v, .. } => {
-                checkpoint::write_checkpoint(&policy.path, &header, CheckpointPayload::Flat(v))?
-            }
+            Repr::Flat { v, .. } => checkpoint::write_checkpoint_with(
+                &policy.path,
+                &header,
+                CheckpointPayload::Flat(v),
+                &self.ctx,
+            )?,
         };
         let dur_us = start.elapsed().as_secs_f64() * 1e6;
         self.gates_since_ckpt = 0;
         self.last_checkpoint = Some(policy.path.clone());
-        qtelemetry::counter("checkpoint.writes").inc();
-        qtelemetry::gauge("checkpoint.bytes").set(bytes as f64);
-        qtelemetry::gauge("checkpoint.write_us").set(dur_us);
+        self.ctx.metrics().counter("checkpoint.writes").inc();
+        self.ctx.metrics().gauge("checkpoint.bytes").set(bytes as f64);
+        self.ctx.metrics().gauge("checkpoint.write_us").set(dur_us);
         if telemetry {
             qtelemetry::emit(qtelemetry::Event::Checkpoint {
                 sim: self.telemetry_id,
@@ -552,6 +579,17 @@ impl FlatDdSimulator {
         path: &Path,
         cfg: FlatDdConfig,
         circuit: &Circuit,
+    ) -> Result<(Self, CheckpointHeader), FlatDdError> {
+        Self::resume_from_with(path, cfg, circuit, RunContext::process())
+    }
+
+    /// [`Self::resume_from`] with an explicit per-run context (see
+    /// [`Self::try_new_with`]).
+    pub fn resume_from_with(
+        path: &Path,
+        cfg: FlatDdConfig,
+        circuit: &Circuit,
+        ctx: RunContext,
     ) -> Result<(Self, CheckpointHeader), FlatDdError> {
         let telemetry = qtelemetry::enabled();
         let ts_us = telemetry.then(qtelemetry::now_us);
@@ -585,7 +623,7 @@ impl FlatDdSimulator {
                 ),
             });
         }
-        let mut sim = Self::try_new(header.n as usize, cfg)?;
+        let mut sim = Self::try_new_with(header.n as usize, cfg, ctx)?;
         match state {
             CheckpointState::Dd(bytes) => {
                 let (root, n2) = qdd::serialize::vector_dd_from_bytes(&mut sim.pkg, &bytes)
@@ -602,7 +640,7 @@ impl FlatDdSimulator {
                 sim.pkg.gc(&[root], &[]);
             }
             CheckpointState::Flat(v) => {
-                let w = try_flat_buffer(v.len(), "resume scratch vector")?;
+                let w = try_flat_buffer(v.len(), "resume scratch vector", &sim.ctx)?;
                 sim.repr = Repr::Flat { v, w };
                 sim.pkg.gc(&[], &[]);
             }
@@ -614,7 +652,7 @@ impl FlatDdSimulator {
         sim.active_circuit_hash = header.circuit_hash;
         sim.last_checkpoint = Some(path.to_path_buf());
         let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        qtelemetry::counter("checkpoint.loads").inc();
+        sim.ctx.metrics().counter("checkpoint.loads").inc();
         if telemetry {
             qtelemetry::emit(qtelemetry::Event::Checkpoint {
                 sim: sim.telemetry_id,
@@ -701,7 +739,7 @@ impl FlatDdSimulator {
         };
         self.pkg.flush_caches();
         self.stats.pressure_gcs += 1;
-        qtelemetry::counter("core.pressure_gcs").inc();
+        self.ctx.metrics().counter("core.pressure_gcs").inc();
         if qtelemetry::enabled() {
             qtelemetry::emit(qtelemetry::Event::Governor {
                 sim: self.telemetry_id,
@@ -766,7 +804,7 @@ impl FlatDdSimulator {
         if !self.gov.health_check_due() {
             return Ok(());
         }
-        qtelemetry::counter("core.watchdog_checks").inc();
+        self.ctx.metrics().counter("core.watchdog_checks").inc();
         let tol = self.gov.config().norm_tolerance;
         let norm = match &self.repr {
             Repr::Dd(s) => {
@@ -815,11 +853,12 @@ impl FlatDdSimulator {
 
     /// Applies one gate (no fusion at this granularity).
     pub fn apply(&mut self, gate: &Gate) -> Result<(), FlatDdError> {
-        // Signal poll (one relaxed load when quiet): a delivered
-        // SIGINT/SIGTERM ends the run with a typed, resumable error at this
-        // gate boundary instead of killing the process mid-write.
-        if signal::pending().is_some() {
-            if let Some(sig) = signal::take() {
+        // Cancellation poll (one relaxed load when quiet): a delivered
+        // SIGINT/SIGTERM — or a per-job cancel on this run's context —
+        // ends the run with a typed, resumable error at this gate boundary
+        // instead of killing the process mid-write.
+        if self.ctx.cancel_requested() {
+            if let Some(sig) = self.ctx.take_cancel() {
                 return Err(FlatDdError::Interrupted {
                     signal: sig,
                     partial: Box::new(self.snapshot()),
@@ -843,7 +882,7 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => {
                 let m = self.pkg.gate_dd(gate, self.n);
                 self.apply_dmav(m)?;
-                if faults::fires(faults::SITE_STATE_NAN).is_some() {
+                if self.ctx.fires(faults::SITE_STATE_NAN).is_some() {
                     if let Repr::Flat { v, .. } = &mut self.repr {
                         if let Some(a) = v.first_mut() {
                             *a = Complex64::new(f64::NAN, 0.0);
@@ -887,17 +926,66 @@ impl FlatDdSimulator {
     }
 
     /// Periodic checkpoint write, best-effort: a transient failure (disk
-    /// full, permissions) must not abort a run whose state is perfectly
-    /// healthy, so the error is logged and counted while the previously
-    /// installed checkpoint stays valid. The cadence counter resets either
-    /// way, so the next attempt comes a full interval later instead of on
-    /// every subsequent gate.
+    /// full, permissions, a torn write caught by post-install header
+    /// verification) must not abort a run whose state is perfectly healthy.
+    /// Failed attempts are retried up to `policy.write_retries` times with
+    /// a doubling backoff (capped at
+    /// [`CheckpointPolicy::MAX_RETRY_BACKOFF_MS`]); if every attempt fails
+    /// the error is logged and counted while the previously installed
+    /// checkpoint stays valid. The cadence counter resets either way, so
+    /// the next attempt comes a full interval later instead of on every
+    /// subsequent gate.
     fn periodic_checkpoint(&mut self) {
-        if let Err(e) = self.save_checkpoint() {
-            self.gates_since_ckpt = 0;
-            qtelemetry::counter("checkpoint.write_failures").inc();
-            eprintln!("[flatdd] periodic checkpoint write failed (run continues): {e}");
+        let (retries, mut backoff_ms) = self
+            .ckpt
+            .as_ref()
+            .map(|p| (p.write_retries, p.retry_backoff_ms))
+            .unwrap_or((0, 0));
+        let mut last_err: Option<FlatDdError> = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms = (backoff_ms * 2).min(CheckpointPolicy::MAX_RETRY_BACKOFF_MS);
+                self.ctx.metrics().counter("checkpoint.write_retries").inc();
+            }
+            // `save_checkpoint` reports write-path errors; a write that
+            // "succeeded" can still have been torn by a crash-adjacent
+            // failure mode, so verify the installed header before trusting
+            // it. The header CRC covers the cursor and phase — cheap, and
+            // exactly what `resume_from` checks first.
+            let result = self
+                .save_checkpoint()
+                .and_then(|_| checkpoint::read_header(&self.checkpoint_path_unchecked()));
+            match result {
+                Ok(_) => {
+                    if attempt > 0 {
+                        eprintln!(
+                            "[flatdd] periodic checkpoint succeeded on retry {attempt}"
+                        );
+                    }
+                    return;
+                }
+                Err(e) => {
+                    self.ctx.metrics().counter("checkpoint.write_failures").inc();
+                    last_err = Some(e);
+                }
+            }
         }
+        self.gates_since_ckpt = 0;
+        if let Some(e) = last_err {
+            eprintln!(
+                "[flatdd] periodic checkpoint failed after {} attempt(s) (run continues): {e}",
+                retries + 1
+            );
+        }
+    }
+
+    /// The policy path; only called while a policy is installed.
+    fn checkpoint_path_unchecked(&self) -> PathBuf {
+        self.ckpt
+            .as_ref()
+            .map(|p| p.path.clone())
+            .unwrap_or_default()
     }
 
     /// Runs a whole circuit, honoring the fusion policy after conversion.
@@ -914,7 +1002,7 @@ impl FlatDdSimulator {
             )));
         }
         self.reset_run_stats();
-        qtelemetry::counter("core.runs").inc();
+        self.ctx.metrics().counter("core.runs").inc();
         let gates = circuit.gates();
         let total = self.gates_seen + gates.len();
         if self.ckpt.is_some() {
@@ -948,7 +1036,7 @@ impl FlatDdSimulator {
             )));
         }
         self.reset_run_stats();
-        qtelemetry::counter("core.runs").inc();
+        self.ctx.metrics().counter("core.runs").inc();
         if self.ckpt.is_some() {
             self.active_circuit_hash = checkpoint::circuit_fingerprint(circuit);
         }
@@ -976,7 +1064,7 @@ impl FlatDdSimulator {
                 gates.len()
             )));
         }
-        qtelemetry::counter("core.resumed_runs").inc();
+        self.ctx.metrics().counter("core.resumed_runs").inc();
         self.active_circuit_hash = checkpoint::circuit_fingerprint(circuit);
         let start = self.gates_seen;
         self.run_span(&gates[start..], gates.len())
@@ -1015,7 +1103,7 @@ impl FlatDdSimulator {
                 // Best-effort: the original error is what the caller must
                 // see; a failed final checkpoint only costs resumability.
                 if let Err(ce) = self.save_checkpoint() {
-                    qtelemetry::counter("checkpoint.write_failures").inc();
+                    self.ctx.metrics().counter("checkpoint.write_failures").inc();
                     eprintln!("[flatdd] failed to write checkpoint on breach: {ce}");
                 }
             }
@@ -1114,8 +1202,8 @@ impl FlatDdSimulator {
             // matrix commits, so every resumable exit from this loop leaves
             // `gates_seen` in sync with the state — the on-breach checkpoint
             // written by `run_span` resumes without re-applying gates.
-            if signal::pending().is_some() {
-                if let Some(sig) = signal::take() {
+            if self.ctx.cancel_requested() {
+                if let Some(sig) = self.ctx.take_cancel() {
                     return Err(FlatDdError::Interrupted {
                         signal: sig,
                         partial: Box::new(self.snapshot()),
@@ -1284,7 +1372,7 @@ impl FlatDdSimulator {
         let telemetry = qtelemetry::enabled();
         let ts_us = telemetry.then(qtelemetry::now_us);
         let start = Instant::now();
-        let mut v = match try_flat_buffer(dim, "conversion output") {
+        let mut v = match try_flat_buffer(dim, "conversion output", &self.ctx) {
             Ok(v) => v,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
@@ -1297,7 +1385,7 @@ impl FlatDdSimulator {
         // state is untouched, and the caller gets a typed error instead of
         // an abort.
         let breakdown = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dd_to_array_parallel_into(&self.pkg, state, self.n, &self.pool, &mut v)
+            dd_to_array_parallel_into_with(&self.pkg, state, self.n, &self.pool, &mut v, &self.ctx)
         })) {
             Ok(b) => b,
             Err(_) => {
@@ -1307,7 +1395,7 @@ impl FlatDdSimulator {
                 });
             }
         };
-        let w = match try_flat_buffer(dim, "DMAV scratch vector") {
+        let w = match try_flat_buffer(dim, "DMAV scratch vector", &self.ctx) {
             Ok(w) => w,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
@@ -1317,7 +1405,7 @@ impl FlatDdSimulator {
         };
         self.stats.conversion_seconds = start.elapsed().as_secs_f64();
         self.stats.converted_at = Some(self.gates_seen);
-        qtelemetry::counter("core.conversions").inc();
+        self.ctx.metrics().counter("core.conversions").inc();
         if telemetry {
             let workers = breakdown
                 .fill_tasks
@@ -1347,7 +1435,7 @@ impl FlatDdSimulator {
 
     /// Telemetry note for a refused conversion (counter + governor event).
     fn conversion_refusal_note(&self) {
-        qtelemetry::counter("core.conversion_refusals").inc();
+        self.ctx.metrics().counter("core.conversion_refusals").inc();
         if qtelemetry::enabled() {
             qtelemetry::emit(qtelemetry::Event::Governor {
                 sim: self.telemetry_id,
@@ -1550,32 +1638,32 @@ impl FlatDdSimulator {
     /// registry, for serialization via [`qtelemetry::metrics_json`].
     pub fn publish_metrics(&self) {
         let s = self.stats();
-        qtelemetry::gauge("sim.gates_dd").set(s.gates_dd as f64);
-        qtelemetry::gauge("sim.gates_dmav").set(s.gates_dmav as f64);
-        qtelemetry::gauge("sim.converted_at").set(s.converted_at.map_or(-1.0, |g| g as f64));
-        qtelemetry::gauge("sim.conversion_seconds").set(s.conversion_seconds);
-        qtelemetry::gauge("sim.conversion_refusals").set(s.conversion_refusals as f64);
-        qtelemetry::gauge("sim.pressure_gcs").set(s.pressure_gcs as f64);
-        qtelemetry::gauge("sim.cached_dmavs").set(s.cached_dmavs as f64);
-        qtelemetry::gauge("sim.uncached_dmavs").set(s.uncached_dmavs as f64);
-        qtelemetry::gauge("sim.cache_hits").set(s.cache_hits as f64);
-        qtelemetry::gauge("sim.fused_matrices").set(s.fused_matrices as f64);
-        qtelemetry::gauge("sim.modeled_cost").set(s.modeled_cost);
-        qtelemetry::gauge("sim.peak_state_dd_size").set(s.peak_state_dd_size as f64);
-        qtelemetry::gauge("sim.dmav_plan_hits").set(s.dmav_plan_hits as f64);
-        qtelemetry::gauge("sim.dmav_plan_misses").set(s.dmav_plan_misses as f64);
-        qtelemetry::gauge("sim.ct_mv_hit_rate").set(s.ct_mv_hit_rate);
-        qtelemetry::gauge("sim.ct_mm_hit_rate").set(s.ct_mm_hit_rate);
-        qtelemetry::gauge("sim.ct_add_hit_rate").set(s.ct_add_hit_rate);
-        qtelemetry::gauge("sim.threads").set(self.t as f64);
-        qtelemetry::gauge("sim.memory_bytes").set(self.memory_bytes() as f64);
-        qtelemetry::gauge("plan_cache.entries").set(self.plans.len() as f64);
-        qtelemetry::gauge("plan_cache.memory_bytes").set(self.plans.memory_bytes() as f64);
-        qtelemetry::gauge("plan_cache.hits").set(self.plans.hits() as f64);
-        qtelemetry::gauge("plan_cache.misses").set(self.plans.misses() as f64);
-        qtelemetry::gauge("governor.elapsed_seconds").set(self.gov.elapsed().as_secs_f64());
+        self.ctx.metrics().gauge("sim.gates_dd").set(s.gates_dd as f64);
+        self.ctx.metrics().gauge("sim.gates_dmav").set(s.gates_dmav as f64);
+        self.ctx.metrics().gauge("sim.converted_at").set(s.converted_at.map_or(-1.0, |g| g as f64));
+        self.ctx.metrics().gauge("sim.conversion_seconds").set(s.conversion_seconds);
+        self.ctx.metrics().gauge("sim.conversion_refusals").set(s.conversion_refusals as f64);
+        self.ctx.metrics().gauge("sim.pressure_gcs").set(s.pressure_gcs as f64);
+        self.ctx.metrics().gauge("sim.cached_dmavs").set(s.cached_dmavs as f64);
+        self.ctx.metrics().gauge("sim.uncached_dmavs").set(s.uncached_dmavs as f64);
+        self.ctx.metrics().gauge("sim.cache_hits").set(s.cache_hits as f64);
+        self.ctx.metrics().gauge("sim.fused_matrices").set(s.fused_matrices as f64);
+        self.ctx.metrics().gauge("sim.modeled_cost").set(s.modeled_cost);
+        self.ctx.metrics().gauge("sim.peak_state_dd_size").set(s.peak_state_dd_size as f64);
+        self.ctx.metrics().gauge("sim.dmav_plan_hits").set(s.dmav_plan_hits as f64);
+        self.ctx.metrics().gauge("sim.dmav_plan_misses").set(s.dmav_plan_misses as f64);
+        self.ctx.metrics().gauge("sim.ct_mv_hit_rate").set(s.ct_mv_hit_rate);
+        self.ctx.metrics().gauge("sim.ct_mm_hit_rate").set(s.ct_mm_hit_rate);
+        self.ctx.metrics().gauge("sim.ct_add_hit_rate").set(s.ct_add_hit_rate);
+        self.ctx.metrics().gauge("sim.threads").set(self.t as f64);
+        self.ctx.metrics().gauge("sim.memory_bytes").set(self.memory_bytes() as f64);
+        self.ctx.metrics().gauge("plan_cache.entries").set(self.plans.len() as f64);
+        self.ctx.metrics().gauge("plan_cache.memory_bytes").set(self.plans.memory_bytes() as f64);
+        self.ctx.metrics().gauge("plan_cache.hits").set(self.plans.hits() as f64);
+        self.ctx.metrics().gauge("plan_cache.misses").set(self.plans.misses() as f64);
+        self.ctx.metrics().gauge("governor.elapsed_seconds").set(self.gov.elapsed().as_secs_f64());
         if let Some(b) = self.gov.config().memory_budget_bytes {
-            qtelemetry::gauge("governor.memory_budget_bytes").set(b as f64);
+            self.ctx.metrics().gauge("governor.memory_budget_bytes").set(b as f64);
         }
         // Forces backend detection so the `array.vecops_backend` label is
         // present even for runs that never left the DD phase.
@@ -1599,8 +1687,12 @@ fn phase_log_enabled() -> bool {
 /// Fallibly allocates a zeroed `dim`-element flat buffer, mapping allocator
 /// refusal to [`FlatDdError::AllocationFailed`]. The `alloc.flat` fault
 /// site makes the refusal injectable without needing a real OOM.
-fn try_flat_buffer(dim: usize, context: &'static str) -> Result<Vec<Complex64>, FlatDdError> {
-    if faults::fires(faults::SITE_ALLOC_FLAT).is_some() {
+fn try_flat_buffer(
+    dim: usize,
+    context: &'static str,
+    ctx: &RunContext,
+) -> Result<Vec<Complex64>, FlatDdError> {
+    if ctx.fires(faults::SITE_ALLOC_FLAT).is_some() {
         return Err(FlatDdError::AllocationFailed {
             requested_bytes: dim * std::mem::size_of::<Complex64>(),
             context,

@@ -48,7 +48,9 @@ pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::{Event, WorkerFill};
-pub use metrics::{counter, gauge, metrics_json, reset_metrics, set_label, Counter, Gauge};
+pub use metrics::{
+    counter, gauge, metrics_json, reset_metrics, set_label, Counter, Gauge, MetricsRegistry,
+};
 pub use sink::{
     add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, EventSink, JsonlSink, Recorder,
     SinkId,

@@ -1,13 +1,21 @@
-//! The process-global metrics registry.
+//! Metrics registries.
 //!
 //! Named **counters** (monotonic `u64`, incremented at the source),
 //! **gauges** (last-write-wins `f64`, published at snapshot boundaries),
 //! and **labels** (string facts such as the SIMD backend). Handles are
-//! `Arc`-backed atomics: look one up once ([`counter`] / [`gauge`]), cache
-//! it, and update with relaxed operations — no lock on the hot path.
+//! `Arc`-backed atomics: look one up once ([`MetricsRegistry::counter`] /
+//! [`MetricsRegistry::gauge`]), cache it, and update with relaxed
+//! operations — no lock on the hot path.
 //!
-//! [`metrics_json`] serializes the whole registry with sorted keys, so the
-//! output is stable across runs and directly diffable / `jq`-able:
+//! Historically there was one process-global registry; multi-tenant serving
+//! needs one registry *per job* so stats don't bleed between concurrent
+//! simulations. [`MetricsRegistry`] is the instantiable form (cheap to
+//! clone — clones share storage), and the module-level free functions
+//! ([`counter`], [`gauge`], ...) keep the old single-tenant surface alive by
+//! delegating to [`global`].
+//!
+//! [`MetricsRegistry::to_json`] serializes a registry with sorted keys, so
+//! the output is stable across runs and directly diffable / `jq`-able:
 //!
 //! ```json
 //! {"counters": {"dd.gc_sweeps": 3, ...},
@@ -59,115 +67,177 @@ impl Gauge {
     }
 }
 
-struct Registry {
+struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     labels: Mutex<BTreeMap<String, String>>,
 }
 
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        counters: Mutex::new(BTreeMap::new()),
-        gauges: Mutex::new(BTreeMap::new()),
-        labels: Mutex::new(BTreeMap::new()),
-    })
+/// An isolated set of counters, gauges, and labels. Clones share storage,
+/// so a registry handle can be passed to every component of one job while
+/// a sibling job writes to its own registry undisturbed.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Gets (or registers) the counter named `name`. Dotted names namespace by
-/// component: `dd.gc_sweeps`, `core.conversions`, `array.gates`.
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                labels: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// True if `other` is a handle to this same registry.
+    pub fn same_as(&self, other: &MetricsRegistry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Gets (or registers) the counter named `name`. Dotted names namespace
+    /// by component: `dd.gc_sweeps`, `core.conversions`, `array.gates`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.inner.counters);
+        Counter(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        ))
+    }
+
+    /// Gets (or registers) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.inner.gauges);
+        Gauge(Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        ))
+    }
+
+    /// Sets a string label (e.g. the selected SIMD backend).
+    pub fn set_label(&self, name: &str, value: impl Into<String>) {
+        lock(&self.inner.labels).insert(name.to_string(), value.into());
+    }
+
+    /// Zeroes every counter and gauge and clears all labels. Registered
+    /// names stay registered (existing handles keep working). Intended for
+    /// tests and for harnesses that take per-section snapshots.
+    pub fn reset(&self) {
+        for v in lock(&self.inner.counters).values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for v in lock(&self.inner.gauges).values() {
+            v.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        lock(&self.inner.labels).clear();
+    }
+
+    /// Serializes the registry as stable (sorted-key) JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        {
+            let map = lock(&self.inner.counters);
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                crate::escape_into(&mut out, k);
+                use std::fmt::Write as _;
+                let _ = write!(out, "\": {}", v.load(Ordering::Relaxed));
+            }
+            if !map.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"gauges\": {");
+        {
+            let map = lock(&self.inner.gauges);
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                crate::escape_into(&mut out, k);
+                out.push_str("\": ");
+                crate::json_f64(&mut out, f64::from_bits(v.load(Ordering::Relaxed)));
+            }
+            if !map.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"labels\": {");
+        {
+            let map = lock(&self.inner.labels);
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                crate::escape_into(&mut out, k);
+                out.push_str("\": \"");
+                crate::escape_into(&mut out, v);
+                out.push('"');
+            }
+            if !map.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+/// The process-global registry — the default sink for single-tenant runs
+/// (CLI, examples) and for components not yet threaded onto a per-job
+/// registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Gets (or registers) a counter in the [`global`] registry.
 pub fn counter(name: &str) -> Counter {
-    let mut map = lock(&registry().counters);
-    Counter(Arc::clone(
-        map.entry(name.to_string())
-            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
-    ))
+    global().counter(name)
 }
 
-/// Gets (or registers) the gauge named `name`.
+/// Gets (or registers) a gauge in the [`global`] registry.
 pub fn gauge(name: &str) -> Gauge {
-    let mut map = lock(&registry().gauges);
-    Gauge(Arc::clone(
-        map.entry(name.to_string())
-            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
-    ))
+    global().gauge(name)
 }
 
-/// Sets a string label (e.g. the selected SIMD backend).
+/// Sets a string label in the [`global`] registry.
 pub fn set_label(name: &str, value: impl Into<String>) {
-    lock(&registry().labels).insert(name.to_string(), value.into());
+    global().set_label(name, value);
 }
 
-/// Zeroes every counter and gauge and clears all labels. Registered names
-/// stay registered (existing handles keep working). Intended for tests and
-/// for harnesses that take per-section snapshots.
+/// Resets the [`global`] registry (see [`MetricsRegistry::reset`]).
 pub fn reset_metrics() {
-    for v in lock(&registry().counters).values() {
-        v.store(0, Ordering::Relaxed);
-    }
-    for v in lock(&registry().gauges).values() {
-        v.store(0f64.to_bits(), Ordering::Relaxed);
-    }
-    lock(&registry().labels).clear();
+    global().reset();
 }
 
-/// Serializes the registry as stable (sorted-key) JSON.
+/// Serializes the [`global`] registry as stable (sorted-key) JSON.
 pub fn metrics_json() -> String {
-    let mut out = String::from("{\n  \"counters\": {");
-    {
-        let map = lock(&registry().counters);
-        for (i, (k, v)) in map.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    \"");
-            crate::escape_into(&mut out, k);
-            use std::fmt::Write as _;
-            let _ = write!(out, "\": {}", v.load(Ordering::Relaxed));
-        }
-        if !map.is_empty() {
-            out.push_str("\n  ");
-        }
-    }
-    out.push_str("},\n  \"gauges\": {");
-    {
-        let map = lock(&registry().gauges);
-        for (i, (k, v)) in map.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    \"");
-            crate::escape_into(&mut out, k);
-            out.push_str("\": ");
-            crate::json_f64(&mut out, f64::from_bits(v.load(Ordering::Relaxed)));
-        }
-        if !map.is_empty() {
-            out.push_str("\n  ");
-        }
-    }
-    out.push_str("},\n  \"labels\": {");
-    {
-        let map = lock(&registry().labels);
-        for (i, (k, v)) in map.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    \"");
-            crate::escape_into(&mut out, k);
-            out.push_str("\": \"");
-            crate::escape_into(&mut out, v);
-            out.push('"');
-        }
-        if !map.is_empty() {
-            out.push_str("\n  ");
-        }
-    }
-    out.push_str("}\n}");
-    out
+    global().to_json()
 }
 
 #[cfg(test)]
@@ -206,5 +276,26 @@ mod tests {
         let a = json.find("test.sort.a").unwrap();
         let b = json.find("test.sort.b").unwrap();
         assert!(a < b, "BTreeMap must render keys in order");
+    }
+
+    #[test]
+    fn scoped_registries_are_isolated() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("test.scope.hits").add(3);
+        b.counter("test.scope.hits").inc();
+        assert_eq!(a.counter("test.scope.hits").get(), 3);
+        assert_eq!(b.counter("test.scope.hits").get(), 1);
+        assert!(!a.same_as(&b));
+        assert!(a.same_as(&a.clone()));
+
+        // The global registry is untouched by scoped writes.
+        let g = counter("test.scope.hits").get();
+        assert_eq!(g, 0);
+
+        // Clones share storage.
+        let a2 = a.clone();
+        a2.counter("test.scope.hits").inc();
+        assert_eq!(a.counter("test.scope.hits").get(), 4);
     }
 }

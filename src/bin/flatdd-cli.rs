@@ -383,6 +383,14 @@ fn cmd_run(args: &[String]) {
                 })
             });
             if let Some(path) = ckpt_path {
+                // Startup hygiene: a crashed predecessor may have left a
+                // torn `*.tmp` beside the checkpoint file; sweep before
+                // writing new ones.
+                let dir = std::path::Path::new(&path)
+                    .parent()
+                    .filter(|d| !d.as_os_str().is_empty())
+                    .unwrap_or_else(|| std::path::Path::new("."));
+                flatdd::sweep_stale_tmp(dir);
                 let mut policy = flatdd::CheckpointPolicy::at(path);
                 if let Some(g) = o.checkpoint_every {
                     policy = policy.every(g);

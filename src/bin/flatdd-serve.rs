@@ -1,0 +1,168 @@
+//! `flatdd-serve` — a long-running simulation daemon.
+//!
+//! ```text
+//! flatdd-serve --spool DIR [options]
+//!
+//!   --spool <dir>              job records + checkpoints + port file (required)
+//!   --port <p>                 TCP port (default 0 = OS-assigned; the bound
+//!                              port is written to <spool>/serve.port)
+//!   --workers <n>              concurrently running jobs (default 2)
+//!   --memory-budget-mb <mb>    server-wide admission budget (default 2048)
+//!   --queue-cap <n>            bounded queue size, 429 beyond it (default 16)
+//!   --retry-max <n>            transient-failure retries per job (default 3)
+//!   --checkpoint-every <g>     default periodic checkpoint interval (gates)
+//! ```
+//!
+//! Submit with `POST /jobs`, poll `GET /jobs/{id}`, observe `GET /metrics`
+//! and `GET /healthz`. SIGTERM/SIGINT drains: admission stops, running jobs
+//! are checkpointed and parked, state is persisted, and the process exits 0.
+//! A daemon killed outright (SIGKILL, power loss) recovers on restart from
+//! the same spool: queued, preempted, and mid-flight jobs are re-admitted,
+//! resuming from their checkpoints.
+
+use flatdd::serve::{self, http, Scheduler, ServeConfig};
+use flatdd::signal;
+use std::net::TcpListener;
+use std::time::Duration;
+
+const USAGE: &str = "\
+flatdd-serve — long-running FlatDD simulation daemon
+
+Usage:
+  flatdd-serve --spool DIR [--port p] [--workers n] [--memory-budget-mb mb]
+               [--queue-cap n] [--retry-max n] [--checkpoint-every gates]";
+
+fn parse_or_die<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{raw}`");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spool: Option<String> = None;
+    let mut port: u16 = 0;
+    let mut workers = 2usize;
+    let mut memory_budget_mb = 2048u64;
+    let mut queue_cap = 16usize;
+    let mut retry_max = 3u32;
+    let mut checkpoint_every: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--spool" => spool = Some(val("--spool")),
+            "--port" => port = parse_or_die("--port", &val("--port")),
+            "--workers" => workers = parse_or_die("--workers", &val("--workers")),
+            "--memory-budget-mb" => {
+                memory_budget_mb = parse_or_die("--memory-budget-mb", &val("--memory-budget-mb"))
+            }
+            "--queue-cap" => queue_cap = parse_or_die("--queue-cap", &val("--queue-cap")),
+            "--retry-max" => retry_max = parse_or_die("--retry-max", &val("--retry-max")),
+            "--checkpoint-every" => {
+                let g: usize = parse_or_die("--checkpoint-every", &val("--checkpoint-every"));
+                if g == 0 {
+                    eprintln!("--checkpoint-every: must be at least 1 gate");
+                    std::process::exit(2);
+                }
+                checkpoint_every = Some(g);
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(spool) = spool else {
+        eprintln!("--spool is required\n\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let mut cfg = ServeConfig::at(&spool);
+    cfg.workers = workers.max(1);
+    cfg.memory_budget_bytes = memory_budget_mb << 20;
+    cfg.queue_cap = queue_cap.max(1);
+    cfg.retry_max = retry_max;
+    cfg.default_checkpoint_every = checkpoint_every;
+
+    // Flag-based handlers: SIGTERM/SIGINT set a flag the accept loop polls,
+    // so the drain runs on the main thread with everything still alive.
+    signal::install_handlers();
+
+    let scheduler = match Scheduler::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("flatdd-serve: cannot start scheduler: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
+    let handle = scheduler.handle();
+
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("flatdd-serve: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(7);
+        }
+    };
+    let bound = listener.local_addr().expect("bound listener has an address");
+    // The accept loop must keep polling the signal flag, so the listener
+    // cannot block indefinitely.
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    let port_file = std::path::Path::new(&spool).join(serve::PORT_FILE);
+    if let Err(e) = std::fs::write(&port_file, format!("{}\n", bound.port())) {
+        eprintln!("flatdd-serve: cannot write {}: {e}", port_file.display());
+        std::process::exit(7);
+    }
+    eprintln!("[flatdd-serve] listening on {bound}, spool {spool}");
+
+    let drain_signal = loop {
+        if let Some(sig) = signal::take() {
+            break sig;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => match http::read_request(&mut stream) {
+                Ok(req) => {
+                    let (status, body) = serve::route(&handle, &req);
+                    http::respond_json(&mut stream, status, &body);
+                }
+                Err(e) => {
+                    http::respond_json(
+                        &mut stream,
+                        400,
+                        &format!("{{\"error\":{:?}}}", e.to_string()),
+                    );
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("[flatdd-serve] accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+
+    eprintln!(
+        "[flatdd-serve] received {}, draining: admission closed, checkpointing running jobs",
+        signal::signal_name(drain_signal)
+    );
+    drop(listener);
+    scheduler.drain();
+    let _ = std::fs::remove_file(&port_file);
+    eprintln!("[flatdd-serve] drain complete, exiting");
+}

@@ -1,0 +1,175 @@
+//! End-to-end daemon behavior over real HTTP: submission, status,
+//! metrics, health, bounded-queue rejection, cancellation, and worker
+//! panic containment.
+
+#![cfg(unix)]
+
+#[path = "serve_util/mod.rs"]
+mod util;
+
+use std::time::Duration;
+use util::*;
+
+#[test]
+fn submit_over_http_run_to_completion_and_observe() {
+    let spool = fresh_spool("basic");
+    let daemon = Daemon::start(&spool, &["--workers", "2"]);
+    let port = daemon.port;
+
+    let (code, body) = http(port, "GET", "/healthz", None);
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"ghz:8","threads":1,"seed":5}"#),
+    );
+    assert_eq!(code, 202, "{body}");
+    let id = job_id(&body);
+
+    let status = wait_terminal(port, id, Duration::from_secs(60));
+    assert_eq!(job_state(&status), "done", "{status}");
+    assert!(
+        status.contains("\"total_gates\":"),
+        "result payload missing: {status}"
+    );
+    // GHZ heaviest outcomes are |0..0> and |1..1> at p = 1/2 each.
+    let heavy = heavy_amplitudes(&status);
+    assert!(heavy.len() >= 2, "expected heavy amplitudes: {status}");
+    let idxs: Vec<usize> = heavy.iter().take(2).map(|h| h.0).collect();
+    assert!(idxs.contains(&0) && idxs.contains(&255), "{heavy:?}");
+
+    let (code, body) = http(port, "GET", "/jobs", None);
+    assert_eq!(code, 200);
+    assert!(body.contains("\"circuit\":\"ghz:8\""), "{body}");
+
+    let (code, body) = http(port, "GET", "/metrics", None);
+    assert_eq!(code, 200);
+    assert!(
+        field_u64(&body, "\"serve.jobs_completed\":") >= Some(1),
+        "{body}"
+    );
+
+    let (code, _) = http(port, "GET", "/jobs/99999", None);
+    assert_eq!(code, 404);
+
+    daemon.drain(Duration::from_secs(30));
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+#[test]
+fn worker_panic_fails_one_job_and_spares_the_daemon() {
+    let spool = fresh_spool("panic");
+    let daemon = Daemon::start(&spool, &["--workers", "2"]);
+    let port = daemon.port;
+
+    // The poisoned job panics on a conversion worker thread; the clean
+    // job must be completely unaffected, and the daemon must keep
+    // serving.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(
+            r#"{"circuit":"supremacy:10,8","threads":2,"convert_at_gate":16,"faults":"convert.worker_panic:panic:once"}"#,
+        ),
+    );
+    assert_eq!(code, 202, "{body}");
+    let poisoned = job_id(&body);
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"ghz:8","threads":1}"#),
+    );
+    assert_eq!(code, 202, "{body}");
+    let clean = job_id(&body);
+
+    let status = wait_terminal(port, poisoned, Duration::from_secs(60));
+    assert_eq!(job_state(&status), "failed", "{status}");
+    assert_eq!(
+        field_u64(&status, "\"exit_code\":"),
+        Some(10),
+        "worker panic must map to exit code 10: {status}"
+    );
+
+    let status = wait_terminal(port, clean, Duration::from_secs(60));
+    assert_eq!(
+        job_state(&status),
+        "done",
+        "the neighbor of a panicking job must finish: {status}"
+    );
+
+    // The daemon itself survived.
+    let (code, body) = http(port, "GET", "/healthz", None);
+    assert_eq!(code, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    daemon.drain(Duration::from_secs(30));
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+#[test]
+fn bounded_queue_rejects_and_cancel_works() {
+    let spool = fresh_spool("queue");
+    let daemon = Daemon::start(&spool, &["--workers", "1", "--queue-cap", "1"]);
+    let port = daemon.port;
+
+    // A long-running job to occupy the single worker.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"supremacy:18,12","threads":1,"seed":3}"#),
+    );
+    assert_eq!(code, 202, "{body}");
+    let running = job_id(&body);
+    // Wait until it is actually running (i.e. out of the queue).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = http(port, "GET", &format!("/jobs/{running}"), None);
+        if job_state(&body) == "running" {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Fill the queue (capacity 1), then overflow it.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"ghz:6","threads":1}"#),
+    );
+    assert_eq!(code, 202, "{body}");
+    let queued = job_id(&body);
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"ghz:6","threads":1}"#),
+    );
+    assert_eq!(code, 429, "expected queue-full rejection, got {body}");
+
+    // Cancel the queued job (immediate) and the running one (next gate
+    // boundary).
+    let (code, body) = http(port, "POST", &format!("/jobs/{queued}/cancel"), None);
+    assert_eq!(code, 200, "{body}");
+    let status = wait_terminal(port, queued, Duration::from_secs(10));
+    assert_eq!(job_state(&status), "cancelled", "{status}");
+
+    let (code, body) = http(port, "DELETE", &format!("/jobs/{running}"), None);
+    assert_eq!(code, 200, "{body}");
+    let status = wait_terminal(port, running, Duration::from_secs(60));
+    assert_eq!(job_state(&status), "cancelled", "{status}");
+
+    // Cancelling a finished job conflicts.
+    let (code, _) = http(port, "POST", &format!("/jobs/{queued}/cancel"), None);
+    assert_eq!(code, 409);
+
+    daemon.drain(Duration::from_secs(30));
+    std::fs::remove_dir_all(&spool).ok();
+}

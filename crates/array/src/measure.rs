@@ -202,7 +202,7 @@ mod tests {
     fn array_and_dd_sampling_distributions_agree() {
         let c = generators::random_circuit(5, 40, 4);
         let v = dense::simulate(&c);
-        let mut pkg = qdd::DdPackage::default();
+        let pkg = qdd::DdPackage::default();
         let e = pkg.vector_from_slice(&v);
         let mut r1 = SplitMix64::new(77);
         let mut r2 = SplitMix64::new(78);

@@ -10,12 +10,12 @@ fn bench_gate_dd_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("gate_dd_construction");
     for n in [8usize, 16, 24] {
         group.bench_with_input(BenchmarkId::new("hadamard", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let g = Gate::new(GateKind::H, n / 2);
             b.iter(|| std::hint::black_box(pkg.gate_dd(&g, n)));
         });
         group.bench_with_input(BenchmarkId::new("toffoli", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let g = Gate::controlled(
                 GateKind::X,
                 0,
@@ -72,7 +72,7 @@ fn bench_ddmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("ddmm");
     for n in [8usize, 16] {
         group.bench_with_input(BenchmarkId::new("h_times_cx", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let h = pkg.gate_dd(&Gate::new(GateKind::H, 1), n);
             let cx = pkg.gate_dd(
                 &Gate::controlled(GateKind::X, 0, vec![Control::pos(n - 1)]),

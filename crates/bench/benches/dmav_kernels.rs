@@ -21,12 +21,12 @@ fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("dmav_assignment");
     for n in [12usize, 16] {
         group.bench_with_input(BenchmarkId::new("no_cache", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
             b.iter(|| std::hint::black_box(DmavAssignment::build(&pkg, m, n, 4)));
         });
         group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
             b.iter(|| std::hint::black_box(DmavCacheAssignment::build(&pkg, m, n, 4)));
         });
@@ -41,7 +41,7 @@ fn bench_kernels(c: &mut Criterion) {
         for t in [1usize, 2, 4] {
             let id = format!("n{n}_t{t}");
             group.bench_with_input(BenchmarkId::new("no_cache", &id), &(n, t), |b, &(n, t)| {
-                let mut pkg = DdPackage::default();
+                let pkg = DdPackage::default();
                 let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
                 let asg = DmavAssignment::build(&pkg, m, n, t);
                 let v = state(n);
@@ -53,7 +53,7 @@ fn bench_kernels(c: &mut Criterion) {
                 });
             });
             group.bench_with_input(BenchmarkId::new("cached", &id), &(n, t), |b, &(n, t)| {
-                let mut pkg = DdPackage::default();
+                let pkg = DdPackage::default();
                 let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
                 let asg = DmavCacheAssignment::build(&pkg, m, n, t);
                 let v = state(n);
@@ -74,7 +74,7 @@ fn bench_cost_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_model");
     for n in [12usize, 16] {
         group.bench_with_input(BenchmarkId::new("analyze", n), &n, |b, &n| {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
             let cm = CostModel::default();
             b.iter(|| {

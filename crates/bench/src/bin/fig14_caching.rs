@@ -68,7 +68,7 @@ fn main() {
             let mut c1_total = 0.0;
             {
                 use qdd::{mac_count, DdPackage};
-                let mut pkg = DdPackage::default();
+                let pkg = DdPackage::default();
                 let tt = flatdd::clamp_threads(t, c.num_qubits());
                 for g in c.iter() {
                     let m = pkg.gate_dd(g, c.num_qubits());

@@ -131,7 +131,7 @@ fn main() {
         .trailing_zeros() as usize;
     let dim = 1usize << n;
     let t = args.threads.max(1).next_power_of_two().min(1 << n.min(8));
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let m_edge = pkg.gate_dd(&Gate::new(GateKind::H, n / 2), n);
     let asg = DmavAssignment::build(&pkg, m_edge, n, t);
     let pool = ThreadPool::new(t);

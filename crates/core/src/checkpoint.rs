@@ -377,10 +377,7 @@ pub fn sweep_stale_tmp(dir: &Path) -> Vec<PathBuf> {
             Err(_) => false,
         };
         if is_ckpt_tmp && std::fs::remove_file(&path).is_ok() {
-            eprintln!(
-                "[flatdd] removed stale checkpoint temp {}",
-                path.display()
-            );
+            eprintln!("[flatdd] removed stale checkpoint temp {}", path.display());
             removed.push(path);
         }
     }

@@ -337,7 +337,7 @@ mod tests {
     fn sparse_state_with_zero_edges_load_balances() {
         // A basis state: every node has one zero edge, so all threads chase
         // a single path — exactly the Fig. 4a scenario.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.basis_state(10, 0b1100110011);
         let pool = ThreadPool::new(4);
         let plan = ConversionPlan::build(&pkg, e, 10, 4);
@@ -396,7 +396,7 @@ mod tests {
 
     #[test]
     fn thread_counts_beyond_paths_are_safe() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.basis_state(3, 5);
         let pool = ThreadPool::new(8); // more threads than amplitudes
         let out = dd_to_array_parallel(&pkg, e, 3, &pool);

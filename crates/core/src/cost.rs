@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn hadamard_k1_matches_figure_8() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut mac = MacTable::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 2), 3);
         let a = CostModel::default().analyze(&pkg, &mut mac, m, 3, 2);
@@ -160,7 +160,7 @@ mod tests {
         // node), so K1 = K2 + sum over hit tasks of their (shared) counts.
         // For H (x) I over n qubits with t threads each repeated task has
         // the same count; verify the arithmetic identity on an example.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut mac = MacTable::default();
         let n = 6;
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 5), n);
@@ -174,7 +174,7 @@ mod tests {
     fn caching_preferred_for_repetitive_dense_gates() {
         // H on the top qubit repeats a full-size identity block per thread:
         // a textbook cache win at reasonable sizes.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut mac = MacTable::default();
         let n = 12;
         let m = pkg.gate_dd(&Gate::new(GateKind::H, n - 1), n);
@@ -192,7 +192,7 @@ mod tests {
     fn caching_not_preferred_without_repetition() {
         // A diagonal gate: one task per thread, no repeats — caching only
         // adds the buffer-summation cost.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut mac = MacTable::default();
         let n = 10;
         let m = pkg.gate_dd(&Gate::new(GateKind::T, n - 1), n);
@@ -203,7 +203,7 @@ mod tests {
 
     #[test]
     fn controlled_gates_have_smaller_k1_than_dense() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut mac = MacTable::default();
         let n = 8;
         let dense_g = pkg.gate_dd(&Gate::new(GateKind::H, 3), n);

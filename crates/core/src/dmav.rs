@@ -264,7 +264,7 @@ mod tests {
     }
 
     fn check_gate(g: &Gate, n: usize, t: usize) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(g, n);
         let v = rand_state(n, 7);
         let mut w = vec![Complex64::ZERO; 1 << n];
@@ -308,7 +308,7 @@ mod tests {
     fn figure_5_shape_two_threads_three_qubits() {
         // n=3, t=2: border level q1. H on the top qubit gives each thread
         // two tasks (a*m2*V[0:4] / b*m2*V[4:8] for the blue thread).
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 2), 3);
         let asg = DmavAssignment::build(&pkg, m, 3, 2);
         assert_eq!(asg.h, 4);
@@ -324,7 +324,7 @@ mod tests {
     fn zero_blocks_produce_no_tasks() {
         // A controlled gate's matrix has zero off-diagonal blocks at the
         // control level, so threads covering those rows get fewer tasks.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let g = Gate::controlled(GateKind::X, 0, vec![Control::pos(3)]);
         let m = pkg.gate_dd(&g, 4);
         let asg = DmavAssignment::build(&pkg, m, 4, 2);
@@ -340,7 +340,7 @@ mod tests {
         // DMAV must work for arbitrary (non-gate) DDs, e.g. fused products.
         let n = 5;
         let c = generators::random_circuit(n, 10, 3);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut fused = pkg.identity_dd(n);
         for g in c.iter() {
             let gd = pkg.gate_dd(g, n);
@@ -361,7 +361,7 @@ mod tests {
     fn whole_circuit_via_dmav_matches_dense() {
         let n = 6;
         let c = generators::supremacy(2, 3, 5, 9);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let pool = ThreadPool::new(4);
         let mut v = dense::zero_state(n);
         let mut w = vec![Complex64::ZERO; 1 << n];
@@ -382,14 +382,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_threads_panics() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
         DmavAssignment::build(&pkg, m, 3, 3);
     }
 
     #[test]
     fn try_build_reports_invalid_input() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
         for t in [3usize, 16] {
             match DmavAssignment::try_build(&pkg, m, 3, t) {

@@ -378,7 +378,7 @@ mod tests {
     }
 
     fn check_gate(g: &Gate, n: usize, t: usize) -> DmavCacheRunStats {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(g, n);
         let asg = DmavCacheAssignment::build(&pkg, m, n, t);
         let v = rand_state(n, 11);
@@ -431,7 +431,7 @@ mod tests {
     fn dense_top_gate_needs_two_buffers() {
         // H on the top qubit with t=2: both threads write both halves —
         // overlapping outputs force 2 buffers.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 5), 6);
         let asg = DmavCacheAssignment::build(&pkg, m, 6, 2);
         assert_eq!(asg.num_buffers, 2);
@@ -442,7 +442,7 @@ mod tests {
     fn cached_equals_uncached_on_random_fused_matrices() {
         let n = 6;
         let c = generators::random_circuit(n, 8, 19);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut fused = pkg.identity_dd(n);
         for g in c.iter() {
             let gd = pkg.gate_dd(g, n);
@@ -467,7 +467,7 @@ mod tests {
     fn whole_circuit_via_cached_dmav() {
         let n = 6;
         let c = generators::dnn(n, 2, 31);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let pool = ThreadPool::new(4);
         let mut scratch = PartialBuffers::default();
         let mut v = dense::zero_state(n);
@@ -499,7 +499,7 @@ mod tests {
         // leaves most segments untouched: stale data must not be summed.
         let n = 6;
         let t = 4;
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let pool = ThreadPool::new(t);
         let mut scratch = PartialBuffers::default();
         let v = rand_state(n, 3);
@@ -522,7 +522,7 @@ mod tests {
 
     #[test]
     fn try_build_reports_invalid_input() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), 3);
         assert!(DmavCacheAssignment::try_build(&pkg, m, 3, 5).is_err());
         assert!(DmavCacheAssignment::try_build(&pkg, m, 3, 16).is_err());
@@ -532,7 +532,7 @@ mod tests {
     #[test]
     fn assignment_shape_figure_7() {
         // Figure 7: H on the top qubit of n=3 with 4 threads.
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 2), 3);
         let asg = DmavCacheAssignment::build(&pkg, m, 3, 4);
         assert_eq!(asg.h, 2);

@@ -86,8 +86,8 @@ pub use qtelemetry as telemetry;
 
 pub use checkpoint::{
     circuit_fingerprint, config_fingerprint, read_checkpoint, read_header, sweep_stale_tmp,
-    write_checkpoint, write_checkpoint_with, CheckpointHeader, CheckpointPayload,
-    CheckpointPolicy, CheckpointState,
+    write_checkpoint, write_checkpoint_with, CheckpointHeader, CheckpointPayload, CheckpointPolicy,
+    CheckpointState,
 };
 pub use context::RunContext;
 pub use convert::{

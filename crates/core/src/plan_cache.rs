@@ -224,7 +224,7 @@ mod tests {
     use qcircuit::gate::{Gate, GateKind};
 
     fn pkg_with_gate(n: usize) -> (DdPackage, MEdge) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&Gate::new(GateKind::H, 0), n);
         (pkg, m)
     }
@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_respects_budget() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let gates: Vec<MEdge> = (0..4)
             .map(|q| pkg.gate_dd(&Gate::new(GateKind::H, q), 6))
             .collect();

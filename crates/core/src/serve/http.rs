@@ -119,10 +119,8 @@ mod tests {
             read_request(&mut s).unwrap()
         });
         let mut c = TcpStream::connect(addr).unwrap();
-        c.write_all(
-            b"POST /jobs?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\n{\"\":1",
-        )
-        .unwrap();
+        c.write_all(b"POST /jobs?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\n{\"\":1")
+            .unwrap();
         // Body is 4 bytes even though we sent 6 — the parser must stop at
         // Content-Length, not at EOF.
         let req = t.join().unwrap();

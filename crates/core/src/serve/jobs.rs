@@ -37,6 +37,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Worker threads for this job's simulator.
     pub threads: usize,
+    /// DD-phase worker threads (`None` = the daemon default, which itself
+    /// defaults to 1 = sequential).
+    pub dd_threads: Option<usize>,
     /// Scheduling priority: higher runs first and may preempt lower.
     pub priority: i64,
     /// Per-job wall-clock budget.
@@ -61,6 +64,7 @@ impl Default for JobSpec {
             qasm: None,
             seed: 42,
             threads: 2,
+            dd_threads: None,
             priority: DEFAULT_PRIORITY,
             deadline_secs: None,
             memory_budget_mb: None,
@@ -85,7 +89,9 @@ impl JobSpec {
                 "circuit" => {
                     spec.circuit = v.as_str().ok_or("`circuit` must be a string")?.to_string()
                 }
-                "qasm" => spec.qasm = Some(v.as_str().ok_or("`qasm` must be a string")?.to_string()),
+                "qasm" => {
+                    spec.qasm = Some(v.as_str().ok_or("`qasm` must be a string")?.to_string())
+                }
                 "seed" => spec.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?,
                 "threads" => {
                     let t = v.as_u64().ok_or("`threads` must be a positive integer")?;
@@ -93,6 +99,15 @@ impl JobSpec {
                         return Err("`threads` must be at least 1".into());
                     }
                     spec.threads = t as usize;
+                }
+                "dd_threads" => {
+                    let t = v
+                        .as_u64()
+                        .ok_or("`dd_threads` must be a positive integer")?;
+                    if t == 0 {
+                        return Err("`dd_threads` must be at least 1".into());
+                    }
+                    spec.dd_threads = Some(t as usize);
                 }
                 "priority" => {
                     spec.priority = v.as_f64().ok_or("`priority` must be a number")? as i64
@@ -140,6 +155,9 @@ impl JobSpec {
         }
         m.insert("seed".into(), Json::Num(self.seed as f64));
         m.insert("threads".into(), Json::Num(self.threads as f64));
+        if let Some(t) = self.dd_threads {
+            m.insert("dd_threads".into(), Json::Num(t as f64));
+        }
         m.insert("priority".into(), Json::Num(self.priority as f64));
         if let Some(s) = self.deadline_secs {
             m.insert("deadline_secs".into(), Json::Num(s));
@@ -206,7 +224,10 @@ impl JobState {
 
     /// True once the job can never run again.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
     }
 }
 
@@ -337,14 +358,8 @@ impl JobRecord {
         rec.state = state;
         rec.retries = v.get("retries").and_then(Json::as_u64).unwrap_or(0) as u32;
         rec.preemptions = v.get("preemptions").and_then(Json::as_u64).unwrap_or(0) as u32;
-        rec.exit_code = v
-            .get("exit_code")
-            .and_then(Json::as_f64)
-            .map(|c| c as i32);
-        rec.error = v
-            .get("error")
-            .and_then(Json::as_str)
-            .map(|s| s.to_string());
+        rec.exit_code = v.get("exit_code").and_then(Json::as_f64).map(|c| c as i32);
+        rec.error = v.get("error").and_then(Json::as_str).map(|s| s.to_string());
         if let Some(r) = v.get("result") {
             let mut result = JobResult {
                 gates_applied: r.get("gates_applied").and_then(Json::as_u64).unwrap_or(0) as usize,
@@ -430,6 +445,7 @@ mod tests {
             circuit: "ghz:6".into(),
             seed: 7,
             threads: 1,
+            dd_threads: Some(4),
             priority: 3,
             deadline_secs: Some(2.5),
             memory_budget_mb: Some(64),
@@ -449,12 +465,20 @@ mod tests {
 
     #[test]
     fn spec_rejects_unknown_and_invalid_fields() {
-        assert!(JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","turbo":1}"#).unwrap())
-            .unwrap_err()
-            .contains("unknown job field"));
-        assert!(JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","threads":0}"#).unwrap())
-            .is_err());
+        assert!(
+            JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","turbo":1}"#).unwrap())
+                .unwrap_err()
+                .contains("unknown job field")
+        );
+        assert!(
+            JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","threads":0}"#).unwrap())
+                .is_err()
+        );
         assert!(JobSpec::from_json(&json::parse(r#"{"seed":1}"#).unwrap()).is_err());
+        assert!(
+            JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","dd_threads":0}"#).unwrap())
+                .is_err()
+        );
     }
 
     #[test]
@@ -469,7 +493,7 @@ mod tests {
             total_gates: 11,
             phase: "dmav".into(),
             elapsed_secs: 0.25,
-            heavy: vec![(0, 0.707_106_781_186_547_6, 0.0), (63, -0.5, 0.25)],
+            heavy: vec![(0, std::f64::consts::FRAC_1_SQRT_2, 0.0), (63, -0.5, 0.25)],
             stats_json: r#"{"gates_dd":5}"#.into(),
             metrics_json: String::new(),
         });
@@ -479,7 +503,11 @@ mod tests {
         assert_eq!(got.state, JobState::Done);
         assert_eq!(got.spec, rec.spec);
         let r = got.result.as_ref().unwrap();
-        assert_eq!(r.heavy[0].1, 0.707_106_781_186_547_6, "f64 must roundtrip");
+        assert_eq!(
+            r.heavy[0].1,
+            std::f64::consts::FRAC_1_SQRT_2,
+            "f64 must roundtrip"
+        );
         assert_eq!(r.heavy[1].0, 63);
         std::fs::remove_dir_all(&dir).ok();
     }

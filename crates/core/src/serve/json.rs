@@ -320,7 +320,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrips_exactly() {
-        let x = 0.707_106_781_186_547_6_f64;
+        let x = std::f64::consts::FRAC_1_SQRT_2;
         let v = parse(&Json::Num(x).to_string()).unwrap();
         assert_eq!(v.as_f64(), Some(x), "shortest-roundtrip printing must hold");
     }

@@ -78,10 +78,7 @@ pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
                     ])
                 })
                 .collect();
-            (
-                200,
-                Json::obj(vec![("jobs", Json::Arr(items))]).to_string(),
-            )
+            (200, Json::obj(vec![("jobs", Json::Arr(items))]).to_string())
         }
         ("POST", ["jobs"]) => {
             let body = match std::str::from_utf8(&req.body) {
@@ -150,10 +147,8 @@ mod tests {
     }
 
     fn tiny_sched(name: &str) -> (Scheduler, std::path::PathBuf) {
-        let spool = std::env::temp_dir().join(format!(
-            "flatdd-serve-route-{name}-{}",
-            std::process::id()
-        ));
+        let spool =
+            std::env::temp_dir().join(format!("flatdd-serve-route-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&spool).ok();
         let mut cfg = ServeConfig::at(&spool);
         cfg.workers = 1;

@@ -57,6 +57,9 @@ pub struct ServeConfig {
     pub retry_backoff_ms: u64,
     /// Periodic checkpoint interval (gates) for jobs that do not set one.
     pub default_checkpoint_every: Option<usize>,
+    /// DD-phase worker threads for jobs that do not set `dd_threads`
+    /// (`None` = sequential DD phase).
+    pub default_dd_threads: Option<usize>,
 }
 
 impl ServeConfig {
@@ -73,6 +76,7 @@ impl ServeConfig {
             retry_max: 3,
             retry_backoff_ms: 50,
             default_checkpoint_every: None,
+            default_dd_threads: None,
         }
     }
 }
@@ -261,7 +265,10 @@ impl SchedulerHandle {
         let est = job_estimate(&self.inner.cfg, &spec).map_err(SubmitError::Invalid)?;
         let mut st = self.inner.state.lock();
         if st.queue.len() >= self.inner.cfg.queue_cap {
-            self.inner.metrics.counter("serve.jobs_rejected_queue_full").inc();
+            self.inner
+                .metrics
+                .counter("serve.jobs_rejected_queue_full")
+                .inc();
             return Err(SubmitError::QueueFull);
         }
         let id = st.next_id;
@@ -500,7 +507,7 @@ fn worker_loop(inner: &Inner) {
                     rec.result = Some(result);
                     inner.metrics.counter("serve.jobs_completed").inc();
                 }
-                Ok(Err(e)) if matches!(e, FlatDdError::Interrupted { .. }) => {
+                Ok(Err(FlatDdError::Interrupted { .. })) => {
                     if was_cancelled {
                         rec.state = JobState::Cancelled;
                         inner.metrics.counter("serve.jobs_cancelled").inc();
@@ -518,8 +525,7 @@ fn worker_loop(inner: &Inner) {
                     rec.retries += 1;
                     let exp = rec.retries.saturating_sub(1).min(16);
                     backoff = Some(Duration::from_millis(
-                        (inner.cfg.retry_backoff_ms << exp)
-                            .min(ServeConfig::MAX_RETRY_BACKOFF_MS),
+                        (inner.cfg.retry_backoff_ms << exp).min(ServeConfig::MAX_RETRY_BACKOFF_MS),
                     ));
                     eprintln!(
                         "[flatdd-serve] job {id} transient failure (retry {}/{retry_budget}): {e}",
@@ -564,7 +570,8 @@ fn publish_gauges(inner: &Inner, st: &SchedState) {
     let m = &inner.metrics;
     m.gauge("serve.queue_depth").set(st.queue.len() as f64);
     m.gauge("serve.jobs_running").set(st.running as f64);
-    m.gauge("serve.mem_admitted_bytes").set(st.mem_in_use as f64);
+    m.gauge("serve.mem_admitted_bytes")
+        .set(st.mem_in_use as f64);
 }
 
 fn is_transient(e: &FlatDdError) -> bool {
@@ -597,6 +604,9 @@ fn execute_job(
         governor,
         ..Default::default()
     };
+    if let Some(t) = spec.dd_threads.or(inner.cfg.default_dd_threads) {
+        cfg.dd_threads = t;
+    }
     if let Some(g) = spec.convert_at_gate {
         cfg.conversion = crate::sim::ConversionPolicy::AtGate(g);
     }
@@ -618,10 +628,7 @@ fn execute_job(
             }
             Err(e) => {
                 eprintln!("[flatdd-serve] job {id} checkpoint unusable ({e}); restarting");
-                (
-                    FlatDdSimulator::try_new_with(n, cfg, ctx.clone())?,
-                    false,
-                )
+                (FlatDdSimulator::try_new_with(n, cfg, ctx.clone())?, false)
             }
         }
     } else {

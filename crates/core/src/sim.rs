@@ -63,6 +63,11 @@ impl ConversionPolicy {
     }
 }
 
+/// Minimum state-DD node count before a gate apply is worth forking onto
+/// the DD pool: below this the whole multiply fits in a handful of cache
+/// lines and the fork-join barrier dominates.
+const PAR_DD_MIN_SIZE: usize = 64;
+
 /// Per-gate kernel selection for DMAV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CachingPolicy {
@@ -91,6 +96,12 @@ pub enum FusionPolicy {
 pub struct FlatDdConfig {
     /// Requested worker threads (clamped to a power of two `<= 2^(n-1)`).
     pub threads: usize,
+    /// Worker threads for the *DD phase* (sharded unique/compute tables +
+    /// task-graph gate apply). `1` (the default) runs the exact sequential
+    /// DDSIM-equivalent path; higher values parallelize gate application
+    /// once the state DD is large enough to amortize the fork-join.
+    /// Defaults from `FLATDD_DD_THREADS` when set.
+    pub dd_threads: usize,
     /// Conversion timing.
     pub conversion: ConversionPolicy,
     /// DMAV kernel selection.
@@ -118,6 +129,11 @@ impl Default for FlatDdConfig {
     fn default() -> Self {
         FlatDdConfig {
             threads: 16,
+            dd_threads: std::env::var("FLATDD_DD_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&t: &usize| t >= 1)
+                .unwrap_or(1),
             conversion: ConversionPolicy::Ewma(EwmaConfig::default()),
             caching: CachingPolicy::CostModel,
             fusion: FusionPolicy::None,
@@ -283,6 +299,13 @@ pub struct FlatDdSimulator {
     n: usize,
     t: usize,
     pool: ThreadPool,
+    /// Extra pool for DD-phase gate application (`None` when
+    /// `cfg.dd_threads <= 1`: the DD phase then runs the exact sequential
+    /// path).
+    dd_pool: Option<ThreadPool>,
+    /// State-DD size observed by the last [`Self::maybe_convert`]; gates on
+    /// a DD smaller than [`PAR_DD_MIN_SIZE`] skip the parallel path.
+    last_dd_size: usize,
     pkg: DdPackage,
     repr: Repr,
     ewma: EwmaMonitor,
@@ -361,8 +384,13 @@ impl FlatDdSimulator {
         }
         let t = clamp_threads(cfg.threads, n);
         let pool = ThreadPool::try_new(t)?;
+        let dd_pool = if cfg.dd_threads > 1 {
+            Some(ThreadPool::try_new(cfg.dd_threads)?)
+        } else {
+            None
+        };
         let gov = ResourceGovernor::new(cfg.governor);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut stats = FlatDdStats::default();
         let mut conversion_blocked = false;
         let repr = match cfg.conversion {
@@ -393,6 +421,8 @@ impl FlatDdSimulator {
             n,
             t,
             pool,
+            dd_pool,
+            last_dd_size: 0,
             pkg,
             repr,
             ewma: EwmaMonitor::new(ewma_cfg),
@@ -547,7 +577,10 @@ impl FlatDdSimulator {
         self.gates_since_ckpt = 0;
         self.last_checkpoint = Some(policy.path.clone());
         self.ctx.metrics().counter("checkpoint.writes").inc();
-        self.ctx.metrics().gauge("checkpoint.bytes").set(bytes as f64);
+        self.ctx
+            .metrics()
+            .gauge("checkpoint.bytes")
+            .set(bytes as f64);
         self.ctx.metrics().gauge("checkpoint.write_us").set(dur_us);
         if telemetry {
             qtelemetry::emit(qtelemetry::Event::Checkpoint {
@@ -959,14 +992,15 @@ impl FlatDdSimulator {
             match result {
                 Ok(_) => {
                     if attempt > 0 {
-                        eprintln!(
-                            "[flatdd] periodic checkpoint succeeded on retry {attempt}"
-                        );
+                        eprintln!("[flatdd] periodic checkpoint succeeded on retry {attempt}");
                     }
                     return;
                 }
                 Err(e) => {
-                    self.ctx.metrics().counter("checkpoint.write_failures").inc();
+                    self.ctx
+                        .metrics()
+                        .counter("checkpoint.write_failures")
+                        .inc();
                     last_err = Some(e);
                 }
             }
@@ -1103,7 +1137,10 @@ impl FlatDdSimulator {
                 // Best-effort: the original error is what the caller must
                 // see; a failed final checkpoint only costs resumability.
                 if let Err(ce) = self.save_checkpoint() {
-                    self.ctx.metrics().counter("checkpoint.write_failures").inc();
+                    self.ctx
+                        .metrics()
+                        .counter("checkpoint.write_failures")
+                        .inc();
                     eprintln!("[flatdd] failed to write checkpoint on breach: {ce}");
                 }
             }
@@ -1265,7 +1302,15 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => unreachable!(),
         };
         let g = self.pkg.gate_dd(gate, self.n);
-        let new_state = self.pkg.mul_mv(g, state);
+        let new_state = match &self.dd_pool {
+            // Only fork when the state DD is big enough to amortize the
+            // barrier; tiny DDs are faster sequential.
+            Some(pool) if self.last_dd_size >= PAR_DD_MIN_SIZE => {
+                self.ctx.metrics().counter("core.dd_parallel_applies").inc();
+                self.pkg.mul_mv_parallel(pool, g, state)
+            }
+            _ => self.pkg.mul_mv(g, state),
+        };
         self.repr = Repr::Dd(new_state);
         self.stats.gates_dd += 1;
         self.ctr_gates_dd.inc();
@@ -1288,6 +1333,7 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => return Ok(None),
         };
         let size = self.pkg.vector_dd_size(state);
+        self.last_dd_size = size;
         self.stats.peak_state_dd_size = self.stats.peak_state_dd_size.max(size);
         let convert = match self.cfg.conversion {
             ConversionPolicy::Ewma(_) => self.ewma.observe(size),
@@ -1638,32 +1684,104 @@ impl FlatDdSimulator {
     /// registry, for serialization via [`qtelemetry::metrics_json`].
     pub fn publish_metrics(&self) {
         let s = self.stats();
-        self.ctx.metrics().gauge("sim.gates_dd").set(s.gates_dd as f64);
-        self.ctx.metrics().gauge("sim.gates_dmav").set(s.gates_dmav as f64);
-        self.ctx.metrics().gauge("sim.converted_at").set(s.converted_at.map_or(-1.0, |g| g as f64));
-        self.ctx.metrics().gauge("sim.conversion_seconds").set(s.conversion_seconds);
-        self.ctx.metrics().gauge("sim.conversion_refusals").set(s.conversion_refusals as f64);
-        self.ctx.metrics().gauge("sim.pressure_gcs").set(s.pressure_gcs as f64);
-        self.ctx.metrics().gauge("sim.cached_dmavs").set(s.cached_dmavs as f64);
-        self.ctx.metrics().gauge("sim.uncached_dmavs").set(s.uncached_dmavs as f64);
-        self.ctx.metrics().gauge("sim.cache_hits").set(s.cache_hits as f64);
-        self.ctx.metrics().gauge("sim.fused_matrices").set(s.fused_matrices as f64);
-        self.ctx.metrics().gauge("sim.modeled_cost").set(s.modeled_cost);
-        self.ctx.metrics().gauge("sim.peak_state_dd_size").set(s.peak_state_dd_size as f64);
-        self.ctx.metrics().gauge("sim.dmav_plan_hits").set(s.dmav_plan_hits as f64);
-        self.ctx.metrics().gauge("sim.dmav_plan_misses").set(s.dmav_plan_misses as f64);
-        self.ctx.metrics().gauge("sim.ct_mv_hit_rate").set(s.ct_mv_hit_rate);
-        self.ctx.metrics().gauge("sim.ct_mm_hit_rate").set(s.ct_mm_hit_rate);
-        self.ctx.metrics().gauge("sim.ct_add_hit_rate").set(s.ct_add_hit_rate);
+        self.ctx
+            .metrics()
+            .gauge("sim.gates_dd")
+            .set(s.gates_dd as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.gates_dmav")
+            .set(s.gates_dmav as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.converted_at")
+            .set(s.converted_at.map_or(-1.0, |g| g as f64));
+        self.ctx
+            .metrics()
+            .gauge("sim.conversion_seconds")
+            .set(s.conversion_seconds);
+        self.ctx
+            .metrics()
+            .gauge("sim.conversion_refusals")
+            .set(s.conversion_refusals as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.pressure_gcs")
+            .set(s.pressure_gcs as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.cached_dmavs")
+            .set(s.cached_dmavs as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.uncached_dmavs")
+            .set(s.uncached_dmavs as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.cache_hits")
+            .set(s.cache_hits as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.fused_matrices")
+            .set(s.fused_matrices as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.modeled_cost")
+            .set(s.modeled_cost);
+        self.ctx
+            .metrics()
+            .gauge("sim.peak_state_dd_size")
+            .set(s.peak_state_dd_size as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.dmav_plan_hits")
+            .set(s.dmav_plan_hits as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.dmav_plan_misses")
+            .set(s.dmav_plan_misses as f64);
+        self.ctx
+            .metrics()
+            .gauge("sim.ct_mv_hit_rate")
+            .set(s.ct_mv_hit_rate);
+        self.ctx
+            .metrics()
+            .gauge("sim.ct_mm_hit_rate")
+            .set(s.ct_mm_hit_rate);
+        self.ctx
+            .metrics()
+            .gauge("sim.ct_add_hit_rate")
+            .set(s.ct_add_hit_rate);
         self.ctx.metrics().gauge("sim.threads").set(self.t as f64);
-        self.ctx.metrics().gauge("sim.memory_bytes").set(self.memory_bytes() as f64);
-        self.ctx.metrics().gauge("plan_cache.entries").set(self.plans.len() as f64);
-        self.ctx.metrics().gauge("plan_cache.memory_bytes").set(self.plans.memory_bytes() as f64);
-        self.ctx.metrics().gauge("plan_cache.hits").set(self.plans.hits() as f64);
-        self.ctx.metrics().gauge("plan_cache.misses").set(self.plans.misses() as f64);
-        self.ctx.metrics().gauge("governor.elapsed_seconds").set(self.gov.elapsed().as_secs_f64());
+        self.ctx
+            .metrics()
+            .gauge("sim.memory_bytes")
+            .set(self.memory_bytes() as f64);
+        self.ctx
+            .metrics()
+            .gauge("plan_cache.entries")
+            .set(self.plans.len() as f64);
+        self.ctx
+            .metrics()
+            .gauge("plan_cache.memory_bytes")
+            .set(self.plans.memory_bytes() as f64);
+        self.ctx
+            .metrics()
+            .gauge("plan_cache.hits")
+            .set(self.plans.hits() as f64);
+        self.ctx
+            .metrics()
+            .gauge("plan_cache.misses")
+            .set(self.plans.misses() as f64);
+        self.ctx
+            .metrics()
+            .gauge("governor.elapsed_seconds")
+            .set(self.gov.elapsed().as_secs_f64());
         if let Some(b) = self.gov.config().memory_budget_bytes {
-            self.ctx.metrics().gauge("governor.memory_budget_bytes").set(b as f64);
+            self.ctx
+                .metrics()
+                .gauge("governor.memory_budget_bytes")
+                .set(b as f64);
         }
         // Forces backend detection so the `array.vecops_backend` label is
         // present even for runs that never left the DD phase.

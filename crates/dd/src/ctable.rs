@@ -10,9 +10,22 @@
 //! Lookups are tolerance-based: values within [`ComplexTable::tolerance`] of
 //! an existing entry map to it, which keeps the unique table canonical under
 //! floating-point round-off.
+//!
+//! ## Concurrency
+//!
+//! Values live in one global append-only store (so [`CIdx`] stays a dense
+//! index and `get` is lock-free); the quantized bucket grid is sharded into
+//! [`CTABLE_SHARDS`] lock-striped maps. A lookup probes the 3×3 neighbor
+//! cells of its quantized key, which can span multiple shards — the
+//! required shard locks are always taken in ascending shard order, so
+//! concurrent lookups cannot deadlock and an insert is atomic with respect
+//! to every probe that could have found it.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{hash_pair, FxHashMap};
+use crate::sync::SlotVec;
+use parking_lot::{Mutex, MutexGuard};
 use qcircuit::Complex64;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Index of an interned complex value.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -37,11 +50,24 @@ impl CIdx {
     }
 }
 
-/// Interning table for complex edge weights.
+/// Number of lock-striped shards of the bucket grid (power of two).
+pub const CTABLE_SHARDS: usize = 16;
+
+type Buckets = FxHashMap<(i64, i64), Vec<u32>>;
+
+struct CShard {
+    buckets: Mutex<Buckets>,
+    contended: AtomicU64,
+}
+
+/// Interning table for complex edge weights. All methods take `&self` and
+/// are safe to call from many threads.
 pub struct ComplexTable {
-    values: Vec<Complex64>,
-    /// Bucket grid: quantized (re, im) -> candidate indices.
-    buckets: FxHashMap<(i64, i64), Vec<u32>>,
+    /// Global value store: `CIdx` is a dense index into this.
+    values: SlotVec<Complex64>,
+    /// Values allocated so far (the next fresh index).
+    next: AtomicU32,
+    shards: Vec<CShard>,
     tol: f64,
     inv_tol: f64,
 }
@@ -52,19 +78,30 @@ impl Default for ComplexTable {
     }
 }
 
+#[inline(always)]
+fn shard_of(key: (i64, i64)) -> usize {
+    (hash_pair(key.0 as u64, key.1 as u64) >> 32) as usize & (CTABLE_SHARDS - 1)
+}
+
 impl ComplexTable {
     /// Creates a table with the given numerical tolerance.
     pub fn new(tol: f64) -> Self {
         assert!(tol > 0.0);
-        let mut t = ComplexTable {
-            values: Vec::with_capacity(1024),
-            buckets: FxHashMap::default(),
+        let t = ComplexTable {
+            values: SlotVec::default(),
+            next: AtomicU32::new(0),
+            shards: (0..CTABLE_SHARDS)
+                .map(|_| CShard {
+                    buckets: Mutex::new(Buckets::default()),
+                    contended: AtomicU64::new(0),
+                })
+                .collect(),
             tol,
             inv_tol: 1.0 / tol,
         };
         // Pre-intern the distinguished constants at fixed indices.
-        let z = t.insert_new(Complex64::ZERO);
-        let o = t.insert_new(Complex64::ONE);
+        let z = t.insert_new_locked(Complex64::ZERO);
+        let o = t.insert_new_locked(Complex64::ONE);
         debug_assert_eq!(z, CIdx::ZERO);
         debug_assert_eq!(o, CIdx::ONE);
         t
@@ -77,18 +114,22 @@ impl ComplexTable {
 
     /// Number of distinct values stored.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.next.load(Ordering::Relaxed) as usize
     }
 
     /// True when only the pre-interned constants exist.
     pub fn is_empty(&self) -> bool {
-        self.values.len() <= 2
+        self.len() <= 2
     }
 
-    /// The value behind an index.
+    /// The value behind an index. Lock-free.
     #[inline(always)]
     pub fn get(&self, idx: CIdx) -> Complex64 {
-        self.values[idx.0 as usize]
+        debug_assert!((idx.0 as usize) < self.len());
+        // SAFETY: a valid index was published after its slot write (the
+        // allocating thread wrote the value before the index escaped
+        // through a shard unlock or a cache-entry release).
+        unsafe { *self.values.get(idx.0) }
     }
 
     #[inline]
@@ -99,39 +140,81 @@ impl ComplexTable {
         )
     }
 
-    fn insert_new(&mut self, v: Complex64) -> CIdx {
-        let idx = self.values.len() as u32;
-        self.values.push(v);
-        self.buckets.entry(self.key(v)).or_default().push(idx);
+    /// Appends `v` to the value store and links it from its home bucket,
+    /// taking the home-shard lock itself (used only at construction).
+    fn insert_new_locked(&self, v: Complex64) -> CIdx {
+        let key = self.key(v);
+        let mut g = self.shards[shard_of(key)].buckets.lock();
+        self.alloc_value(v, key, &mut g)
+    }
+
+    /// Appends `v` and links it from `key`'s bucket. The caller holds the
+    /// lock of `key`'s home shard (`guard`).
+    fn alloc_value(&self, v: Complex64, key: (i64, i64), guard: &mut Buckets) -> CIdx {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(idx < u32::MAX, "complex table exhausted");
+        self.values.ensure(idx);
+        // SAFETY: `idx` was exclusively reserved by the fetch_add above and
+        // is published only by the bucket insert below / the caller's use.
+        unsafe { self.values.write(idx, v) };
+        guard.entry(key).or_default().push(idx);
         CIdx(idx)
     }
 
     /// Interns `v`, returning the index of an existing entry within
     /// tolerance or a fresh one.
-    pub fn lookup(&mut self, v: Complex64) -> CIdx {
-        // Fast path for exact zeros/ones produced by algebra on canonical
+    pub fn lookup(&self, v: Complex64) -> CIdx {
+        // Fast path for exact zeros produced by algebra on canonical
         // weights.
         if v.is_zero() {
             return CIdx::ZERO;
         }
         let (kr, ki) = self.key(v);
+        // Shards covering the 3x3 neighborhood of the quantized key.
+        let mut need = 0u16;
         for dr in -1..=1i64 {
             for di in -1..=1i64 {
-                if let Some(cands) = self.buckets.get(&(kr + dr, ki + di)) {
+                need |= 1 << shard_of((kr + dr, ki + di));
+            }
+        }
+        // Lock in ascending shard order (deadlock-free by total order).
+        let mut guards: [Option<MutexGuard<'_, Buckets>>; CTABLE_SHARDS] =
+            std::array::from_fn(|_| None);
+        for (s, shard) in self.shards.iter().enumerate() {
+            if need & (1 << s) != 0 {
+                guards[s] = Some(match shard.buckets.try_lock() {
+                    Some(g) => g,
+                    None => {
+                        shard.contended.fetch_add(1, Ordering::Relaxed);
+                        shard.buckets.lock()
+                    }
+                });
+            }
+        }
+        for dr in -1..=1i64 {
+            for di in -1..=1i64 {
+                let k = (kr + dr, ki + di);
+                let g = guards[shard_of(k)].as_ref().expect("neighbor shard locked");
+                if let Some(cands) = g.get(&k) {
                     for &c in cands {
-                        if self.values[c as usize].approx_eq(v, self.tol) {
+                        // SAFETY: `c` was published under a shard lock we
+                        // now hold.
+                        let stored = unsafe { *self.values.get(c) };
+                        if stored.approx_eq(v, self.tol) {
                             return CIdx(c);
                         }
                     }
                 }
             }
         }
-        self.insert_new(v)
+        let home = shard_of((kr, ki));
+        let g = guards[home].as_mut().expect("home shard locked");
+        self.alloc_value(v, (kr, ki), g)
     }
 
     /// Interns the product of two interned values.
     #[inline]
-    pub fn mul(&mut self, a: CIdx, b: CIdx) -> CIdx {
+    pub fn mul(&self, a: CIdx, b: CIdx) -> CIdx {
         if a.is_zero() || b.is_zero() {
             return CIdx::ZERO;
         }
@@ -147,7 +230,7 @@ impl ComplexTable {
 
     /// Interns the sum of two interned values.
     #[inline]
-    pub fn add(&mut self, a: CIdx, b: CIdx) -> CIdx {
+    pub fn add(&self, a: CIdx, b: CIdx) -> CIdx {
         if a.is_zero() {
             return b;
         }
@@ -160,7 +243,7 @@ impl ComplexTable {
 
     /// Interns the quotient `a / b`. Returns `ZERO` when `b` is zero.
     #[inline]
-    pub fn div(&mut self, a: CIdx, b: CIdx) -> CIdx {
+    pub fn div(&self, a: CIdx, b: CIdx) -> CIdx {
         if a.is_zero() || b.is_zero() {
             return CIdx::ZERO;
         }
@@ -176,14 +259,24 @@ impl ComplexTable {
 
     /// Approximate bytes held by the table (value storage + bucket grid).
     pub fn memory_bytes(&self) -> usize {
-        self.values.capacity() * std::mem::size_of::<Complex64>()
-            + self.buckets.len()
-                * (std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<Vec<u32>>())
+        self.values.allocated_bytes()
             + self
-                .buckets
-                .values()
-                .map(|v| v.capacity() * 4)
+                .shards
+                .iter()
+                .map(|sh| {
+                    let g = sh.buckets.lock();
+                    g.len() * (std::mem::size_of::<(i64, i64)>() + std::mem::size_of::<Vec<u32>>())
+                        + g.values().map(|v| v.capacity() * 4).sum::<usize>()
+                })
                 .sum::<usize>()
+    }
+
+    /// Total bucket-shard lock-contention events observed (telemetry).
+    pub fn contended(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| sh.contended.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -193,7 +286,7 @@ mod tests {
 
     #[test]
     fn constants_have_fixed_indices() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         assert_eq!(t.lookup(Complex64::ZERO), CIdx::ZERO);
         assert_eq!(t.lookup(Complex64::ONE), CIdx::ONE);
         assert_eq!(t.get(CIdx::ZERO), Complex64::ZERO);
@@ -202,7 +295,7 @@ mod tests {
 
     #[test]
     fn interning_dedups_exact_values() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let a = t.lookup(Complex64::new(0.25, -0.5));
         let b = t.lookup(Complex64::new(0.25, -0.5));
         assert_eq!(a, b);
@@ -211,7 +304,7 @@ mod tests {
 
     #[test]
     fn interning_dedups_within_tolerance() {
-        let mut t = ComplexTable::new(1e-10);
+        let t = ComplexTable::new(1e-10);
         let a = t.lookup(Complex64::new(0.5, 0.5));
         let b = t.lookup(Complex64::new(0.5 + 3e-11, 0.5 - 3e-11));
         assert_eq!(a, b, "values within tolerance must unify");
@@ -221,7 +314,7 @@ mod tests {
 
     #[test]
     fn dedup_across_bucket_boundary() {
-        let mut t = ComplexTable::new(1e-10);
+        let t = ComplexTable::new(1e-10);
         // Two values straddling a quantization boundary but within tol.
         let v = 0.5 + 0.5e-10; // boundary between buckets 5e9 and 5e9+1
         let a = t.lookup(Complex64::new(v - 0.4e-10, 0.0));
@@ -231,14 +324,14 @@ mod tests {
 
     #[test]
     fn near_one_unifies_with_one() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let a = t.lookup(Complex64::new(1.0 + 1e-12, -1e-12));
         assert_eq!(a, CIdx::ONE);
     }
 
     #[test]
     fn arithmetic_shortcuts() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let a = t.lookup(Complex64::new(0.3, 0.7));
         assert_eq!(t.mul(CIdx::ZERO, a), CIdx::ZERO);
         assert_eq!(t.mul(CIdx::ONE, a), a);
@@ -250,7 +343,7 @@ mod tests {
 
     #[test]
     fn mul_matches_complex_mul() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let x = Complex64::new(0.6, -0.8);
         let y = Complex64::new(-0.1, 0.2);
         let a = t.lookup(x);
@@ -261,7 +354,7 @@ mod tests {
 
     #[test]
     fn add_and_div_round_trip() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let x = Complex64::new(0.6, -0.8);
         let y = Complex64::new(-0.1, 0.2);
         let a = t.lookup(x);
@@ -274,7 +367,7 @@ mod tests {
 
     #[test]
     fn negative_cancellation_interns_zero() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let a = t.lookup(Complex64::new(0.5, 0.0));
         let b = t.lookup(Complex64::new(-0.5, 0.0));
         let s = t.add(a, b);
@@ -283,7 +376,7 @@ mod tests {
 
     #[test]
     fn many_values_stay_distinct() {
-        let mut t = ComplexTable::default();
+        let t = ComplexTable::default();
         let mut idxs = Vec::new();
         for i in 0..2000 {
             idxs.push(t.lookup(Complex64::new(i as f64 * 1e-3, -(i as f64) * 2e-3)));
@@ -294,5 +387,28 @@ mod tests {
                 .approx_eq(Complex64::new(i as f64 * 1e-3, -(i as f64) * 2e-3), 1e-10));
         }
         assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_interning_is_canonical() {
+        let t = ComplexTable::default();
+        // 8 threads intern the same value set; every value must resolve to
+        // one index across all threads.
+        let per_thread: Vec<Vec<CIdx>> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..500)
+                            .map(|i| t.lookup(Complex64::new(i as f64 * 0.01, -0.5)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &per_thread[1..] {
+            assert_eq!(&per_thread[0], other);
+        }
+        assert_eq!(t.len(), 2 + 500);
     }
 }

@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn ghz_dot_has_expected_structure() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut s = pkg.basis_state(3, 0);
         for g in generators::ghz(3).iter() {
             s = pkg.apply_gate(s, g, 3);
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn hadamard_matrix_dot_matches_figure_2a() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.gate_dd(&Gate::new(GateKind::H, 1), 2);
         let dot = matrix_to_dot(&pkg, e, "h_top");
         // Two nodes (m1, m2 in the figure), top weight 1/sqrt(2), a -1 edge.
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn weight_one_edges_have_no_label() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let s = pkg.basis_state(2, 0);
         let dot = vector_to_dot(&pkg, s, "basis");
         // Both chain edges have weight 1: labels empty.

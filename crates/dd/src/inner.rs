@@ -226,7 +226,7 @@ mod tests {
     const TOL: f64 = 1e-9;
 
     fn state_dd(c: &qcircuit::Circuit) -> (DdPackage, VEdge) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut s = pkg.basis_state(c.num_qubits(), 0);
         for g in c.iter() {
             s = pkg.apply_gate(s, g, c.num_qubits());
@@ -243,7 +243,7 @@ mod tests {
     fn inner_product_matches_dense() {
         let c1 = generators::random_circuit(5, 40, 1);
         let c2 = generators::random_circuit(5, 40, 2);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut s1 = pkg.basis_state(5, 0);
         for g in c1.iter() {
             s1 = pkg.apply_gate(s1, g, 5);
@@ -284,7 +284,7 @@ mod tests {
 
     #[test]
     fn inner_product_is_conjugate_symmetric() {
-        let (mut pkg, _) = (DdPackage::default(), ());
+        let (pkg, _) = (DdPackage::default(), ());
         let c1 = generators::random_circuit(4, 25, 7);
         let c2 = generators::random_circuit(4, 25, 8);
         let mut a = pkg.basis_state(4, 0);
@@ -302,7 +302,7 @@ mod tests {
 
     #[test]
     fn fidelity_of_orthogonal_basis_states_is_zero() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let a = pkg.basis_state(4, 3);
         let b = pkg.basis_state(4, 12);
         assert!(pkg.fidelity(a, b) < 1e-12);

@@ -36,17 +36,21 @@ pub mod mac;
 pub mod node;
 pub mod ops;
 pub mod package;
+pub mod par;
 pub mod sampling;
 pub mod serialize;
 pub mod sim;
+mod sync;
 pub mod verify;
 
 pub use approx::ApproxResult;
 pub use ctable::{CIdx, ComplexTable};
 pub use mac::{mac_count, MacTable};
+pub use node::ShardStats;
 pub use node::{MEdge, MNode, VEdge, VNode, TERM};
 pub use ops::ComputeStats;
 pub use package::{DdPackage, PackageStats};
+pub use par::ThreadPool;
 pub use sampling::SplitMix64;
 pub use sim::{DdSimStats, DdSimulator};
 pub use verify::{check_equivalence, circuit_unitary_dd, unitaries_equal, Equivalence};

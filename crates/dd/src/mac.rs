@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn identity_has_2n_macs() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         for n in 1..=5usize {
             let e = p.identity_dd(n);
             assert_eq!(mac_count(&p, e), 1u64 << n, "n={n}");
@@ -97,7 +97,7 @@ mod tests {
 
     #[test]
     fn hadamard_counts_match_figure_8_style() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         // H on one qubit of 3: the H level is dense (4 entries), others
         // diagonal: total = 4 * 2 * 2 = 16 — exactly Figure 8's T(m1)=16.
         let g = Gate::new(GateKind::H, 2);
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn counts_equal_nonzero_entries() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 4;
         let gates = vec![
             Gate::new(GateKind::H, 1),
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn fused_matrix_count_matches_brute_force() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 3;
         let g1 = Gate::new(GateKind::H, 0);
         let g2 = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn table_is_reusable_across_gates() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let mut t = MacTable::default();
         let e1 = p.gate_dd(&Gate::new(GateKind::H, 0), 3);
         let e2 = p.gate_dd(&Gate::new(GateKind::H, 1), 3);

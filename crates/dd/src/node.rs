@@ -1,16 +1,40 @@
-//! DD nodes, edges, and the unique-table arena.
+//! DD nodes, edges, and the sharded unique-table arena.
 //!
 //! Vector nodes have two outgoing edges, matrix nodes four (row-major).
-//! Nodes live in a slab arena addressed by `u32` ids; a unique table maps
-//! node *content* (level + edges) to its id, so structurally identical
-//! sub-DDs are shared — the defining property of a decision diagram.
+//! Nodes live in per-shard slab storage addressed by `u32` ids; a unique
+//! table maps node *content* (level + edges) to its id, so structurally
+//! identical sub-DDs are shared — the defining property of a decision
+//! diagram.
+//!
+//! The arena is sharded for shared-memory parallelism: node content hashes
+//! to one of [`NODE_SHARDS`] lock-striped shards, each with its own unique
+//! map, free list, and slab segment store. Ids encode the shard in their
+//! low bits, so `get` decodes the shard and reads the slab without any
+//! lock; only inserts take the (per-shard) lock. Mark stamps are atomic,
+//! letting concurrent traversals mark while other threads insert; the
+//! sweep itself is stop-the-world (`&mut self`).
 
 use crate::ctable::CIdx;
-use crate::fxhash::FxHashMap;
-use std::hash::Hash;
+use crate::fxhash::{hash_u64, FxHashMap, FxHasher};
+use crate::sync::SlotVec;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Sentinel node id of the terminal node ("1" in Figure 2 of the paper).
 pub const TERM: u32 = u32::MAX;
+
+/// Number of lock-striped shards in a [`NodeArena`] (power of two).
+///
+/// 16 shards keep the insert-lock collision probability below ~`t/16` for
+/// `t` worker threads while the per-shard constant overhead (a mutex, a
+/// hash map, one slab) stays negligible next to the nodes themselves.
+pub const NODE_SHARDS: usize = 16;
+const SHARD_BITS: u32 = 4;
+const SHARD_MASK: u32 = NODE_SHARDS as u32 - 1;
+/// Largest per-shard local index: `local << SHARD_BITS | shard` must never
+/// collide with [`TERM`].
+const MAX_LOCAL: u32 = (TERM >> SHARD_BITS) - 1;
 
 /// A weighted edge to a vector node (or the terminal).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -86,135 +110,233 @@ pub struct MNode {
     pub e: [MEdge; 4],
 }
 
-/// Slab arena with structural sharing (unique table) and mark/sweep support.
-pub struct NodeArena<T: Copy + Eq + Hash> {
-    nodes: Vec<T>,
-    free: Vec<u32>,
+/// Lock-protected part of one shard.
+struct ShardCore<T> {
+    /// Node content -> global id.
     unique: FxHashMap<T, u32>,
-    /// GC / traversal stamps, one per slot.
-    stamp: Vec<u32>,
-    alive: usize,
-    peak_alive: usize,
+    /// Recycled *local* slot indices.
+    free: Vec<u32>,
+    /// Local slots allocated so far.
+    len: u32,
+}
+
+struct Shard<T> {
+    core: Mutex<ShardCore<T>>,
+    slots: SlotVec<T>,
+    /// Times an inserter found this shard's lock held (contention signal).
+    contended: AtomicU64,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            core: Mutex::new(ShardCore {
+                unique: FxHashMap::default(),
+                free: Vec::new(),
+                len: 0,
+            }),
+            slots: SlotVec::default(),
+            contended: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-shard occupancy/contention snapshot (telemetry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Live nodes in the shard.
+    pub live: usize,
+    /// Slab slots allocated in the shard.
+    pub slots: usize,
+    /// Lock-contention events observed on insert.
+    pub contended: u64,
+}
+
+/// Sharded slab arena with structural sharing (unique table) and
+/// mark/sweep support. Inserts, reads, and marks take `&self` and are safe
+/// to call from many threads; the sweep is stop-the-world.
+pub struct NodeArena<T: Copy + Eq + Hash> {
+    shards: Vec<Shard<T>>,
+    alive: AtomicUsize,
+    peak_alive: AtomicUsize,
 }
 
 impl<T: Copy + Eq + Hash> Default for NodeArena<T> {
     fn default() -> Self {
         NodeArena {
-            nodes: Vec::new(),
-            free: Vec::new(),
-            unique: FxHashMap::default(),
-            stamp: Vec::new(),
-            alive: 0,
-            peak_alive: 0,
+            shards: (0..NODE_SHARDS).map(|_| Shard::default()).collect(),
+            alive: AtomicUsize::new(0),
+            peak_alive: AtomicUsize::new(0),
         }
     }
 }
 
+#[inline(always)]
+fn shard_of<T: Hash>(data: &T) -> usize {
+    let mut h = FxHasher::default();
+    data.hash(&mut h);
+    // The unique maps index with the *low* bits of the same hash; pick the
+    // shard from remixed high bits so the two stay decorrelated.
+    (hash_u64(h.finish()) >> 32) as usize & (NODE_SHARDS - 1)
+}
+
+#[inline(always)]
+fn encode(local: u32, shard: usize) -> u32 {
+    (local << SHARD_BITS) | shard as u32
+}
+
+#[inline(always)]
+fn decode(id: u32) -> (u32, usize) {
+    (id >> SHARD_BITS, (id & SHARD_MASK) as usize)
+}
+
 impl<T: Copy + Eq + Hash> NodeArena<T> {
     /// Returns the id of a node with this content, inserting if new.
+    /// Concurrent callers inserting equal content all receive the same id.
     #[inline]
-    pub fn get_or_insert(&mut self, data: T) -> u32 {
-        if let Some(&id) = self.unique.get(&data) {
+    pub fn get_or_insert(&self, data: T) -> u32 {
+        let s = shard_of(&data);
+        let sh = &self.shards[s];
+        let mut core = match sh.core.try_lock() {
+            Some(g) => g,
+            None => {
+                sh.contended.fetch_add(1, Ordering::Relaxed);
+                sh.core.lock()
+            }
+        };
+        if let Some(&id) = core.unique.get(&data) {
             return id;
         }
-        let id = if let Some(id) = self.free.pop() {
-            self.nodes[id as usize] = data;
-            id
-        } else {
-            let id = self.nodes.len() as u32;
-            assert!(id < TERM, "node arena exhausted");
-            self.nodes.push(data);
-            self.stamp.push(0);
-            id
-        };
-        self.unique.insert(data, id);
-        self.alive += 1;
-        self.peak_alive = self.peak_alive.max(self.alive);
+        let local = core.free.pop().unwrap_or_else(|| {
+            let l = core.len;
+            assert!(l <= MAX_LOCAL, "node arena shard exhausted");
+            core.len = l + 1;
+            sh.slots.ensure(l);
+            l
+        });
+        // SAFETY: `local` is either freshly allocated (unknown to every
+        // other thread) or was proven unreachable by the last sweep; we
+        // hold the shard lock, which is also what publishes the id.
+        unsafe { sh.slots.write(local, data) };
+        let id = encode(local, s);
+        core.unique.insert(data, id);
+        let alive = self.alive.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_alive.fetch_max(alive, Ordering::Relaxed);
         id
     }
 
-    /// Content of a node.
+    /// Content of a node. Lock-free.
     #[inline(always)]
     pub fn get(&self, id: u32) -> &T {
         debug_assert_ne!(id, TERM, "terminal has no content");
-        &self.nodes[id as usize]
+        let (local, s) = decode(id);
+        // SAFETY: a valid id was published after its slot write (shard
+        // lock / cache-entry release); liveness is the caller's contract.
+        unsafe { self.shards[s].slots.get(local) }
     }
 
     /// Number of live (reachable-or-not-yet-collected) nodes.
     pub fn len(&self) -> usize {
-        self.alive
+        self.alive.load(Ordering::Relaxed)
     }
 
     /// True when no nodes are live.
     pub fn is_empty(&self) -> bool {
-        self.alive == 0
+        self.len() == 0
     }
 
     /// High-water mark of live nodes.
     pub fn peak(&self) -> usize {
-        self.peak_alive
+        self.peak_alive.load(Ordering::Relaxed)
     }
 
-    /// Capacity of the backing slab (for memory accounting).
+    /// Total slab slots allocated across all shards (memory accounting).
     pub fn slots(&self) -> usize {
-        self.nodes.len()
+        self.shards
+            .iter()
+            .map(|sh| sh.core.lock().len as usize)
+            .sum()
     }
 
     /// Marks `id` with `stamp`; returns `true` when it was not yet marked
-    /// (i.e. the caller should recurse into its children).
+    /// (i.e. the caller should recurse into its children). Safe to call
+    /// concurrently — exactly one of the racing markers gets `true`.
     #[inline(always)]
-    pub fn mark(&mut self, id: u32, stamp: u32) -> bool {
+    pub fn mark(&self, id: u32, stamp: u32) -> bool {
         if id == TERM {
             return false;
         }
-        let s = &mut self.stamp[id as usize];
-        if *s == stamp {
-            false
-        } else {
-            *s = stamp;
-            true
-        }
+        let (local, s) = decode(id);
+        self.shards[s]
+            .slots
+            .stamp(local)
+            .swap(stamp, Ordering::Relaxed)
+            != stamp
     }
 
     /// True when `id` carries `stamp`.
     #[inline(always)]
     pub fn is_marked(&self, id: u32, stamp: u32) -> bool {
-        id != TERM && self.stamp[id as usize] == stamp
+        if id == TERM {
+            return false;
+        }
+        let (local, s) = decode(id);
+        self.shards[s].slots.stamp(local).load(Ordering::Relaxed) == stamp
     }
 
     /// Frees every node *not* carrying `stamp`. Returns the number freed.
     ///
-    /// The caller must have marked all roots (and their transitive children)
-    /// with `stamp` first.
+    /// Stop-the-world: requires `&mut self`, so no concurrent readers or
+    /// inserters can exist. The caller must have marked all roots (and
+    /// their transitive children) with `stamp` first.
     pub fn sweep(&mut self, stamp: u32) -> usize {
-        let before = self.alive;
-        // Remove dead entries from the unique table, then recycle slots.
-        let nodes = &self.nodes;
-        let stamps = &self.stamp;
-        let free = &mut self.free;
         let mut freed = 0usize;
-        self.unique.retain(|data, &mut id| {
-            if stamps[id as usize] == stamp {
-                true
-            } else {
-                debug_assert!(&nodes[id as usize] == data);
-                free.push(id);
-                freed += 1;
-                false
-            }
-        });
-        self.alive -= freed;
-        debug_assert_eq!(before - freed, self.alive);
+        for sh in &mut self.shards {
+            let slots = &sh.slots;
+            let core = sh.core.get_mut();
+            let free = &mut core.free;
+            core.unique.retain(|_, &mut id| {
+                let (local, _) = decode(id);
+                if slots.stamp(local).load(Ordering::Relaxed) == stamp {
+                    true
+                } else {
+                    free.push(local);
+                    freed += 1;
+                    false
+                }
+            });
+        }
+        self.alive.fetch_sub(freed, Ordering::Relaxed);
         freed
     }
 
-    /// Approximate bytes held by the arena + unique table.
+    /// Approximate bytes held by the shards' slabs + unique tables.
     pub fn memory_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<T>()
-            + self.stamp.capacity() * 4
-            + self.free.capacity() * 4
-            // HashMap overhead approximation: key + value + control byte.
-            + self.unique.capacity() * (std::mem::size_of::<T>() + 4 + 1)
+        self.shards
+            .iter()
+            .map(|sh| {
+                let core = sh.core.lock();
+                sh.slots.allocated_bytes()
+                    + core.free.capacity() * 4
+                    // HashMap overhead approximation: key + value + control byte.
+                    + core.unique.capacity() * (std::mem::size_of::<T>() + 4 + 1)
+            })
+            .sum()
+    }
+
+    /// Per-shard occupancy and lock-contention counters (telemetry).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let core = sh.core.lock();
+                ShardStats {
+                    live: core.unique.len(),
+                    slots: core.len as usize,
+                    contended: sh.contended.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 }
 
@@ -245,7 +367,7 @@ mod tests {
 
     #[test]
     fn unique_table_shares_identical_nodes() {
-        let mut a: NodeArena<VNode> = NodeArena::default();
+        let a: NodeArena<VNode> = NodeArena::default();
         let x = a.get_or_insert(vnode(0, TERM, TERM));
         let y = a.get_or_insert(vnode(0, TERM, TERM));
         assert_eq!(x, y);
@@ -253,6 +375,16 @@ mod tests {
         let z = a.get_or_insert(vnode(1, x, TERM));
         assert_ne!(x, z);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn ids_never_collide_with_terminal() {
+        let a: NodeArena<VNode> = NodeArena::default();
+        for l in 0..64u8 {
+            let id = a.get_or_insert(vnode(l, TERM, TERM));
+            assert_ne!(id, TERM);
+            assert_eq!(*a.get(id), vnode(l, TERM, TERM));
+        }
     }
 
     #[test]
@@ -271,12 +403,13 @@ mod tests {
     }
 
     #[test]
-    fn freed_slots_are_recycled() {
+    fn freed_slots_are_recycled_within_a_shard() {
         let mut a: NodeArena<VNode> = NodeArena::default();
         let x = a.get_or_insert(vnode(0, TERM, TERM));
         a.sweep(99); // nothing marked: frees x
         assert_eq!(a.len(), 0);
-        let y = a.get_or_insert(vnode(2, TERM, TERM));
+        // Same content hashes to the same shard and reuses the freed slot.
+        let y = a.get_or_insert(vnode(0, TERM, TERM));
         assert_eq!(x, y, "slot must be reused");
         assert_eq!(a.slots(), 1);
     }
@@ -294,8 +427,35 @@ mod tests {
 
     #[test]
     fn terminal_never_marks() {
-        let mut a: NodeArena<VNode> = NodeArena::default();
+        let a: NodeArena<VNode> = NodeArena::default();
         assert!(!a.mark(TERM, 3));
         assert!(!a.is_marked(TERM, 3));
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let a: NodeArena<VNode> = NodeArena::default();
+        for l in 0..100u8 {
+            a.get_or_insert(vnode(l, TERM, TERM));
+        }
+        let stats = a.shard_stats();
+        assert_eq!(stats.len(), NODE_SHARDS);
+        assert_eq!(stats.iter().map(|s| s.live).sum::<usize>(), 100);
+        assert_eq!(stats.iter().map(|s| s.slots).sum::<usize>(), a.slots());
+        // 100 distinct contents should spread over more than one shard.
+        assert!(stats.iter().filter(|s| s.live > 0).count() > 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_of_same_content_get_one_id() {
+        let a: NodeArena<VNode> = NodeArena::default();
+        let ids: Vec<u32> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| a.get_or_insert(vnode(3, TERM, TERM))))
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(a.len(), 1);
     }
 }

@@ -3,83 +3,172 @@
 //! all memoized through direct-mapped operation caches, which is how
 //! "identical matrix-vector multiplications are avoided using hash tables"
 //! (Section 2.2 of the paper).
+//!
+//! The caches are safe for concurrent *lossy* access: each slot is a tiny
+//! seq-lock (sequence counter + atomically stored key/value words). Racing
+//! writers skip the insert (the cache is allowed to lose entries), and a
+//! reader accepts a hit only when the sequence was stable and even across
+//! its key/value loads — so a hit can only ever return the value that was
+//! stored together with exactly that key.
 
 use crate::ctable::CIdx;
 use crate::fxhash::{hash_pair, hash_u64};
 use crate::node::{MEdge, VEdge, TERM};
 use crate::package::DdPackage;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 
-/// A fixed-size direct-mapped cache: collisions overwrite. This mirrors the
-/// DDSIM compute-table design — bounded memory, O(1) lookup, no eviction
-/// bookkeeping.
-struct DirectMap<K: Copy + PartialEq, V: Copy> {
-    slots: Box<[Option<(K, V)>]>,
-    mask: u64,
-    lookups: u64,
-    hits: u64,
+/// One direct-mapped cache slot: a seq-lock over two key words and one
+/// value word. `seq == 0` means never written; odd means a write is in
+/// flight; even (> 0) means stable.
+struct CacheSlot {
+    seq: AtomicU32,
+    k0: AtomicU64,
+    k1: AtomicU64,
+    val: AtomicU64,
 }
 
-impl<K: Copy + PartialEq, V: Copy> DirectMap<K, V> {
+impl CacheSlot {
+    fn new() -> Self {
+        CacheSlot {
+            seq: AtomicU32::new(0),
+            k0: AtomicU64::new(0),
+            k1: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-size direct-mapped cache with seq-locked slots: collisions
+/// overwrite, concurrent writers to one slot lose (lossy insert). This
+/// keeps the DDSIM compute-table design — bounded memory, O(1) lookup, no
+/// eviction bookkeeping — while allowing concurrent `&self` access.
+struct ConcurrentMap {
+    slots: Box<[CacheSlot]>,
+    mask: u64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ConcurrentMap {
     fn new(bits: u32) -> Self {
-        DirectMap {
-            slots: vec![None; 1usize << bits].into_boxed_slice(),
+        ConcurrentMap {
+            slots: (0..1usize << bits).map(|_| CacheSlot::new()).collect(),
             mask: (1u64 << bits) - 1,
-            lookups: 0,
-            hits: 0,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
     #[inline(always)]
-    fn lookup(&mut self, key: K, hash: u64) -> Option<V> {
-        self.lookups += 1;
-        match &self.slots[(hash & self.mask) as usize] {
-            Some((k, v)) if *k == key => {
-                self.hits += 1;
-                Some(*v)
-            }
-            _ => None,
+    fn lookup(&self, k0: u64, k1: u64, hash: u64) -> Option<u64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(hash & self.mask) as usize];
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 & 1 == 1 {
+            return None;
         }
+        let a = slot.k0.load(Ordering::Relaxed);
+        let b = slot.k1.load(Ordering::Relaxed);
+        let v = slot.val.load(Ordering::Relaxed);
+        // Validate: the loads above belong to the generation we started
+        // with — otherwise a writer interleaved and (a, b, v) may be torn.
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != s1 || a != k0 || b != k1 {
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(v)
     }
 
     #[inline(always)]
-    fn insert(&mut self, key: K, hash: u64, value: V) {
-        self.slots[(hash & self.mask) as usize] = Some((key, value));
+    fn insert(&self, k0: u64, k1: u64, hash: u64, val: u64) {
+        let slot = &self.slots[(hash & self.mask) as usize];
+        let s = slot.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return; // another writer owns the slot: lossy skip
+        }
+        // Acquire on success orders the data stores below after the
+        // counter becomes odd.
+        if slot
+            .seq
+            .compare_exchange(s, s.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        slot.k0.store(k0, Ordering::Relaxed);
+        slot.k1.store(k1, Ordering::Relaxed);
+        slot.val.store(val, Ordering::Relaxed);
+        slot.seq.store(s.wrapping_add(2), Ordering::Release);
     }
 
+    /// Drops every entry. Exclusive access means no readers can observe
+    /// the intermediate states.
     fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
+        for s in self.slots.iter() {
+            s.seq.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Reallocates the slot array at `bits`, dropping every entry. Used by
     /// the memory-pressure ladder to actually release cache memory (a plain
     /// `clear` keeps the capacity).
     fn shrink_to_bits(&mut self, bits: u32) {
-        self.slots = vec![None; 1usize << bits].into_boxed_slice();
+        self.slots = (0..1usize << bits).map(|_| CacheSlot::new()).collect();
         self.mask = (1u64 << bits) - 1;
     }
 
     fn memory_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<Option<(K, V)>>()
+        self.slots.len() * std::mem::size_of::<CacheSlot>()
     }
 }
 
-type AddKey = (u32, u32, CIdx);
+#[inline(always)]
+fn pack_u32s(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
 
-/// Operation caches of a package.
+#[inline(always)]
+fn pack_vedge(e: VEdge) -> u64 {
+    pack_u32s(e.n, e.w.0)
+}
+
+#[inline(always)]
+fn unpack_vedge(v: u64) -> VEdge {
+    VEdge {
+        n: (v >> 32) as u32,
+        w: CIdx(v as u32),
+    }
+}
+
+#[inline(always)]
+fn pack_medge(e: MEdge) -> u64 {
+    pack_u32s(e.n, e.w.0)
+}
+
+#[inline(always)]
+fn unpack_medge(v: u64) -> MEdge {
+    MEdge {
+        n: (v >> 32) as u32,
+        w: CIdx(v as u32),
+    }
+}
+
+/// Operation caches of a package. Concurrent lossy access via `&self`.
 pub(crate) struct ComputeTables {
-    mv: DirectMap<(u32, u32), VEdge>,
-    mm: DirectMap<(u32, u32), MEdge>,
-    add_v: DirectMap<AddKey, VEdge>,
-    add_m: DirectMap<AddKey, MEdge>,
+    mv: ConcurrentMap,
+    mm: ConcurrentMap,
+    add_v: ConcurrentMap,
+    add_m: ConcurrentMap,
 }
 
 impl Default for ComputeTables {
     fn default() -> Self {
         ComputeTables {
-            mv: DirectMap::new(16),
-            mm: DirectMap::new(16),
-            add_v: DirectMap::new(16),
-            add_m: DirectMap::new(16),
+            mv: ConcurrentMap::new(16),
+            mm: ConcurrentMap::new(16),
+            add_v: ConcurrentMap::new(16),
+            add_m: ConcurrentMap::new(16),
         }
     }
 }
@@ -103,13 +192,23 @@ impl ComputeTables {
     }
 
     pub(crate) fn stats(&self) -> ComputeStats {
+        let ld = |m: &ConcurrentMap| {
+            (
+                m.lookups.load(Ordering::Relaxed),
+                m.hits.load(Ordering::Relaxed),
+            )
+        };
+        let (mvl, mvh) = ld(&self.mv);
+        let (mml, mmh) = ld(&self.mm);
+        let (avl, avh) = ld(&self.add_v);
+        let (aml, amh) = ld(&self.add_m);
         ComputeStats {
-            mv_lookups: self.mv.lookups,
-            mv_hits: self.mv.hits,
-            mm_lookups: self.mm.lookups,
-            mm_hits: self.mm.hits,
-            add_lookups: self.add_v.lookups + self.add_m.lookups,
-            add_hits: self.add_v.hits + self.add_m.hits,
+            mv_lookups: mvl,
+            mv_hits: mvh,
+            mm_lookups: mml,
+            mm_hits: mmh,
+            add_lookups: avl + aml,
+            add_hits: avh + amh,
         }
     }
 
@@ -118,6 +217,68 @@ impl ComputeTables {
             + self.mm.memory_bytes()
             + self.add_v.memory_bytes()
             + self.add_m.memory_bytes()
+    }
+
+    // Typed slot accessors (shared by the sequential recursions and the
+    // parallel apply in `par`).
+
+    #[inline(always)]
+    pub(crate) fn lookup_mv(&self, mn: u32, vn: u32) -> Option<VEdge> {
+        let key = pack_u32s(mn, vn);
+        self.mv
+            .lookup(key, 0, hash_pair(mn as u64, vn as u64))
+            .map(unpack_vedge)
+    }
+
+    #[inline(always)]
+    pub(crate) fn insert_mv(&self, mn: u32, vn: u32, r: VEdge) {
+        let key = pack_u32s(mn, vn);
+        self.mv
+            .insert(key, 0, hash_pair(mn as u64, vn as u64), pack_vedge(r));
+    }
+
+    #[inline(always)]
+    fn lookup_mm(&self, an: u32, bn: u32) -> Option<MEdge> {
+        let key = pack_u32s(an, bn);
+        let hash = hash_u64(hash_pair(an as u64, bn as u64)) ^ 0x33;
+        self.mm.lookup(key, 0, hash).map(unpack_medge)
+    }
+
+    #[inline(always)]
+    fn insert_mm(&self, an: u32, bn: u32, r: MEdge) {
+        let key = pack_u32s(an, bn);
+        let hash = hash_u64(hash_pair(an as u64, bn as u64)) ^ 0x33;
+        self.mm.insert(key, 0, hash, pack_medge(r));
+    }
+
+    #[inline(always)]
+    fn lookup_add_v(&self, an: u32, bn: u32, ratio: CIdx) -> Option<VEdge> {
+        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64);
+        self.add_v
+            .lookup(pack_u32s(an, bn), ratio.0 as u64, hash)
+            .map(unpack_vedge)
+    }
+
+    #[inline(always)]
+    fn insert_add_v(&self, an: u32, bn: u32, ratio: CIdx, r: VEdge) {
+        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64);
+        self.add_v
+            .insert(pack_u32s(an, bn), ratio.0 as u64, hash, pack_vedge(r));
+    }
+
+    #[inline(always)]
+    fn lookup_add_m(&self, an: u32, bn: u32, ratio: CIdx) -> Option<MEdge> {
+        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64) ^ 0x5a5a;
+        self.add_m
+            .lookup(pack_u32s(an, bn), ratio.0 as u64, hash)
+            .map(unpack_medge)
+    }
+
+    #[inline(always)]
+    fn insert_add_m(&self, an: u32, bn: u32, ratio: CIdx, r: MEdge) {
+        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64) ^ 0x5a5a;
+        self.add_m
+            .insert(pack_u32s(an, bn), ratio.0 as u64, hash, pack_medge(r));
     }
 }
 
@@ -142,7 +303,7 @@ impl DdPackage {
     // ---- vector addition -----------------------------------------------------
 
     /// Adds two vector DDs: `a + b`.
-    pub fn add_vectors(&mut self, a: VEdge, b: VEdge) -> VEdge {
+    pub fn add_vectors(&self, a: VEdge, b: VEdge) -> VEdge {
         if a.is_zero() {
             return b;
         }
@@ -167,10 +328,8 @@ impl DdPackage {
         self.scale_v(r, a.w)
     }
 
-    fn add_v_rec(&mut self, an: u32, bn: u32, ratio: CIdx) -> VEdge {
-        let key: AddKey = (an, bn, ratio);
-        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64);
-        if let Some(hit) = self.compute.add_v.lookup(key, hash) {
+    fn add_v_rec(&self, an: u32, bn: u32, ratio: CIdx) -> VEdge {
+        if let Some(hit) = self.compute.lookup_add_v(an, bn, ratio) {
             return hit;
         }
         let av = *self.v.get(an);
@@ -186,13 +345,13 @@ impl DdPackage {
             es[i] = self.add_vectors(av.e[i], be);
         }
         let r = self.make_vnode(av.level, es);
-        self.compute.add_v.insert(key, hash, r);
+        self.compute.insert_add_v(an, bn, ratio, r);
         r
     }
 
     /// Scales a vector edge by an interned weight.
     #[inline]
-    pub fn scale_v(&mut self, e: VEdge, w: CIdx) -> VEdge {
+    pub fn scale_v(&self, e: VEdge, w: CIdx) -> VEdge {
         let nw = self.ct.mul(e.w, w);
         if nw.is_zero() {
             VEdge::ZERO
@@ -203,7 +362,7 @@ impl DdPackage {
 
     /// Scales a matrix edge by an interned weight.
     #[inline]
-    pub fn scale_m(&mut self, e: MEdge, w: CIdx) -> MEdge {
+    pub fn scale_m(&self, e: MEdge, w: CIdx) -> MEdge {
         let nw = self.ct.mul(e.w, w);
         if nw.is_zero() {
             MEdge::ZERO
@@ -215,7 +374,7 @@ impl DdPackage {
     // ---- matrix addition -------------------------------------------------------
 
     /// Adds two matrix DDs: `a + b`.
-    pub fn add_matrices(&mut self, a: MEdge, b: MEdge) -> MEdge {
+    pub fn add_matrices(&self, a: MEdge, b: MEdge) -> MEdge {
         if a.is_zero() {
             return b;
         }
@@ -238,10 +397,8 @@ impl DdPackage {
         self.scale_m(r, a.w)
     }
 
-    fn add_m_rec(&mut self, an: u32, bn: u32, ratio: CIdx) -> MEdge {
-        let key: AddKey = (an, bn, ratio);
-        let hash = hash_pair(hash_pair(an as u64, bn as u64), ratio.0 as u64) ^ 0x5a5a;
-        if let Some(hit) = self.compute.add_m.lookup(key, hash) {
+    fn add_m_rec(&self, an: u32, bn: u32, ratio: CIdx) -> MEdge {
+        if let Some(hit) = self.compute.lookup_add_m(an, bn, ratio) {
             return hit;
         }
         let am = *self.m.get(an);
@@ -254,7 +411,7 @@ impl DdPackage {
             es[i] = self.add_matrices(am.e[i], be);
         }
         let r = self.make_mnode(am.level, es);
-        self.compute.add_m.insert(key, hash, r);
+        self.compute.insert_add_m(an, bn, ratio, r);
         r
     }
 
@@ -263,7 +420,7 @@ impl DdPackage {
     /// Multiplies a matrix DD by a vector DD: `m * v` — the core kernel of
     /// DD-based simulation (done DFS-style with the operation cache, as
     /// described in Section 2.2).
-    pub fn mul_mv(&mut self, m: MEdge, v: VEdge) -> VEdge {
+    pub fn mul_mv(&self, m: MEdge, v: VEdge) -> VEdge {
         let w = self.ct.mul(m.w, v.w);
         if w.is_zero() {
             return VEdge::ZERO;
@@ -276,12 +433,10 @@ impl DdPackage {
         self.scale_v(r, w)
     }
 
-    fn mul_mv_rec(&mut self, mn: u32, vn: u32) -> VEdge {
+    pub(crate) fn mul_mv_rec(&self, mn: u32, vn: u32) -> VEdge {
         debug_assert_ne!(mn, TERM);
         debug_assert_ne!(vn, TERM);
-        let key = (mn, vn);
-        let hash = hash_pair(mn as u64, vn as u64);
-        if let Some(hit) = self.compute.mv.lookup(key, hash) {
+        if let Some(hit) = self.compute.lookup_mv(mn, vn) {
             return hit;
         }
         let mnode = *self.m.get(mn);
@@ -295,14 +450,14 @@ impl DdPackage {
             es[i] = self.add_vectors(p0, p1);
         }
         let r = self.make_vnode(mnode.level, es);
-        self.compute.mv.insert(key, hash, r);
+        self.compute.insert_mv(mn, vn, r);
         r
     }
 
     // ---- matrix-matrix multiplication (DDMM, used by gate fusion) -------------
 
     /// Multiplies two matrix DDs: `a * b` (apply `b` first, then `a`).
-    pub fn mul_mm(&mut self, a: MEdge, b: MEdge) -> MEdge {
+    pub fn mul_mm(&self, a: MEdge, b: MEdge) -> MEdge {
         let w = self.ct.mul(a.w, b.w);
         if w.is_zero() {
             return MEdge::ZERO;
@@ -315,12 +470,10 @@ impl DdPackage {
         self.scale_m(r, w)
     }
 
-    fn mul_mm_rec(&mut self, an: u32, bn: u32) -> MEdge {
+    fn mul_mm_rec(&self, an: u32, bn: u32) -> MEdge {
         debug_assert_ne!(an, TERM);
         debug_assert_ne!(bn, TERM);
-        let key = (an, bn);
-        let hash = hash_u64(hash_pair(an as u64, bn as u64)) ^ 0x33;
-        if let Some(hit) = self.compute.mm.lookup(key, hash) {
+        if let Some(hit) = self.compute.lookup_mm(an, bn) {
             return hit;
         }
         let am = *self.m.get(an);
@@ -335,13 +488,13 @@ impl DdPackage {
             }
         }
         let r = self.make_mnode(am.level, es);
-        self.compute.mm.insert(key, hash, r);
+        self.compute.insert_mm(an, bn, r);
         r
     }
 
     /// Builds the gate's DD and multiplies it onto the state — one
     /// DD-simulation step.
-    pub fn apply_gate(&mut self, state: VEdge, gate: &qcircuit::Gate, n: usize) -> VEdge {
+    pub fn apply_gate(&self, state: VEdge, gate: &qcircuit::Gate, n: usize) -> VEdge {
         let g = self.gate_dd(gate, n);
         self.mul_mv(g, state)
     }
@@ -374,7 +527,7 @@ mod tests {
 
     #[test]
     fn add_vectors_matches_dense() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let a = rand_vec(4, 1);
         let b = rand_vec(4, 2);
         let ea = p.vector_from_slice(&a);
@@ -387,7 +540,7 @@ mod tests {
 
     #[test]
     fn add_vector_with_zero() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let a = rand_vec(3, 3);
         let ea = p.vector_from_slice(&a);
         assert_eq!(p.add_vectors(ea, VEdge::ZERO), ea);
@@ -396,7 +549,7 @@ mod tests {
 
     #[test]
     fn add_cancels_to_zero() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let a = rand_vec(3, 4);
         let neg: Vec<Complex64> = a.iter().map(|&x| -x).collect();
         let ea = p.vector_from_slice(&a);
@@ -407,7 +560,7 @@ mod tests {
 
     #[test]
     fn mul_mv_matches_dense_single_gates() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 4;
         let v = rand_vec(n, 5);
         let gates = vec![
@@ -441,7 +594,7 @@ mod tests {
             generators::grover(4, 11, Some(2)),
         ];
         for c in circuits {
-            let mut p = DdPackage::default();
+            let p = DdPackage::default();
             let mut state = p.basis_state(c.num_qubits(), 0);
             for g in c.iter() {
                 state = p.apply_gate(state, g, c.num_qubits());
@@ -459,7 +612,7 @@ mod tests {
         // two disjoint chains).
         let n = 12;
         let c = generators::ghz(n);
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let mut state = p.basis_state(n, 0);
         for g in c.iter() {
             state = p.apply_gate(state, g, n);
@@ -470,7 +623,7 @@ mod tests {
 
     #[test]
     fn mul_mm_matches_dense() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 3;
         let g1 = Gate::new(GateKind::H, 0);
         let g2 = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
@@ -487,7 +640,7 @@ mod tests {
 
     #[test]
     fn fused_matrix_equals_sequential_application() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let c = generators::random_circuit(4, 12, 33);
         let n = 4;
         // Fuse all gates into one matrix.
@@ -505,7 +658,7 @@ mod tests {
 
     #[test]
     fn mm_with_identity_is_identity_op() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let g = Gate::controlled(GateKind::RY(0.4), 2, vec![Control::pos(0)]);
         let e = p.gate_dd(&g, 3);
         let id = p.identity_dd(3);
@@ -518,7 +671,7 @@ mod tests {
 
     #[test]
     fn add_matrices_matches_dense() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 3;
         let g1 = Gate::new(GateKind::T, 1);
         let g2 = Gate::new(GateKind::H, 2);
@@ -534,7 +687,7 @@ mod tests {
 
     #[test]
     fn compute_cache_hits_on_repeated_multiplication() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 6;
         let c = generators::ghz(n);
         let mut state = p.basis_state(n, 0);
@@ -556,7 +709,7 @@ mod tests {
     fn unitarity_preserved_through_long_random_circuit() {
         let n = 5;
         let c = generators::random_circuit(n, 150, 77);
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let mut state = p.basis_state(n, 0);
         for g in c.iter() {
             state = p.apply_gate(state, g, n);
@@ -581,5 +734,78 @@ mod tests {
         let got = p.vector_to_array(state, n);
         let want = dense::simulate(&c);
         assert!(close(&got, &want));
+    }
+
+    #[test]
+    fn concurrent_cache_hits_are_exact_key_matches() {
+        // Hammer one ConcurrentMap from 8 threads with keys whose correct
+        // value is derivable from the key; every hit must satisfy that
+        // relation (a torn read would violate it).
+        let map = ConcurrentMap::new(6); // tiny: maximal slot contention
+        let f = |k: u64| k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let map = &map;
+                s.spawn(move || {
+                    let mut x = t.wrapping_mul(0x243F_6A88_85A3_08D3) | 1;
+                    for _ in 0..200_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k0 = x & 0xFFFF;
+                        let k1 = (x >> 16) & 0xFFFF;
+                        let hash = hash_pair(k0, k1);
+                        if let Some(v) = map.lookup(k0, k1, hash) {
+                            assert_eq!(
+                                v,
+                                f(k0 ^ k1),
+                                "cache hit returned a value not stored with this key"
+                            );
+                        } else {
+                            map.insert(k0, k1, hash, f(k0 ^ k1));
+                        }
+                    }
+                });
+            }
+        });
+        // The cache saw real traffic.
+        assert!(map.lookups.load(Ordering::Relaxed) >= 8 * 200_000);
+    }
+
+    #[test]
+    fn concurrent_mul_mv_matches_sequential() {
+        // Many threads apply the same gates to the same states through one
+        // shared package; results must equal an isolated sequential run.
+        for seed in [3u64, 17, 99] {
+            let n = 5;
+            let c = generators::random_circuit(n, 40, seed);
+            let seq = DdPackage::default();
+            let mut want = seq.basis_state(n, 0);
+            for g in c.iter() {
+                want = seq.apply_gate(want, g, n);
+            }
+            let want = seq.vector_to_array(want, n);
+
+            let shared = DdPackage::default();
+            let results: Vec<Vec<Complex64>> = std::thread::scope(|s| {
+                let hs: Vec<_> = (0..4)
+                    .map(|_| {
+                        let c = &c;
+                        let shared = &shared;
+                        s.spawn(move || {
+                            let mut st = shared.basis_state(n, 0);
+                            for g in c.iter() {
+                                st = shared.apply_gate(st, g, n);
+                            }
+                            shared.vector_to_array(st, n)
+                        })
+                    })
+                    .collect();
+                hs.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in results {
+                assert!(close(&r, &want), "seed {seed}");
+            }
+        }
     }
 }

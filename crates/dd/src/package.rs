@@ -1,10 +1,19 @@
 //! The DD package: node construction with normalization, gate-DD building,
 //! DD <-> array conversion, traversals, and garbage collection.
+//!
+//! All construction and arithmetic paths take `&self` and are safe to call
+//! from many threads sharing one package: the unique tables and the complex
+//! table are sharded and lock-striped, the compute caches are lossy
+//! seq-locked slots, and traversal stamps are atomic. Only the
+//! stop-the-world operations — [`DdPackage::gc`] and
+//! [`DdPackage::flush_caches`] — require `&mut self`.
 
 use crate::ctable::{CIdx, ComplexTable};
 use crate::node::{MEdge, MNode, NodeArena, VEdge, VNode, TERM};
 use crate::ops::ComputeTables;
+use parking_lot::Mutex;
 use qcircuit::{Complex64, Gate};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Memory/size statistics of a [`DdPackage`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -19,7 +28,8 @@ pub struct PackageStats {
     pub peak_m_nodes: usize,
     /// Distinct interned complex values.
     pub complex_values: usize,
-    /// Approximate resident bytes of all DD structures.
+    /// Approximate resident bytes of all DD structures (sums the per-shard
+    /// arenas, the complex table, and the compute caches).
     pub memory_bytes: usize,
 }
 
@@ -34,8 +44,8 @@ pub struct DdPackage {
     pub(crate) m: NodeArena<MNode>,
     pub(crate) compute: ComputeTables,
     /// Cached identity chains: `id_cache[l]` = identity DD over levels `0..l`.
-    id_cache: Vec<MEdge>,
-    stamp: u32,
+    id_cache: Mutex<Vec<MEdge>>,
+    stamp: AtomicU32,
     /// Bumped by every [`Self::gc`] sweep. Node ids are recycled by the
     /// sweep, so anything keyed by node id (e.g. the DMAV plan cache) must
     /// be dropped when this changes.
@@ -43,6 +53,13 @@ pub struct DdPackage {
     /// Process-unique id stamped on this package's telemetry events.
     telemetry_id: u64,
 }
+
+// The package is shared by reference across DD worker threads; every
+// `&self` path goes through the sharded/atomic structures above.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DdPackage>();
+};
 
 impl Default for DdPackage {
     fn default() -> Self {
@@ -58,8 +75,8 @@ impl DdPackage {
             v: NodeArena::default(),
             m: NodeArena::default(),
             compute: ComputeTables::default(),
-            id_cache: vec![MEdge::terminal(CIdx::ONE)],
-            stamp: 0,
+            id_cache: Mutex::new(vec![MEdge::terminal(CIdx::ONE)]),
+            stamp: AtomicU32::new(0),
             gc_epoch: 0,
             telemetry_id: qtelemetry::next_id(),
         }
@@ -89,7 +106,7 @@ impl DdPackage {
 
     /// Interns a complex value.
     #[inline(always)]
-    pub fn clookup(&mut self, v: Complex64) -> CIdx {
+    pub fn clookup(&self, v: Complex64) -> CIdx {
         self.ct.lookup(v)
     }
 
@@ -110,7 +127,7 @@ impl DdPackage {
     /// Builds (or shares) a vector node with canonical normalization:
     /// outgoing weights get 2-norm 1 with the first non-zero weight real
     /// positive; the extracted factor becomes the returned edge weight.
-    pub fn make_vnode(&mut self, level: u8, e: [VEdge; 2]) -> VEdge {
+    pub fn make_vnode(&self, level: u8, e: [VEdge; 2]) -> VEdge {
         let z0 = e[0].is_zero();
         let z1 = e[1].is_zero();
         if z0 && z1 {
@@ -155,7 +172,7 @@ impl DdPackage {
     /// Builds (or shares) a matrix node with canonical normalization: all
     /// weights are divided by the first maximum-magnitude weight, which
     /// becomes the returned edge weight (cf. Figure 2a of the paper).
-    pub fn make_mnode(&mut self, level: u8, e: [MEdge; 4]) -> MEdge {
+    pub fn make_mnode(&self, level: u8, e: [MEdge; 4]) -> MEdge {
         let ws: [Complex64; 4] = [
             self.ct.get(e[0].w),
             self.ct.get(e[1].w),
@@ -204,7 +221,7 @@ impl DdPackage {
     // ---- vector construction / readout --------------------------------------
 
     /// DD of the computational basis state `|index>` over `n` qubits.
-    pub fn basis_state(&mut self, n: usize, index: usize) -> VEdge {
+    pub fn basis_state(&self, n: usize, index: usize) -> VEdge {
         assert!(n >= 1 && (n >= 64 || index < (1usize << n)));
         let mut e = VEdge::terminal(CIdx::ONE);
         for l in 0..n {
@@ -219,12 +236,12 @@ impl DdPackage {
     }
 
     /// Builds a vector DD from a flat array (length must be a power of two).
-    pub fn vector_from_slice(&mut self, a: &[Complex64]) -> VEdge {
+    pub fn vector_from_slice(&self, a: &[Complex64]) -> VEdge {
         assert!(a.len().is_power_of_two() && a.len() >= 2);
         self.build_from_slice(a)
     }
 
-    fn build_from_slice(&mut self, a: &[Complex64]) -> VEdge {
+    fn build_from_slice(&self, a: &[Complex64]) -> VEdge {
         if a.len() == 1 {
             return VEdge::terminal(self.ct.lookup(a[0]));
         }
@@ -316,14 +333,15 @@ impl DdPackage {
     // ---- gate DDs ------------------------------------------------------------
 
     /// Identity DD over levels `0..l` (an `l`-qubit identity matrix).
-    pub fn identity_dd(&mut self, l: usize) -> MEdge {
-        while self.id_cache.len() <= l {
-            let prev = *self.id_cache.last().unwrap();
-            let level = (self.id_cache.len() - 1) as u8;
+    pub fn identity_dd(&self, l: usize) -> MEdge {
+        let mut cache = self.id_cache.lock();
+        while cache.len() <= l {
+            let prev = *cache.last().unwrap();
+            let level = (cache.len() - 1) as u8;
             let e = self.make_mnode(level, [prev, MEdge::ZERO, MEdge::ZERO, prev]);
-            self.id_cache.push(e);
+            cache.push(e);
         }
-        self.id_cache[l]
+        cache[l]
     }
 
     /// Id of the unique identity node at `level` (the node of the identity
@@ -331,15 +349,15 @@ impl DdPackage {
     /// node construction is canonical, *any* sub-DD equal to a scalar times
     /// the identity points at exactly this node — DMAV kernels use this to
     /// turn identity blocks into SIMD-friendly axpy loops.
-    #[inline(always)]
+    #[inline]
     pub fn identity_node_id(&self, level: u8) -> Option<u32> {
-        self.id_cache.get(level as usize + 1).map(|e| e.n)
+        self.id_cache.lock().get(level as usize + 1).map(|e| e.n)
     }
 
     /// Builds the `2^n x 2^n` matrix DD of a gate (single-qubit unitary with
     /// arbitrary positive/negative controls), level by level from the
     /// terminal up — the standard QMDD gate construction.
-    pub fn gate_dd(&mut self, gate: &Gate, n: usize) -> MEdge {
+    pub fn gate_dd(&self, gate: &Gate, n: usize) -> MEdge {
         assert!(gate.max_qubit() < n);
         // Ensure the identity chain exists through level n: the unique table
         // then shares every scalar-identity block of this gate with it, and
@@ -403,19 +421,19 @@ impl DdPackage {
 
     // ---- traversal / statistics -----------------------------------------------
 
-    pub(crate) fn next_stamp(&mut self) -> u32 {
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            // Extremely rare wrap: restart stamping from 1. Stale stamps can
-            // only cause extra (harmless) re-marks.
-            self.stamp = 1;
+    pub(crate) fn next_stamp(&self) -> u32 {
+        let s = self.stamp.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        if s != 0 {
+            return s;
         }
-        self.stamp
+        // Extremely rare wrap: skip stamp 0 (the slot-initial value). Stale
+        // stamps can only cause extra (harmless) re-marks.
+        self.stamp.fetch_add(1, Ordering::Relaxed).wrapping_add(1)
     }
 
     /// Number of DD nodes reachable from a vector edge — the paper's
     /// "DD size" `s_i` monitored by the EWMA (terminal excluded).
-    pub fn vector_dd_size(&mut self, e: VEdge) -> usize {
+    pub fn vector_dd_size(&self, e: VEdge) -> usize {
         let stamp = self.next_stamp();
         let mut count = 0usize;
         let mut stack = vec![e];
@@ -434,7 +452,7 @@ impl DdPackage {
     }
 
     /// Number of DD nodes reachable from a matrix edge (terminal excluded).
-    pub fn matrix_dd_size(&mut self, e: MEdge) -> usize {
+    pub fn matrix_dd_size(&self, e: MEdge) -> usize {
         let stamp = self.next_stamp();
         let mut count = 0usize;
         let mut stack = vec![e];
@@ -454,6 +472,9 @@ impl DdPackage {
     /// Marks and sweeps: frees every node unreachable from the given roots.
     /// The operation caches are invalidated. Returns `(vector_nodes_freed,
     /// matrix_nodes_freed)`.
+    ///
+    /// Stop-the-world by construction: `&mut self` means no other thread
+    /// holds the package, so no insert/read can race the sweep.
     pub fn gc(&mut self, v_roots: &[VEdge], m_roots: &[MEdge]) -> (usize, usize) {
         let sweep_t0 =
             qtelemetry::enabled().then(|| (qtelemetry::now_us(), std::time::Instant::now()));
@@ -470,7 +491,7 @@ impl DdPackage {
             }
         }
         let mut mstack: Vec<MEdge> = m_roots.to_vec();
-        mstack.extend_from_slice(&self.id_cache);
+        mstack.extend_from_slice(self.id_cache.get_mut());
         while let Some(cur) = mstack.pop() {
             if cur.is_zero() || cur.is_terminal() {
                 continue;
@@ -512,7 +533,9 @@ impl DdPackage {
         before.saturating_sub(self.compute.memory_bytes())
     }
 
-    /// Current package statistics.
+    /// Current package statistics. Memory is summed over every shard of
+    /// both node arenas and the complex table, so the governor's charge
+    /// stays accurate under sharding.
     pub fn stats(&self) -> PackageStats {
         PackageStats {
             v_nodes: self.v.len(),
@@ -532,9 +555,24 @@ impl DdPackage {
         self.compute.stats()
     }
 
+    /// Per-shard occupancy/contention snapshots of the two node arenas
+    /// (vector, matrix).
+    pub fn shard_stats(&self) -> (Vec<crate::node::ShardStats>, Vec<crate::node::ShardStats>) {
+        (self.v.shard_stats(), self.m.shard_stats())
+    }
+
+    /// Total lock-contention events observed across the unique-table and
+    /// complex-table shards (telemetry signal for `--dd-threads` tuning).
+    pub fn contention_events(&self) -> u64 {
+        let arena = |s: &[crate::node::ShardStats]| s.iter().map(|x| x.contended).sum::<u64>();
+        let (vs, ms) = self.shard_stats();
+        arena(&vs) + arena(&ms) + self.ct.contended()
+    }
+
     /// Publishes this package's statistics (node/table sizes, compute-table
-    /// hit rates) as gauges in the global [`qtelemetry`] metrics registry.
-    /// Call at snapshot boundaries (end of run, `--metrics-out` dump).
+    /// hit rates, per-shard contention/occupancy) as gauges in the global
+    /// [`qtelemetry`] metrics registry. Call at snapshot boundaries (end of
+    /// run, `--metrics-out` dump).
     pub fn publish_metrics(&self) {
         use qtelemetry::gauge;
         fn ratio(hits: u64, lookups: u64) -> f64 {
@@ -547,10 +585,12 @@ impl DdPackage {
         let s = self.stats();
         gauge("dd.v_nodes").set(s.v_nodes as f64);
         gauge("dd.m_nodes").set(s.m_nodes as f64);
+        gauge("dd.nodes").set((s.v_nodes + s.m_nodes) as f64);
         gauge("dd.peak_v_nodes").set(s.peak_v_nodes as f64);
         gauge("dd.peak_m_nodes").set(s.peak_m_nodes as f64);
         gauge("dd.complex_values").set(s.complex_values as f64);
         gauge("dd.memory_bytes").set(s.memory_bytes as f64);
+        gauge("dd.bytes").set(s.memory_bytes as f64);
         let c = self.compute_stats();
         gauge("dd.ct_mv_lookups").set(c.mv_lookups as f64);
         gauge("dd.ct_mv_hit_rate").set(ratio(c.mv_hits, c.mv_lookups));
@@ -558,6 +598,16 @@ impl DdPackage {
         gauge("dd.ct_mm_hit_rate").set(ratio(c.mm_hits, c.mm_lookups));
         gauge("dd.ct_add_lookups").set(c.add_lookups as f64);
         gauge("dd.ct_add_hit_rate").set(ratio(c.add_hits, c.add_lookups));
+        // Sharding observability: lock contention and occupancy skew.
+        let (vs, ms) = self.shard_stats();
+        let contended =
+            |st: &[crate::node::ShardStats]| st.iter().map(|x| x.contended).sum::<u64>();
+        let max_live =
+            |st: &[crate::node::ShardStats]| st.iter().map(|x| x.live).max().unwrap_or(0);
+        gauge("dd.unique_contended").set((contended(&vs) + contended(&ms)) as f64);
+        gauge("dd.ctable_contended").set(self.ct.contended() as f64);
+        gauge("dd.shard_max_v_nodes").set(max_live(&vs) as f64);
+        gauge("dd.shard_max_m_nodes").set(max_live(&ms) as f64);
     }
 }
 
@@ -575,7 +625,7 @@ mod tests {
 
     #[test]
     fn basis_state_round_trip() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         for n in 1..=4usize {
             for idx in 0..(1usize << n) {
                 let e = p.basis_state(n, idx);
@@ -587,7 +637,7 @@ mod tests {
 
     #[test]
     fn basis_state_dd_size_is_n() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let e = p.basis_state(8, 0b1010_1010);
         assert_eq!(p.vector_dd_size(e), 8);
     }
@@ -615,7 +665,7 @@ mod tests {
 
     #[test]
     fn from_slice_round_trip_random() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 5;
         let v: Vec<Complex64> = (0..(1 << n))
             .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5))
@@ -627,7 +677,7 @@ mod tests {
 
     #[test]
     fn from_slice_shares_identical_subtrees() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         // Four identical blocks: the DD must collapse them.
         let block = [Complex64::new(0.5, 0.0), Complex64::new(0.0, 0.5)];
         let mut v = Vec::new();
@@ -652,7 +702,7 @@ mod tests {
             Complex64::ZERO,
             -half,
         ];
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         // Note: the paper's figure indexes V[|q2 q1 q0>]; our array index i
         // has q0 as LSB, which is the same ordering.
         let e = p.vector_from_slice(&v);
@@ -667,7 +717,7 @@ mod tests {
 
     #[test]
     fn normalization_is_canonical_under_scaling() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let w = Complex64::new(0.3, -0.4);
         let a: Vec<Complex64> = vec![Complex64::new(0.1, 0.2), Complex64::new(-0.5, 0.0)];
         let b: Vec<Complex64> = a.iter().map(|&x| x * w).collect();
@@ -680,7 +730,7 @@ mod tests {
     #[test]
     fn vnode_top_weight_carries_norm() {
         // For a normalized state the root weight has magnitude 1.
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let v = vec![Complex64::real(s), Complex64::new(0.0, s)];
         let e = p.vector_from_slice(&v);
@@ -689,7 +739,7 @@ mod tests {
 
     #[test]
     fn hadamard_gate_dd_matches_figure_2a() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         // H on qubit 1 of a 2-qubit system = H (x) I.
         let g = Gate::new(GateKind::H, 1);
         let e = p.gate_dd(&g, 2);
@@ -707,7 +757,7 @@ mod tests {
 
     #[test]
     fn gate_dd_matches_dense_for_all_kinds() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let n = 3;
         let gates = vec![
             Gate::new(GateKind::X, 0),
@@ -735,7 +785,7 @@ mod tests {
 
     #[test]
     fn identity_dd_is_identity() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let e = p.identity_dd(3);
         let m = p.matrix_to_dense(e, 3);
         for r in 0..8 {
@@ -757,7 +807,7 @@ mod tests {
 
     #[test]
     fn identity_gate_dd_equals_identity_chain() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let g = Gate::new(GateKind::Id, 1);
         let e = p.gate_dd(&g, 3);
         let id = p.identity_dd(3);
@@ -809,7 +859,7 @@ mod tests {
 
     #[test]
     fn matrix_entries_of_cx_permutation() {
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let g = Gate::controlled(GateKind::X, 1, vec![Control::pos(0)]);
         let e = p.gate_dd(&g, 2);
         // |01> -> |11>: column 1 has its 1 at row 3.
@@ -834,13 +884,29 @@ mod tests {
     }
 
     #[test]
+    fn contention_counters_start_at_zero() {
+        let p = DdPackage::default();
+        let _ = p.basis_state(6, 9);
+        // Single-threaded use never contends a shard lock.
+        assert_eq!(p.contention_events(), 0);
+        let (vs, ms) = p.shard_stats();
+        assert_eq!(vs.len(), crate::node::NODE_SHARDS);
+        assert_eq!(ms.len(), crate::node::NODE_SHARDS);
+        assert_eq!(
+            vs.iter().map(|s| s.live).sum::<usize>(),
+            p.stats().v_nodes,
+            "shard occupancy must sum to the live node count"
+        );
+    }
+
+    #[test]
     fn circuit_state_via_dense_matches_dd_readback() {
         // Build a state with the dense simulator, import, and spot-check
         // amplitudes through the DD.
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).t(1).ry(0.3, 2);
         let v = dense::simulate(&c);
-        let mut p = DdPackage::default();
+        let p = DdPackage::default();
         let e = p.vector_from_slice(&v);
         for (i, &amp) in v.iter().enumerate() {
             assert!(p.amplitude(e, i).approx_eq(amp, TOL), "i={i}");

@@ -1,0 +1,602 @@
+//! Parallel DD-phase execution: a persistent fork-join [`ThreadPool`] and a
+//! task-graph parallelization of the matrix-vector multiply.
+//!
+//! FlatDD launches `t` threads for *every* DMAV and every conversion
+//! (Algorithms 1 and 2 say "parallel for i in [0, t)"). Spawning OS threads
+//! per gate would dominate the runtime of shallow gates, so the pool keeps
+//! `t` workers parked and hands them one closure per dispatch; [`run`]
+//! blocks until all workers finish, which is exactly the fork-join shape of
+//! the paper's kernels. The pool lives in `qdd` (the bottom of the crate
+//! stack) so the DD phase, the DMAV kernels, and the converters can all
+//! share one set of workers.
+//!
+//! The parallel multiply splits the recursion over the top `k` levels of
+//! the DD into a task graph (`k = log2(t) + 2`, so there are at least ~4x
+//! more leaf tasks than workers to balance uneven subtree sizes), runs the
+//! leaves as ordinary sequential recursions over the shared concurrent
+//! package, and then folds the split nodes bottom-up level by level. Every
+//! arithmetic step performs *exactly* the operations of the sequential
+//! recursion — same additions, same normalizations, same cache keys — so
+//! results agree with the single-threaded path up to the interning of
+//! freshly created weights.
+//!
+//! [`run`]: ThreadPool::run
+
+use crate::ctable::CIdx;
+use crate::fxhash::FxHashMap;
+use crate::node::{MEdge, VEdge};
+use crate::package::DdPackage;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased job pointer. The pointed-to closure is guaranteed (by
+/// `run` blocking) to outlive its execution.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+// SAFETY: the closure behind the pointer is `Sync`, and `run` keeps it alive
+// until every worker has finished with it.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    generation: u64,
+    active: usize,
+    shutdown: bool,
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Fixed-size fork-join thread pool.
+pub struct ThreadPool {
+    size: usize,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (>= 1). A size-1 pool runs jobs
+    /// inline on the caller with no worker threads.
+    ///
+    /// # Panics
+    /// When the OS refuses to spawn a worker thread; use [`Self::try_new`]
+    /// to handle that as an error.
+    pub fn new(size: usize) -> Self {
+        Self::try_new(size).expect("failed to spawn pool worker")
+    }
+
+    /// Fallible [`Self::new`]: surfaces thread-spawn failure (resource
+    /// exhaustion under a tight process limit) as an `io::Error` instead of
+    /// panicking. Already-spawned workers are joined cleanly on failure.
+    pub fn try_new(size: usize) -> std::io::Result<Self> {
+        let size = size.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut workers = Vec::new();
+        if size > 1 {
+            for tid in 0..size {
+                let shared_cl = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("flatdd-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared_cl));
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(e) => {
+                        // Shut down what we already started before bailing.
+                        {
+                            let mut st = shared.state.lock();
+                            st.shutdown = true;
+                            shared.work_cv.notify_all();
+                        }
+                        for w in workers {
+                            let _ = w.join();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(ThreadPool {
+            size,
+            shared,
+            workers,
+        })
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f(tid)` for every `tid in 0..size` and waits for completion.
+    ///
+    /// Must not be called re-entrantly (from inside a running job) or from
+    /// two threads at once.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        if self.size == 1 {
+            f(0);
+            return;
+        }
+        // SAFETY: `f` outlives this call, and this call does not return
+        // before every worker has finished executing the job — so erasing
+        // the lifetime of the trait object is sound.
+        let local: &(dyn Fn(usize) + Sync) = &f;
+        let ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(local)
+        };
+        let mut st = self.shared.state.lock();
+        assert_eq!(st.active, 0, "ThreadPool::run is not re-entrant");
+        st.job = Some(Job(ptr));
+        st.generation += 1;
+        st.active = self.size;
+        self.shared.work_cv.notify_all();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        if st.panicked {
+            st.panicked = false;
+            drop(st);
+            panic!("a ThreadPool job panicked on a worker thread");
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            while st.generation == seen_gen && !st.shutdown {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_gen = st.generation;
+            st.job.expect("generation advanced without a job")
+        };
+        // SAFETY: the dispatcher keeps the closure alive until `active`
+        // drops to zero, which happens strictly after this call returns.
+        // A panicking job must still decrement `active`, or `run` would
+        // deadlock; the panic is surfaced on the dispatcher side instead.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        let mut st = shared.state.lock();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- parallel matrix-vector multiply ---------------------------------------
+
+#[inline(always)]
+fn pack(e: VEdge) -> u64 {
+    ((e.n as u64) << 32) | e.w.0 as u64
+}
+
+#[inline(always)]
+fn unpack(v: u64) -> VEdge {
+    VEdge {
+        n: (v >> 32) as u32,
+        w: CIdx(v as u32),
+    }
+}
+
+/// One child multiplication of a split node.
+#[derive(Clone, Copy)]
+enum Kid {
+    /// Resolved during graph construction (zero product or terminal).
+    Done(VEdge),
+    /// `scale_v(result(task), w)` once the task has run.
+    Task { idx: u32, w: CIdx },
+}
+
+enum TaskKind {
+    /// Already resolved at build time (operation-cache hit).
+    Resolved,
+    /// Sequential `mul_mv_rec` below the split frontier.
+    Leaf,
+    /// `es[i] = add(kid[2i], kid[2i+1])`, then `make_vnode`.
+    Split { level: u8, kids: [Kid; 4] },
+}
+
+/// A node of the multiply task graph, keyed by the `(matrix node, vector
+/// node)` pair exactly like the sequential recursion's cache entries.
+struct Task {
+    mn: u32,
+    vn: u32,
+    depth: u32,
+    kind: TaskKind,
+    /// Packed [`VEdge`] result, written once by the executing worker.
+    result: AtomicU64,
+}
+
+struct Graph {
+    tasks: Vec<Task>,
+    /// `(mn, vn)` -> task index: shares repeated sub-multiplications just
+    /// like the operation cache does in the sequential recursion.
+    memo: FxHashMap<(u32, u32), u32>,
+    max_split_depth: u32,
+}
+
+impl Graph {
+    fn build(pkg: &DdPackage, mn: u32, vn: u32, split_below: u32) -> (Self, u32) {
+        let mut g = Graph {
+            tasks: Vec::new(),
+            memo: FxHashMap::default(),
+            max_split_depth: 0,
+        };
+        let root = g.visit(pkg, mn, vn, 0, split_below);
+        (g, root)
+    }
+
+    fn visit(&mut self, pkg: &DdPackage, mn: u32, vn: u32, depth: u32, split_below: u32) -> u32 {
+        if let Some(&i) = self.memo.get(&(mn, vn)) {
+            return i;
+        }
+        let idx = if let Some(hit) = pkg.compute.lookup_mv(mn, vn) {
+            self.push(Task {
+                mn,
+                vn,
+                depth,
+                kind: TaskKind::Resolved,
+                result: AtomicU64::new(pack(hit)),
+            })
+        } else if depth >= split_below {
+            self.push(Task {
+                mn,
+                vn,
+                depth,
+                kind: TaskKind::Leaf,
+                result: AtomicU64::new(0),
+            })
+        } else {
+            let mnode = *pkg.m_node(mn);
+            let vnode = *pkg.v_node(vn);
+            let mut kids = [Kid::Done(VEdge::ZERO); 4];
+            for i in 0..2 {
+                for j in 0..2 {
+                    let me = mnode.e[2 * i + j];
+                    let ve = vnode.e[j];
+                    // Mirror of the sequential `mul_mv` prologue.
+                    let w = pkg.ct.mul(me.w, ve.w);
+                    kids[2 * i + j] = if w.is_zero() {
+                        Kid::Done(VEdge::ZERO)
+                    } else if me.is_terminal() {
+                        Kid::Done(VEdge::terminal(w))
+                    } else {
+                        let child = self.visit(pkg, me.n, ve.n, depth + 1, split_below);
+                        Kid::Task { idx: child, w }
+                    };
+                }
+            }
+            self.max_split_depth = self.max_split_depth.max(depth);
+            self.push(Task {
+                mn,
+                vn,
+                depth,
+                kind: TaskKind::Split {
+                    level: mnode.level,
+                    kids,
+                },
+                result: AtomicU64::new(0),
+            })
+        };
+        self.memo.insert((mn, vn), idx);
+        idx
+    }
+
+    fn push(&mut self, t: Task) -> u32 {
+        self.tasks.push(t);
+        (self.tasks.len() - 1) as u32
+    }
+}
+
+impl DdPackage {
+    /// Parallel [`Self::mul_mv`]: splits the top levels of the recursion
+    /// into a task graph executed on `pool`, with a sequential cutoff below
+    /// the frontier. Falls back to the sequential path for a size-1 pool.
+    ///
+    /// Performs the same arithmetic (and feeds the same operation-cache
+    /// entries) as the sequential multiply, so a 1-thread run is bit-for-bit
+    /// identical and a t-thread run differs at most by the tolerance-bounded
+    /// interning order of freshly created weights.
+    pub fn mul_mv_parallel(&self, pool: &ThreadPool, m: MEdge, v: VEdge) -> VEdge {
+        if pool.size() <= 1 {
+            return self.mul_mv(m, v);
+        }
+        let w = self.ct.mul(m.w, v.w);
+        if w.is_zero() {
+            return VEdge::ZERO;
+        }
+        if m.is_terminal() {
+            debug_assert!(v.is_terminal());
+            return VEdge::terminal(w);
+        }
+        // Split the top k levels: ~4^k potential leaves bound the frontier,
+        // but structural sharing usually collapses that to a few times the
+        // worker count — enough slack to balance uneven subtrees.
+        let split_below = pool.size().trailing_zeros() + 2;
+        let (graph, root) = Graph::build(self, m.n, v.n, split_below);
+        self.execute(pool, &graph);
+        let r = unpack(graph.tasks[root as usize].result.load(Ordering::Relaxed));
+        self.scale_v(r, w)
+    }
+
+    /// Runs the graph: all leaves first (they are mutually independent),
+    /// then the split levels bottom-up. The pool barrier between rounds is
+    /// what publishes results to the next round's readers.
+    fn execute(&self, pool: &ThreadPool, graph: &Graph) {
+        let leaves: Vec<u32> = (0..graph.tasks.len() as u32)
+            .filter(|&i| matches!(graph.tasks[i as usize].kind, TaskKind::Leaf))
+            .collect();
+        self.run_round(pool, graph, &leaves);
+        for d in (0..=graph.max_split_depth).rev() {
+            let round: Vec<u32> = (0..graph.tasks.len() as u32)
+                .filter(|&i| {
+                    let t = &graph.tasks[i as usize];
+                    t.depth == d && matches!(t.kind, TaskKind::Split { .. })
+                })
+                .collect();
+            self.run_round(pool, graph, &round);
+        }
+    }
+
+    fn run_round(&self, pool: &ThreadPool, graph: &Graph, round: &[u32]) {
+        if round.is_empty() {
+            return;
+        }
+        if round.len() == 1 {
+            self.run_task(graph, &graph.tasks[round[0] as usize]);
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        pool.run(|_| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= round.len() {
+                break;
+            }
+            self.run_task(graph, &graph.tasks[round[i] as usize]);
+        });
+    }
+
+    fn run_task(&self, graph: &Graph, t: &Task) {
+        let r = match &t.kind {
+            TaskKind::Resolved => return,
+            TaskKind::Leaf => self.mul_mv_rec(t.mn, t.vn),
+            TaskKind::Split { level, kids } => {
+                let kid = |k: &Kid| match *k {
+                    Kid::Done(e) => e,
+                    Kid::Task { idx, w } => {
+                        let sub = unpack(graph.tasks[idx as usize].result.load(Ordering::Relaxed));
+                        self.scale_v(sub, w)
+                    }
+                };
+                let es = [
+                    self.add_vectors(kid(&kids[0]), kid(&kids[1])),
+                    self.add_vectors(kid(&kids[2]), kid(&kids[3])),
+                ];
+                let r = self.make_vnode(*level, es);
+                // Feed the operation cache exactly like the sequential
+                // recursion, so later gates hit it either way.
+                self.compute.insert_mv(t.mn, t.vn, r);
+                r
+            }
+        };
+        t.result.store(pack(r), Ordering::Relaxed);
+    }
+
+    /// Parallel [`Self::apply_gate`]: builds the gate DD (cheap, sequential)
+    /// and multiplies it onto the state with [`Self::mul_mv_parallel`].
+    pub fn apply_gate_parallel(
+        &self,
+        pool: &ThreadPool,
+        state: VEdge,
+        gate: &qcircuit::Gate,
+        n: usize,
+    ) -> VEdge {
+        let g = self.gate_dd(gate, n);
+        self.mul_mv_parallel(pool, g, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{dense, generators, Complex64};
+
+    #[test]
+    fn runs_every_tid_once() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.run(|tid| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+
+    #[test]
+    fn sequential_dispatches_reuse_workers() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let cell = AtomicUsize::new(0);
+        pool.run(|tid| cell.store(tid + 99, Ordering::Relaxed));
+        assert_eq!(cell.load(Ordering::Relaxed), 99);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        pool.run(|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "the dispatcher must re-raise the job panic"
+        );
+        // The pool is still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    fn simulate_parallel(pool: &ThreadPool, c: &qcircuit::Circuit) -> Vec<Complex64> {
+        let p = DdPackage::default();
+        let n = c.num_qubits();
+        let mut state = p.basis_state(n, 0);
+        for g in c.iter() {
+            state = p.apply_gate_parallel(pool, state, g, n);
+        }
+        p.vector_to_array(state, n)
+    }
+
+    #[test]
+    fn parallel_apply_matches_dense_across_circuits() {
+        let pool = ThreadPool::new(4);
+        let circuits = vec![
+            generators::ghz(7),
+            generators::qft(6),
+            generators::w_state(6),
+            generators::random_circuit(6, 80, 5),
+            generators::grover(4, 9, Some(3)),
+        ];
+        for c in circuits {
+            let got = simulate_parallel(&pool, &c);
+            let want = dense::simulate(&c);
+            assert!(
+                qcircuit::complex::state_distance(&got, &want) < 1e-9,
+                "circuit {}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_to_tight_tolerance() {
+        // The issue's acceptance bar: multi-thread amplitudes within 1e-12
+        // of the single-threaded ones.
+        for threads in [2usize, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for seed in [1u64, 7, 42] {
+                let c = generators::random_circuit(6, 100, seed);
+                let n = c.num_qubits();
+                let seq = DdPackage::default();
+                let mut s = seq.basis_state(n, 0);
+                for g in c.iter() {
+                    s = seq.apply_gate(s, g, n);
+                }
+                let want = seq.vector_to_array(s, n);
+                let got = simulate_parallel(&pool, &c);
+                assert!(
+                    qcircuit::complex::state_distance(&got, &want) < 1e-12,
+                    "threads={threads} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_parallel_is_bit_for_bit_sequential() {
+        let pool = ThreadPool::new(1);
+        let c = generators::random_circuit(6, 60, 9);
+        let n = c.num_qubits();
+        let seq = DdPackage::default();
+        let mut a = seq.basis_state(n, 0);
+        for g in c.iter() {
+            a = seq.apply_gate(a, g, n);
+        }
+        let par = DdPackage::default();
+        let mut b = par.basis_state(n, 0);
+        for g in c.iter() {
+            b = par.apply_gate_parallel(&pool, b, g, n);
+        }
+        // Identical packages run the identical code path: the edges match
+        // exactly, not just within tolerance.
+        assert_eq!(a, b);
+        assert_eq!(seq.vector_to_array(a, n), par.vector_to_array(b, n));
+    }
+
+    #[test]
+    fn parallel_multiply_populates_the_shared_cache() {
+        let pool = ThreadPool::new(4);
+        let p = DdPackage::default();
+        let n = 6;
+        let c = generators::qft(n);
+        let mut state = p.basis_state(n, 0);
+        for g in c.iter() {
+            state = p.apply_gate_parallel(&pool, state, g, n);
+        }
+        // A sequential re-application now hits the cache the parallel run
+        // populated.
+        let g = qcircuit::Gate::new(qcircuit::gate::GateKind::H, 0);
+        let gd = p.gate_dd(&g, n);
+        let a = p.mul_mv(gd, state);
+        let before = p.compute_stats();
+        let b = p.mul_mv(gd, state);
+        let after = p.compute_stats();
+        assert_eq!(a, b);
+        assert!(after.mv_hits > before.mv_hits);
+    }
+}

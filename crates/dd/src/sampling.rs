@@ -190,7 +190,7 @@ mod tests {
     use qcircuit::generators;
 
     fn state_dd(c: &qcircuit::Circuit) -> (DdPackage, VEdge) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut s = pkg.basis_state(c.num_qubits(), 0);
         for g in c.iter() {
             s = pkg.apply_gate(s, g, c.num_qubits());
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn sampling_basis_state_is_deterministic() {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.basis_state(6, 0b101101);
         let mut rng = SplitMix64::new(1);
         for _ in 0..20 {
@@ -311,7 +311,7 @@ mod tests {
     #[should_panic(expected = "Z-only")]
     fn diagonal_expectation_rejects_x() {
         let (pkg, s) = {
-            let mut pkg = DdPackage::default();
+            let pkg = DdPackage::default();
             let s = pkg.basis_state(3, 0);
             (pkg, s)
         };

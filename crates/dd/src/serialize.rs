@@ -206,7 +206,7 @@ mod tests {
     use qcircuit::generators;
 
     fn state_dd(c: &qcircuit::Circuit) -> (DdPackage, VEdge) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let mut s = pkg.basis_state(c.num_qubits(), 0);
         for g in c.iter() {
             s = pkg.apply_gate(s, g, c.num_qubits());

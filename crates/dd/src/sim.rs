@@ -37,7 +37,7 @@ pub struct DdSimulator {
 impl DdSimulator {
     /// Initializes the simulator in `|0...0>` over `n` qubits.
     pub fn new(n: usize) -> Self {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let state = pkg.basis_state(n, 0);
         DdSimulator {
             pkg,

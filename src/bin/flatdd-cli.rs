@@ -11,6 +11,9 @@
 //! run options:
 //!   --engine flatdd|dd|array   engine selection (default flatdd)
 //!   --threads <t>              worker threads (default 4)
+//!   --dd-threads <t>           DD-phase worker threads (default 1 =
+//!                              sequential DDSIM-equivalent; or
+//!                              FLATDD_DD_THREADS)
 //!   --shots <k>                sample k bitstrings from the output
 //!   --top <k>                  print the k most probable outcomes (default 8)
 //!   --seed <u64>               generator / sampling seed (default 42)
@@ -68,7 +71,7 @@ const USAGE: &str = "\
 flatdd-cli — hybrid DD + flat-array quantum circuit simulator
 
 Usage:
-  flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t]
+  flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t] [--dd-threads t]
                  [--shots k] [--top k] [--seed s] [--expect PAULI] [--stats]
                  [--stats-json path|-] [--trace-out path]
                  [--metrics-out path|-] [--events-out path]
@@ -116,6 +119,7 @@ struct RunOpts {
     circuit: String,
     engine: String,
     threads: usize,
+    dd_threads: Option<usize>,
     shots: usize,
     top: usize,
     seed: u64,
@@ -138,6 +142,7 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         circuit: String::new(),
         engine: "flatdd".into(),
         threads: 4,
+        dd_threads: None,
         shots: 0,
         top: 8,
         seed: 42,
@@ -165,6 +170,10 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         match a.as_str() {
             "--engine" => o.engine = val("--engine"),
             "--threads" => o.threads = val("--threads").parse().unwrap_or(4),
+            "--dd-threads" => {
+                o.dd_threads =
+                    Some(parse_or_die::<usize>("--dd-threads", &val("--dd-threads")).max(1))
+            }
             "--shots" => o.shots = val("--shots").parse().unwrap_or(0),
             "--top" => o.top = val("--top").parse().unwrap_or(8),
             "--seed" => o.seed = val("--seed").parse().unwrap_or(42),
@@ -332,11 +341,15 @@ fn cmd_run(args: &[String]) {
             if let Some(s) = o.deadline_secs {
                 governor.deadline = Some(std::time::Duration::from_secs_f64(s));
             }
-            let cfg = FlatDdConfig {
+            let mut cfg = FlatDdConfig {
                 threads: o.threads,
                 governor,
                 ..Default::default()
             };
+            // Flag beats FLATDD_DD_THREADS (already folded into the default).
+            if let Some(t) = o.dd_threads {
+                cfg.dd_threads = t;
+            }
             // Flag-based signal handling: SIGINT/SIGTERM set a flag polled
             // at gate boundaries, so sinks flush and checkpoints install
             // even when the run is cut short.

@@ -11,6 +11,8 @@
 //!   --queue-cap <n>            bounded queue size, 429 beyond it (default 16)
 //!   --retry-max <n>            transient-failure retries per job (default 3)
 //!   --checkpoint-every <g>     default periodic checkpoint interval (gates)
+//!   --dd-threads <t>           default DD-phase worker threads per job
+//!                              (default 1 = sequential)
 //! ```
 //!
 //! Submit with `POST /jobs`, poll `GET /jobs/{id}`, observe `GET /metrics`
@@ -30,7 +32,8 @@ flatdd-serve — long-running FlatDD simulation daemon
 
 Usage:
   flatdd-serve --spool DIR [--port p] [--workers n] [--memory-budget-mb mb]
-               [--queue-cap n] [--retry-max n] [--checkpoint-every gates]";
+               [--queue-cap n] [--retry-max n] [--checkpoint-every gates]
+               [--dd-threads t]";
 
 fn parse_or_die<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
     raw.parse().unwrap_or_else(|_| {
@@ -48,6 +51,7 @@ fn main() {
     let mut queue_cap = 16usize;
     let mut retry_max = 3u32;
     let mut checkpoint_every: Option<usize> = None;
+    let mut dd_threads: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -74,6 +78,10 @@ fn main() {
                 }
                 checkpoint_every = Some(g);
             }
+            "--dd-threads" => {
+                let t: usize = parse_or_die("--dd-threads", &val("--dd-threads"));
+                dd_threads = Some(t.max(1));
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
@@ -95,6 +103,7 @@ fn main() {
     cfg.queue_cap = queue_cap.max(1);
     cfg.retry_max = retry_max;
     cfg.default_checkpoint_every = checkpoint_every;
+    cfg.default_dd_threads = dd_threads;
 
     // Flag-based handlers: SIGTERM/SIGINT set a flag the accept loop polls,
     // so the drain runs on the main thread with everything still alive.
@@ -116,7 +125,9 @@ fn main() {
             std::process::exit(7);
         }
     };
-    let bound = listener.local_addr().expect("bound listener has an address");
+    let bound = listener
+        .local_addr()
+        .expect("bound listener has an address");
     // The accept loop must keep polling the signal flag, so the listener
     // cannot block indefinitely.
     listener

@@ -52,7 +52,8 @@ fn transient_truncate_is_retried_and_the_run_completes() {
         .unwrap();
     let mut sim = FlatDdSimulator::try_new_with(6, cfg, ctx.clone()).unwrap();
     sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path).every(5).retries(2, 1)));
-    sim.run(&c).expect("a transient checkpoint failure must not fail the run");
+    sim.run(&c)
+        .expect("a transient checkpoint failure must not fail the run");
 
     // The verification loop saw the torn install and retried.
     assert!(

@@ -134,8 +134,7 @@ fn cancelling_one_concurrent_job_leaves_the_other_running() {
     let survivor = {
         let c = c.clone();
         std::thread::spawn(move || {
-            let mut sim =
-                FlatDdSimulator::try_new_with(n, cfg, RunContext::isolated()).unwrap();
+            let mut sim = FlatDdSimulator::try_new_with(n, cfg, RunContext::isolated()).unwrap();
             let r = sim.run(&c);
             (r, sim.amplitudes())
         })
@@ -259,7 +258,98 @@ fn four_concurrent_jobs_keep_stats_and_faults_isolated() {
     assert_eq!(ctx_b.metrics().counter("core.runs").get(), 1);
 
     // The armed registries fired only for their own jobs.
-    assert!(ctx_c.fires("alloc.flat").is_some(), "C stays armed (always)");
-    assert!(ctx_a.fires("alloc.flat").is_none(), "A must never see C's fault");
-    assert!(ctx_b.fires("state.nan").is_none(), "B must never see D's fault");
+    assert!(
+        ctx_c.fires("alloc.flat").is_some(),
+        "C stays armed (always)"
+    );
+    assert!(
+        ctx_a.fires("alloc.flat").is_none(),
+        "A must never see C's fault"
+    );
+    assert!(
+        ctx_b.fires("state.nan").is_none(),
+        "B must never see D's fault"
+    );
+}
+
+/// Two jobs running their *DD phases* concurrently with `dd_threads = 2`
+/// each own an independent `DdPackage` (unique/complex/compute tables) and
+/// an independent worker pool: both produce their own sequential reference
+/// amplitudes, and each job's parallel-apply counter counts only its own
+/// gates. Before the per-job `RunContext` refactor the DD package was
+/// effectively global; this pins the de-globalized behavior under the new
+/// threaded engine.
+#[test]
+fn concurrent_dd_phase_jobs_use_independent_packages() {
+    let n = 8;
+    // Irregular circuits so the state DD crosses the parallel-dispatch
+    // threshold and the threaded apply actually runs.
+    let mk = |seed: u64| {
+        let mut c = Circuit::new(n);
+        for l in 0..12 {
+            for q in 0..n {
+                if (l + q + seed as usize).is_multiple_of(3) {
+                    c.cx(q, (q + 1) % n);
+                } else {
+                    c.rx(0.17 + 0.05 * ((l * n + q) as f64 + seed as f64), q);
+                }
+            }
+        }
+        c
+    };
+    let (ca, cb) = (mk(0), mk(5));
+    let cfg = FlatDdConfig {
+        threads: 1,
+        dd_threads: 2,
+        conversion: ConversionPolicy::Never,
+        ..Default::default()
+    };
+    let seq = FlatDdConfig {
+        dd_threads: 1,
+        ..cfg
+    };
+    let reference = |c: &Circuit| {
+        let mut sim = FlatDdSimulator::try_new(n, seq).unwrap();
+        sim.run(c).unwrap();
+        sim.amplitudes()
+    };
+    let (want_a, want_b) = (reference(&ca), reference(&cb));
+
+    let ctx_a = RunContext::isolated();
+    let ctx_b = RunContext::isolated();
+    let spawn = |c: Circuit, ctx: RunContext| {
+        std::thread::spawn(move || {
+            let mut sim = FlatDdSimulator::try_new_with(n, cfg, ctx).unwrap();
+            sim.run(&c).unwrap();
+            sim.amplitudes()
+        })
+    };
+    let a = spawn(ca.clone(), ctx_a.clone());
+    let b = spawn(cb.clone(), ctx_b.clone());
+    let got_a = a.join().unwrap();
+    let got_b = b.join().unwrap();
+
+    let da = state_distance(&got_a, &want_a);
+    let db = state_distance(&got_b, &want_b);
+    assert!(
+        da < 1e-12,
+        "job A deviates by {da:.3e} — packages not isolated?"
+    );
+    assert!(
+        db < 1e-12,
+        "job B deviates by {db:.3e} — packages not isolated?"
+    );
+
+    // Each context counted parallel DD applies for its own job only: both
+    // jobs took the threaded path, and neither counter double-counts the
+    // neighbor (a shared package/pool would funnel both jobs through one
+    // registry).
+    let pa = ctx_a.metrics().counter("core.dd_parallel_applies").get();
+    let pb = ctx_b.metrics().counter("core.dd_parallel_applies").get();
+    assert!(pa > 0, "job A never dispatched a parallel apply");
+    assert!(pb > 0, "job B never dispatched a parallel apply");
+    assert!(
+        pa <= ca.num_gates() as u64 && pb <= cb.num_gates() as u64,
+        "parallel-apply counters bled between jobs (A={pa}, B={pb})"
+    );
 }

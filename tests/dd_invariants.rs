@@ -11,7 +11,7 @@ use qdd::{mac_count, DdPackage, MacTable};
 #[test]
 fn unique_table_keeps_node_count_canonical() {
     // Building the same circuit's gate DDs twice must not add nodes.
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let c = generators::qft(6);
     for g in c.iter() {
         pkg.gate_dd(g, 6);
@@ -26,7 +26,7 @@ fn unique_table_keeps_node_count_canonical() {
 #[test]
 fn mac_count_equals_nonzero_entries_on_fused_products() {
     let n = 4;
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let c = generators::random_circuit(n, 10, 5);
     let mut fused = pkg.identity_dd(n);
     for g in c.iter() {
@@ -49,7 +49,7 @@ fn mac_count_equals_nonzero_entries_on_fused_products() {
 #[test]
 fn matrix_dd_of_unitary_products_stays_unitary() {
     let n = 4;
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let c = generators::random_circuit(n, 12, 9);
     let mut fused = pkg.identity_dd(n);
     for g in c.iter() {
@@ -93,7 +93,7 @@ fn compute_cache_survives_interleaved_operations() {
     // Interleave multiplications and additions; results must stay exact even
     // with the direct-mapped caches overwriting entries.
     let n = 5;
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let c = generators::random_circuit(n, 60, 3);
     let mut state = pkg.basis_state(n, 0);
     let mut ref_state = dense::zero_state(n);
@@ -120,7 +120,7 @@ fn conversion_handles_denormal_scale_states() {
     // normalize
     let norm = qcircuit::complex::norm_sqr(&v).sqrt();
     v.iter_mut().for_each(|x| *x = *x / norm);
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let e = pkg.vector_from_slice(&v);
     let seq = pkg.vector_to_array(e, n);
     assert!(state_distance(&seq, &v) < 1e-9);
@@ -131,7 +131,7 @@ fn conversion_handles_denormal_scale_states() {
 
 #[test]
 fn cost_model_c1_scales_inversely_with_threads() {
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let mut mac = MacTable::default();
     let n = 8;
     let m = pkg.gate_dd(&Gate::new(GateKind::H, 4), n);
@@ -144,7 +144,7 @@ fn cost_model_c1_scales_inversely_with_threads() {
 #[test]
 fn amplitude_path_products_match_array_readout() {
     let c = generators::supremacy_n(8, 6, 2);
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let mut state = pkg.basis_state(8, 0);
     for g in c.iter() {
         state = pkg.apply_gate(state, g, 8);
@@ -160,7 +160,7 @@ fn amplitude_path_products_match_array_readout() {
 
 #[test]
 fn package_stats_monotone_peaks() {
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let mut prev_peak = 0;
     for k in 1..=6usize {
         let _ = pkg.basis_state(8, k * 37 % 256);

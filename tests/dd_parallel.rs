@@ -1,0 +1,114 @@
+//! End-to-end equivalence of the multi-threaded DD phase: a simulator
+//! configured with `dd_threads > 1` must produce the same amplitudes as the
+//! sequential baseline (1e-12 — far below any gate-level tolerance, since
+//! the parallel engine performs the identical arithmetic and can differ
+//! only through tolerance-bounded weight-interning order).
+
+use flatdd::{ConversionPolicy, FlatDdConfig, FlatDdSimulator};
+use qcircuit::complex::state_distance;
+use qcircuit::{generators, Circuit};
+
+const TOL: f64 = 1e-12;
+
+fn run(c: &Circuit, cfg: FlatDdConfig) -> Vec<qcircuit::Complex64> {
+    let mut sim = FlatDdSimulator::try_new(c.num_qubits(), cfg).unwrap();
+    sim.run(c).unwrap();
+    sim.amplitudes()
+}
+
+/// Circuits whose state DD grows large enough during the DD phase to cross
+/// the parallel-dispatch threshold (irregular structure), plus a regular
+/// one where the threshold keeps the apply sequential.
+fn workloads(seed: u64) -> Vec<Circuit> {
+    vec![
+        generators::dnn(8, 3, seed),
+        generators::random_circuit(8, 120, seed),
+        generators::supremacy_n(8, 12, seed),
+        generators::ghz(10),
+    ]
+}
+
+#[test]
+fn two_threads_match_one_thread_through_the_full_pipeline() {
+    for seed in [3u64, 19] {
+        for c in workloads(seed) {
+            // Pure-DD ablation: the whole circuit runs in the (parallel)
+            // DD phase, so every gate exercises the threaded apply.
+            let cfg1 = FlatDdConfig {
+                conversion: ConversionPolicy::Never,
+                dd_threads: 1,
+                ..Default::default()
+            };
+            let cfg2 = FlatDdConfig {
+                dd_threads: 2,
+                ..cfg1
+            };
+            let want = run(&c, cfg1);
+            let got = run(&c, cfg2);
+            assert!(
+                state_distance(&got, &want) < TOL,
+                "{} (seed {seed}): dd_threads=2 diverged from sequential",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_dd_phase_composes_with_conversion() {
+    // Default EWMA conversion: the DD phase runs threaded, then hands off
+    // to the array phase. The handoff (DD -> flat array over the
+    // concurrent package) must not depend on dd_threads.
+    for c in [
+        generators::dnn(8, 3, 7),
+        generators::vqe(8, 2, 7),
+        generators::random_circuit(8, 120, 7),
+    ] {
+        let want = run(
+            &c,
+            FlatDdConfig {
+                dd_threads: 1,
+                ..Default::default()
+            },
+        );
+        for t in [2usize, 4] {
+            let got = run(
+                &c,
+                FlatDdConfig {
+                    dd_threads: t,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                state_distance(&got, &want) < TOL,
+                "{}: dd_threads={t} diverged after conversion",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dd_threads_one_is_the_sequential_code_path() {
+    // dd_threads=1 must not even construct a pool: its amplitudes are
+    // bit-for-bit those of the pre-parallelism engine (exact equality,
+    // not tolerance).
+    let c = generators::random_circuit(7, 90, 23);
+    let a = run(
+        &c,
+        FlatDdConfig {
+            conversion: ConversionPolicy::Never,
+            dd_threads: 1,
+            ..Default::default()
+        },
+    );
+    let b = run(
+        &c,
+        FlatDdConfig {
+            conversion: ConversionPolicy::Never,
+            dd_threads: 1,
+            ..Default::default()
+        },
+    );
+    assert_eq!(a, b);
+}

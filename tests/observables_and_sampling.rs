@@ -8,7 +8,7 @@ use qcircuit::{dense, generators, Hamiltonian, PauliString};
 use qdd::{DdPackage, SplitMix64};
 
 fn dd_state(c: &qcircuit::Circuit) -> (DdPackage, qdd::VEdge) {
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let mut s = pkg.basis_state(c.num_qubits(), 0);
     for g in c.iter() {
         s = pkg.apply_gate(s, g, c.num_qubits());

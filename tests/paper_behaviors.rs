@@ -97,7 +97,7 @@ fn ewma_epsilon_controls_conversion_timing() {
 
 #[test]
 fn cost_model_prefers_caching_exactly_when_hits_pay() {
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let mut mac = MacTable::default();
     let cm = CostModel::default();
     let n = 12;

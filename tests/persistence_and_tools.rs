@@ -67,7 +67,7 @@ fn dot_export_works_on_live_simulation_states() {
     // W state stays in the DD phase; package + a fresh DD of its amplitudes
     // render to DOT.
     let amps = sim.amplitudes();
-    let mut pkg = DdPackage::default();
+    let pkg = DdPackage::default();
     let e = pkg.vector_from_slice(&amps);
     let dot = qdd::dot::vector_to_dot(&pkg, e, "wstate");
     assert!(dot.contains("digraph wstate"));

@@ -109,7 +109,7 @@ proptest! {
 
     #[test]
     fn dd_round_trip_from_array(v in arb_state(5)) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.vector_from_slice(&v);
         let back = pkg.vector_to_array(e, 5);
         prop_assert!(state_distance(&back, &v) < 1e-9);
@@ -117,7 +117,7 @@ proptest! {
 
     #[test]
     fn parallel_conversion_equals_sequential(v in arb_state(6)) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e = pkg.vector_from_slice(&v);
         let seq = pkg.vector_to_array(e, 6);
         for t in [1usize, 2, 4] {
@@ -137,7 +137,7 @@ proptest! {
         prop_assume!(norm_sqr(&v) > 1e-6);
         let w = Complex64::new(scale_re, scale_im);
         let scaled: Vec<Complex64> = v.iter().map(|&x| x * w).collect();
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let e1 = pkg.vector_from_slice(&v);
         let e2 = pkg.vector_from_slice(&scaled);
         prop_assert_eq!(e1.n, e2.n, "scaled copies must share the DD node");
@@ -145,7 +145,7 @@ proptest! {
 
     #[test]
     fn dd_addition_is_commutative(a in arb_state(4), b in arb_state(4)) {
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let ea = pkg.vector_from_slice(&a);
         let eb = pkg.vector_from_slice(&b);
         let ab = pkg.add_vectors(ea, eb);
@@ -162,7 +162,7 @@ proptest! {
         theta in -3.0f64..3.0,
     ) {
         let g = Gate::new(GateKind::U(theta, theta * 0.5, -theta), target);
-        let mut pkg = DdPackage::default();
+        let pkg = DdPackage::default();
         let m = pkg.gate_dd(&g, 5);
         let pool = ThreadPool::new(2);
         let mut w = vec![Complex64::ZERO; 32];

@@ -18,8 +18,7 @@ use util::*;
 
 const CIRCUIT: &str = "supremacy:19,14";
 const SEED: u64 = 9;
-const SUBMIT: &str =
-    r#"{"circuit":"supremacy:19,14","seed":9,"threads":2,"checkpoint_every":10}"#;
+const SUBMIT: &str = r#"{"circuit":"supremacy:19,14","seed":9,"threads":2,"checkpoint_every":10}"#;
 
 /// Top-8 amplitudes of the uninterrupted run, computed in-process with
 /// the same selection rule the daemon uses.
@@ -53,7 +52,10 @@ fn assert_heavy_matches(status: &str) {
     let want = reference_heavy();
     assert_eq!(got.len(), want.len(), "heavy list length: {status}");
     for (g, w) in got.iter().zip(want) {
-        assert_eq!(g.0, w.0, "heavy outcome order diverged: {got:?} vs {want:?}");
+        assert_eq!(
+            g.0, w.0,
+            "heavy outcome order diverged: {got:?} vs {want:?}"
+        );
         assert!(
             (g.1 - w.1).abs() < 1e-12 && (g.2 - w.2).abs() < 1e-12,
             "amplitude {} deviates: got ({}, {}), want ({}, {})",

@@ -86,8 +86,7 @@ impl Daemon {
 
 /// One HTTP request against localhost; returns `(status, body)`.
 pub fn http(port: u16, method: &str, path: &str, body: Option<&str>) -> (u32, String) {
-    let mut stream =
-        TcpStream::connect(("127.0.0.1", port)).expect("connect to daemon");
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to daemon");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
@@ -131,7 +130,10 @@ pub fn field_u64(body: &str, key: &str) -> Option<u64> {
 /// The job's `"state"` value from a status payload.
 pub fn job_state(body: &str) -> String {
     let key = "\"state\":\"";
-    let i = body.find(key).unwrap_or_else(|| panic!("no state in {body:?}")) + key.len();
+    let i = body
+        .find(key)
+        .unwrap_or_else(|| panic!("no state in {body:?}"))
+        + key.len();
     body[i..].chars().take_while(|&c| c != '"').collect()
 }
 

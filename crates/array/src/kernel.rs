@@ -137,8 +137,20 @@ fn apply_range_runs(state: &mut [Complex64], plan: &GatePlan, start: usize, end:
 
 /// Applies `gate` to `state` with `threads` worker threads (amplitude pairs
 /// are partitioned into contiguous group ranges; pairs never overlap, so the
-/// writes are disjoint).
+/// writes are disjoint). Equivalent to [`apply_gate_sharded`] with one shard
+/// per thread.
 pub fn apply_gate_parallel(state: &mut [Complex64], gate: &Gate, threads: usize) {
+    apply_gate_sharded(state, gate, threads, threads);
+}
+
+/// Applies `gate` to `state` with group space partitioned into `shards`
+/// contiguous ranges; `threads` workers pick shards round-robin
+/// (`tid, tid + T, ...`), so the worker that first-touched a state shard
+/// keeps operating on it. `pair_index` is monotone in the group index, so
+/// a contiguous group shard touches a disjoint set of amplitude pairs.
+/// `shards == threads` reproduces [`apply_gate_parallel`]'s partition
+/// exactly.
+pub fn apply_gate_sharded(state: &mut [Complex64], gate: &Gate, threads: usize, shards: usize) {
     let groups = state.len() / 2;
     if threads <= 1 || groups < threads * 64 {
         apply_gate_serial(state, gate);
@@ -146,20 +158,22 @@ pub fn apply_gate_parallel(state: &mut [Complex64], gate: &Gate, threads: usize)
     }
     let plan = &GatePlan::new(gate);
     let view = SyncUnsafeSlice::new(state);
-    let chunk = groups.div_ceil(threads);
+    let shards = shards.max(1);
+    let workers = threads.min(shards);
     std::thread::scope(|s| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(groups);
-            if start >= end {
-                break;
-            }
+        for tid in 0..workers {
             s.spawn(move || {
-                // SAFETY: group ranges are disjoint and each group's pair
-                // indices are unique to that group, so no element is touched
-                // by two threads.
-                let full = unsafe { view.slice_mut(0, view.len()) };
-                apply_range(full, plan, start, end);
+                for shard in (tid..shards).step_by(workers) {
+                    let r = crate::shard::shard_range(groups, shards, shard);
+                    if r.is_empty() {
+                        continue;
+                    }
+                    // SAFETY: shard group ranges are disjoint and each
+                    // group's pair indices are unique to that group, so no
+                    // element is touched by two threads.
+                    let full = unsafe { view.slice_mut(0, view.len()) };
+                    apply_range(full, plan, r.start, r.end);
+                }
             });
         }
     });
@@ -232,6 +246,23 @@ mod tests {
                 apply_gate_serial(&mut a, &g);
                 apply_gate_parallel(&mut b, &g, threads);
                 assert!(state_distance(&a, &b) < TOL, "gate {g}, t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_for_every_geometry() {
+        let n = 11;
+        for (threads, shards) in [(2, 8), (4, 2), (3, 5), (8, 1), (2, 16), (4, 4)] {
+            for g in gates_under_test() {
+                let mut a = rand_state(n, 13);
+                let mut b = a.clone();
+                apply_gate_serial(&mut a, &g);
+                apply_gate_sharded(&mut b, &g, threads, shards);
+                assert!(
+                    state_distance(&a, &b) < TOL,
+                    "gate {g}, t={threads}, shards={shards}"
+                );
             }
         }
     }

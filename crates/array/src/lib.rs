@@ -8,6 +8,8 @@
 //! * [`kernel`] — serial and multi-threaded in-place gate application with
 //!   diagonal/anti-diagonal fast paths.
 //! * [`sim`] — [`ArraySimulator`], the full-state simulator.
+//! * [`shard`] — [`ShardedState`], the contiguous-but-sharded flat state
+//!   with first-touch (NUMA-aware) zero initialization.
 //! * [`sync_slice`] — [`SyncUnsafeSlice`], the disjoint-parallel-write
 //!   primitive shared with FlatDD's DMAV kernels.
 //! * [`vecops`] — vectorized complex primitives (axpy/scale/dot/2x2 blocks)
@@ -18,13 +20,16 @@
 
 pub mod kernel;
 pub mod measure;
+pub mod shard;
 pub mod sim;
 pub mod sync_slice;
 pub mod vecops;
 
-pub use kernel::{apply_gate_parallel, apply_gate_serial};
+pub use kernel::{apply_gate_parallel, apply_gate_serial, apply_gate_sharded};
 pub use measure::{
-    expectation, expectation_pauli, measure_qubit, qubit_probability_one, sample, sample_counts,
+    expectation, expectation_pauli, measure_qubit, measure_qubit_sharded, qubit_probability_one,
+    qubit_probability_one_sharded, sample, sample_counts,
 };
+pub use shard::{first_touch_zeroed, shard_range, ShardZeroer, ShardedState};
 pub use sim::{simulate, simulate_with_threads, try_zeroed_state, ArraySimulator};
 pub use sync_slice::SyncUnsafeSlice;

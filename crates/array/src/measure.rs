@@ -65,6 +65,145 @@ pub fn qubit_probability_one(state: &[Complex64], q: usize) -> f64 {
     p1
 }
 
+/// The `|1>`-branch probability mass inside `state[range]`: the marginal's
+/// runs (`[base + bit, base + 2*bit)` for `base` a multiple of `2*bit`)
+/// clipped to the range. Summing the partials of a tiling of `state` in
+/// shard order reproduces [`qubit_probability_one`]'s accumulation exactly
+/// when there is one shard, and a fixed shard-ordered sum otherwise —
+/// deterministic for a given shard count regardless of thread count.
+fn prob_one_partial(state: &[Complex64], bit: usize, range: std::ops::Range<usize>) -> f64 {
+    let stride = 2 * bit;
+    let mut p1 = 0.0;
+    let mut base = range.start & !(stride - 1);
+    while base < range.end {
+        let lo = (base + bit).max(range.start);
+        let hi = (base + stride).min(range.end);
+        if lo < hi {
+            p1 += vecops::norm_sqr(&state[lo..hi]);
+        }
+        base += stride;
+    }
+    p1
+}
+
+/// [`qubit_probability_one`] computed per shard: each of `shards`
+/// contiguous state ranges contributes a partial sum (workers pick shards
+/// round-robin), and the partials are added in shard order. One shard is
+/// bit-identical to the monolithic marginal.
+pub fn qubit_probability_one_sharded(
+    state: &[Complex64],
+    q: usize,
+    shards: usize,
+    threads: usize,
+) -> f64 {
+    let bit = 1usize << q;
+    if bit >= state.len() {
+        return 0.0;
+    }
+    let shards = shards.max(1);
+    let mut partials = vec![0.0f64; shards];
+    let workers = threads.clamp(1, shards);
+    if workers <= 1 {
+        for (s, p) in partials.iter_mut().enumerate() {
+            *p = prob_one_partial(
+                state,
+                bit,
+                crate::shard::shard_range(state.len(), shards, s),
+            );
+        }
+    } else {
+        let view = crate::sync_slice::SyncUnsafeSlice::new(&mut partials);
+        std::thread::scope(|scope| {
+            for tid in 0..workers {
+                scope.spawn(move || {
+                    for s in (tid..shards).step_by(workers) {
+                        let r = crate::shard::shard_range(state.len(), shards, s);
+                        // SAFETY: each shard index is owned by one worker.
+                        unsafe { view.write(s, prob_one_partial(state, bit, r)) };
+                    }
+                });
+            }
+        });
+    }
+    partials.iter().sum()
+}
+
+/// Projectively measures qubit `q` with the collapse dispatched per shard:
+/// the outcome is drawn from the shard-ordered marginal, then each shard's
+/// range is scaled/zeroed independently (elementwise, so the result is
+/// identical to [`measure_qubit`] up to the marginal's summation order —
+/// and bit-identical with one shard).
+pub fn measure_qubit_sharded(
+    state: &mut [Complex64],
+    q: usize,
+    rand01: &mut impl FnMut() -> f64,
+    shards: usize,
+    threads: usize,
+) -> bool {
+    let shards = shards.max(1);
+    let p1 = qubit_probability_one_sharded(state, q, shards, threads);
+    let outcome = rand01() < p1;
+    let prob = if outcome { p1 } else { 1.0 - p1 };
+    assert!(prob > 1e-15, "measured an impossible outcome");
+    let bit = 1usize << q;
+    let scale = Complex64::real(1.0 / prob.sqrt());
+    let dim = state.len();
+    let workers = threads.clamp(1, shards);
+    let collapse = |chunk: &mut [Complex64], r: std::ops::Range<usize>| {
+        if bit >= dim {
+            // Qubit above the register: outcome is always 0, pure rescale.
+            vecops::scale_in_place(chunk, scale);
+            return;
+        }
+        let stride = 2 * bit;
+        let mut base = r.start & !(stride - 1);
+        while base < r.end {
+            let zero_run = (base.max(r.start), (base + bit).min(r.end));
+            let one_run = ((base + bit).max(r.start), (base + stride).min(r.end));
+            let (keep, kill) = if outcome {
+                (one_run, zero_run)
+            } else {
+                (zero_run, one_run)
+            };
+            if keep.0 < keep.1 {
+                vecops::scale_in_place(&mut chunk[keep.0 - r.start..keep.1 - r.start], scale);
+            }
+            if kill.0 < kill.1 {
+                chunk[kill.0 - r.start..kill.1 - r.start].fill(Complex64::ZERO);
+            }
+            base += stride;
+        }
+    };
+    if workers <= 1 {
+        for s in 0..shards {
+            let r = crate::shard::shard_range(dim, shards, s);
+            if !r.is_empty() {
+                let chunk = &mut state[r.clone()];
+                collapse(chunk, r);
+            }
+        }
+    } else {
+        let view = crate::sync_slice::SyncUnsafeSlice::new(state);
+        let collapse = &collapse;
+        std::thread::scope(|scope| {
+            for tid in 0..workers {
+                scope.spawn(move || {
+                    for s in (tid..shards).step_by(workers) {
+                        let r = crate::shard::shard_range(dim, shards, s);
+                        if r.is_empty() {
+                            continue;
+                        }
+                        // SAFETY: shard ranges are disjoint per worker.
+                        let chunk = unsafe { view.slice_mut(r.start, r.len()) };
+                        collapse(chunk, r);
+                    }
+                });
+            }
+        });
+    }
+    outcome
+}
+
 /// Projectively measures qubit `q` in place: draws the outcome, zeroes the
 /// other branch, renormalizes. Returns the outcome.
 pub fn measure_qubit(state: &mut [Complex64], q: usize, rand01: &mut impl FnMut() -> f64) -> bool {
@@ -232,6 +371,43 @@ mod tests {
         assert!((p1_after - if outcome { 1.0 } else { 0.0 }).abs() < 1e-9);
         assert!((qcircuit::complex::norm_sqr(&v) - 1.0).abs() < 1e-9);
         let _ = p1;
+    }
+
+    #[test]
+    fn sharded_marginal_matches_monolithic() {
+        let c = generators::random_circuit(6, 60, 11);
+        let v = dense::simulate(&c);
+        for q in 0..6 {
+            let want = qubit_probability_one(&v, q);
+            // One shard must be bit-identical (same accumulation order).
+            assert_eq!(qubit_probability_one_sharded(&v, q, 1, 4), want);
+            for (shards, threads) in [(2, 1), (4, 2), (8, 3), (16, 16), (3, 2)] {
+                let got = qubit_probability_one_sharded(&v, q, shards, threads);
+                assert!((got - want).abs() < 1e-12, "q={q} shards={shards}");
+                // Deterministic for a shard count regardless of threads.
+                assert_eq!(got, qubit_probability_one_sharded(&v, q, shards, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_collapse_matches_monolithic() {
+        let c = generators::random_circuit(6, 60, 17);
+        for (shards, threads) in [(1, 1), (4, 2), (8, 8), (5, 3)] {
+            for q in 0..6 {
+                let mut a = dense::simulate(&c);
+                let mut b = a.clone();
+                let mut r1 = SplitMix64::new(q as u64 + 1);
+                let mut r2 = SplitMix64::new(q as u64 + 1);
+                let oa = measure_qubit(&mut a, q, &mut r1.as_fn());
+                let ob = measure_qubit_sharded(&mut b, q, &mut r2.as_fn(), shards, threads);
+                assert_eq!(oa, ob, "q={q} shards={shards}");
+                assert!(
+                    qcircuit::complex::state_distance(&a, &b) < 1e-12,
+                    "q={q} shards={shards} t={threads}"
+                );
+            }
+        }
     }
 
     #[test]

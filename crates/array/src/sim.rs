@@ -1,15 +1,18 @@
 //! The array-based simulator (Quantum++-equivalent baseline).
 
-use crate::kernel::{apply_gate_parallel, apply_gate_serial};
+use crate::kernel::{apply_gate_serial, apply_gate_sharded};
+use crate::shard::ShardedState;
 use qcircuit::complex::norm_sqr;
 use qcircuit::{Circuit, Complex64, Gate};
 
 /// Full-state array-based simulator: a flat `2^n` amplitude vector with
-/// multi-threaded in-place gate application.
+/// multi-threaded in-place gate application dispatched per shard.
 pub struct ArraySimulator {
     state: Vec<Complex64>,
     n: usize,
     threads: usize,
+    /// Gate-kernel dispatch granularity (defaults to the thread count).
+    shards: usize,
     /// Cached handle on the global `array.gates` counter (one registry
     /// lookup per simulator, one relaxed add per gate).
     gates_applied: qtelemetry::Counter,
@@ -32,18 +35,22 @@ impl ArraySimulator {
     }
 
     /// Fallible [`Self::with_threads`]: a refused allocation comes back as
-    /// a `TryReserveError` instead of aborting the process.
+    /// a `TryReserveError` instead of aborting the process. The state is
+    /// zero-initialized first-touch: each of `threads` shards is paged in
+    /// by the worker that will own it during gate application.
     pub fn try_with_threads(
         n: usize,
         threads: usize,
     ) -> Result<Self, std::collections::TryReserveError> {
         assert!(n >= 1 && n < usize::BITS as usize);
-        let mut state = try_zeroed_state(1usize << n)?;
+        let threads = threads.max(1);
+        let mut state = ShardedState::try_new_zeroed(1usize << n, threads, threads)?.into_vec();
         state[0] = Complex64::ONE;
         Ok(ArraySimulator {
             state,
             n,
-            threads: threads.max(1),
+            threads,
+            shards: threads,
             gates_applied: qtelemetry::counter("array.gates"),
         })
     }
@@ -56,6 +63,7 @@ impl ArraySimulator {
             state,
             n,
             threads: threads.max(1),
+            shards: threads.max(1),
             gates_applied: qtelemetry::counter("array.gates"),
         }
     }
@@ -70,9 +78,25 @@ impl ArraySimulator {
         self.threads
     }
 
-    /// Changes the worker-thread count.
+    /// Changes the worker-thread count (the shard count follows unless
+    /// [`Self::set_shards`] pinned it).
     pub fn set_threads(&mut self, threads: usize) {
+        let follow = self.shards == self.threads;
         self.threads = threads.max(1);
+        if follow {
+            self.shards = self.threads;
+        }
+    }
+
+    /// Gate-kernel dispatch shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Pins the gate-kernel dispatch granularity independently of the
+    /// thread count (workers pick shards round-robin).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// The amplitude vector.
@@ -89,7 +113,7 @@ impl ArraySimulator {
     pub fn apply(&mut self, gate: &Gate) {
         self.gates_applied.inc();
         if self.threads > 1 {
-            apply_gate_parallel(&mut self.state, gate, self.threads);
+            apply_gate_sharded(&mut self.state, gate, self.threads, self.shards);
         } else {
             apply_gate_serial(&mut self.state, gate);
         }
@@ -181,6 +205,22 @@ mod tests {
         for t in [2, 4, 8] {
             let b = simulate_with_threads(&c, t);
             assert!(state_distance(&a, &b) < TOL, "t={t}");
+        }
+    }
+
+    #[test]
+    fn sharded_dispatch_matches_single() {
+        let c = generators::random_circuit(11, 100, 4);
+        let a = simulate(&c);
+        for (threads, shards) in [(2, 8), (4, 1), (3, 7)] {
+            let mut sim = ArraySimulator::with_threads(11, threads);
+            sim.set_shards(shards);
+            assert_eq!(sim.shards(), shards);
+            sim.run(&c);
+            assert!(
+                state_distance(sim.state(), &a) < TOL,
+                "t={threads} shards={shards}"
+            );
         }
     }
 

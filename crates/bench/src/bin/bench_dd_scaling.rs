@@ -30,12 +30,18 @@ fn run_dd_phase(c: &Circuit, threads: usize) -> (f64, Vec<Complex64>) {
     let mut pkg = pkg; // gc needs &mut between timed spans
     let start = Instant::now();
     let mut since_gc = 0usize;
+    let mut dd_size = 1usize;
     for g in c.iter() {
         let m = pkg.gate_dd(g, n);
+        // The simulator's dispatch: cap the fork width by the work
+        // available so small DDs run sequential instead of paying the
+        // fork-join barrier (the VQE regression this harness guards).
+        let cap = qdd::par::adaptive_parallel_cap(dd_size);
         state = match &pool {
-            Some(p) => pkg.mul_mv_parallel(p, m, state),
-            None => pkg.mul_mv(m, state),
+            Some(p) if cap > 1 => pkg.mul_mv_parallel_capped(p, m, state, cap),
+            _ => pkg.mul_mv(m, state),
         };
+        dd_size = pkg.vector_dd_size(state);
         since_gc += 1;
         if since_gc >= 256 {
             pkg.gc(&[state], &[]);

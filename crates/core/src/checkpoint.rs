@@ -141,8 +141,17 @@ pub enum CheckpointState {
 pub enum CheckpointPayload<'a> {
     /// QDDV1 bytes.
     Dd(&'a [u8]),
-    /// Flat amplitudes.
-    Flat(&'a [Complex64]),
+    /// Flat amplitudes. `shards` is the writer's flat-phase shard geometry:
+    /// encode chunks align to shard boundaries so encoding parallelizes per
+    /// shard. The bytes on disk are a plain concatenation under one running
+    /// CRC, so the file is byte-identical for every shard count and a
+    /// resume is valid under a different `--flat-shards` value.
+    Flat {
+        /// The amplitude vector.
+        amps: &'a [Complex64],
+        /// Writer-side shard count (1 = serial encode).
+        shards: usize,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -384,6 +393,47 @@ pub fn sweep_stale_tmp(dir: &Path) -> Vec<PathBuf> {
     removed
 }
 
+/// Flat-payload chunk boundaries: each state shard split into
+/// [`FLAT_CHUNK`]-amplitude sub-chunks, in stream order. Chunking is
+/// invisible on disk (one concatenated byte stream, one running CRC), so
+/// any shard count produces the same file.
+fn flat_chunks(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let mut chunks = Vec::new();
+    for s in 0..shards.max(1) {
+        let r = qarray::shard_range(len, shards.max(1), s);
+        let mut start = r.start;
+        while start < r.end {
+            let end = (start + FLAT_CHUNK).min(r.end);
+            chunks.push(start..end);
+            start = end;
+        }
+    }
+    chunks
+}
+
+/// Decodes one chunk of LE `(re, im)` f64 pairs into `dst`; returns `false`
+/// when any amplitude is non-finite.
+fn decode_flat_chunk(bytes: &[u8], dst: &mut [Complex64]) -> bool {
+    debug_assert_eq!(bytes.len(), dst.len() * 16);
+    let mut ok = true;
+    for (i, a) in dst.iter_mut().enumerate() {
+        let off = i * 16;
+        let re = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let im = f64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+        ok &= re.is_finite() && im.is_finite();
+        *a = Complex64::new(re, im);
+    }
+    ok
+}
+
+fn encode_flat_chunk(block: &[Complex64], out: &mut Vec<u8>) {
+    out.reserve(block.len() * 16);
+    for a in block {
+        out.extend_from_slice(&a.re.to_le_bytes());
+        out.extend_from_slice(&a.im.to_le_bytes());
+    }
+}
+
 fn write_tmp(
     tmp: &Path,
     header: &CheckpointHeader,
@@ -407,18 +457,40 @@ fn write_tmp(
             crc.update(bytes);
             w.write_all(bytes)?;
         }
-        CheckpointPayload::Flat(amps) => {
+        CheckpointPayload::Flat { amps, shards } => {
             w.write_all(&[1u8])?;
             w.write_all(&((amps.len() * 16) as u64).to_le_bytes())?;
-            let mut chunk = Vec::with_capacity(FLAT_CHUNK.min(amps.len()) * 16);
-            for block in amps.chunks(FLAT_CHUNK) {
-                chunk.clear();
-                for a in block {
-                    chunk.extend_from_slice(&a.re.to_le_bytes());
-                    chunk.extend_from_slice(&a.im.to_le_bytes());
+            let chunks = flat_chunks(amps.len(), shards);
+            if shards <= 1 {
+                let mut chunk = Vec::with_capacity(FLAT_CHUNK.min(amps.len()) * 16);
+                for r in chunks {
+                    chunk.clear();
+                    encode_flat_chunk(&amps[r], &mut chunk);
+                    crc.update(&chunk);
+                    w.write_all(&chunk)?;
                 }
-                crc.update(&chunk);
-                w.write_all(&chunk)?;
+            } else {
+                // Shard-parallel encode: waves of `lanes` chunks are encoded
+                // concurrently into private slots, then CRC'd and written in
+                // order — the stream (and thus the CRC) is identical to the
+                // serial path.
+                let lanes = shards.min(8);
+                let mut slots: Vec<Vec<u8>> = vec![Vec::new(); lanes];
+                for wave in chunks.chunks(lanes) {
+                    std::thread::scope(|s| {
+                        for (slot, r) in slots.iter_mut().zip(wave) {
+                            let block = &amps[r.clone()];
+                            s.spawn(move || {
+                                slot.clear();
+                                encode_flat_chunk(block, slot);
+                            });
+                        }
+                    });
+                    for (slot, _) in slots.iter().zip(wave) {
+                        crc.update(slot);
+                        w.write_all(slot)?;
+                    }
+                }
             }
         }
     }
@@ -660,23 +732,60 @@ pub fn read_checkpoint(path: &Path) -> Result<(CheckpointHeader, CheckpointState
             }
             let mut amps = qarray::try_zeroed_state(count)
                 .map_err(|_| corrupt("flat payload too large to allocate"))?;
-            let mut chunk = vec![0u8; FLAT_CHUNK.min(count) * 16];
+            // Decode lanes: chunks are read (and CRC'd) serially in stream
+            // order, then a wave of up to `lanes` chunks is decoded into
+            // disjoint amplitude ranges concurrently. The reader needs no
+            // knowledge of the writer's shard count.
+            let lanes = if count >= 2 * FLAT_CHUNK {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(8)
+            } else {
+                1
+            };
+            let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; FLAT_CHUNK.min(count) * 16]; lanes];
             let mut filled = 0usize;
             while filled < count {
-                let take = FLAT_CHUNK.min(count - filled);
-                let buf = &mut chunk[..take * 16];
-                read_exactly(&mut r, buf, "flat payload")?;
-                crc.update(buf);
-                for (i, a) in amps[filled..filled + take].iter_mut().enumerate() {
-                    let off = i * 16;
-                    let re = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-                    let im = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
-                    if !re.is_finite() || !im.is_finite() {
-                        return Err(corrupt("non-finite amplitude in flat payload"));
+                let mut wave: Vec<(usize, usize)> = Vec::new(); // (start, take)
+                for b in bufs.iter_mut() {
+                    if filled >= count {
+                        break;
                     }
-                    *a = Complex64::new(re, im);
+                    let take = FLAT_CHUNK.min(count - filled);
+                    let buf = &mut b[..take * 16];
+                    read_exactly(&mut r, buf, "flat payload")?;
+                    crc.update(buf);
+                    wave.push((filled, take));
+                    filled += take;
                 }
-                filled += take;
+                let mut ok = true;
+                if wave.len() <= 1 {
+                    for (&(start, take), b) in wave.iter().zip(&bufs) {
+                        ok &= decode_flat_chunk(&b[..take * 16], &mut amps[start..start + take]);
+                    }
+                } else {
+                    let mut tail: &mut [Complex64] = &mut amps;
+                    let mut consumed = 0usize;
+                    std::thread::scope(|s| {
+                        let mut handles = Vec::new();
+                        for (&(start, take), b) in wave.iter().zip(&bufs) {
+                            let (head, rest) =
+                                std::mem::take(&mut tail).split_at_mut(start + take - consumed);
+                            let dst = &mut head[start - consumed..];
+                            consumed = start + take;
+                            tail = rest;
+                            let bytes = &b[..take * 16];
+                            handles.push(s.spawn(move || decode_flat_chunk(bytes, dst)));
+                        }
+                        for h in handles {
+                            ok &= h.join().unwrap_or(false);
+                        }
+                    });
+                }
+                if !ok {
+                    return Err(corrupt("non-finite amplitude in flat payload"));
+                }
             }
             CheckpointState::Flat(amps)
         }
@@ -748,7 +857,10 @@ mod tests {
             .map(|i| Complex64::new(i as f64 * 0.25, -(i as f64)))
             .collect();
         let bytes = write_checkpoint(&path, &header(Phase::Dmav), {
-            CheckpointPayload::Flat(&amps)
+            CheckpointPayload::Flat {
+                amps: &amps,
+                shards: 1,
+            }
         })
         .unwrap();
         assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
@@ -760,6 +872,42 @@ mod tests {
             _ => panic!("expected flat payload"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flat_checkpoint_bytes_identical_for_every_shard_count() {
+        // Big enough to exercise multiple FLAT_CHUNK sub-chunks per shard
+        // and the wave-parallel encode/decode paths.
+        let n = 17u32;
+        let amps: Vec<Complex64> = (0..1usize << n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos() * 0.5))
+            .collect();
+        let mut h = header(Phase::Dmav);
+        h.n = n;
+        let mut reference: Option<Vec<u8>> = None;
+        for shards in [1usize, 2, 4, 16] {
+            let path = tmp_file(&format!("flat-shards-{shards}"));
+            write_checkpoint(
+                &path,
+                &h,
+                CheckpointPayload::Flat {
+                    amps: &amps,
+                    shards,
+                },
+            )
+            .unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(&bytes, want, "shards={shards}"),
+            }
+            let (_, state) = read_checkpoint(&path).unwrap();
+            match state {
+                CheckpointState::Flat(v) => assert_eq!(v, amps, "shards={shards}"),
+                _ => panic!("expected flat payload"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]
@@ -784,7 +932,15 @@ mod tests {
         let amps: Vec<Complex64> = (0..8)
             .map(|i| Complex64::new(1.0 / (i + 1) as f64, 0.0))
             .collect();
-        write_checkpoint(&path, &header(Phase::Dmav), CheckpointPayload::Flat(&amps)).unwrap();
+        write_checkpoint(
+            &path,
+            &header(Phase::Dmav),
+            CheckpointPayload::Flat {
+                amps: &amps,
+                shards: 2,
+            },
+        )
+        .unwrap();
         let good = std::fs::read(&path).unwrap();
 
         let damaged = tmp_file("damaged");
@@ -838,6 +994,13 @@ mod tests {
             config_fingerprint(&base),
             config_fingerprint(&other_threads),
             "thread count must not affect the fingerprint"
+        );
+        let mut other_shards = base;
+        other_shards.flat_shards = 8;
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&other_shards),
+            "shard count must not affect the fingerprint (resume may re-shard)"
         );
         let mut other_policy = base;
         other_policy.conversion = crate::sim::ConversionPolicy::Never;

@@ -43,16 +43,18 @@ pub struct ScalarTask {
     pub factor: Complex64,
 }
 
-/// The plan produced by the descent: per-thread fill lists plus ordered
-/// scalar-multiplication tasks.
+/// The plan produced by the descent: per-group fill lists plus ordered
+/// scalar-multiplication tasks. A "group" is the dispatch unit — one state
+/// shard in the sharded flat phase, one pool thread in the legacy layout
+/// (`groups == pool.size()`).
 pub struct ConversionPlan {
     fill: Vec<Vec<FillTask>>,
     scalar: Vec<ScalarTask>,
 }
 
 impl ConversionPlan {
-    /// Builds a plan for converting `root` (over `n` qubits) with `threads`
-    /// workers.
+    /// Builds a plan for converting `root` (over `n` qubits) into `threads`
+    /// dispatch groups (shards).
     pub fn build(pkg: &DdPackage, root: VEdge, n: usize, threads: usize) -> Self {
         let t = threads.max(1);
         let mut plan = ConversionPlan {
@@ -69,12 +71,12 @@ impl ConversionPlan {
         &self.scalar
     }
 
-    /// Number of fill tasks assigned to each thread.
+    /// Number of fill tasks assigned to each group.
     pub fn fill_counts(&self) -> Vec<usize> {
         self.fill.iter().map(|v| v.len()).collect()
     }
 
-    /// Output-range coverage per thread (amplitude slots each thread's fill
+    /// Output-range coverage per group (amplitude slots each group's fill
     /// tasks span) — the load-balance metric of the Figure 4a optimization.
     pub fn coverage(&self, pkg: &DdPackage) -> Vec<usize> {
         self.fill
@@ -172,34 +174,49 @@ fn fill_rec(
 }
 
 /// Telemetry breakdown of one parallel conversion — the Figure 4a
-/// load-balance data surfaced per worker.
+/// load-balance data surfaced per dispatch group (shard).
 #[derive(Clone, Debug, Default)]
 pub struct ConversionBreakdown {
-    /// Fill tasks assigned to each worker (index = pool thread id).
+    /// Fill tasks assigned to each group (index = shard id).
     pub fill_tasks: Vec<usize>,
-    /// Wall-clock nanoseconds each worker spent filling. Empty when
-    /// telemetry is disabled — the per-worker clocks are only read when a
-    /// sink is listening.
+    /// Amplitude slots each group's fill tasks span — the load-balance
+    /// metric (max/min across groups ≈ 1 means balanced).
+    pub amp_spans: Vec<usize>,
+    /// Wall-clock nanoseconds each group's fill took. Empty when telemetry
+    /// is disabled — the per-group clocks are only read when a sink is
+    /// listening.
     pub worker_nanos: Vec<u64>,
     /// Deferred scalar-multiplication tasks (the Figure 4b optimization).
     pub scalar_tasks: usize,
 }
 
 /// Converts a vector DD into a flat array using the pool — the FlatDD
-/// parallel conversion of Figure 4.
+/// parallel conversion of Figure 4. The output buffer is first-touch
+/// zeroed by the pool workers, shard-per-thread.
 pub fn dd_to_array_parallel(
     pkg: &DdPackage,
     root: VEdge,
     n: usize,
     pool: &ThreadPool,
 ) -> Vec<Complex64> {
-    let mut out = vec![Complex64::ZERO; 1usize << n];
+    let t = pool.size();
+    let mut out = Vec::new();
+    qarray::first_touch_zeroed(&mut out, 1usize << n, t, |z| {
+        if t > 1 {
+            pool.run(|tid| {
+                for s in (tid..z.shards()).step_by(t) {
+                    z.zero_shard(s);
+                }
+            });
+        }
+    })
+    .unwrap_or_else(|_| panic!("cannot allocate 2^{n} amplitudes"));
     let _ = dd_to_array_parallel_into(pkg, root, n, pool, &mut out);
     out
 }
 
 /// Same as [`dd_to_array_parallel`] but writing into a caller buffer
-/// (which must be zeroed). Returns the per-worker breakdown for telemetry.
+/// (which must be zeroed). Returns the per-group breakdown for telemetry.
 /// Probes the process-global fault registry.
 pub fn dd_to_array_parallel_into(
     pkg: &DdPackage,
@@ -208,7 +225,7 @@ pub fn dd_to_array_parallel_into(
     pool: &ThreadPool,
     out: &mut [Complex64],
 ) -> ConversionBreakdown {
-    dd_to_array_parallel_into_probed(pkg, root, n, pool, out, &crate::faults::fires)
+    dd_to_array_parallel_into_probed(pkg, root, n, pool, pool.size(), out, &crate::faults::fires)
 }
 
 /// [`dd_to_array_parallel_into`] with the worker-panic fault site routed
@@ -222,7 +239,24 @@ pub fn dd_to_array_parallel_into_with(
     out: &mut [Complex64],
     ctx: &crate::RunContext,
 ) -> ConversionBreakdown {
-    dd_to_array_parallel_into_probed(pkg, root, n, pool, out, &|site| ctx.fires(site))
+    dd_to_array_parallel_sharded_into_with(pkg, root, n, pool, pool.size(), out, ctx)
+}
+
+/// Sharded conversion: the plan is built with `shards` dispatch groups
+/// (instead of one per pool thread) and workers pick groups round-robin
+/// (`tid, tid + T, ...`), so group `s` of the fill aligns with shard `s` of
+/// the output state. `shards == pool.size()` reproduces the legacy
+/// per-thread dispatch exactly; `shards == 1` is a serial conversion.
+pub fn dd_to_array_parallel_sharded_into_with(
+    pkg: &DdPackage,
+    root: VEdge,
+    n: usize,
+    pool: &ThreadPool,
+    shards: usize,
+    out: &mut [Complex64],
+    ctx: &crate::RunContext,
+) -> ConversionBreakdown {
+    dd_to_array_parallel_into_probed(pkg, root, n, pool, shards, out, &|site| ctx.fires(site))
 }
 
 fn dd_to_array_parallel_into_probed(
@@ -230,18 +264,21 @@ fn dd_to_array_parallel_into_probed(
     root: VEdge,
     n: usize,
     pool: &ThreadPool,
+    shards: usize,
     out: &mut [Complex64],
     probe: &(dyn Fn(&str) -> Option<crate::faults::FaultAction> + Sync),
 ) -> ConversionBreakdown {
     assert_eq!(out.len(), 1usize << n);
     let t = pool.size();
-    let plan = ConversionPlan::build(pkg, root, n, t);
+    let shards = shards.max(1);
+    let plan = ConversionPlan::build(pkg, root, n, shards);
     let view = SyncUnsafeSlice::new(out);
-    // Phase 1: parallel fill of disjoint ranges. Per-worker wall clocks are
-    // only taken when a telemetry sink is installed.
+    // Phase 1: parallel fill of disjoint ranges, one group per shard,
+    // workers picking groups round-robin. Per-group wall clocks are only
+    // taken when a telemetry sink is installed.
     let timed = qtelemetry::enabled();
     let clocks: Vec<AtomicU64> = if timed {
-        (0..t).map(|_| AtomicU64::new(0)).collect()
+        (0..shards).map(|_| AtomicU64::new(0)).collect()
     } else {
         Vec::new()
     };
@@ -249,12 +286,14 @@ fn dd_to_array_parallel_into_probed(
         if tid == 0 && probe(crate::faults::SITE_CONVERT_WORKER).is_some() {
             panic!("fault injection: conversion worker panic");
         }
-        let t0 = timed.then(Instant::now);
-        for task in &plan.fill[tid] {
-            fill_task(pkg, task, &view);
-        }
-        if let Some(t0) = t0 {
-            clocks[tid].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        for g in (tid..shards).step_by(t) {
+            let t0 = timed.then(Instant::now);
+            for task in &plan.fill[g] {
+                fill_task(pkg, task, &view);
+            }
+            if let Some(t0) = t0 {
+                clocks[g].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
         }
     });
     // Phase 2: scalar multiplications, deepest first (a shallower task's
@@ -281,6 +320,11 @@ fn dd_to_array_parallel_into_probed(
     }
     ConversionBreakdown {
         fill_tasks: plan.fill_counts(),
+        amp_spans: if timed {
+            plan.coverage(pkg)
+        } else {
+            Vec::new()
+        },
         worker_nanos: clocks.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         scalar_tasks: plan.scalar.len(),
     }
@@ -392,6 +436,30 @@ mod tests {
         let pool = ThreadPool::new(2);
         let out = dd_to_array_parallel(&pkg, VEdge::ZERO, 4, &pool);
         assert!(out.iter().all(|a| a.is_zero()));
+    }
+
+    #[test]
+    fn sharded_conversion_matches_per_thread_dispatch() {
+        let c = generators::random_circuit(7, 80, 11);
+        let mut sim = DdSimulator::new(7);
+        sim.run(&c);
+        let want = dense::simulate(&c);
+        let ctx = crate::RunContext::default();
+        for (threads, shards) in [(2, 8), (4, 1), (2, 2), (4, 16), (1, 4)] {
+            let pool = ThreadPool::new(threads);
+            let mut out = vec![Complex64::ZERO; 1 << 7];
+            let bd = dd_to_array_parallel_sharded_into_with(
+                sim.package(),
+                sim.state(),
+                7,
+                &pool,
+                shards,
+                &mut out,
+                &ctx,
+            );
+            assert_eq!(bd.fill_tasks.len(), shards, "t={threads} s={shards}");
+            assert!(state_distance(&out, &want) < TOL, "t={threads} s={shards}");
+        }
     }
 
     #[test]

@@ -197,6 +197,12 @@ pub(crate) fn run_task(
 
 /// DMAV without caching: `W = M * V` with `M` a matrix DD and `V`, `W` flat
 /// arrays. `w` is fully overwritten.
+///
+/// The assignment's `asg.t` groups are the dispatch shards: each group owns
+/// output rows `[g*h, (g+1)*h)` and pool workers pick groups round-robin
+/// (`tid, tid + T, ...`), so a worker keeps writing the shards it
+/// first-touched. `asg.t == pool.size()` reproduces the legacy one-group-
+/// per-thread partition exactly.
 pub fn dmav_no_cache(
     pkg: &DdPackage,
     asg: &DmavAssignment,
@@ -206,30 +212,29 @@ pub fn dmav_no_cache(
 ) {
     assert_eq!(v.len(), 1usize << asg.n);
     assert_eq!(w.len(), v.len());
-    assert_eq!(
-        pool.size(),
-        asg.t,
-        "assignment and pool thread counts differ"
-    );
     let view = SyncUnsafeSlice::new(w);
     let h = asg.h;
+    let t = pool.size();
     pool.run(|tid| {
-        // SAFETY: thread `tid` exclusively owns output rows
-        // [tid*h, (tid+1)*h) — the row-space partition of Algorithm 1.
-        let chunk = unsafe { view.slice_mut(tid * h, h) };
-        // Each worker zeroes its own rows: first-touch locality, and the
-        // dispatcher no longer walks all 2^n amplitudes serially.
-        chunk.fill(Complex64::ZERO);
-        for j in 0..asg.m_edges[tid].len() {
-            run_task(
-                pkg,
-                asg.m_edges[tid][j],
-                v,
-                chunk,
-                asg.iv[tid][j],
-                0,
-                asg.f[tid][j],
-            );
+        for g in (tid..asg.t).step_by(t) {
+            // SAFETY: group `g` exclusively owns output rows
+            // [g*h, (g+1)*h) — the row-space partition of Algorithm 1 —
+            // and each group is claimed by exactly one worker.
+            let chunk = unsafe { view.slice_mut(g * h, h) };
+            // Each worker zeroes its own rows: first-touch locality, and
+            // the dispatcher no longer walks all 2^n amplitudes serially.
+            chunk.fill(Complex64::ZERO);
+            for j in 0..asg.m_edges[g].len() {
+                run_task(
+                    pkg,
+                    asg.m_edges[g][j],
+                    v,
+                    chunk,
+                    asg.iv[g][j],
+                    0,
+                    asg.f[g][j],
+                );
+            }
         }
     });
 }
@@ -371,6 +376,26 @@ mod tests {
             std::mem::swap(&mut v, &mut w);
         }
         assert!(state_distance(&v, &dense::simulate(&c)) < TOL);
+    }
+
+    #[test]
+    fn shard_count_decoupled_from_pool_size() {
+        // The assignment's group count (shards) no longer has to match the
+        // pool: workers claim groups round-robin.
+        let n = 6;
+        let pkg = DdPackage::default();
+        let g = Gate::controlled(GateKind::H, 5, vec![Control::neg(1)]);
+        let m = pkg.gate_dd(&g, n);
+        let v = rand_state(n, 11);
+        let mut want = v.clone();
+        dense::apply_gate(&mut want, &g);
+        for (threads, shards) in [(2usize, 8usize), (4, 2), (1, 4), (3, 8), (4, 16)] {
+            let asg = DmavAssignment::build(&pkg, m, n, shards);
+            let mut w = vec![Complex64::ZERO; 1 << n];
+            let pool = ThreadPool::new(threads);
+            dmav_no_cache(&pkg, &asg, &v, &mut w, &pool);
+            assert!(state_distance(&w, &want) < TOL, "t={threads} s={shards}");
+        }
     }
 
     #[test]

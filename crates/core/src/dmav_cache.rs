@@ -207,9 +207,10 @@ pub struct PartialBuffers {
 
 impl PartialBuffers {
     /// Ensures `count` buffers of length `len`, zeroing only the segments
-    /// this assignment will actually touch (segment size `h`). Reused
-    /// buffers are zeroed by the pool workers — each owns segment `tid` of
-    /// every buffer — instead of the dispatcher walking them serially.
+    /// this assignment will actually touch (segment size `h`, `len / h`
+    /// segments per buffer). Both fresh and reused buffers are zeroed by
+    /// the pool workers claiming segments round-robin — first-touch
+    /// locality instead of the dispatcher walking them serially.
     fn prepare(
         &mut self,
         count: usize,
@@ -218,13 +219,24 @@ impl PartialBuffers {
         h: usize,
         pool: &ThreadPool,
     ) {
+        let groups = len.checked_div(h).unwrap_or(1);
+        let t = pool.size();
         self.bufs.resize_with(count.max(self.bufs.len()), Vec::new);
         let mut reused: Vec<(SyncUnsafeSlice<'_, Complex64>, &Vec<bool>)> = Vec::new();
         for (b, segs) in self.bufs.iter_mut().zip(segments).take(count) {
             if b.len() != len {
-                // Fresh allocation: the resize itself zeroes everything.
-                b.clear();
-                b.resize(len, Complex64::ZERO);
+                // Fresh allocation: first-touch zero every segment from the
+                // worker that will own it during the multiply.
+                qarray::first_touch_zeroed(b, len, groups, |z| {
+                    if t > 1 {
+                        pool.run(|tid| {
+                            for s in (tid..z.shards()).step_by(t) {
+                                z.zero_shard(s);
+                            }
+                        });
+                    }
+                })
+                .unwrap_or_else(|_| panic!("cannot allocate DMAV partial buffer"));
             } else {
                 reused.push((SyncUnsafeSlice::new(b.as_mut_slice()), segs));
             }
@@ -233,11 +245,13 @@ impl PartialBuffers {
             return;
         }
         pool.run(|tid| {
-            for (view, segs) in &reused {
-                if segs.get(tid).copied().unwrap_or(false) {
-                    // SAFETY: worker `tid` exclusively owns segment `tid`
-                    // of every buffer.
-                    unsafe { view.slice_mut(tid * h, h) }.fill(Complex64::ZERO);
+            for g in (tid..groups).step_by(t) {
+                for (view, segs) in &reused {
+                    if segs.get(g).copied().unwrap_or(false) {
+                        // SAFETY: each segment `g` is claimed by exactly one
+                        // worker (round-robin), per buffer.
+                        unsafe { view.slice_mut(g * h, h) }.fill(Complex64::ZERO);
+                    }
                 }
             }
         });
@@ -273,6 +287,10 @@ pub struct DmavCacheRunStats {
 }
 
 /// DMAV with caching: `W = M * V`. `w` is fully overwritten.
+///
+/// The assignment's `asg.t` groups are the dispatch shards; pool workers
+/// claim groups round-robin (`tid, tid + T, ...`). `asg.t == pool.size()`
+/// reproduces the legacy one-group-per-thread schedule exactly.
 pub fn dmav_cached(
     pkg: &DdPackage,
     asg: &DmavCacheAssignment,
@@ -283,13 +301,9 @@ pub fn dmav_cached(
 ) -> DmavCacheRunStats {
     assert_eq!(v.len(), 1usize << asg.n);
     assert_eq!(w.len(), v.len());
-    assert_eq!(
-        pool.size(),
-        asg.t,
-        "assignment and pool thread counts differ"
-    );
     let h = asg.h;
     let dim = v.len();
+    let t = pool.size();
     scratch.prepare(asg.num_buffers, dim, &asg.buffer_segments, h, pool);
     let views: Vec<SyncUnsafeSlice<'_, Complex64>> = scratch
         .bufs
@@ -300,50 +314,60 @@ pub fn dmav_cached(
     let hit_count = AtomicUsize::new(0);
 
     pool.run(|tid| {
-        let buf = &views[asg.buffer_of[tid]];
-        // Per-thread, per-gate cache: node id -> (effective weight, start).
+        // Per-group, per-gate cache: node id -> (effective weight, start).
+        // The cache must reset between groups: a cached result lives in the
+        // *group's* buffer and was computed from the *group's* input
+        // sub-vector, so it is meaningless to any other group.
         let mut cache: FxHashMap<u32, (Complex64, usize)> = FxHashMap::default();
         let mut hits = 0usize;
-        for j in 0..asg.m_edges[tid].len() {
-            let edge = asg.m_edges[tid][j];
-            let start = asg.ip[tid][j];
-            // Effective linear factor of this task (includes the stored
-            // edge's own weight; two tasks with the same node differ only
-            // by this factor).
-            let full = asg.f[tid][j] * pkg.cval(edge.w);
-            if let Some(&(cached_w, cached_start)) = cache.get(&edge.n) {
-                let factor = full / cached_w;
-                // SAFETY: `cached_start` is a segment this thread wrote
-                // earlier; `start` is a segment only this task writes.
-                // Threads sharing the buffer own disjoint segment sets.
-                let (src, dst) = unsafe { (buf.slice(cached_start, h), buf.slice_mut(start, h)) };
-                vecops::scale(dst, factor, src);
-                hits += 1;
-            } else {
-                // SAFETY: same disjointness argument as above.
-                let dst = unsafe { buf.slice_mut(start, h) };
-                run_task(pkg, edge, v, dst, tid * h, 0, asg.f[tid][j]);
-                cache.insert(edge.n, (full, start));
+        for g in (tid..asg.t).step_by(t) {
+            cache.clear();
+            let buf = &views[asg.buffer_of[g]];
+            for j in 0..asg.m_edges[g].len() {
+                let edge = asg.m_edges[g][j];
+                let start = asg.ip[g][j];
+                // Effective linear factor of this task (includes the stored
+                // edge's own weight; two tasks with the same node differ
+                // only by this factor).
+                let full = asg.f[g][j] * pkg.cval(edge.w);
+                if let Some(&(cached_w, cached_start)) = cache.get(&edge.n) {
+                    let factor = full / cached_w;
+                    // SAFETY: `cached_start` is a segment this group wrote
+                    // earlier; `start` is a segment only this task writes.
+                    // Groups sharing the buffer own disjoint segment sets,
+                    // and each group is claimed by exactly one worker.
+                    let (src, dst) =
+                        unsafe { (buf.slice(cached_start, h), buf.slice_mut(start, h)) };
+                    vecops::scale(dst, factor, src);
+                    hits += 1;
+                } else {
+                    // SAFETY: same disjointness argument as above.
+                    let dst = unsafe { buf.slice_mut(start, h) };
+                    run_task(pkg, edge, v, dst, g * h, 0, asg.f[g][j]);
+                    cache.insert(edge.n, (full, start));
+                }
             }
         }
         hit_count.fetch_add(hits, Ordering::Relaxed);
     });
 
-    // Sum the partial buffers into W (lines 11-13): thread `tid` owns output
-    // rows [tid*h, (tid+1)*h). Only buffers whose segment `tid` is occupied
+    // Sum the partial buffers into W (lines 11-13): group `g` owns output
+    // rows [g*h, (g+1)*h). Only buffers whose segment `g` is occupied
     // contribute.
     let wview = SyncUnsafeSlice::new(w);
     pool.run(|tid| {
-        // SAFETY: output row chunks are disjoint per thread; buffers are
-        // only read here.
-        let out = unsafe { wview.slice_mut(tid * h, h) };
-        out.fill(Complex64::ZERO);
-        for (view, segs) in views.iter().zip(&asg.buffer_segments) {
-            if !segs[tid] {
-                continue;
+        for g in (tid..asg.t).step_by(t) {
+            // SAFETY: output row chunks are disjoint per group, each group
+            // is claimed by one worker; buffers are only read here.
+            let out = unsafe { wview.slice_mut(g * h, h) };
+            out.fill(Complex64::ZERO);
+            for (view, segs) in views.iter().zip(&asg.buffer_segments) {
+                if !segs[g] {
+                    continue;
+                }
+                let part = unsafe { view.slice(g * h, h) };
+                vecops::sum_into(out, part);
             }
-            let part = unsafe { view.slice(tid * h, h) };
-            vecops::sum_into(out, part);
         }
     });
 
@@ -518,6 +542,34 @@ mod tests {
         dense::apply_gate(&mut want, &Gate::new(GateKind::H, 5));
         dense::apply_gate(&mut want, &Gate::new(GateKind::T, 5));
         assert!(state_distance(&w2, &want) < TOL);
+    }
+
+    #[test]
+    fn shard_count_decoupled_from_pool_size() {
+        // Groups (shards) no longer have to match the pool: workers claim
+        // groups round-robin, and the per-group cache resets per group.
+        let n = 6;
+        let pkg = DdPackage::default();
+        let v = rand_state(n, 29);
+        for g in [
+            Gate::new(GateKind::H, 5),
+            Gate::controlled(GateKind::X, 2, vec![Control::pos(5)]),
+        ] {
+            let m = pkg.gate_dd(&g, n);
+            let mut want = v.clone();
+            dense::apply_gate(&mut want, &g);
+            for (threads, shards) in [(2usize, 8usize), (4, 2), (1, 4), (3, 8), (4, 16)] {
+                let asg = DmavCacheAssignment::build(&pkg, m, n, shards);
+                let mut w = vec![Complex64::ZERO; 1 << n];
+                let pool = ThreadPool::new(threads);
+                let mut scratch = PartialBuffers::default();
+                dmav_cached(&pkg, &asg, &v, &mut w, &pool, &mut scratch);
+                assert!(
+                    state_distance(&w, &want) < TOL,
+                    "gate {g} t={threads} s={shards}"
+                );
+            }
+        }
     }
 
     #[test]

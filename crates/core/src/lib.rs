@@ -92,7 +92,7 @@ pub use checkpoint::{
 pub use context::RunContext;
 pub use convert::{
     dd_to_array_parallel, dd_to_array_parallel_into, dd_to_array_parallel_into_with,
-    ConversionBreakdown, ConversionPlan,
+    dd_to_array_parallel_sharded_into_with, ConversionBreakdown, ConversionPlan,
 };
 pub use cost::{CostAnalysis, CostModel};
 pub use dmav::{dmav, dmav_no_cache, DmavAssignment};
@@ -102,7 +102,7 @@ pub use ewma::{EwmaConfig, EwmaMonitor};
 pub use fusion::{fuse_dmav_aware, fuse_k_operations, no_fusion, FusedGates};
 pub use govern::{Breach, GovernorConfig, ResourceGovernor};
 pub use plan_cache::PlanCache;
-pub use pool::{clamp_threads, ThreadPool};
+pub use pool::{clamp_shards, clamp_threads, ThreadPool};
 pub use sim::{
     simulate, try_simulate, CachingPolicy, ConversionPolicy, FlatDdConfig, FlatDdSimulator,
     FlatDdStats, FusionPolicy, GateTrace, Phase,

@@ -19,6 +19,18 @@ pub fn clamp_threads(requested: usize, n: usize) -> usize {
     t.clamp(1, max)
 }
 
+/// Resolves a requested flat-phase shard count: `0` means "follow the
+/// thread count" (the default), anything else is clamped exactly like a
+/// thread count (power of two, `log2 s < n`) so shards stay usable as DMAV
+/// assignment groups and conversion groups.
+pub fn clamp_shards(requested: usize, threads: usize, n: usize) -> usize {
+    if requested == 0 {
+        clamp_threads(threads, n)
+    } else {
+        clamp_threads(requested, n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +77,15 @@ mod tests {
         // n=3 allows at most 2^2 = 4 threads.
         assert_eq!(clamp_threads(16, 3), 4);
         assert_eq!(clamp_threads(0, 5), 1);
+    }
+
+    #[test]
+    fn clamp_shards_auto_follows_threads() {
+        assert_eq!(clamp_shards(0, 4, 10), 4);
+        assert_eq!(clamp_shards(0, 3, 10), 2);
+        assert_eq!(clamp_shards(8, 2, 10), 8);
+        assert_eq!(clamp_shards(5, 2, 10), 4);
+        assert_eq!(clamp_shards(64, 4, 3), 4);
+        assert_eq!(clamp_shards(1, 16, 10), 1);
     }
 }

@@ -40,6 +40,9 @@ pub struct JobSpec {
     /// DD-phase worker threads (`None` = the daemon default, which itself
     /// defaults to 1 = sequential).
     pub dd_threads: Option<usize>,
+    /// Flat-phase state shards (`None` = the daemon default, which itself
+    /// defaults to auto = one shard per worker thread).
+    pub flat_shards: Option<usize>,
     /// Scheduling priority: higher runs first and may preempt lower.
     pub priority: i64,
     /// Per-job wall-clock budget.
@@ -65,6 +68,7 @@ impl Default for JobSpec {
             seed: 42,
             threads: 2,
             dd_threads: None,
+            flat_shards: None,
             priority: DEFAULT_PRIORITY,
             deadline_secs: None,
             memory_budget_mb: None,
@@ -108,6 +112,15 @@ impl JobSpec {
                         return Err("`dd_threads` must be at least 1".into());
                     }
                     spec.dd_threads = Some(t as usize);
+                }
+                "flat_shards" => {
+                    let s = v
+                        .as_u64()
+                        .ok_or("`flat_shards` must be a positive integer")?;
+                    if s == 0 {
+                        return Err("`flat_shards` must be at least 1".into());
+                    }
+                    spec.flat_shards = Some(s as usize);
                 }
                 "priority" => {
                     spec.priority = v.as_f64().ok_or("`priority` must be a number")? as i64
@@ -157,6 +170,9 @@ impl JobSpec {
         m.insert("threads".into(), Json::Num(self.threads as f64));
         if let Some(t) = self.dd_threads {
             m.insert("dd_threads".into(), Json::Num(t as f64));
+        }
+        if let Some(s) = self.flat_shards {
+            m.insert("flat_shards".into(), Json::Num(s as f64));
         }
         m.insert("priority".into(), Json::Num(self.priority as f64));
         if let Some(s) = self.deadline_secs {
@@ -446,6 +462,7 @@ mod tests {
             seed: 7,
             threads: 1,
             dd_threads: Some(4),
+            flat_shards: Some(8),
             priority: 3,
             deadline_secs: Some(2.5),
             memory_budget_mb: Some(64),
@@ -479,6 +496,10 @@ mod tests {
             JobSpec::from_json(&json::parse(r#"{"circuit":"ghz:4","dd_threads":0}"#).unwrap())
                 .is_err()
         );
+        assert!(JobSpec::from_json(
+            &json::parse(r#"{"circuit":"ghz:4","flat_shards":0}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

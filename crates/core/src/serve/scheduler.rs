@@ -60,6 +60,9 @@ pub struct ServeConfig {
     /// DD-phase worker threads for jobs that do not set `dd_threads`
     /// (`None` = sequential DD phase).
     pub default_dd_threads: Option<usize>,
+    /// Flat-phase state shards for jobs that do not set `flat_shards`
+    /// (`None` = auto: one shard per worker thread).
+    pub default_flat_shards: Option<usize>,
 }
 
 impl ServeConfig {
@@ -77,6 +80,7 @@ impl ServeConfig {
             retry_backoff_ms: 50,
             default_checkpoint_every: None,
             default_dd_threads: None,
+            default_flat_shards: None,
         }
     }
 }
@@ -606,6 +610,9 @@ fn execute_job(
     };
     if let Some(t) = spec.dd_threads.or(inner.cfg.default_dd_threads) {
         cfg.dd_threads = t;
+    }
+    if let Some(s) = spec.flat_shards.or(inner.cfg.default_flat_shards) {
+        cfg.flat_shards = s;
     }
     if let Some(g) = spec.convert_at_gate {
         cfg.conversion = crate::sim::ConversionPolicy::AtGate(g);

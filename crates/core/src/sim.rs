@@ -18,7 +18,7 @@ use crate::checkpoint::{
     self, CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
 };
 use crate::context::RunContext;
-use crate::convert::{dd_to_array_parallel, dd_to_array_parallel_into_with};
+use crate::convert::dd_to_array_parallel;
 use crate::cost::CostModel;
 use crate::dmav::{dmav_no_cache, DmavAssignment};
 use crate::dmav_cache::{dmav_cached, DmavCacheAssignment, PartialBuffers};
@@ -63,11 +63,6 @@ impl ConversionPolicy {
     }
 }
 
-/// Minimum state-DD node count before a gate apply is worth forking onto
-/// the DD pool: below this the whole multiply fits in a handful of cache
-/// lines and the fork-join barrier dominates.
-const PAR_DD_MIN_SIZE: usize = 64;
-
 /// Per-gate kernel selection for DMAV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CachingPolicy {
@@ -102,6 +97,15 @@ pub struct FlatDdConfig {
     /// once the state DD is large enough to amortize the fork-join.
     /// Defaults from `FLATDD_DD_THREADS` when set.
     pub dd_threads: usize,
+    /// Flat-phase shard count: the dispatch granularity of conversion,
+    /// DMAV, gate kernels, measurement, the health watchdog, and
+    /// checkpoint chunking. `0` (the default) follows the worker-thread
+    /// count; explicit values are clamped like a thread count (power of
+    /// two, `log2 s < n`). Numerically the shard count is inert: `1`
+    /// reproduces the serial path bit-for-bit, any other value agrees to
+    /// rounding of the per-shard partial sums. Defaults from
+    /// `FLATDD_FLAT_SHARDS` when set.
+    pub flat_shards: usize,
     /// Conversion timing.
     pub conversion: ConversionPolicy,
     /// DMAV kernel selection.
@@ -134,6 +138,10 @@ impl Default for FlatDdConfig {
                 .and_then(|v| v.parse().ok())
                 .filter(|&t: &usize| t >= 1)
                 .unwrap_or(1),
+            flat_shards: std::env::var("FLATDD_FLAT_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             conversion: ConversionPolicy::Ewma(EwmaConfig::default()),
             caching: CachingPolicy::CostModel,
             fusion: FusionPolicy::None,
@@ -288,8 +296,8 @@ impl FlatDdStats {
 enum Repr {
     Dd(VEdge),
     Flat {
-        v: Vec<Complex64>,
-        w: Vec<Complex64>,
+        v: qarray::ShardedState,
+        w: qarray::ShardedState,
     },
 }
 
@@ -298,13 +306,18 @@ pub struct FlatDdSimulator {
     cfg: FlatDdConfig,
     n: usize,
     t: usize,
+    /// Flat-phase shard count (resolved from `cfg.flat_shards`): the
+    /// dispatch granularity of every flat-phase subsystem.
+    shards: usize,
     pool: ThreadPool,
     /// Extra pool for DD-phase gate application (`None` when
     /// `cfg.dd_threads <= 1`: the DD phase then runs the exact sequential
     /// path).
     dd_pool: Option<ThreadPool>,
     /// State-DD size observed by the last [`Self::maybe_convert`]; gates on
-    /// a DD smaller than [`PAR_DD_MIN_SIZE`] skip the parallel path.
+    /// a DD smaller than the adaptive grain
+    /// ([`qdd::par::adaptive_parallel_cap`]) skip the parallel path, and
+    /// mid-size DDs fork onto a capped subset of the pool.
     last_dd_size: usize,
     pkg: DdPackage,
     repr: Repr,
@@ -383,6 +396,7 @@ impl FlatDdSimulator {
             ));
         }
         let t = clamp_threads(cfg.threads, n);
+        let shards = crate::pool::clamp_shards(cfg.flat_shards, t, n);
         let pool = ThreadPool::try_new(t)?;
         let dd_pool = if cfg.dd_threads > 1 {
             Some(ThreadPool::try_new(cfg.dd_threads)?)
@@ -404,9 +418,11 @@ impl FlatDdSimulator {
                     conversion_blocked = true;
                     Repr::Dd(pkg.basis_state(n, 0))
                 } else {
-                    let mut v = try_flat_buffer(dim, "initial flat state", &ctx)?;
+                    let mut v =
+                        try_sharded_flat_buffer(dim, shards, &pool, "initial flat state", &ctx)?;
                     v[0] = Complex64::ONE;
-                    let w = try_flat_buffer(dim, "initial flat scratch", &ctx)?;
+                    let w =
+                        try_sharded_flat_buffer(dim, shards, &pool, "initial flat scratch", &ctx)?;
                     Repr::Flat { v, w }
                 }
             }
@@ -420,6 +436,7 @@ impl FlatDdSimulator {
             cfg,
             n,
             t,
+            shards,
             pool,
             dd_pool,
             last_dd_size: 0,
@@ -465,6 +482,12 @@ impl FlatDdSimulator {
     /// Effective (clamped) thread count.
     pub fn threads(&self) -> usize {
         self.t
+    }
+
+    /// Effective flat-phase shard count (resolved from
+    /// [`FlatDdConfig::flat_shards`]; `0` there follows the thread count).
+    pub fn flat_shards(&self) -> usize {
+        self.shards
     }
 
     /// Current phase.
@@ -569,7 +592,10 @@ impl FlatDdSimulator {
             Repr::Flat { v, .. } => checkpoint::write_checkpoint_with(
                 &policy.path,
                 &header,
-                CheckpointPayload::Flat(v),
+                CheckpointPayload::Flat {
+                    amps: v,
+                    shards: self.shards,
+                },
                 &self.ctx,
             )?,
         };
@@ -673,8 +699,19 @@ impl FlatDdSimulator {
                 sim.pkg.gc(&[root], &[]);
             }
             CheckpointState::Flat(v) => {
-                let w = try_flat_buffer(v.len(), "resume scratch vector", &sim.ctx)?;
-                sim.repr = Repr::Flat { v, w };
+                // The payload is shard-agnostic: re-shard under *this*
+                // simulator's geometry, which may differ from the writer's.
+                let w = try_sharded_flat_buffer(
+                    v.len(),
+                    sim.shards,
+                    &sim.pool,
+                    "resume scratch vector",
+                    &sim.ctx,
+                )?;
+                sim.repr = Repr::Flat {
+                    v: qarray::ShardedState::from_vec(v, sim.shards),
+                    w,
+                };
                 sim.pkg.gc(&[], &[]);
             }
         }
@@ -858,8 +895,12 @@ impl FlatDdSimulator {
             }
             Repr::Flat { v, .. } => {
                 // The vectorized reduction propagates non-finite amplitudes
-                // into the sum, so one pass covers both checks.
-                let sq = vecops::norm_sqr(v);
+                // into the sum, so one pass covers both checks. The scan is
+                // computed per shard (workers round-robin) and the partials
+                // summed in shard order, so the result is deterministic for
+                // a given shard count and bit-identical to the serial scan
+                // at one shard.
+                let sq = sharded_norm_sqr(v, &self.pool);
                 if !sq.is_finite() {
                     self.watchdog_note(f64::NAN, false);
                     return Err(FlatDdError::NumericalDivergence {
@@ -1302,12 +1343,15 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => unreachable!(),
         };
         let g = self.pkg.gate_dd(gate, self.n);
+        // Adaptive dispatch: cap the effective workers by the state-DD size
+        // (one worker per `PAR_GRAIN_NODES` nodes) instead of an
+        // all-or-nothing cutoff, so a wide pool never shreds a small DD
+        // into tasks dominated by the fork-join barrier.
+        let cap = qdd::par::adaptive_parallel_cap(self.last_dd_size);
         let new_state = match &self.dd_pool {
-            // Only fork when the state DD is big enough to amortize the
-            // barrier; tiny DDs are faster sequential.
-            Some(pool) if self.last_dd_size >= PAR_DD_MIN_SIZE => {
+            Some(pool) if cap > 1 => {
                 self.ctx.metrics().counter("core.dd_parallel_applies").inc();
-                self.pkg.mul_mv_parallel(pool, g, state)
+                self.pkg.mul_mv_parallel_capped(pool, g, state, cap)
             }
             _ => self.pkg.mul_mv(g, state),
         };
@@ -1418,7 +1462,13 @@ impl FlatDdSimulator {
         let telemetry = qtelemetry::enabled();
         let ts_us = telemetry.then(qtelemetry::now_us);
         let start = Instant::now();
-        let mut v = match try_flat_buffer(dim, "conversion output", &self.ctx) {
+        let mut v = match try_sharded_flat_buffer(
+            dim,
+            self.shards,
+            &self.pool,
+            "conversion output",
+            &self.ctx,
+        ) {
             Ok(v) => v,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
@@ -1431,7 +1481,15 @@ impl FlatDdSimulator {
         // state is untouched, and the caller gets a typed error instead of
         // an abort.
         let breakdown = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dd_to_array_parallel_into_with(&self.pkg, state, self.n, &self.pool, &mut v, &self.ctx)
+            crate::convert::dd_to_array_parallel_sharded_into_with(
+                &self.pkg,
+                state,
+                self.n,
+                &self.pool,
+                self.shards,
+                &mut v,
+                &self.ctx,
+            )
         })) {
             Ok(b) => b,
             Err(_) => {
@@ -1441,7 +1499,13 @@ impl FlatDdSimulator {
                 });
             }
         };
-        let w = match try_flat_buffer(dim, "DMAV scratch vector", &self.ctx) {
+        let w = match try_sharded_flat_buffer(
+            dim,
+            self.shards,
+            &self.pool,
+            "DMAV scratch vector",
+            &self.ctx,
+        ) {
             Ok(w) => w,
             Err(e) => {
                 self.stats.conversion_refusals += 1;
@@ -1453,6 +1517,8 @@ impl FlatDdSimulator {
         self.stats.converted_at = Some(self.gates_seen);
         self.ctx.metrics().counter("core.conversions").inc();
         if telemetry {
+            // The load-balance breakdown is keyed by shard id (one entry
+            // per conversion dispatch group).
             let workers = breakdown
                 .fill_tasks
                 .iter()
@@ -1460,6 +1526,7 @@ impl FlatDdSimulator {
                 .map(|(i, &tasks)| qtelemetry::WorkerFill {
                     worker: i,
                     tasks,
+                    amps: breakdown.amp_spans.get(i).copied().unwrap_or(0),
                     dur_us: breakdown.worker_nanos.get(i).copied().unwrap_or(0) as f64 / 1e3,
                 })
                 .collect();
@@ -1504,7 +1571,9 @@ impl FlatDdSimulator {
             Cached(Arc<DmavCacheAssignment>),
             Plain(Arc<DmavAssignment>),
         }
-        let (n, t) = (self.n, self.t);
+        // Plans are built over the shard geometry (one assignment group per
+        // shard); `PlanKey.t` therefore keys cached plans by shard count.
+        let (n, t) = (self.n, self.shards);
         let hits_before = self.plans.hits();
         let plan = match self.cfg.caching {
             CachingPolicy::Always => Plan::Cached(self.plans.get_cached(&self.pkg, m, n, t)?),
@@ -1567,7 +1636,7 @@ impl FlatDdSimulator {
     pub fn amplitudes(&self) -> Vec<Complex64> {
         match &self.repr {
             Repr::Dd(s) => dd_to_array_parallel(&self.pkg, *s, self.n, &self.pool),
-            Repr::Flat { v, .. } => v.clone(),
+            Repr::Flat { v, .. } => v.to_vec(),
         }
     }
 
@@ -1631,7 +1700,9 @@ impl FlatDdSimulator {
     pub fn qubit_probability_one(&self, q: usize) -> f64 {
         match &self.repr {
             Repr::Dd(s) => self.pkg.qubit_probability_one(*s, q),
-            Repr::Flat { v, .. } => qarray::qubit_probability_one(v, q),
+            Repr::Flat { v, .. } => {
+                qarray::qubit_probability_one_sharded(v, q, self.shards, self.t)
+            }
         }
     }
 
@@ -1657,13 +1728,14 @@ impl FlatDdSimulator {
     /// the outcome.
     pub fn measure_qubit(&mut self, q: usize, rand01: &mut impl FnMut() -> f64) -> bool {
         let n = self.n;
+        let (shards, threads) = (self.shards, self.t);
         match &mut self.repr {
             Repr::Dd(s) => {
                 let (outcome, collapsed) = self.pkg.measure_qubit(*s, q, n, rand01);
                 *s = collapsed;
                 outcome
             }
-            Repr::Flat { v, .. } => qarray::measure_qubit(v, q, rand01),
+            Repr::Flat { v, .. } => qarray::measure_qubit_sharded(v, q, rand01, shards, threads),
         }
     }
 
@@ -1755,6 +1827,10 @@ impl FlatDdSimulator {
         self.ctx.metrics().gauge("sim.threads").set(self.t as f64);
         self.ctx
             .metrics()
+            .gauge("sim.flat_shards")
+            .set(self.shards as f64);
+        self.ctx
+            .metrics()
             .gauge("sim.memory_bytes")
             .set(self.memory_bytes() as f64);
         self.ctx
@@ -1802,24 +1878,59 @@ fn phase_log_enabled() -> bool {
     })
 }
 
-/// Fallibly allocates a zeroed `dim`-element flat buffer, mapping allocator
-/// refusal to [`FlatDdError::AllocationFailed`]. The `alloc.flat` fault
-/// site makes the refusal injectable without needing a real OOM.
-fn try_flat_buffer(
+/// Fallibly allocates a zeroed, sharded flat buffer: the pool's workers
+/// first-touch (zero) the shards they will own round-robin, so on NUMA
+/// machines each shard's pages land on the node of the worker that operates
+/// on it. Allocator refusal maps to [`FlatDdError::AllocationFailed`]; the
+/// `alloc.flat` fault site makes the refusal injectable without a real OOM.
+fn try_sharded_flat_buffer(
     dim: usize,
+    shards: usize,
+    pool: &ThreadPool,
     context: &'static str,
     ctx: &RunContext,
-) -> Result<Vec<Complex64>, FlatDdError> {
+) -> Result<qarray::ShardedState, FlatDdError> {
     if ctx.fires(faults::SITE_ALLOC_FLAT).is_some() {
         return Err(FlatDdError::AllocationFailed {
             requested_bytes: dim * std::mem::size_of::<Complex64>(),
             context,
         });
     }
-    qarray::try_zeroed_state(dim).map_err(|_| FlatDdError::AllocationFailed {
+    let t = pool.size();
+    qarray::ShardedState::try_new_zeroed_with(dim, shards, |z| {
+        if t > 1 {
+            pool.run(|tid| {
+                for s in (tid..z.shards()).step_by(t) {
+                    z.zero_shard(s);
+                }
+            });
+        }
+    })
+    .map_err(|_| FlatDdError::AllocationFailed {
         requested_bytes: dim * std::mem::size_of::<Complex64>(),
         context,
     })
+}
+
+/// Squared 2-norm of a sharded state: per-shard partial sums (workers claim
+/// shards round-robin) combined in shard order. One shard, or one worker,
+/// falls back to the plain serial reduction bit-for-bit.
+fn sharded_norm_sqr(v: &qarray::ShardedState, pool: &ThreadPool) -> f64 {
+    let shards = v.shards();
+    let t = pool.size();
+    if t <= 1 || shards <= 1 {
+        return vecops::norm_sqr(v);
+    }
+    let mut partials = vec![0.0f64; shards];
+    let view = qarray::SyncUnsafeSlice::new(&mut partials);
+    pool.run(|tid| {
+        for s in (tid..shards).step_by(t) {
+            let r = qarray::shard_range(v.len(), shards, s);
+            // SAFETY: each partial slot is written by exactly one worker.
+            unsafe { view.write(s, vecops::norm_sqr(&v[r])) };
+        }
+    });
+    partials.iter().sum()
 }
 
 /// One-shot convenience: run `circuit` from `|0...0>` with `cfg`.

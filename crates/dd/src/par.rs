@@ -326,6 +326,27 @@ impl Graph {
     }
 }
 
+/// State-DD nodes per worker below which forking a gate apply onto the
+/// pool costs more than it saves: the multiply fits in a handful of cache
+/// lines and the fork-join barrier dominates.
+pub const PAR_GRAIN_NODES: usize = 64;
+
+/// Adaptive worker cap for a parallel DD gate apply: one worker per
+/// [`PAR_GRAIN_NODES`] state-DD nodes, rounded down to a power of two
+/// (`1` = run sequential). A fixed all-or-nothing size cutoff lets a
+/// 16-thread pool shred a 100-node DD into sub-cache-line tasks — the
+/// measured dd-scaling regression on shallow-reconvergent circuits (VQE);
+/// capping workers by the work available keeps the per-task grain roughly
+/// constant as the DD grows.
+pub fn adaptive_parallel_cap(dd_size: usize) -> usize {
+    let cap = dd_size / PAR_GRAIN_NODES;
+    if cap < 2 {
+        1
+    } else {
+        1usize << (usize::BITS - 1 - cap.leading_zeros())
+    }
+}
+
 impl DdPackage {
     /// Parallel [`Self::mul_mv`]: splits the top levels of the recursion
     /// into a task graph executed on `pool`, with a sequential cutoff below
@@ -336,7 +357,24 @@ impl DdPackage {
     /// identical and a t-thread run differs at most by the tolerance-bounded
     /// interning order of freshly created weights.
     pub fn mul_mv_parallel(&self, pool: &ThreadPool, m: MEdge, v: VEdge) -> VEdge {
-        if pool.size() <= 1 {
+        self.mul_mv_parallel_capped(pool, m, v, pool.size())
+    }
+
+    /// [`Self::mul_mv_parallel`] with the effective worker count capped at
+    /// `max_workers` (further capped by the pool size). The cap bounds the
+    /// split frontier, so a small state DD is not shredded into tasks far
+    /// smaller than the fork-join barrier it pays for; a cap of 1 is the
+    /// exact sequential multiply. Idle pool workers still help drain the
+    /// task rounds — the cap shapes the graph, not the pool.
+    pub fn mul_mv_parallel_capped(
+        &self,
+        pool: &ThreadPool,
+        m: MEdge,
+        v: VEdge,
+        max_workers: usize,
+    ) -> VEdge {
+        let t = pool.size().min(max_workers.max(1));
+        if t <= 1 {
             return self.mul_mv(m, v);
         }
         let w = self.ct.mul(m.w, v.w);
@@ -350,7 +388,7 @@ impl DdPackage {
         // Split the top k levels: ~4^k potential leaves bound the frontier,
         // but structural sharing usually collapses that to a few times the
         // worker count — enough slack to balance uneven subtrees.
-        let split_below = pool.size().trailing_zeros() + 2;
+        let split_below = t.trailing_zeros() + 2;
         let (graph, root) = Graph::build(self, m.n, v.n, split_below);
         self.execute(pool, &graph);
         let r = unpack(graph.tasks[root as usize].result.load(Ordering::Relaxed));
@@ -554,6 +592,45 @@ mod tests {
                     "threads={threads} seed={seed}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_cap_tracks_dd_size() {
+        assert_eq!(adaptive_parallel_cap(0), 1);
+        assert_eq!(adaptive_parallel_cap(63), 1);
+        assert_eq!(adaptive_parallel_cap(64), 1); // cap 1 < 2 -> sequential
+        assert_eq!(adaptive_parallel_cap(128), 2);
+        assert_eq!(adaptive_parallel_cap(255), 2);
+        assert_eq!(adaptive_parallel_cap(256), 4);
+        assert_eq!(adaptive_parallel_cap(64 * 16), 16);
+        assert_eq!(adaptive_parallel_cap(64 * 16 + 63), 16);
+        assert!(adaptive_parallel_cap(usize::MAX).is_power_of_two());
+    }
+
+    #[test]
+    fn capped_multiply_matches_sequential() {
+        let pool = ThreadPool::new(8);
+        let c = generators::random_circuit(6, 80, 17);
+        let n = c.num_qubits();
+        let seq = DdPackage::default();
+        let mut s = seq.basis_state(n, 0);
+        for g in c.iter() {
+            s = seq.apply_gate(s, g, n);
+        }
+        let want = seq.vector_to_array(s, n);
+        for cap in [1usize, 2, 4, 8, 64] {
+            let p = DdPackage::default();
+            let mut state = p.basis_state(n, 0);
+            for g in c.iter() {
+                let gd = p.gate_dd(g, n);
+                state = p.mul_mv_parallel_capped(&pool, gd, state, cap);
+            }
+            let got = p.vector_to_array(state, n);
+            assert!(
+                qcircuit::complex::state_distance(&got, &want) < 1e-12,
+                "cap={cap}"
+            );
         }
     }
 

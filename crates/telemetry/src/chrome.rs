@@ -244,6 +244,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                         w.dur_us,
                     );
                     t.arg_num("tasks", w.tasks as f64, true);
+                    t.arg_num("amps", w.amps as f64, false);
                     t.close();
                 }
             }
@@ -435,6 +436,7 @@ mod tests {
                 workers: vec![WorkerFill {
                     worker: 0,
                     tasks: 4,
+                    amps: 16,
                     dur_us: 5.0,
                 }],
                 scalar_tasks: 2,

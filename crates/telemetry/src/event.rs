@@ -17,6 +17,8 @@ pub struct WorkerFill {
     pub worker: usize,
     /// Fill tasks assigned to this worker.
     pub tasks: usize,
+    /// Amplitudes (array slots) covered by this worker's shard(s).
+    pub amps: usize,
     /// Wall-clock microseconds this worker spent filling.
     pub dur_us: f64,
 }
@@ -312,8 +314,8 @@ impl Event {
                     }
                     let _ = write!(
                         o,
-                        "{{\"worker\":{},\"tasks\":{},\"dur_us\":",
-                        w.worker, w.tasks
+                        "{{\"worker\":{},\"tasks\":{},\"amps\":{},\"dur_us\":",
+                        w.worker, w.tasks, w.amps
                     );
                     json_f64(&mut o, w.dur_us);
                     o.push('}');
@@ -463,18 +465,20 @@ mod tests {
                 WorkerFill {
                     worker: 0,
                     tasks: 3,
+                    amps: 4096,
                     dur_us: 50.0,
                 },
                 WorkerFill {
                     worker: 1,
                     tasks: 2,
+                    amps: 4096,
                     dur_us: 48.0,
                 },
             ],
             scalar_tasks: 1,
         };
         let s = e.to_jsonl();
-        assert!(s.contains("\"workers\":[{\"worker\":0,\"tasks\":3,\"dur_us\":50}"));
+        assert!(s.contains("\"workers\":[{\"worker\":0,\"tasks\":3,\"amps\":4096,\"dur_us\":50}"));
         assert!(s.contains("\"scalar_tasks\":1"));
     }
 

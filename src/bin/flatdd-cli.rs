@@ -14,6 +14,8 @@
 //!   --dd-threads <t>           DD-phase worker threads (default 1 =
 //!                              sequential DDSIM-equivalent; or
 //!                              FLATDD_DD_THREADS)
+//!   --flat-shards <s>          flat-phase state shards (default auto = one
+//!                              shard per thread; or FLATDD_FLAT_SHARDS)
 //!   --shots <k>                sample k bitstrings from the output
 //!   --top <k>                  print the k most probable outcomes (default 8)
 //!   --seed <u64>               generator / sampling seed (default 42)
@@ -72,6 +74,7 @@ flatdd-cli — hybrid DD + flat-array quantum circuit simulator
 
 Usage:
   flatdd-cli run <circuit> [--engine flatdd|dd|array] [--threads t] [--dd-threads t]
+                 [--flat-shards s]
                  [--shots k] [--top k] [--seed s] [--expect PAULI] [--stats]
                  [--stats-json path|-] [--trace-out path]
                  [--metrics-out path|-] [--events-out path]
@@ -120,6 +123,7 @@ struct RunOpts {
     engine: String,
     threads: usize,
     dd_threads: Option<usize>,
+    flat_shards: Option<usize>,
     shots: usize,
     top: usize,
     seed: u64,
@@ -143,6 +147,7 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         engine: "flatdd".into(),
         threads: 4,
         dd_threads: None,
+        flat_shards: None,
         shots: 0,
         top: 8,
         seed: 42,
@@ -173,6 +178,10 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             "--dd-threads" => {
                 o.dd_threads =
                     Some(parse_or_die::<usize>("--dd-threads", &val("--dd-threads")).max(1))
+            }
+            "--flat-shards" => {
+                o.flat_shards =
+                    Some(parse_or_die::<usize>("--flat-shards", &val("--flat-shards")).max(1))
             }
             "--shots" => o.shots = val("--shots").parse().unwrap_or(0),
             "--top" => o.top = val("--top").parse().unwrap_or(8),
@@ -349,6 +358,10 @@ fn cmd_run(args: &[String]) {
             // Flag beats FLATDD_DD_THREADS (already folded into the default).
             if let Some(t) = o.dd_threads {
                 cfg.dd_threads = t;
+            }
+            // Likewise --flat-shards beats FLATDD_FLAT_SHARDS.
+            if let Some(s) = o.flat_shards {
+                cfg.flat_shards = s;
             }
             // Flag-based signal handling: SIGINT/SIGTERM set a flag polled
             // at gate boundaries, so sinks flush and checkpoints install

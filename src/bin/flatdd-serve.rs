@@ -13,6 +13,8 @@
 //!   --checkpoint-every <g>     default periodic checkpoint interval (gates)
 //!   --dd-threads <t>           default DD-phase worker threads per job
 //!                              (default 1 = sequential)
+//!   --flat-shards <s>          default flat-phase state shards per job
+//!                              (default auto = one shard per thread)
 //! ```
 //!
 //! Submit with `POST /jobs`, poll `GET /jobs/{id}`, observe `GET /metrics`
@@ -33,7 +35,7 @@ flatdd-serve — long-running FlatDD simulation daemon
 Usage:
   flatdd-serve --spool DIR [--port p] [--workers n] [--memory-budget-mb mb]
                [--queue-cap n] [--retry-max n] [--checkpoint-every gates]
-               [--dd-threads t]";
+               [--dd-threads t] [--flat-shards s]";
 
 fn parse_or_die<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
     raw.parse().unwrap_or_else(|_| {
@@ -52,6 +54,7 @@ fn main() {
     let mut retry_max = 3u32;
     let mut checkpoint_every: Option<usize> = None;
     let mut dd_threads: Option<usize> = None;
+    let mut flat_shards: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +85,10 @@ fn main() {
                 let t: usize = parse_or_die("--dd-threads", &val("--dd-threads"));
                 dd_threads = Some(t.max(1));
             }
+            "--flat-shards" => {
+                let s: usize = parse_or_die("--flat-shards", &val("--flat-shards"));
+                flat_shards = Some(s.max(1));
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return;
@@ -104,6 +111,7 @@ fn main() {
     cfg.retry_max = retry_max;
     cfg.default_checkpoint_every = checkpoint_every;
     cfg.default_dd_threads = dd_threads;
+    cfg.default_flat_shards = flat_shards;
 
     // Flag-based handlers: SIGTERM/SIGINT set a flag the accept loop polls,
     // so the drain runs on the main thread with everything still alive.

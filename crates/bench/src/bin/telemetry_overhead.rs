@@ -11,6 +11,12 @@
 //! additive, so best-vs-best is the honest comparison); the reported
 //! overhead is `(enabled - disabled) / disabled`.
 //!
+//! The enabled path includes the per-gate latency histograms
+//! (`sim.gate_dmav_us` et al.), so the budget covers histogram recording
+//! too; a separate micro-probe reports the raw `Histogram::observe` cost
+//! per call so a regression there is visible even before it moves the
+//! end-to-end number.
+//!
 //! Exits non-zero when the enabled-path overhead exceeds
 //! `--max-overhead-pct` (default 2.0), so CI can gate on it.
 
@@ -51,6 +57,23 @@ fn apply_batch(sim: &mut FlatDdSimulator, batch: &[Gate]) -> f64 {
 
 fn best(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Raw cost of one `Histogram::observe` (three relaxed atomic RMWs),
+/// minimum over a few runs of a large batch.
+fn histogram_observe_ns(reps: usize) -> f64 {
+    let reg = telemetry::MetricsRegistry::new();
+    let h = reg.histogram("bench.observe_ns");
+    const OPS: usize = 1_000_000;
+    let mut runs = Vec::with_capacity(reps);
+    for r in 0..reps {
+        let start = Instant::now();
+        for i in 0..OPS {
+            h.observe((i ^ r) as u64);
+        }
+        runs.push(start.elapsed().as_secs_f64());
+    }
+    best(&runs) * 1e9 / OPS as f64
 }
 
 fn main() {
@@ -118,6 +141,10 @@ fn main() {
     );
     println!("  enabled  : {:.3} ms/batch (null sink)", en * 1e3);
     println!("  overhead : {overhead_pct:+.2}% (budget {max_overhead_pct:.2}%)");
+    println!(
+        "  histogram: {:.1} ns/observe (raw, outside the gate)",
+        histogram_observe_ns(5)
+    );
     if overhead_pct > max_overhead_pct {
         eprintln!("FAIL: telemetry overhead {overhead_pct:.2}% > {max_overhead_pct:.2}%");
         std::process::exit(1);

@@ -25,8 +25,75 @@
 use crate::faults::FaultRegistry;
 use crate::signal;
 use qtelemetry::MetricsRegistry;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// One live progress sample, published by the simulator at gate boundaries
+/// and consumed by `GET /jobs/{id}/events`. `seq` is assigned by the ring
+/// at publish time, monotonically from 1, and doubles as the stream's
+/// `?since=` resume cursor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Progress {
+    /// Ring-assigned sequence number (resume cursor), starting at 1.
+    pub seq: u64,
+    /// Timestamp on the telemetry clock (µs).
+    pub ts_us: f64,
+    /// Current phase label (`"dd"` / `"dmav"`).
+    pub phase: &'static str,
+    /// Gates applied so far in this run.
+    pub gate: usize,
+    /// Total gates the run will apply (0 when unknown).
+    pub total_gates: usize,
+    /// Smoothed recent throughput (gates per second; 0 until warmed up).
+    pub gates_per_sec: f64,
+    /// Live DD node count (vector + matrix; 0 in the flat phase).
+    pub dd_nodes: usize,
+    /// Resource-governor degradation rung (0 = unconstrained).
+    pub governor_rung: u32,
+    /// Flat-state shard count in use (0 during the DD phase).
+    pub shard_fill: usize,
+    /// Run span id (see [`qtelemetry::Span`]); 0 before the run starts.
+    pub run_span: u64,
+    /// Current phase span id; 0 before the run starts.
+    pub phase_span: u64,
+}
+
+impl Progress {
+    /// Serializes as one NDJSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::with_capacity(192);
+        let _ = write!(
+            o,
+            "{{\"event\":\"progress\",\"seq\":{},\"ts_us\":{:.0},\"phase\":\"{}\",\"gate\":{},\"total_gates\":{},\"gates_per_sec\":{:.1},\"dd_nodes\":{},\"governor_rung\":{},\"shard_fill\":{},\"run_span\":{},\"phase_span\":{}}}",
+            self.seq,
+            self.ts_us,
+            self.phase,
+            self.gate,
+            self.total_gates,
+            self.gates_per_sec,
+            self.dd_nodes,
+            self.governor_rung,
+            self.shard_fill,
+            self.run_span,
+            self.phase_span,
+        );
+        o
+    }
+}
+
+/// Default capacity of the per-run progress ring. Sized so a client that
+/// polls every few hundred milliseconds never observes a gap even at
+/// hundreds of published samples per second, while one idle job holds at
+/// most a few hundred KiB.
+pub const PROGRESS_RING_CAP: usize = 4096;
+
+struct ProgressRing {
+    buf: VecDeque<Progress>,
+    next_seq: u64,
+    cap: usize,
+}
 
 /// Shared, clonable execution context for one simulation run (one job).
 #[derive(Clone)]
@@ -39,6 +106,9 @@ pub struct RunContext {
     follow_process_signals: bool,
     metrics: MetricsRegistry,
     faults: Arc<FaultRegistry>,
+    /// Bounded lossy ring of [`Progress`] samples: the simulator publishes,
+    /// the serve event stream reads with a cursor. Clones share the ring.
+    progress: Arc<Mutex<ProgressRing>>,
 }
 
 impl std::fmt::Debug for RunContext {
@@ -61,6 +131,11 @@ impl RunContext {
             follow_process_signals: true,
             metrics: qtelemetry::metrics::global().clone(),
             faults: Arc::new(FaultRegistry::disarmed()),
+            progress: Arc::new(Mutex::new(ProgressRing {
+                buf: VecDeque::new(),
+                next_seq: 1,
+                cap: PROGRESS_RING_CAP,
+            })),
         }
     }
 
@@ -74,6 +149,11 @@ impl RunContext {
             follow_process_signals: false,
             metrics: MetricsRegistry::new(),
             faults: Arc::new(FaultRegistry::disarmed()),
+            progress: Arc::new(Mutex::new(ProgressRing {
+                buf: VecDeque::new(),
+                next_seq: 1,
+                cap: PROGRESS_RING_CAP,
+            })),
         }
     }
 
@@ -151,6 +231,48 @@ impl RunContext {
     pub fn same_run_as(&self, other: &RunContext) -> bool {
         Arc::ptr_eq(&self.cancel, &other.cancel)
     }
+
+    /// Publishes one progress sample into the ring, assigning its `seq`.
+    /// Bounded and lossy: when the ring is full the oldest sample is
+    /// dropped — a slow (or absent) stream consumer never blocks or
+    /// bloats the simulation. Returns the assigned sequence number.
+    pub fn publish_progress(&self, mut p: Progress) -> u64 {
+        let mut ring = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        p.seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+        }
+        let seq = p.seq;
+        ring.buf.push_back(p);
+        seq
+    }
+
+    /// Samples with `seq > since`, in order, plus the cursor to pass next
+    /// time (= the highest seq ever published, even if those samples have
+    /// been evicted). An empty ring or an up-to-date cursor returns
+    /// `(vec![], since)`-shaped results with the cursor clamped to what
+    /// exists, so a stale client resumes cleanly after eviction.
+    pub fn progress_since(&self, since: u64) -> (Vec<Progress>, u64) {
+        let ring = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        let latest = ring.next_seq - 1;
+        if since >= latest {
+            return (Vec::new(), latest);
+        }
+        let out: Vec<Progress> = ring
+            .buf
+            .iter()
+            .filter(|p| p.seq > since)
+            .cloned()
+            .collect();
+        (out, latest)
+    }
+
+    /// The most recent sample, if any was ever published.
+    pub fn progress_latest(&self) -> Option<Progress> {
+        let ring = self.progress.lock().unwrap_or_else(|e| e.into_inner());
+        ring.buf.back().cloned()
+    }
 }
 
 impl Default for RunContext {
@@ -206,6 +328,70 @@ mod tests {
         let b = RunContext::isolated();
         assert!(a.fires(crate::faults::SITE_ALLOC_FLAT).is_some());
         assert!(b.fires(crate::faults::SITE_ALLOC_FLAT).is_none());
+    }
+
+    fn sample(gate: usize) -> Progress {
+        Progress {
+            seq: 0,
+            ts_us: 0.0,
+            phase: "dd",
+            gate,
+            total_gates: 100,
+            gates_per_sec: 10.0,
+            dd_nodes: 4,
+            governor_rung: 0,
+            shard_fill: 0,
+            run_span: 1,
+            phase_span: 2,
+        }
+    }
+
+    #[test]
+    fn progress_ring_assigns_seq_and_resumes_by_cursor() {
+        let ctx = RunContext::isolated();
+        assert_eq!(ctx.progress_since(0), (Vec::new(), 0));
+        for g in 0..5 {
+            ctx.publish_progress(sample(g));
+        }
+        let (all, cur) = ctx.progress_since(0);
+        assert_eq!(all.len(), 5);
+        assert_eq!(cur, 5);
+        assert_eq!(all[0].seq, 1);
+        assert_eq!(all[4].seq, 5);
+        // Resume mid-stream: only newer samples come back, no overlap.
+        let (tail, cur2) = ctx.progress_since(3);
+        assert_eq!(tail.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(cur2, 5);
+        // Up-to-date cursor: nothing new.
+        assert_eq!(ctx.progress_since(5).0.len(), 0);
+        assert_eq!(ctx.progress_latest().unwrap().seq, 5);
+        // Clones share the ring.
+        ctx.clone().publish_progress(sample(6));
+        assert_eq!(ctx.progress_since(5).0.len(), 1);
+    }
+
+    #[test]
+    fn progress_ring_is_bounded_and_lossy() {
+        let ctx = RunContext::isolated();
+        for g in 0..(PROGRESS_RING_CAP + 10) {
+            ctx.publish_progress(sample(g));
+        }
+        let (got, cur) = ctx.progress_since(0);
+        assert_eq!(got.len(), PROGRESS_RING_CAP, "ring must stay bounded");
+        assert_eq!(cur, (PROGRESS_RING_CAP + 10) as u64);
+        assert_eq!(got[0].seq, 11, "oldest samples evicted first");
+    }
+
+    #[test]
+    fn progress_json_shape() {
+        let ctx = RunContext::isolated();
+        ctx.publish_progress(sample(7));
+        let j = ctx.progress_latest().unwrap().to_json();
+        assert!(j.starts_with("{\"event\":\"progress\",\"seq\":1,"), "{j}");
+        assert!(j.contains("\"gate\":7"));
+        assert!(j.contains("\"phase\":\"dd\""));
+        assert!(j.contains("\"run_span\":1"));
+        assert!(j.ends_with('}'));
     }
 
     #[test]

@@ -22,8 +22,23 @@ pub struct Request {
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Raw query string after `?` (empty when none), e.g. `format=prometheus`.
+    pub query: String,
+    /// `Accept` header value (empty when absent), for content negotiation.
+    pub accept: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Value of query parameter `name` (`a=1&b=2` grammar, no
+    /// percent-decoding — the API's values are numbers and short tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Reads and parses one request from `stream`. `Err` is a human-readable
@@ -44,9 +59,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .ok_or("empty request line")?
         .to_ascii_uppercase();
     let target = parts.next().ok_or("missing request target")?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
+    let mut accept = String::new();
     loop {
         let mut header = String::new();
         reader
@@ -62,6 +81,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_string();
             }
         }
     }
@@ -74,7 +95,37 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     reader
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        accept,
+        body,
+    })
+}
+
+/// Writes the head of a chunked streaming response (no `Content-Length`;
+/// terminate with [`write_chunk`]`(stream, "")`). Used by the NDJSON job
+/// event stream, where the body length is unknowable up front.
+pub fn respond_stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one HTTP/1.1 chunk. An empty `data` writes the terminating
+/// zero-length chunk. Errors surface so the streamer can stop on hangup.
+pub fn write_chunk(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    if data.is_empty() {
+        stream.write_all(b"0\r\n\r\n")?;
+    } else {
+        stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+        stream.write_all(data.as_bytes())?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.flush()
 }
 
 /// Writes a full response and flushes. Errors are ignored (the client may
@@ -126,7 +177,30 @@ mod tests {
         let req = t.join().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.body, b"{\"\":");
+    }
+
+    #[test]
+    fn captures_accept_header_and_query() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request(&mut s).unwrap()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(
+            b"GET /metrics?format=prometheus&x= HTTP/1.1\r\nAccept: text/plain; version=0.0.4\r\n\r\n",
+        )
+        .unwrap();
+        let req = t.join().unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.accept, "text/plain; version=0.0.4");
     }
 
     #[test]

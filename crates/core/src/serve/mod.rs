@@ -13,25 +13,27 @@
 //!   priority preemption via checkpoints, capped-backoff retry, worker
 //!   panic containment, and restart recovery.
 //!
-//! The HTTP surface (all responses JSON, `Connection: close`):
+//! The HTTP surface (JSON by default, `Connection: close`):
 //!
 //! | Method & path            | Purpose                                   |
 //! |--------------------------|-------------------------------------------|
 //! | `POST /jobs`             | submit a job spec; `202` with the id, `429` when the queue is full, `503` while draining |
 //! | `GET /jobs`              | summaries of every known job              |
 //! | `GET /jobs/{id}`         | full status: state, retries, result, stats, per-job metrics |
+//! | `GET /jobs/{id}/events`  | live NDJSON progress stream (chunked in the daemon; one-shot batch through [`route`]); `?since=` resumes |
 //! | `POST /jobs/{id}/cancel` | cancel (`DELETE /jobs/{id}` is an alias)  |
-//! | `GET /metrics`           | the daemon's `serve.*` metrics registry   |
-//! | `GET /healthz`           | liveness + `ok`/`draining` + load         |
+//! | `GET /metrics`           | daemon + per-job registries; `?format=prometheus` (or `Accept: text/plain`) switches to Prometheus exposition |
+//! | `GET /healthz`           | liveness + `ok`/`draining` + load + uptime + build info |
 //!
 //! Routing is a pure function ([`route`]) so the whole API surface is
 //! unit-testable without sockets; `flatdd-serve` owns only the listener
-//! loop and process signals.
+//! loop, the long-lived event-stream connections, and process signals.
 
 pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod scheduler;
+pub mod stream;
 
 pub use jobs::{JobRecord, JobResult, JobSpec, JobState};
 pub use scheduler::{CancelOutcome, Scheduler, SchedulerHandle, ServeConfig, SubmitError};
@@ -45,25 +47,126 @@ fn err_body(msg: &str) -> String {
     Json::obj(vec![("error", Json::Str(msg.into()))]).to_string()
 }
 
+/// JSON content type for the default API responses.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// True when the client asked for the Prometheus exposition format —
+/// explicitly via `?format=prometheus`, or by `Accept`ing `text/plain` /
+/// OpenMetrics without forcing `?format=json`.
+fn wants_prometheus(req: &http::Request) -> bool {
+    match req.query_param("format") {
+        Some("prometheus") => true,
+        Some(_) => false,
+        None => {
+            req.accept.contains("text/plain") || req.accept.contains("application/openmetrics-text")
+        }
+    }
+}
+
+/// Renders the full Prometheus scrape: build info, the daemon registry
+/// (with `# HELP`/`# TYPE` headers), then every tracked job's scoped
+/// registry labeled `job="<id>"` (headers suppressed — Prometheus allows
+/// one `# TYPE` per metric name per exposition).
+fn prometheus_body(handle: &SchedulerHandle) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# HELP flatdd_build_info Build metadata of the running daemon.\n");
+    out.push_str("# TYPE flatdd_build_info gauge\n");
+    out.push_str(&format!(
+        "flatdd_build_info{{version=\"{}\",profile=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    ));
+    out.push_str(&qtelemetry::prometheus::render_registry(
+        handle.metrics(),
+        &[],
+        true,
+    ));
+    for (id, reg) in handle.job_registries() {
+        let id = id.to_string();
+        out.push_str(&qtelemetry::prometheus::render_registry(
+            &reg,
+            &[("job", id.as_str())],
+            false,
+        ));
+    }
+    out
+}
+
 /// Dispatches one parsed request against the scheduler, returning
-/// `(status, JSON body)`.
-pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
+/// `(status, content type, body)`.
+pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, &'static str, String) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let json = |status: u32, body: String| (status, JSON_CONTENT_TYPE, body);
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let (running, queued) = handle.load();
             let status = if handle.draining() { "draining" } else { "ok" };
-            (
+            json(
                 200,
                 Json::obj(vec![
                     ("status", Json::Str(status.into())),
                     ("running", Json::Num(running as f64)),
                     ("queued", Json::Num(queued as f64)),
+                    ("uptime_secs", Json::Num(handle.uptime_secs())),
+                    ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
+                    (
+                        "profile",
+                        Json::Str(
+                            if cfg!(debug_assertions) {
+                                "debug"
+                            } else {
+                                "release"
+                            }
+                            .into(),
+                        ),
+                    ),
                 ])
                 .to_string(),
             )
         }
-        ("GET", ["metrics"]) => (200, handle.metrics().to_json()),
+        ("GET", ["metrics"]) => {
+            if wants_prometheus(req) {
+                (
+                    200,
+                    qtelemetry::prometheus::CONTENT_TYPE,
+                    prometheus_body(handle),
+                )
+            } else {
+                json(200, handle.metrics().to_json())
+            }
+        }
+        ("GET", ["jobs", id, "events"]) => {
+            let Some(id) = parse_id(id) else {
+                return json(400, err_body("bad job id"));
+            };
+            let since = req
+                .query_param("since")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            match stream::events_batch(handle, id, since) {
+                Some((body, cursor)) => {
+                    let mut body = body;
+                    body.push_str(&format!(
+                        "{{\"event\":\"cursor\",\"cursor\":{cursor}}}\n"
+                    ));
+                    (200, stream::NDJSON_CONTENT_TYPE, body)
+                }
+                None => match handle.job(id) {
+                    // Known but never dispatched (or aged out): an empty
+                    // batch with a zero cursor, not an error.
+                    Some(_) => (
+                        200,
+                        stream::NDJSON_CONTENT_TYPE,
+                        "{\"event\":\"cursor\",\"cursor\":0}\n".into(),
+                    ),
+                    None => json(404, err_body("no such job")),
+                },
+            }
+        }
         ("GET", ["jobs"]) => {
             let items: Vec<Json> = handle
                 .jobs()
@@ -78,19 +181,19 @@ pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
                     ])
                 })
                 .collect();
-            (200, Json::obj(vec![("jobs", Json::Arr(items))]).to_string())
+            json(200, Json::obj(vec![("jobs", Json::Arr(items))]).to_string())
         }
         ("POST", ["jobs"]) => {
             let body = match std::str::from_utf8(&req.body) {
                 Ok(s) => s,
-                Err(_) => return (400, err_body("body is not UTF-8")),
+                Err(_) => return json(400, err_body("body is not UTF-8")),
             };
             let spec = match json::parse(body).and_then(|v| JobSpec::from_json(&v)) {
                 Ok(s) => s,
-                Err(e) => return (400, err_body(&e)),
+                Err(e) => return json(400, err_body(&e)),
             };
             match handle.submit(spec) {
-                Ok(id) => (
+                Ok(id) => json(
                     202,
                     Json::obj(vec![
                         ("id", Json::Num(id as f64)),
@@ -98,21 +201,21 @@ pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
                     ])
                     .to_string(),
                 ),
-                Err(SubmitError::QueueFull) => (429, err_body("queue full")),
-                Err(SubmitError::Draining) => (503, err_body("draining")),
-                Err(SubmitError::Invalid(e)) => (400, err_body(&e)),
+                Err(SubmitError::QueueFull) => json(429, err_body("queue full")),
+                Err(SubmitError::Draining) => json(503, err_body("draining")),
+                Err(SubmitError::Invalid(e)) => json(400, err_body(&e)),
             }
         }
         ("GET", ["jobs", id]) => match parse_id(id) {
             Some(id) => match handle.job(id) {
-                Some(rec) => (200, format!("{}", rec.to_json())),
-                None => (404, err_body("no such job")),
+                Some(rec) => json(200, format!("{}", rec.to_json())),
+                None => json(404, err_body("no such job")),
             },
-            None => (400, err_body("bad job id")),
+            None => json(400, err_body("bad job id")),
         },
         ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => match parse_id(id) {
             Some(id) => match handle.cancel(id) {
-                CancelOutcome::Cancelled => (
+                CancelOutcome::Cancelled => json(
                     200,
                     Json::obj(vec![
                         ("id", Json::Num(id as f64)),
@@ -120,13 +223,13 @@ pub fn route(handle: &SchedulerHandle, req: &http::Request) -> (u32, String) {
                     ])
                     .to_string(),
                 ),
-                CancelOutcome::AlreadyTerminal => (409, err_body("job already finished")),
-                CancelOutcome::NotFound => (404, err_body("no such job")),
+                CancelOutcome::AlreadyTerminal => json(409, err_body("job already finished")),
+                CancelOutcome::NotFound => json(404, err_body("no such job")),
             },
-            None => (400, err_body("bad job id")),
+            None => json(400, err_body("bad job id")),
         },
-        ("GET" | "POST" | "DELETE", _) => (404, err_body("no such endpoint")),
-        _ => (405, err_body("method not allowed")),
+        ("GET" | "POST" | "DELETE", _) => json(404, err_body("no such endpoint")),
+        _ => json(405, err_body("method not allowed")),
     }
 }
 
@@ -139,9 +242,15 @@ mod tests {
     use super::*;
 
     fn req(method: &str, path: &str, body: &str) -> http::Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (path.to_string(), String::new()),
+        };
         http::Request {
             method: method.into(),
-            path: path.into(),
+            path,
+            query,
+            accept: String::new(),
             body: body.as_bytes().to_vec(),
         }
     }
@@ -160,15 +269,50 @@ mod tests {
     fn healthz_metrics_and_404() {
         let (sched, spool) = tiny_sched("health");
         let h = sched.handle();
-        let (code, body) = route(&h, &req("GET", "/healthz", ""));
+        let (code, ct, body) = route(&h, &req("GET", "/healthz", ""));
         assert_eq!(code, 200);
+        assert_eq!(ct, JSON_CONTENT_TYPE);
         assert!(body.contains("\"status\":\"ok\""), "{body}");
-        let (code, body) = route(&h, &req("GET", "/metrics", ""));
+        assert!(body.contains("\"uptime_secs\":"), "{body}");
+        assert!(body.contains("\"version\":"), "{body}");
+        let (code, ct, body) = route(&h, &req("GET", "/metrics", ""));
         assert_eq!(code, 200);
+        assert_eq!(ct, JSON_CONTENT_TYPE);
         json::parse(&body).expect("metrics must be valid JSON");
         assert_eq!(route(&h, &req("GET", "/nope", "")).0, 404);
         assert_eq!(route(&h, &req("PUT", "/jobs", "")).0, 405);
         assert_eq!(route(&h, &req("GET", "/jobs/zzz", "")).0, 400);
+        sched.drain();
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn metrics_negotiates_prometheus() {
+        let (sched, spool) = tiny_sched("prom");
+        let h = sched.handle();
+        // Explicit query parameter.
+        let (code, ct, body) = route(&h, &req("GET", "/metrics?format=prometheus", ""));
+        assert_eq!(code, 200);
+        assert_eq!(ct, qtelemetry::prometheus::CONTENT_TYPE);
+        assert!(body.contains("flatdd_build_info{"), "{body}");
+        assert!(
+            body.contains("# TYPE flatdd_serve_queue_depth gauge"),
+            "{body}"
+        );
+        assert!(
+            body.contains("flatdd_serve_queue_wait_us_bucket{"),
+            "histograms must expose buckets: {body}"
+        );
+        // Accept-header negotiation.
+        let mut r = req("GET", "/metrics", "");
+        r.accept = "text/plain".into();
+        let (_, ct, _) = route(&h, &r);
+        assert_eq!(ct, qtelemetry::prometheus::CONTENT_TYPE);
+        // format=json wins over Accept.
+        let mut r = req("GET", "/metrics?format=json", "");
+        r.accept = "text/plain".into();
+        let (_, ct, _) = route(&h, &r);
+        assert_eq!(ct, JSON_CONTENT_TYPE);
         sched.drain();
         std::fs::remove_dir_all(&spool).ok();
     }
@@ -182,7 +326,7 @@ mod tests {
             route(&h, &req("POST", "/jobs", r#"{"circuit":"bogus:3"}"#)).0,
             400
         );
-        let (code, body) = route(
+        let (code, _, body) = route(
             &h,
             &req("POST", "/jobs", r#"{"circuit":"ghz:6","threads":1}"#),
         );
@@ -193,13 +337,37 @@ mod tests {
             .and_then(Json::as_u64)
             .unwrap();
         assert!(h.wait_idle(std::time::Duration::from_secs(30)));
-        let (code, body) = route(&h, &req("GET", &format!("/jobs/{id}"), ""));
+        let (code, _, body) = route(&h, &req("GET", &format!("/jobs/{id}"), ""));
         assert_eq!(code, 200);
         let v = json::parse(&body).unwrap();
         assert_eq!(v.get("state").and_then(Json::as_str), Some("done"));
-        let (code, body) = route(&h, &req("GET", "/jobs", ""));
+        let (code, _, body) = route(&h, &req("GET", "/jobs", ""));
         assert_eq!(code, 200);
         assert!(body.contains("\"circuit\":\"ghz:6\""), "{body}");
+        // The event batch endpoint serves the finished job's ring with a
+        // trailing cursor line, and resumes past it cleanly.
+        let (code, ct, body) = route(&h, &req("GET", &format!("/jobs/{id}/events"), ""));
+        assert_eq!(code, 200);
+        assert_eq!(ct, stream::NDJSON_CONTENT_TYPE);
+        assert!(body.contains("\"event\":\"progress\""), "{body}");
+        let cursor_line = body.lines().last().unwrap();
+        assert!(cursor_line.starts_with("{\"event\":\"cursor\""), "{body}");
+        let cursor = json::parse(cursor_line)
+            .unwrap()
+            .get("cursor")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let (code, _, body) = route(
+            &h,
+            &req("GET", &format!("/jobs/{id}/events?since={cursor}"), ""),
+        );
+        assert_eq!(code, 200);
+        assert_eq!(
+            body.lines().count(),
+            1,
+            "resume at the cursor must be empty: {body}"
+        );
+        assert_eq!(route(&h, &req("GET", "/jobs/999/events", "")).0, 404);
         sched.drain();
         std::fs::remove_dir_all(&spool).ok();
     }

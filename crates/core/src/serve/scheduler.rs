@@ -108,12 +108,25 @@ pub enum CancelOutcome {
     Cancelled,
 }
 
+/// How many per-job [`RunContext`]s (progress ring + scoped metrics) the
+/// scheduler keeps reachable after the job leaves the worker, so late
+/// `GET /jobs/{id}/events` subscribers and the Prometheus scrape still see
+/// recently finished jobs. Oldest ids are evicted first.
+const RETAINED_JOB_CTXS: usize = 64;
+
 struct SchedState {
     records: BTreeMap<u64, JobRecord>,
     /// Admission estimate per non-terminal job.
     est: HashMap<u64, u64>,
     /// Remote-control contexts of currently running jobs.
     ctxs: HashMap<u64, RunContext>,
+    /// Most recent context per job (running *or* finished, capped at
+    /// [`RETAINED_JOB_CTXS`]): the progress ring behind the event stream
+    /// and the scoped registry behind the per-job Prometheus scrape.
+    job_ctxs: BTreeMap<u64, RunContext>,
+    /// Wall-clock enqueue instant per queued job (set on submit, re-queue,
+    /// and recovery; consumed into `serve.queue_wait_us` at claim).
+    enqueued_at: HashMap<u64, Instant>,
     /// Jobs the client cancelled (distinguishes a user cancel from a
     /// preemption when `Interrupted` comes back).
     cancelled: HashSet<u64>,
@@ -130,7 +143,12 @@ struct Inner {
     state: Mutex<SchedState>,
     cv: Condvar,
     metrics: MetricsRegistry,
+    /// Cached handles into `metrics` (one lookup at startup).
+    hist_queue_wait: qtelemetry::Histogram,
+    hist_run: qtelemetry::Histogram,
     draining: AtomicBool,
+    /// Daemon start instant, for `/healthz` uptime reporting.
+    started: Instant,
 }
 
 /// The job scheduler. Cheap handles are obtained with [`Scheduler::handle`]
@@ -160,6 +178,8 @@ impl Scheduler {
             records: BTreeMap::new(),
             est: HashMap::new(),
             ctxs: HashMap::new(),
+            job_ctxs: BTreeMap::new(),
+            enqueued_at: HashMap::new(),
             cancelled: HashSet::new(),
             preempting: HashSet::new(),
             queue: Vec::new(),
@@ -187,6 +207,7 @@ impl Scheduler {
                         let _ = rec.persist(&cfg.spool);
                         state.est.insert(rec.id, est);
                         state.queue.push(rec.id);
+                        state.enqueued_at.insert(rec.id, Instant::now());
                         metrics.counter("serve.jobs_recovered").inc();
                     }
                     Err(e) => {
@@ -204,9 +225,13 @@ impl Scheduler {
             cfg,
             state: Mutex::new(state),
             cv: Condvar::new(),
+            hist_queue_wait: metrics.histogram("serve.queue_wait_us"),
+            hist_run: metrics.histogram("serve.run_us"),
             metrics,
             draining: AtomicBool::new(false),
+            started: Instant::now(),
         });
+        publish_gauges(&inner, &inner.state.lock());
         let workers = (0..inner.cfg.workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -282,6 +307,7 @@ impl SchedulerHandle {
         st.records.insert(id, rec);
         st.est.insert(id, est);
         st.queue.push(id);
+        st.enqueued_at.insert(id, Instant::now());
         self.inner.metrics.counter("serve.jobs_submitted").inc();
         self.publish_gauges(&st);
         drop(st);
@@ -306,6 +332,7 @@ impl SchedulerHandle {
             // Queued or preempted: finalize immediately.
             st.queue.retain(|&q| q != id);
             st.est.remove(&id);
+            st.enqueued_at.remove(&id);
             let spool = self.inner.cfg.spool.clone();
             if let Some(rec) = st.records.get_mut(&id) {
                 rec.state = JobState::Cancelled;
@@ -355,6 +382,31 @@ impl SchedulerHandle {
 
     fn publish_gauges(&self, st: &SchedState) {
         publish_gauges(&self.inner, st);
+    }
+
+    /// Seconds since the scheduler started, for `/healthz`.
+    pub fn uptime_secs(&self) -> f64 {
+        self.inner.started.elapsed().as_secs_f64()
+    }
+
+    /// Execution context of a running or recently finished job: the
+    /// progress ring behind `GET /jobs/{id}/events` and the scoped metrics
+    /// registry. `None` once the context has aged out (see
+    /// [`RETAINED_JOB_CTXS`]) or for ids the daemon never ran.
+    pub fn job_context(&self, id: u64) -> Option<RunContext> {
+        self.inner.state.lock().job_ctxs.get(&id).cloned()
+    }
+
+    /// `(id, registry)` for every tracked job, ascending by id — the
+    /// per-job section of the Prometheus scrape.
+    pub fn job_registries(&self) -> Vec<(u64, MetricsRegistry)> {
+        self.inner
+            .state
+            .lock()
+            .job_ctxs
+            .iter()
+            .map(|(&id, c)| (id, c.metrics().clone()))
+            .collect()
     }
 }
 
@@ -473,7 +525,17 @@ fn worker_loop(inner: &Inner) {
                             .with_faults_spec(fspec)
                             .unwrap_or_else(|_| RunContext::isolated());
                     }
+                    if let Some(t) = st.enqueued_at.remove(&id) {
+                        let wait_us = t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        inner.hist_queue_wait.observe(wait_us);
+                        ctx.metrics().gauge("serve.queue_wait_us").set(wait_us as f64);
+                    }
                     st.ctxs.insert(id, ctx.clone());
+                    st.job_ctxs.insert(id, ctx.clone());
+                    while st.job_ctxs.len() > RETAINED_JOB_CTXS {
+                        let oldest = *st.job_ctxs.keys().next().unwrap();
+                        st.job_ctxs.remove(&oldest);
+                    }
                     publish_gauges(inner, &st);
                     break (id, ctx);
                 }
@@ -490,6 +552,7 @@ fn worker_loop(inner: &Inner) {
             execute_job(inner, id, &spec, &ctx)
         }));
         let elapsed = started.elapsed().as_secs_f64();
+        inner.hist_run.observe((elapsed * 1e6) as u64);
 
         // Transition phase.
         let mut backoff: Option<Duration> = None;
@@ -523,6 +586,7 @@ fn worker_loop(inner: &Inner) {
                         rec.preemptions += 1;
                         inner.metrics.counter("serve.jobs_preempted").inc();
                         st.queue.push(id);
+                        st.enqueued_at.insert(id, Instant::now());
                     }
                 }
                 Ok(Err(e)) if is_transient(&e) && rec.retries < retry_budget => {
@@ -538,6 +602,7 @@ fn worker_loop(inner: &Inner) {
                     rec.state = JobState::Queued;
                     inner.metrics.counter("serve.job_retries").inc();
                     st.queue.push(id);
+                    st.enqueued_at.insert(id, Instant::now());
                 }
                 Ok(Err(e)) => {
                     rec.state = JobState::Failed;

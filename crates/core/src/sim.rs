@@ -17,7 +17,7 @@
 use crate::checkpoint::{
     self, CheckpointHeader, CheckpointPayload, CheckpointPolicy, CheckpointState,
 };
-use crate::context::RunContext;
+use crate::context::{Progress, RunContext};
 use crate::convert::dd_to_array_parallel;
 use crate::cost::CostModel;
 use crate::dmav::{dmav_no_cache, DmavAssignment};
@@ -360,6 +360,24 @@ pub struct FlatDdSimulator {
     /// registry lookup per simulator, one relaxed add per gate).
     ctr_gates_dd: qtelemetry::Counter,
     ctr_gates_dmav: qtelemetry::Counter,
+    /// Cached latency-histogram handles (same one-lookup discipline as the
+    /// counters above; an observe is three relaxed adds).
+    hist_gate_dd: qtelemetry::Histogram,
+    hist_gate_dmav: qtelemetry::Histogram,
+    hist_ckpt_write: qtelemetry::Histogram,
+    hist_convert: qtelemetry::Histogram,
+    hist_plan_build: qtelemetry::Histogram,
+    /// Span of the enclosing `run`/`run_from` ([`qtelemetry::Span::none`]
+    /// outside a run); progress samples and span events carry its id so
+    /// concurrent jobs' traces stay separable.
+    run_span: qtelemetry::Span,
+    /// Span of the current phase segment (DD or DMAV) within the run.
+    phase_span: qtelemetry::Span,
+    /// Telemetry-clock µs at which `phase_span` started.
+    phase_start_us: f64,
+    /// Progress-stream throttle: wall clock and gate cursor at the last
+    /// published sample (`None` until the first).
+    progress_last: Option<(Instant, usize)>,
     /// Per-run execution context: cancellation flag, metrics registry, and
     /// fault registry. [`RunContext::process`] for single-tenant callers;
     /// the serve scheduler hands each job an isolated one.
@@ -464,6 +482,15 @@ impl FlatDdSimulator {
             active_circuit_hash: 0,
             ctr_gates_dd: ctx.metrics().counter("core.gates_dd"),
             ctr_gates_dmav: ctx.metrics().counter("core.gates_dmav"),
+            hist_gate_dd: ctx.metrics().histogram("sim.gate_dd_us"),
+            hist_gate_dmav: ctx.metrics().histogram("sim.gate_dmav_us"),
+            hist_ckpt_write: ctx.metrics().histogram("sim.ckpt_write_us"),
+            hist_convert: ctx.metrics().histogram("sim.conversion_us"),
+            hist_plan_build: ctx.metrics().histogram("sim.plan_build_us"),
+            run_span: qtelemetry::Span::none(),
+            phase_span: qtelemetry::Span::none(),
+            phase_start_us: 0.0,
+            progress_last: None,
             ctx,
         })
     }
@@ -602,6 +629,7 @@ impl FlatDdSimulator {
         let dur_us = start.elapsed().as_secs_f64() * 1e6;
         self.gates_since_ckpt = 0;
         self.last_checkpoint = Some(policy.path.clone());
+        self.hist_ckpt_write.observe(dur_us as u64);
         self.ctx.metrics().counter("checkpoint.writes").inc();
         self.ctx
             .metrics()
@@ -975,6 +1003,10 @@ impl FlatDdSimulator {
             });
         }
         if telemetry {
+            match phase {
+                Phase::Dd => self.hist_gate_dd.observe((seconds * 1e6) as u64),
+                Phase::Dmav => self.hist_gate_dmav.observe((seconds * 1e6) as u64),
+            }
             qtelemetry::emit(qtelemetry::Event::Gate {
                 sim: self.telemetry_id,
                 ts_us: ts_us.unwrap_or(0.0),
@@ -988,6 +1020,7 @@ impl FlatDdSimulator {
             });
         }
         self.gates_seen += 1;
+        self.maybe_publish_progress(false);
         self.enforce_memory()?;
         self.enforce_health()?;
         self.gates_since_ckpt += 1;
@@ -1151,10 +1184,17 @@ impl FlatDdSimulator {
     /// checkpoint at the (still consistent) gate boundary the error left
     /// the state at, so the run can be picked up with `--resume-from`.
     fn run_span(&mut self, gates: &[Gate], total: usize) -> Result<RunOutcome, FlatDdError> {
+        // Span identities exist even with no sink installed: the daemon's
+        // NDJSON progress stream carries the ids while timed Span *events*
+        // stay behind `enabled()`.
+        self.run_span = qtelemetry::Span::root();
+        self.phase_span = self.run_span.child();
+        let run_start_us = qtelemetry::now_us();
+        self.phase_start_us = run_start_us;
         if qtelemetry::enabled() {
             qtelemetry::emit(qtelemetry::Event::RunStart {
                 sim: self.telemetry_id,
-                ts_us: qtelemetry::now_us(),
+                ts_us: run_start_us,
                 qubits: self.n,
                 threads: self.t,
                 gates: gates.len(),
@@ -1163,7 +1203,16 @@ impl FlatDdSimulator {
         }
         self.run_total = Some(total);
         let result = self.run_gates(gates);
+        self.maybe_publish_progress(true);
         self.run_total = None;
+        let phase_name = match self.phase() {
+            Phase::Dd => "phase.dd",
+            Phase::Dmav => "phase.dmav",
+        };
+        self.end_span(self.phase_span, phase_name, self.phase_start_us);
+        self.end_span(self.run_span, "run", run_start_us);
+        self.run_span = qtelemetry::Span::none();
+        self.phase_span = qtelemetry::Span::none();
         if qtelemetry::enabled() {
             qtelemetry::emit(qtelemetry::Event::RunEnd {
                 sim: self.telemetry_id,
@@ -1193,6 +1242,78 @@ impl FlatDdSimulator {
             phase: self.phase(),
             stats: self.stats(),
         })
+    }
+
+    /// Emits a timed [`qtelemetry::Event::Span`] closing `span` (no-op for
+    /// [`qtelemetry::Span::none`] or when telemetry is off).
+    fn end_span(&self, span: qtelemetry::Span, name: &'static str, start_us: f64) {
+        if span.is_none() || !qtelemetry::enabled() {
+            return;
+        }
+        qtelemetry::emit(qtelemetry::Event::Span {
+            sim: self.telemetry_id,
+            ts_us: start_us,
+            dur_us: (qtelemetry::now_us() - start_us).max(0.0),
+            id: span.id,
+            parent: span.parent,
+            name,
+        });
+    }
+
+    /// Publishes a [`Progress`] sample into the run context's ring (the
+    /// source of `GET /jobs/{id}/events`). Throttled so the quiet path —
+    /// 63 of every 64 gates — costs one branch, and at most one sample
+    /// per ~100 ms lands otherwise; `force` bypasses the throttle at run
+    /// and phase boundaries.
+    fn maybe_publish_progress(&mut self, force: bool) {
+        if !force && self.gates_seen & 0x3f != 0 {
+            return;
+        }
+        let now = Instant::now();
+        let gates_per_sec = match self.progress_last {
+            Some((t, g)) => {
+                let dt = now.duration_since(t).as_secs_f64();
+                if !force && dt < 0.1 {
+                    return;
+                }
+                if dt > 0.0 {
+                    self.gates_seen.saturating_sub(g) as f64 / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        let (dd_nodes, shard_fill) = match &self.repr {
+            Repr::Dd(_) => {
+                let live = self.pkg.stats();
+                (live.v_nodes + live.m_nodes, 0)
+            }
+            Repr::Flat { .. } => (0, self.shards),
+        };
+        // Degradation rung: 0 = unconstrained, 1 = memory pressure forced
+        // GC sweeps, 2 = a conversion was refused (run pinned to DD mode).
+        let governor_rung = if self.conversion_blocked {
+            2
+        } else if self.stats.pressure_gcs > 0 {
+            1
+        } else {
+            0
+        };
+        self.ctx.publish_progress(Progress {
+            seq: 0,
+            ts_us: qtelemetry::now_us(),
+            phase: self.phase().label(),
+            gate: self.gates_seen,
+            total_gates: self.run_total.unwrap_or(0),
+            gates_per_sec,
+            dd_nodes,
+            governor_rung,
+            shard_fill,
+            run_span: self.run_span.id,
+            phase_span: self.phase_span.id,
+        });
+        self.progress_last = Some((now, self.gates_seen));
     }
 
     /// Resets the per-run statistics at the top of [`Self::run`]: the
@@ -1305,6 +1426,7 @@ impl FlatDdSimulator {
                 });
             }
             if telemetry {
+                self.hist_gate_dmav.observe((seconds * 1e6) as u64);
                 qtelemetry::emit(qtelemetry::Event::Gate {
                     sim: self.telemetry_id,
                     ts_us: ts_us.unwrap_or(0.0),
@@ -1318,6 +1440,7 @@ impl FlatDdSimulator {
                 });
             }
             self.gates_seen += fused.gate_counts[k];
+            self.maybe_publish_progress(false);
             // GC between fused DMAVs keeps matrix DDs bounded; remaining
             // matrices are roots.
             let live = self.pkg.stats();
@@ -1387,7 +1510,17 @@ impl FlatDdSimulator {
         };
         if convert && !self.conversion_blocked {
             match self.convert_now() {
-                Ok(()) => self.phase_transition_note(size),
+                Ok(()) => {
+                    self.phase_transition_note(size);
+                    // Rotate the phase span: the DD segment ends here, the
+                    // DMAV segment starts (inside a run only).
+                    self.end_span(self.phase_span, "phase.dd", self.phase_start_us);
+                    if !self.run_span.is_none() {
+                        self.phase_span = self.run_span.child();
+                        self.phase_start_us = qtelemetry::now_us();
+                    }
+                    self.maybe_publish_progress(true);
+                }
                 Err(
                     FlatDdError::MemoryBudgetExceeded { .. } | FlatDdError::AllocationFailed { .. },
                 ) => {
@@ -1515,6 +1648,8 @@ impl FlatDdSimulator {
         };
         self.stats.conversion_seconds = start.elapsed().as_secs_f64();
         self.stats.converted_at = Some(self.gates_seen);
+        self.hist_convert
+            .observe((self.stats.conversion_seconds * 1e6) as u64);
         self.ctx.metrics().counter("core.conversions").inc();
         if telemetry {
             // The load-balance breakdown is keyed by shard id (one entry
@@ -1530,13 +1665,41 @@ impl FlatDdSimulator {
                     dur_us: breakdown.worker_nanos.get(i).copied().unwrap_or(0) as f64 / 1e3,
                 })
                 .collect();
+            let conv_start_us = ts_us.unwrap_or(0.0);
             qtelemetry::emit(qtelemetry::Event::Conversion {
                 sim: self.telemetry_id,
-                ts_us: ts_us.unwrap_or(0.0),
+                ts_us: conv_start_us,
                 dur_us: self.stats.conversion_seconds * 1e6,
                 at_gate: self.gates_seen,
                 workers,
                 scalar_tasks: breakdown.scalar_tasks,
+            });
+            // Span tree for the conversion: one span under the run (a root
+            // span outside a run), one child per fill worker, so the trace
+            // viewer separates concurrent jobs' conversions.
+            let conv_span = if self.run_span.is_none() {
+                qtelemetry::Span::root()
+            } else {
+                self.run_span.child()
+            };
+            for &nanos in breakdown.worker_nanos.iter() {
+                let w = conv_span.child();
+                qtelemetry::emit(qtelemetry::Event::Span {
+                    sim: self.telemetry_id,
+                    ts_us: conv_start_us,
+                    dur_us: nanos as f64 / 1e3,
+                    id: w.id,
+                    parent: w.parent,
+                    name: "conversion.worker",
+                });
+            }
+            qtelemetry::emit(qtelemetry::Event::Span {
+                sim: self.telemetry_id,
+                ts_us: conv_start_us,
+                dur_us: self.stats.conversion_seconds * 1e6,
+                id: conv_span.id,
+                parent: conv_span.parent,
+                name: "conversion",
             });
         }
         self.repr = Repr::Flat { v, w };
@@ -1575,6 +1738,10 @@ impl FlatDdSimulator {
         // shard); `PlanKey.t` therefore keys cached plans by shard count.
         let (n, t) = (self.n, self.shards);
         let hits_before = self.plans.hits();
+        // Clock read for the plan-build histogram rides behind `enabled()`
+        // (the overhead contract); the observe itself lands only on misses,
+        // where a plan was actually built.
+        let plan_t0 = qtelemetry::enabled().then(Instant::now);
         let plan = match self.cfg.caching {
             CachingPolicy::Always => Plan::Cached(self.plans.get_cached(&self.pkg, m, n, t)?),
             CachingPolicy::Never => Plan::Plain(self.plans.get_plain(&self.pkg, m, n, t)?),
@@ -1602,6 +1769,11 @@ impl FlatDdSimulator {
         self.stats.dmav_plan_misses =
             self.plans.misses().saturating_sub(self.plan_misses_base) as usize;
         self.last_plan_hit = Some(self.plans.hits() > hits_before);
+        if let Some(t0) = plan_t0 {
+            if self.last_plan_hit == Some(false) {
+                self.hist_plan_build.observe_duration_us(t0.elapsed());
+            }
+        }
         let (v, w) = match &mut self.repr {
             Repr::Flat { v, w } => (v, w),
             Repr::Dd(_) => unreachable!("apply_dmav requires the flat representation"),

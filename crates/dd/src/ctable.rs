@@ -70,6 +70,9 @@ pub struct ComplexTable {
     shards: Vec<CShard>,
     tol: f64,
     inv_tol: f64,
+    /// Cached handle into the global `dd.ctable_stall_ns` histogram for
+    /// contended bucket-shard lock waits.
+    stall: qtelemetry::Histogram,
 }
 
 impl Default for ComplexTable {
@@ -98,6 +101,7 @@ impl ComplexTable {
                 .collect(),
             tol,
             inv_tol: 1.0 / tol,
+            stall: qtelemetry::histogram("dd.ctable_stall_ns"),
         };
         // Pre-intern the distinguished constants at fixed indices.
         let z = t.insert_new_locked(Complex64::ZERO);
@@ -186,7 +190,17 @@ impl ComplexTable {
                     Some(g) => g,
                     None => {
                         shard.contended.fetch_add(1, Ordering::Relaxed);
-                        shard.buckets.lock()
+                        // Clock reads only when telemetry is on, and only on
+                        // this already-blocking contended path.
+                        if qtelemetry::enabled() {
+                            let t0 = std::time::Instant::now();
+                            let g = shard.buckets.lock();
+                            self.stall
+                                .observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            g
+                        } else {
+                            shard.buckets.lock()
+                        }
                     }
                 });
             }

@@ -159,6 +159,9 @@ pub struct NodeArena<T: Copy + Eq + Hash> {
     shards: Vec<Shard<T>>,
     alive: AtomicUsize,
     peak_alive: AtomicUsize,
+    /// Cached handle into the global `dd.unique_stall_ns` histogram, so the
+    /// contended path records its wait without a registry lookup.
+    stall: qtelemetry::Histogram,
 }
 
 impl<T: Copy + Eq + Hash> Default for NodeArena<T> {
@@ -167,6 +170,7 @@ impl<T: Copy + Eq + Hash> Default for NodeArena<T> {
             shards: (0..NODE_SHARDS).map(|_| Shard::default()).collect(),
             alive: AtomicUsize::new(0),
             peak_alive: AtomicUsize::new(0),
+            stall: qtelemetry::histogram("dd.unique_stall_ns"),
         }
     }
 }
@@ -201,7 +205,18 @@ impl<T: Copy + Eq + Hash> NodeArena<T> {
             Some(g) => g,
             None => {
                 sh.contended.fetch_add(1, Ordering::Relaxed);
-                sh.core.lock()
+                // Stall timing costs two clock reads, so only when telemetry
+                // is on (one relaxed load otherwise) — and only on this
+                // already-blocking path, never on the uncontended fast path.
+                if qtelemetry::enabled() {
+                    let t0 = std::time::Instant::now();
+                    let g = sh.core.lock();
+                    self.stall
+                        .observe(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    g
+                } else {
+                    sh.core.lock()
+                }
             }
         };
         if let Some(&id) = core.unique.get(&data) {

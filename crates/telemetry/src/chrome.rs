@@ -17,6 +17,7 @@ const TID_PHASES: u64 = 0;
 const TID_GATES: u64 = 1;
 const TID_GC: u64 = 2;
 const TID_GOVERNOR: u64 = 3;
+const TID_SPANS: u64 = 4;
 const TID_WORKER_BASE: u64 = 10;
 
 /// Accumulates `traceEvents` entries.
@@ -109,6 +110,7 @@ struct SimTimeline {
     end: Option<f64>,
     max_ts: f64,
     max_worker: Option<usize>,
+    has_spans: bool,
 }
 
 impl SimTimeline {
@@ -337,6 +339,22 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 t.arg_str("action", action, false);
                 t.close();
             }
+            Event::Span {
+                sim,
+                ts_us,
+                dur_us,
+                id,
+                parent,
+                name,
+            } => {
+                let tl = sims.entry(*sim).or_default();
+                tl.has_spans = true;
+                tl.see(*ts_us + *dur_us);
+                t.span(name, *sim, TID_SPANS, *ts_us, *dur_us);
+                t.arg_num("span", *id as f64, true);
+                t.arg_num("parent", *parent as f64, false);
+                t.close();
+            }
         }
     }
 
@@ -372,6 +390,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         t.thread_name(*sim, TID_PHASES, "phases");
         t.thread_name(*sim, TID_GATES, "gates");
         t.thread_name(*sim, TID_GOVERNOR, "governor/watchdog");
+        if tl.has_spans {
+            t.thread_name(*sim, TID_SPANS, "spans");
+        }
         if let Some(max_w) = tl.max_worker {
             for w in 0..=max_w {
                 let mut name = String::from("conversion worker ");
@@ -474,6 +495,36 @@ mod tests {
         assert!(s.contains("\"plan_hit\":\"hit\""));
         // Worker fill sub-span lands on tid 10.
         assert!(s.contains("\"tid\":10"));
+    }
+
+    #[test]
+    fn span_events_render_on_their_own_track() {
+        let run = crate::span::Span::root();
+        let phase = run.child();
+        let events = vec![
+            Event::Span {
+                sim: 5,
+                ts_us: 0.0,
+                dur_us: 10.0,
+                id: run.id,
+                parent: run.parent,
+                name: "run",
+            },
+            Event::Span {
+                sim: 5,
+                ts_us: 0.0,
+                dur_us: 4.0,
+                id: phase.id,
+                parent: phase.parent,
+                name: "phase.dd",
+            },
+        ];
+        let s = chrome_trace_json(&events);
+        assert!(s.contains("\"name\":\"run\""));
+        assert!(s.contains("\"name\":\"phase.dd\""));
+        assert!(s.contains(&format!("\"parent\":{}", run.id)));
+        assert!(s.contains("\"tid\":4"), "span track is tid 4");
+        assert!(s.contains("\"name\":\"spans\""), "span track is named");
     }
 
     #[test]

@@ -189,6 +189,25 @@ pub enum Event {
         /// Action label (`error`, `panic`, `nan`, `truncate`, `bitflip`).
         action: &'static str,
     },
+    /// A completed span: the run → phase → conversion-worker hierarchy,
+    /// emitted at span *end* with the start timestamp and duration already
+    /// measured. `id`/`parent` come from [`crate::span::Span`], so traces
+    /// from concurrent jobs in one daemon stay separable per job.
+    Span {
+        /// Emitting simulator id.
+        sim: u64,
+        /// Span start timestamp (µs).
+        ts_us: f64,
+        /// Span duration (µs).
+        dur_us: f64,
+        /// Process-unique span id.
+        id: u64,
+        /// Owning span id ([`crate::span::NO_PARENT`] for run roots).
+        parent: u64,
+        /// Span name (`"run"`, `"phase.dd"`, `"phase.dmav"`,
+        /// `"conversion"`, `"conversion.worker"`).
+        name: &'static str,
+    },
 }
 
 impl Event {
@@ -212,6 +231,7 @@ impl Event {
                 }
             }
             Event::Fault { .. } => "fault_injected",
+            Event::Span { .. } => "span",
         }
     }
 
@@ -397,6 +417,21 @@ impl Event {
                 push_str(&mut o, "site", site);
                 push_str(&mut o, "action", action);
             }
+            Event::Span {
+                sim,
+                ts_us,
+                dur_us,
+                id,
+                parent,
+                name,
+            } => {
+                push_u64(&mut o, "sim", *sim);
+                push_f64(&mut o, "ts_us", *ts_us);
+                push_f64(&mut o, "dur_us", *dur_us);
+                push_u64(&mut o, "id", *id);
+                push_u64(&mut o, "parent", *parent);
+                push_str(&mut o, "name", name);
+            }
         }
         o.push('}');
         o
@@ -519,6 +554,23 @@ mod tests {
         assert!(s.starts_with("{\"type\":\"fault_injected\""), "{s}");
         assert!(s.contains("\"site\":\"alloc.flat\""));
         assert!(s.contains("\"action\":\"error\""));
+    }
+
+    #[test]
+    fn span_event_jsonl_shape() {
+        let e = Event::Span {
+            sim: 3,
+            ts_us: 5.0,
+            dur_us: 20.0,
+            id: 101,
+            parent: 100,
+            name: "phase.dd",
+        };
+        let s = e.to_jsonl();
+        assert!(s.starts_with("{\"type\":\"span\""), "{s}");
+        assert!(s.contains("\"id\":101"));
+        assert!(s.contains("\"parent\":100"));
+        assert!(s.contains("\"name\":\"phase.dd\""));
     }
 
     #[test]

@@ -43,14 +43,20 @@
 
 pub mod chrome;
 pub mod event;
+pub mod histogram;
 pub mod metrics;
+pub mod prometheus;
 pub mod sink;
+pub mod span;
 
 pub use chrome::chrome_trace_json;
 pub use event::{Event, WorkerFill};
+pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{
-    counter, gauge, metrics_json, reset_metrics, set_label, Counter, Gauge, MetricsRegistry,
+    counter, gauge, histogram, metrics_json, reset_metrics, set_label, Counter, Gauge,
+    MetricsRegistry,
 };
+pub use span::Span;
 pub use sink::{
     add_sink, clear_sinks, emit, enabled, flush_sinks, remove_sink, EventSink, JsonlSink, Recorder,
     SinkId,

@@ -23,6 +23,7 @@
 //!  "labels": {"array.vecops_backend": "avx2"}}
 //! ```
 
+use crate::histogram::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -71,6 +72,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     labels: Mutex<BTreeMap<String, String>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
 /// An isolated set of counters, gauges, and labels. Clones share storage,
@@ -105,6 +107,7 @@ impl MetricsRegistry {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 labels: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -133,9 +136,50 @@ impl MetricsRegistry {
         ))
     }
 
+    /// Gets (or registers) the histogram named `name`. Include the unit in
+    /// the name (`serve.queue_wait_us`, `dd.unique_stall_ns`); the buckets
+    /// are base-2 logarithmic over the full `u64` range, so no per-metric
+    /// bucket configuration exists or is needed.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.inner.histograms);
+        map.entry(name.to_string()).or_default().clone()
+    }
+
     /// Sets a string label (e.g. the selected SIMD backend).
     pub fn set_label(&self, name: &str, value: impl Into<String>) {
         lock(&self.inner.labels).insert(name.to_string(), value.into());
+    }
+
+    /// Sorted snapshot of every counter.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        lock(&self.inner.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Sorted snapshot of every gauge.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        lock(&self.inner.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    /// Sorted snapshot of every string label.
+    pub fn labels_snapshot(&self) -> Vec<(String, String)> {
+        lock(&self.inner.labels)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Sorted snapshot of every histogram.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        lock(&self.inner.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
     }
 
     /// Zeroes every counter and gauge and clears all labels. Registered
@@ -147,6 +191,9 @@ impl MetricsRegistry {
         }
         for v in lock(&self.inner.gauges).values() {
             v.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in lock(&self.inner.histograms).values() {
+            h.reset();
         }
         lock(&self.inner.labels).clear();
     }
@@ -180,6 +227,22 @@ impl MetricsRegistry {
                 crate::escape_into(&mut out, k);
                 out.push_str("\": ");
                 crate::json_f64(&mut out, f64::from_bits(v.load(Ordering::Relaxed)));
+            }
+            if !map.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"histograms\": {");
+        {
+            let map = lock(&self.inner.histograms);
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    \"");
+                crate::escape_into(&mut out, k);
+                out.push_str("\": ");
+                out.push_str(&v.snapshot().to_json());
             }
             if !map.is_empty() {
                 out.push_str("\n  ");
@@ -225,6 +288,11 @@ pub fn gauge(name: &str) -> Gauge {
     global().gauge(name)
 }
 
+/// Gets (or registers) a histogram in the [`global`] registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
 /// Sets a string label in the [`global`] registry.
 pub fn set_label(name: &str, value: impl Into<String>) {
     global().set_label(name, value);
@@ -266,6 +334,22 @@ mod tests {
         assert!(json.contains("\"counters\""));
         assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"labels\""));
+    }
+
+    #[test]
+    fn histograms_live_in_the_registry_and_json() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("test.hist.us");
+        h.observe(100);
+        h.observe(5);
+        // A second lookup shares the same buckets.
+        assert!(r.histogram("test.hist.us").same_as(&h));
+        assert_eq!(r.histogram("test.hist.us").snapshot().count, 2);
+        let json = r.to_json();
+        assert!(json.contains("\"histograms\""), "{json}");
+        assert!(json.contains("\"test.hist.us\": {\"count\": 2"), "{json}");
+        r.reset();
+        assert_eq!(h.snapshot().count, 0, "reset zeroes histograms");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Lightweight span identities for cross-job trace separation.
+//!
+//! A daemon running N simulations concurrently interleaves their events in
+//! one stream; per-event `sim` ids tell the *sources* apart but carry no
+//! hierarchy. A [`Span`] is the missing linkage: a process-unique id plus a
+//! parent id, allocated from the same sequence as [`crate::next_id`], so a
+//! run span can own phase spans, which own conversion-worker spans, and a
+//! consumer (the Chrome-trace exporter, the NDJSON job stream) can
+//! reconstruct each job's tree without guessing from timestamps.
+//!
+//! Spans are identities, not timers: creating one is a single relaxed
+//! `fetch_add` and carries no clock read. Components that want a timed
+//! span emit an [`crate::Event::Span`] with the start/duration they already
+//! measured — behind [`crate::enabled`], like every other event.
+
+/// Parent id of a root span (no parent).
+pub const NO_PARENT: u64 = 0;
+
+/// A span identity: process-unique `id` plus the owning span's id
+/// (`NO_PARENT` for roots). `Copy`, 16 bytes — thread it by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Owning span's id, or [`NO_PARENT`].
+    pub parent: u64,
+}
+
+impl Span {
+    /// Allocates a root span (e.g. one simulation run).
+    pub fn root() -> Span {
+        Span {
+            id: crate::next_id(),
+            parent: NO_PARENT,
+        }
+    }
+
+    /// Allocates a child of this span (e.g. a phase inside a run, a
+    /// conversion worker inside a conversion).
+    pub fn child(&self) -> Span {
+        Span {
+            id: crate::next_id(),
+            parent: self.id,
+        }
+    }
+
+    /// A span that is not being tracked (id 0). Emitters treat it as
+    /// "no span": useful as a field default before a run starts.
+    pub const fn none() -> Span {
+        Span {
+            id: 0,
+            parent: NO_PARENT,
+        }
+    }
+
+    /// True for [`Span::none`].
+    pub fn is_none(&self) -> bool {
+        self.id == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_unique_and_linked() {
+        let run = Span::root();
+        let phase = run.child();
+        let worker = phase.child();
+        assert_ne!(run.id, phase.id);
+        assert_ne!(phase.id, worker.id);
+        assert_eq!(run.parent, NO_PARENT);
+        assert_eq!(phase.parent, run.id);
+        assert_eq!(worker.parent, phase.id);
+        assert!(!run.is_none());
+        assert!(Span::none().is_none());
+    }
+}

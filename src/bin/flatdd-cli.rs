@@ -330,6 +330,7 @@ fn cmd_run(args: &[String]) {
         && (o.checkpoint_path.is_some() || o.checkpoint_every.is_some() || o.resume_from.is_some())
     {
         eprintln!("--checkpoint-path/--checkpoint-every/--resume-from: only supported by the flatdd engine");
+        tele.finish();
         std::process::exit(2);
     }
 
@@ -390,6 +391,9 @@ fn cmd_run(args: &[String]) {
                     Ok(sim) => (sim, None),
                     Err(e) => {
                         eprintln!("{e}");
+                        // Flush sinks before the typed death so a partial
+                        // JSONL event file is still complete and parseable.
+                        tele.finish();
                         std::process::exit(e.exit_code());
                     }
                 },
@@ -551,6 +555,7 @@ fn cmd_run(args: &[String]) {
         }
         other => {
             eprintln!("unknown engine `{other}` (flatdd | dd | array)");
+            tele.finish();
             std::process::exit(2);
         }
     }

@@ -17,8 +17,11 @@
 //!                              (default auto = one shard per thread)
 //! ```
 //!
-//! Submit with `POST /jobs`, poll `GET /jobs/{id}`, observe `GET /metrics`
-//! and `GET /healthz`. SIGTERM/SIGINT drains: admission stops, running jobs
+//! Submit with `POST /jobs`, poll `GET /jobs/{id}`, follow a running job
+//! live with `GET /jobs/{id}/events` (chunked NDJSON, `?since=` resumes),
+//! and observe `GET /metrics` (JSON, or Prometheus exposition via
+//! `?format=prometheus`) and `GET /healthz`. SIGTERM/SIGINT drains:
+//! admission stops, running jobs
 //! are checkpointed and parked, state is persisted, and the process exits 0.
 //! A daemon killed outright (SIGKILL, power loss) recovers on restart from
 //! the same spool: queued, preempted, and mid-flight jobs are re-admitted,
@@ -36,6 +39,18 @@ Usage:
   flatdd-serve --spool DIR [--port p] [--workers n] [--memory-budget-mb mb]
                [--queue-cap n] [--retry-max n] [--checkpoint-every gates]
                [--dd-threads t] [--flat-shards s]";
+
+/// `GET /jobs/{id}/events` → `Some(id)`; anything else `None`.
+fn event_stream_target(req: &http::Request) -> Option<u64> {
+    if req.method != "GET" {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["jobs", id, "events"] => id.parse().ok(),
+        _ => None,
+    }
+}
 
 fn parse_or_die<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
     raw.parse().unwrap_or_else(|_| {
@@ -155,8 +170,27 @@ fn main() {
         match listener.accept() {
             Ok((mut stream, _peer)) => match http::read_request(&mut stream) {
                 Ok(req) => {
-                    let (status, body) = serve::route(&handle, &req);
-                    http::respond_json(&mut stream, status, &body);
+                    // Live event streams are long-lived chunked responses;
+                    // hand each its own thread so the accept loop stays
+                    // responsive. Everything else is answered inline.
+                    if let Some(id) = event_stream_target(&req) {
+                        let h = handle.clone();
+                        let since = req
+                            .query_param("since")
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(0);
+                        let known = h.job(id).is_some();
+                        if !known {
+                            http::respond_json(&mut stream, 404, "{\"error\":\"no such job\"}");
+                        } else {
+                            std::thread::spawn(move || {
+                                serve::stream::stream_events(&mut stream, &h, id, since);
+                            });
+                        }
+                    } else {
+                        let (status, content_type, body) = serve::route(&handle, &req);
+                        http::respond(&mut stream, status, content_type, &body);
+                    }
                 }
                 Err(e) => {
                     http::respond_json(

@@ -11,7 +11,7 @@
 //! ## Byte layout (little-endian; see DESIGN.md §10)
 //!
 //! ```text
-//! magic "FDCP1\0" | u32 version (=1)
+//! magic "FDCP1\0" | u32 version (=2)
 //! u32 header_len | header bytes          | u32 CRC32(header bytes)
 //! u8 payload kind (0=dd, 1=flat)
 //! u64 payload_len | payload bytes        | u32 CRC32(payload bytes)
@@ -20,7 +20,11 @@
 //! Header fields, in order: `u64 circuit_hash`, `u64 config_fingerprint`,
 //! `u32 n`, `u64 gate_cursor`, `u8 phase`, `u8 conversion_blocked`,
 //! EWMA state (`f64 v`, `u8 seeded`, `u64 observations`), `u64 rng_seed`,
-//! `u64 rng_pos`, then the persisted [`FlatDdStats`] subset (12 fields).
+//! `u64 rng_pos`, then the persisted [`FlatDdStats`] subset (14 fields).
+//! Version 2 appended the approximation-rung fields
+//! (`u64 approx_truncations`, `f64 fidelity`) so a resume preserves the
+//! cumulative fidelity product; version-1 files are rejected as an
+//! unsupported format version.
 //!
 //! ## Atomic installation
 //!
@@ -42,9 +46,10 @@ use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 6] = b"FDCP1\0";
-const VERSION: u32 = 1;
-/// Serialized header size for format version 1.
-const HEADER_LEN_V1: usize = 8 + 8 + 4 + 8 + 1 + 1 + (8 + 1 + 8) + 8 + 8 + 12 * 8;
+const VERSION: u32 = 2;
+/// Serialized header size for format version 2 (v1 + the two
+/// approximation-rung stats fields).
+const HEADER_LEN_V2: usize = 8 + 8 + 4 + 8 + 1 + 1 + (8 + 1 + 8) + 8 + 8 + 14 * 8;
 /// Amplitudes per chunk when writing/reading the flat payload.
 const FLAT_CHUNK: usize = 1 << 15;
 
@@ -266,7 +271,7 @@ fn corrupt(detail: impl Into<String>) -> FlatDdError {
 }
 
 fn encode_header(h: &CheckpointHeader) -> Vec<u8> {
-    let mut b = Vec::with_capacity(HEADER_LEN_V1);
+    let mut b = Vec::with_capacity(HEADER_LEN_V2);
     b.extend_from_slice(&h.circuit_hash.to_le_bytes());
     b.extend_from_slice(&h.config_fingerprint.to_le_bytes());
     b.extend_from_slice(&h.n.to_le_bytes());
@@ -294,7 +299,9 @@ fn encode_header(h: &CheckpointHeader) -> Vec<u8> {
     b.extend_from_slice(&(s.peak_state_dd_size as u64).to_le_bytes());
     b.extend_from_slice(&(s.conversion_refusals as u64).to_le_bytes());
     b.extend_from_slice(&(s.pressure_gcs as u64).to_le_bytes());
-    debug_assert_eq!(b.len(), HEADER_LEN_V1);
+    b.extend_from_slice(&(s.approx_truncations as u64).to_le_bytes());
+    b.extend_from_slice(&s.fidelity.to_le_bytes());
+    debug_assert_eq!(b.len(), HEADER_LEN_V2);
     b
 }
 
@@ -341,6 +348,25 @@ fn write_checkpoint_probed(
     }
     if let Some(faults::FaultAction::BitFlip(bit)) = probe(faults::SITE_CKPT_BITFLIP) {
         flip_bit(&tmp, bit).map_err(FlatDdError::Io)?;
+    }
+    // Disk-full at installation time: the temp file exists but the rename
+    // is denied. The temp is removed (as a real ENOSPC cleanup would) so
+    // the previously installed checkpoint — if any — stays the valid one.
+    // The `panic` action instead models the process dying at the install
+    // point (the seam the serve crash-loop quarantine is tested through).
+    if let Some(action) = probe(faults::SITE_CKPT_ENOSPC) {
+        let _ = std::fs::remove_file(&tmp);
+        if action == faults::FaultAction::Panic {
+            panic!("fault injection: crash installing checkpoint");
+        }
+        return Err(FlatDdError::Io(io::Error::new(
+            io::ErrorKind::StorageFull,
+            format!(
+                "injected ENOSPC installing checkpoint {} (fault site {})",
+                path.display(),
+                faults::SITE_CKPT_ENOSPC
+            ),
+        )));
     }
     std::fs::rename(&tmp, path).map_err(FlatDdError::Io)?;
     sync_parent_dir(path);
@@ -612,8 +638,16 @@ fn decode_header(bytes: &[u8]) -> Result<CheckpointHeader, FlatDdError> {
         peak_state_dd_size: c.u64()? as usize,
         conversion_refusals: c.u64()? as usize,
         pressure_gcs: c.u64()? as usize,
+        approx_truncations: c.u64()? as usize,
+        fidelity: c.f64()?,
         ..FlatDdStats::default()
     };
+    if !(stats.fidelity.is_finite() && stats.fidelity > 0.0 && stats.fidelity <= 1.0) {
+        return Err(corrupt(format!(
+            "fidelity product {} outside (0, 1]",
+            stats.fidelity
+        )));
+    }
     if c.pos != bytes.len() {
         return Err(corrupt("trailing bytes after header fields"));
     }
@@ -664,9 +698,9 @@ fn read_header_from(r: &mut impl Read) -> Result<(CheckpointHeader, u64), FlatDd
     }
     read_exactly(r, &mut v4, "header length")?;
     let hlen = u32::from_le_bytes(v4) as usize;
-    if hlen != HEADER_LEN_V1 {
+    if hlen != HEADER_LEN_V2 {
         return Err(corrupt(format!(
-            "header length {hlen} does not match format version 1 ({HEADER_LEN_V1})"
+            "header length {hlen} does not match format version 2 ({HEADER_LEN_V2})"
         )));
     }
     let mut hb = vec![0u8; hlen];
@@ -845,9 +879,50 @@ mod tests {
         for phase in [Phase::Dd, Phase::Dmav] {
             let h = header(phase);
             let b = encode_header(&h);
-            assert_eq!(b.len(), HEADER_LEN_V1);
+            assert_eq!(b.len(), HEADER_LEN_V2);
             assert_eq!(decode_header(&b).unwrap(), h);
         }
+    }
+
+    #[test]
+    fn fidelity_fields_round_trip_and_are_validated() {
+        let mut h = header(Phase::Dd);
+        h.stats.approx_truncations = 3;
+        h.stats.fidelity = 0.912345678901234;
+        let b = encode_header(&h);
+        let d = decode_header(&b).unwrap();
+        assert_eq!(d.stats.approx_truncations, 3);
+        assert_eq!(d.stats.fidelity, 0.912345678901234, "bit-exact product");
+
+        // A fidelity outside (0, 1] can only come from corruption.
+        for bad in [0.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            h.stats.fidelity = bad;
+            let b = encode_header(&h);
+            assert!(
+                matches!(
+                    decode_header(&b),
+                    Err(FlatDdError::CorruptCheckpoint { .. })
+                ),
+                "fidelity {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_1_files_are_rejected_as_unsupported() {
+        let path = tmp_file("v1");
+        write_checkpoint(&path, &header(Phase::Dd), CheckpointPayload::Dd(b"x")).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Overwrite the version word (right after the 6-byte magic).
+        bytes[6..10].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match read_checkpoint(&path) {
+            Err(FlatDdError::CorruptCheckpoint { detail }) => {
+                assert!(detail.contains("version"), "got: {detail}");
+            }
+            other => panic!("expected corrupt-checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -1005,5 +1080,13 @@ mod tests {
         let mut other_policy = base;
         other_policy.conversion = crate::sim::ConversionPolicy::Never;
         assert_ne!(config_fingerprint(&base), config_fingerprint(&other_policy));
+        let mut other_floor = base;
+        other_floor.governor.approx_fidelity_floor = Some(0.9);
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&other_floor),
+            "the approx floor must not affect the fingerprint (a breached \
+             run may resume with the floor newly armed)"
+        );
     }
 }

@@ -55,6 +55,16 @@ pub const SITE_STATE_NAN: &str = "state.nan";
 pub const SITE_CKPT_TRUNCATE: &str = "checkpoint.truncate";
 /// Flips one bit of a checkpoint file before its atomic installation.
 pub const SITE_CKPT_BITFLIP: &str = "checkpoint.bitflip";
+/// IO error while persisting a spool job record (`flatdd-serve`). Any
+/// action degrades to `error`: the persist call reports failure and the
+/// caller's in-memory state must stay coherent.
+pub const SITE_SPOOL_WRITE: &str = "spool.write";
+/// Disk-full (`ENOSPC`-shaped IO error) at checkpoint installation time —
+/// the temp file is written but the atomic rename is denied. The `panic`
+/// action models the process dying at the install point instead (the seam
+/// the serve-layer crash-loop quarantine is exercised through); every
+/// other action degrades to `error`.
+pub const SITE_CKPT_ENOSPC: &str = "checkpoint.enospc";
 
 /// Every registered fault site, for smoke tests that iterate the catalog.
 pub fn sites() -> &'static [&'static str] {
@@ -64,6 +74,8 @@ pub fn sites() -> &'static [&'static str] {
         SITE_STATE_NAN,
         SITE_CKPT_TRUNCATE,
         SITE_CKPT_BITFLIP,
+        SITE_SPOOL_WRITE,
+        SITE_CKPT_ENOSPC,
     ]
 }
 

@@ -43,6 +43,14 @@ pub struct GovernorConfig {
     /// Allowed drift of the state 2-norm away from 1 before the watchdog
     /// reports divergence.
     pub norm_tolerance: f64,
+    /// Arms the approximation rung of the degradation ladder: on a memory
+    /// breach that survives every exact relief measure, the DD-phase state
+    /// may be truncated (lowest-contribution edges pruned, renormalized) as
+    /// long as the *cumulative* fidelity product stays at or above this
+    /// floor. `None` (the default) keeps the exact, fatal behavior. Valid
+    /// values are in `(0, 1]`; a floor of exactly `1.0` arms the rung but
+    /// only accepts lossless truncations, so results stay bit-identical.
+    pub approx_fidelity_floor: Option<f64>,
 }
 
 impl Default for GovernorConfig {
@@ -54,6 +62,7 @@ impl Default for GovernorConfig {
             rss_probe_every: 256,
             health_check_every: 64,
             norm_tolerance: 1e-6,
+            approx_fidelity_floor: None,
         }
     }
 }
@@ -66,9 +75,11 @@ impl GovernorConfig {
 
     /// Reads budgets from the environment on top of the defaults:
     /// `FLATDD_MEMORY_BUDGET_MB` (allocator-accounted bytes),
-    /// `FLATDD_RSS_BUDGET_MB` (process RSS), and `FLATDD_DEADLINE_SECS`
-    /// (fractional seconds). Unparseable values are ignored. This is how
-    /// CI runs the whole test suite under a budget without touching code.
+    /// `FLATDD_RSS_BUDGET_MB` (process RSS), `FLATDD_DEADLINE_SECS`
+    /// (fractional seconds), and `FLATDD_APPROX_FLOOR` (cumulative fidelity
+    /// floor in `(0, 1]` arming the approximation rung). Unparseable values
+    /// are ignored. This is how CI runs the whole test suite under a budget
+    /// without touching code.
     pub fn from_env() -> Self {
         Self::from_lookup(|name| std::env::var(name).ok())
     }
@@ -89,6 +100,13 @@ impl GovernorConfig {
         }
         if let Some(secs) = read("FLATDD_DEADLINE_SECS") {
             cfg.deadline = Some(Duration::from_secs_f64(secs));
+        }
+        if let Some(raw) = lookup("FLATDD_APPROX_FLOOR") {
+            if let Ok(f) = raw.trim().parse::<f64>() {
+                if f.is_finite() && f > 0.0 && f <= 1.0 {
+                    cfg.approx_fidelity_floor = Some(f);
+                }
+            }
         }
         cfg
     }
@@ -317,5 +335,28 @@ mod tests {
         });
         assert_eq!(cfg.deadline, Some(Duration::from_millis(250)));
         assert_eq!(cfg.rss_budget_bytes, None, "negative budget ignored");
+    }
+
+    #[test]
+    fn approx_floor_parsing_enforces_range() {
+        let parse = |raw: &str| {
+            GovernorConfig::from_lookup(|name| {
+                (name == "FLATDD_APPROX_FLOOR").then(|| raw.to_string())
+            })
+            .approx_fidelity_floor
+        };
+        assert_eq!(parse("0.9"), Some(0.9));
+        assert_eq!(parse(" 1.0 "), Some(1.0));
+        assert_eq!(parse("0"), None, "floor must be strictly positive");
+        assert_eq!(parse("1.5"), None, "floor above 1 is meaningless");
+        assert_eq!(parse("-0.5"), None);
+        assert_eq!(parse("NaN"), None);
+        assert_eq!(parse("inf"), None);
+        assert_eq!(parse("garbage"), None);
+        assert_eq!(
+            GovernorConfig::from_lookup(|_| None).approx_fidelity_floor,
+            None,
+            "unset stays exact"
+        );
     }
 }

@@ -58,6 +58,11 @@ pub struct JobSpec {
     /// Scoped fault spec (`FLATDD_FAULTS` grammar) armed on this job's
     /// context only — chaos testing one tenant must not touch the others.
     pub faults: Option<String>,
+    /// Arms the approximation rung for this job: on an unrelievable memory
+    /// breach, truncate the DD state as long as the cumulative fidelity
+    /// stays at or above this floor (in `(0, 1]`; `None` = exact, fatal
+    /// behavior). Results produced this way are marked `approximate`.
+    pub approx_fidelity_floor: Option<f64>,
 }
 
 impl Default for JobSpec {
@@ -75,6 +80,7 @@ impl Default for JobSpec {
             checkpoint_every: None,
             convert_at_gate: None,
             faults: None,
+            approx_fidelity_floor: None,
         }
     }
 }
@@ -150,6 +156,15 @@ impl JobSpec {
                 "faults" => {
                     spec.faults = Some(v.as_str().ok_or("`faults` must be a string")?.to_string())
                 }
+                "approx_fidelity_floor" => {
+                    let f = v
+                        .as_f64()
+                        .ok_or("`approx_fidelity_floor` must be a number")?;
+                    if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                        return Err("`approx_fidelity_floor` must be in (0, 1]".into());
+                    }
+                    spec.approx_fidelity_floor = Some(f);
+                }
                 other => return Err(format!("unknown job field `{other}`")),
             }
         }
@@ -189,6 +204,9 @@ impl JobSpec {
         }
         if let Some(f) = &self.faults {
             m.insert("faults".into(), Json::Str(f.clone()));
+        }
+        if let Some(f) = self.approx_fidelity_floor {
+            m.insert("approx_fidelity_floor".into(), Json::Num(f));
         }
         Json::Obj(m)
     }
@@ -248,7 +266,7 @@ impl JobState {
 }
 
 /// What a finished job reports back.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct JobResult {
     /// Gates applied (equals the circuit total on success).
     pub gates_applied: usize,
@@ -258,6 +276,11 @@ pub struct JobResult {
     pub phase: String,
     /// Wall-clock seconds spent simulating (all attempts).
     pub elapsed_secs: f64,
+    /// `true` when the approximation rung truncated the state: the result
+    /// is an approximate state with [`Self::fidelity`] possibly below 1.
+    pub approximate: bool,
+    /// Cumulative fidelity product achieved (`1.0` for exact runs).
+    pub fidelity: f64,
     /// The top amplitudes by probability: `(basis index, re, im)`,
     /// descending. Full `f64` precision survives the JSON round trip, so
     /// recovery tests can compare against an uninterrupted run at 1e-12.
@@ -266,6 +289,22 @@ pub struct JobResult {
     pub stats_json: String,
     /// The job's scoped metrics registry, dumped as JSON.
     pub metrics_json: String,
+}
+
+impl Default for JobResult {
+    fn default() -> Self {
+        JobResult {
+            gates_applied: 0,
+            total_gates: 0,
+            phase: String::new(),
+            elapsed_secs: 0.0,
+            approximate: false,
+            fidelity: 1.0,
+            heavy: Vec::new(),
+            stats_json: String::new(),
+            metrics_json: String::new(),
+        }
+    }
 }
 
 /// The durable record: spec + state + outcome, one JSON file per job.
@@ -285,6 +324,11 @@ pub struct JobRecord {
     pub retries: u32,
     /// Times this job was preempted or drained mid-run.
     pub preemptions: u32,
+    /// Worker panics this job has caused so far. Persisted so a crash-loop
+    /// — a job that keeps panicking after checkpoint resumes, across
+    /// daemon restarts — is bounded: past `retry_max` attempts the job is
+    /// marked failed-poisoned instead of being retried forever.
+    pub panics: u32,
     /// Result payload for `Done`.
     pub result: Option<JobResult>,
 }
@@ -300,6 +344,7 @@ impl JobRecord {
             error: None,
             retries: 0,
             preemptions: 0,
+            panics: 0,
             result: None,
         }
     }
@@ -323,6 +368,7 @@ impl JobRecord {
         m.insert("spec".into(), self.spec.to_json());
         m.insert("retries".into(), Json::Num(self.retries as f64));
         m.insert("preemptions".into(), Json::Num(self.preemptions as f64));
+        m.insert("panics".into(), Json::Num(self.panics as f64));
         if let Some(c) = self.exit_code {
             m.insert("exit_code".into(), Json::Num(c as f64));
         }
@@ -348,6 +394,8 @@ impl JobRecord {
                     ("total_gates", Json::Num(r.total_gates as f64)),
                     ("phase", Json::Str(r.phase.clone())),
                     ("elapsed_secs", Json::Num(r.elapsed_secs)),
+                    ("approximate", Json::Bool(r.approximate)),
+                    ("fidelity", Json::Num(r.fidelity)),
                     ("heavy", Json::Arr(heavy)),
                     ("stats", raw_or_null(&r.stats_json)),
                     ("metrics", raw_or_null(&r.metrics_json)),
@@ -374,6 +422,8 @@ impl JobRecord {
         rec.state = state;
         rec.retries = v.get("retries").and_then(Json::as_u64).unwrap_or(0) as u32;
         rec.preemptions = v.get("preemptions").and_then(Json::as_u64).unwrap_or(0) as u32;
+        // Absent in records written by older daemons: default to 0.
+        rec.panics = v.get("panics").and_then(Json::as_u64).unwrap_or(0) as u32;
         rec.exit_code = v.get("exit_code").and_then(Json::as_f64).map(|c| c as i32);
         rec.error = v.get("error").and_then(Json::as_str).map(|s| s.to_string());
         if let Some(r) = v.get("result") {
@@ -386,6 +436,11 @@ impl JobRecord {
                     .unwrap_or("")
                     .to_string(),
                 elapsed_secs: r.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                approximate: r
+                    .get("approximate")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                fidelity: r.get("fidelity").and_then(Json::as_f64).unwrap_or(1.0),
                 heavy: Vec::new(),
                 stats_json: r.get("stats").map(|s| s.to_string()).unwrap_or_default(),
                 metrics_json: r.get("metrics").map(|s| s.to_string()).unwrap_or_default(),
@@ -406,7 +461,19 @@ impl JobRecord {
     /// Durably writes the record: tmp sibling, then atomic rename — the
     /// same install discipline as FDCP1 checkpoints, so a crash leaves
     /// either the old record or the new one, never a torn file.
+    ///
+    /// Probes the `spool.write` fault site (process-global registry —
+    /// record persistence is a daemon-level concern, not scoped to any one
+    /// job's chaos spec): when armed, the write reports an IO error and
+    /// the on-disk record is left as it was.
     pub fn persist(&self, spool: &Path) -> Result<(), FlatDdError> {
+        if crate::faults::fires(crate::faults::SITE_SPOOL_WRITE).is_some() {
+            return Err(FlatDdError::Io(std::io::Error::other(format!(
+                "injected IO error persisting job record {} (fault site {})",
+                self.id,
+                crate::faults::SITE_SPOOL_WRITE
+            ))));
+        }
         let path = Self::path(spool, self.id);
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, format!("{}\n", self.to_json()))?;
@@ -423,18 +490,32 @@ fn raw_or_null(s: &str) -> Json {
     }
 }
 
-/// Loads every `job-*.json` record in `spool`, sorted by id. Unreadable
-/// records are reported on stderr and skipped — one corrupt file must not
-/// take the daemon down.
-pub fn load_spool(spool: &Path) -> Vec<JobRecord> {
-    let mut out = Vec::new();
+/// Outcome of the startup spool fsck: the loadable records plus how many
+/// corrupt files were moved aside.
+#[derive(Debug, Default)]
+pub struct SpoolLoad {
+    /// Every loadable record, sorted by id.
+    pub records: Vec<JobRecord>,
+    /// Corrupt/unparseable record files quarantined to
+    /// `<spool>/quarantine/` this pass.
+    pub quarantined: usize,
+}
+
+/// Loads every `job-*.json` record in `spool`, sorted by id — the daemon's
+/// startup fsck. A corrupt or unparseable record is *quarantined*: moved
+/// to `<spool>/quarantine/` with one log line, so recovery continues and
+/// the damaged file stays available for post-mortem instead of either
+/// taking the daemon down or being silently re-read (and re-skipped) on
+/// every restart.
+pub fn load_spool(spool: &Path) -> SpoolLoad {
+    let mut out = SpoolLoad::default();
     let entries = match std::fs::read_dir(spool) {
         Ok(e) => e,
         Err(_) => return out,
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
-        let name = name.to_string_lossy();
+        let name = name.to_string_lossy().to_string();
         if !name.starts_with("job-") || !name.ends_with(".json") {
             continue;
         }
@@ -444,11 +525,30 @@ pub fn load_spool(spool: &Path) -> Vec<JobRecord> {
             .and_then(|src| json::parse(&src))
             .and_then(|v| JobRecord::from_json(&v));
         match parsed {
-            Ok(rec) => out.push(rec),
-            Err(e) => eprintln!("[flatdd-serve] skipping {}: {e}", path.display()),
+            Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                let qdir = spool.join("quarantine");
+                let moved = std::fs::create_dir_all(&qdir)
+                    .and_then(|()| std::fs::rename(&path, qdir.join(&name)));
+                match moved {
+                    Ok(()) => {
+                        out.quarantined += 1;
+                        eprintln!(
+                            "[flatdd-serve] quarantined corrupt record {} -> quarantine/{name}: {e}",
+                            path.display()
+                        );
+                    }
+                    // Quarantine failing (e.g. read-only spool) degrades to
+                    // the old skip behavior — recovery still proceeds.
+                    Err(me) => eprintln!(
+                        "[flatdd-serve] skipping {} ({e}; quarantine failed: {me})",
+                        path.display()
+                    ),
+                }
+            }
         }
     }
-    out.sort_by_key(|r| r.id);
+    out.records.sort_by_key(|r| r.id);
     out
 }
 
@@ -469,6 +569,7 @@ mod tests {
             checkpoint_every: Some(10),
             convert_at_gate: Some(12),
             faults: Some("state.nan:nan:once".into()),
+            approx_fidelity_floor: Some(0.95),
             ..JobSpec::default()
         }
     }
@@ -500,6 +601,18 @@ mod tests {
             &json::parse(r#"{"circuit":"ghz:4","flat_shards":0}"#).unwrap()
         )
         .is_err());
+        for bad in ["0", "-0.5", "1.5", "\"x\""] {
+            let src = format!(r#"{{"circuit":"ghz:4","approx_fidelity_floor":{bad}}}"#);
+            assert!(
+                JobSpec::from_json(&json::parse(&src).unwrap()).is_err(),
+                "floor {bad} must be rejected"
+            );
+        }
+        let ok = JobSpec::from_json(
+            &json::parse(r#"{"circuit":"ghz:4","approx_fidelity_floor":0.9}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ok.approx_fidelity_floor, Some(0.9));
     }
 
     #[test]
@@ -509,20 +622,25 @@ mod tests {
         let mut rec = JobRecord::new(12, spec());
         rec.state = JobState::Done;
         rec.retries = 1;
+        rec.panics = 2;
         rec.result = Some(JobResult {
             gates_applied: 11,
             total_gates: 11,
             phase: "dmav".into(),
             elapsed_secs: 0.25,
+            approximate: true,
+            fidelity: 0.987654321098765,
             heavy: vec![(0, std::f64::consts::FRAC_1_SQRT_2, 0.0), (63, -0.5, 0.25)],
             stats_json: r#"{"gates_dd":5}"#.into(),
             metrics_json: String::new(),
         });
         rec.persist(&dir).unwrap();
         let loaded = load_spool(&dir);
-        let got = loaded.iter().find(|r| r.id == 12).unwrap();
+        assert_eq!(loaded.quarantined, 0);
+        let got = loaded.records.iter().find(|r| r.id == 12).unwrap();
         assert_eq!(got.state, JobState::Done);
         assert_eq!(got.spec, rec.spec);
+        assert_eq!(got.panics, 2, "panic count must survive restarts");
         let r = got.result.as_ref().unwrap();
         assert_eq!(
             r.heavy[0].1,
@@ -530,6 +648,30 @@ mod tests {
             "f64 must roundtrip"
         );
         assert_eq!(r.heavy[1].0, 63);
+        assert!(r.approximate);
+        assert_eq!(r.fidelity, 0.987654321098765, "fidelity must roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_records_are_quarantined_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("flatdd-fsck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = JobRecord::new(1, spec());
+        rec.persist(&dir).unwrap();
+        std::fs::write(dir.join("job-2.json"), "{ not json at all").unwrap();
+        std::fs::write(dir.join("job-3.json"), r#"{"id":3}"#).unwrap(); // no state/spec
+        let loaded = load_spool(&dir);
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].id, 1);
+        assert_eq!(loaded.quarantined, 2);
+        assert!(dir.join("quarantine").join("job-2.json").exists());
+        assert!(dir.join("quarantine").join("job-3.json").exists());
+        assert!(!dir.join("job-2.json").exists(), "original must be moved");
+        // A second pass finds a clean spool: quarantine is idempotent.
+        let again = load_spool(&dir);
+        assert_eq!(again.records.len(), 1);
+        assert_eq!(again.quarantined, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

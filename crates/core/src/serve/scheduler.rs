@@ -188,7 +188,13 @@ impl Scheduler {
             running: 0,
         };
         let metrics = MetricsRegistry::new();
-        for mut rec in super::jobs::load_spool(&cfg.spool) {
+        // Spool fsck: corrupt records were moved to `<spool>/quarantine/`
+        // by `load_spool`; surface the count so operators can alert on it.
+        let loaded = super::jobs::load_spool(&cfg.spool);
+        metrics
+            .counter("serve.quarantined")
+            .add(loaded.quarantined as u64);
+        for mut rec in loaded.records {
             state.next_id = state.next_id.max(rec.id + 1);
             if !rec.state.is_terminal() {
                 // A record caught `running` by a crash resumes from its
@@ -611,11 +617,33 @@ fn worker_loop(inner: &Inner) {
                     inner.metrics.counter("serve.jobs_failed").inc();
                 }
                 Err(_panic) => {
-                    rec.state = JobState::Failed;
-                    rec.exit_code = Some(10);
-                    rec.error = Some("worker thread panicked".into());
-                    inner.metrics.counter("serve.jobs_failed").inc();
+                    // Crash-loop containment: a panicking job gets
+                    // `retry_max` fresh attempts (each resumes from its
+                    // checkpoint when one is installed), then is poisoned.
+                    // The count is persisted in the spool record, so a
+                    // crash-restart cycle of the daemon itself cannot
+                    // launder the attempt history.
+                    rec.panics += 1;
                     inner.metrics.counter("serve.worker_panics").inc();
+                    if rec.panics <= retry_budget {
+                        eprintln!(
+                            "[flatdd-serve] job {id} worker panicked (attempt {}/{}); re-queueing",
+                            rec.panics, retry_budget
+                        );
+                        rec.state = JobState::Queued;
+                        inner.metrics.counter("serve.job_panic_requeues").inc();
+                        st.queue.push(id);
+                        st.enqueued_at.insert(id, Instant::now());
+                    } else {
+                        rec.state = JobState::Failed;
+                        rec.exit_code = Some(10);
+                        rec.error = Some(format!(
+                            "worker thread panicked repeatedly (crash-loop poisoned after {} attempts)",
+                            rec.panics
+                        ));
+                        inner.metrics.counter("serve.jobs_failed").inc();
+                        inner.metrics.counter("serve.jobs_poisoned").inc();
+                    }
                 }
             }
             if rec.state.is_terminal() {
@@ -667,6 +695,9 @@ fn execute_job(
     }
     if let Some(s) = spec.deadline_secs {
         governor.deadline = Some(Duration::from_secs_f64(s));
+    }
+    if let Some(f) = spec.approx_fidelity_floor {
+        governor.approx_fidelity_floor = Some(f);
     }
     let mut cfg = FlatDdConfig {
         threads: spec.threads,
@@ -729,6 +760,8 @@ fn execute_job(
         heavy: Vec::new(),
         stats_json: sim.stats().to_json(),
         metrics_json: String::new(),
+        approximate: sim.is_approximate(),
+        fidelity: sim.fidelity(),
     };
     // Top amplitudes at full precision (bounded work: only for states a
     // status payload can sensibly carry).

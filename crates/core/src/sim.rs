@@ -187,7 +187,7 @@ pub struct GateTrace {
 }
 
 /// Aggregate statistics of a FlatDD run.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FlatDdStats {
     /// Gates executed in the DD phase.
     pub gates_dd: usize,
@@ -238,9 +238,55 @@ pub struct FlatDdStats {
     pub ct_add_hits: u64,
     /// Addition hit ratio.
     pub ct_add_hit_rate: f64,
+    /// Times the approximation rung truncated the DD state under memory
+    /// pressure (0 = the run is exact).
+    pub approx_truncations: usize,
+    /// Cumulative fidelity product across every approximation-rung
+    /// truncation. Exactly `1.0` for exact runs; the governor aborts before
+    /// this would drop below the configured floor.
+    pub fidelity: f64,
+}
+
+impl Default for FlatDdStats {
+    fn default() -> Self {
+        FlatDdStats {
+            gates_dd: 0,
+            gates_dmav: 0,
+            converted_at: None,
+            conversion_seconds: 0.0,
+            cached_dmavs: 0,
+            uncached_dmavs: 0,
+            cache_hits: 0,
+            fused_matrices: 0,
+            modeled_cost: 0.0,
+            peak_state_dd_size: 0,
+            conversion_refusals: 0,
+            pressure_gcs: 0,
+            dmav_plan_hits: 0,
+            dmav_plan_misses: 0,
+            ct_mv_lookups: 0,
+            ct_mv_hits: 0,
+            ct_mv_hit_rate: 0.0,
+            ct_mm_lookups: 0,
+            ct_mm_hits: 0,
+            ct_mm_hit_rate: 0.0,
+            ct_add_lookups: 0,
+            ct_add_hits: 0,
+            ct_add_hit_rate: 0.0,
+            approx_truncations: 0,
+            // A run that never truncates has perfect fidelity.
+            fidelity: 1.0,
+        }
+    }
 }
 
 impl FlatDdStats {
+    /// True when the approximation rung fired at least once, i.e. the
+    /// result is an approximate state with [`Self::fidelity`] < 1 possible.
+    pub fn is_approximate(&self) -> bool {
+        self.approx_truncations > 0
+    }
+
     /// Serializes the statistics as one stable JSON object (fields in
     /// declaration order; `converted_at` is `null` when no conversion
     /// happened). This is what the CLI's `--stats-json` prints.
@@ -282,11 +328,18 @@ impl FlatDdStats {
         num(&mut o, "ct_mm_hit_rate", self.ct_mm_hit_rate);
         let _ = write!(o, "\"ct_add_lookups\": {}, ", self.ct_add_lookups);
         let _ = write!(o, "\"ct_add_hits\": {}, ", self.ct_add_hits);
+        num(&mut o, "ct_add_hit_rate", self.ct_add_hit_rate);
+        let _ = write!(o, "\"approx_truncations\": {}, ", self.approx_truncations);
+        let _ = write!(
+            o,
+            "\"approximate\": {}, ",
+            if self.is_approximate() { "true" } else { "false" }
+        );
         // Last field without the trailing separator.
-        if self.ct_add_hit_rate.is_finite() {
-            let _ = write!(o, "\"ct_add_hit_rate\": {}", self.ct_add_hit_rate);
+        if self.fidelity.is_finite() {
+            let _ = write!(o, "\"fidelity\": {}", self.fidelity);
         } else {
-            o.push_str("\"ct_add_hit_rate\": null");
+            o.push_str("\"fidelity\": null");
         }
         o.push('}');
         o
@@ -552,6 +605,17 @@ impl FlatDdSimulator {
         s.ct_add_hits = c.add_hits.saturating_sub(self.compute_base.add_hits);
         s.ct_add_hit_rate = ratio(s.ct_add_hits, s.ct_add_lookups);
         s
+    }
+
+    /// Cumulative fidelity product of the run so far (`1.0` = exact). Drops
+    /// below 1 only when the approximation rung has truncated the state.
+    pub fn fidelity(&self) -> f64 {
+        self.stats.fidelity
+    }
+
+    /// True when the approximation rung fired and the state is approximate.
+    pub fn is_approximate(&self) -> bool {
+        self.stats.approx_truncations > 0
     }
 
     /// Per-gate trace (empty unless `cfg.trace`).
@@ -848,9 +912,117 @@ impl FlatDdSimulator {
         }
     }
 
+    /// Re-probes the breached memory source after a relief rung ran.
+    fn probe_breached(&self, context: &'static str) -> usize {
+        if context == "process RSS" {
+            crate::memory::current_rss_bytes().unwrap_or(u64::MAX) as usize
+        } else {
+            self.memory_bytes()
+        }
+    }
+
+    /// The approximation rung: the ladder's last resort, armed only by
+    /// `--approx-fidelity-floor` / `FLATDD_APPROX_FLOOR`. Repeatedly
+    /// prunes the DD-phase state at the smallest effective threshold and
+    /// compacts the package until the breach clears, each round accepted
+    /// only if the cumulative fidelity product stays at or above the
+    /// floor. Returns `true` when
+    /// the budget holds again. In the flat phase there is nothing to
+    /// truncate, so the rung never fires there.
+    fn approx_truncate(&mut self, budget_bytes: usize, context: &'static str) -> bool {
+        let Some(floor) = self.gov.config().approx_fidelity_floor else {
+            return false;
+        };
+        let mut state = match &self.repr {
+            Repr::Dd(s) => *s,
+            Repr::Flat { .. } => return false,
+        };
+        loop {
+            let nodes = self.pkg.vector_dd_size(state);
+            if nodes <= 2 {
+                return false; // nothing left to prune
+            }
+            // Cheapest effective prune: walk the threshold ladder up from
+            // the bottom and take the first rung that removes any node at
+            // all. Capacity breaches (bloated value/compute tables over a
+            // healthy state) then cost almost no fidelity — the compaction
+            // below is what actually releases the memory — while genuinely
+            // oversized states escalate naturally on later rounds once
+            // their low-mass tail is gone.
+            let mut threshold = 1e-12;
+            let mut r = self.pkg.approximate(state, threshold);
+            while r.nodes_after >= nodes && threshold < 0.5 {
+                threshold *= 16.0;
+                r = self.pkg.approximate(state, threshold);
+            }
+            if r.nodes_after >= nodes || !(r.fidelity > 0.0) {
+                return false; // pruning made no progress
+            }
+            let product = self.stats.fidelity * r.fidelity;
+            if product < floor {
+                // Accepting this step would cross the floor: keep the exact
+                // state and let the breach surface as the usual typed error.
+                return false;
+            }
+            state = r.state;
+            self.repr = Repr::Dd(state);
+            self.stats.fidelity = product;
+            self.stats.approx_truncations += 1;
+            self.ctx.metrics().counter("core.approx_truncations").inc();
+            self.ctx.metrics().gauge("sim.fidelity").set(product);
+            // Per-step fidelity histogram (integer buckets → parts per
+            // million; 1e6 = lossless).
+            self.ctx
+                .metrics()
+                .histogram("sim.approx_step_fidelity_ppm")
+                .observe((r.fidelity * 1e6) as u64);
+            if qtelemetry::enabled() {
+                qtelemetry::emit(qtelemetry::Event::Governor {
+                    sim: self.telemetry_id,
+                    ts_us: qtelemetry::now_us(),
+                    action: "approx_truncate",
+                    detail: format!(
+                        "nodes={}->{} step_fidelity={:.12} cumulative={:.12}",
+                        r.nodes_before, r.nodes_after, r.fidelity, product
+                    ),
+                });
+            }
+            // Reclaiming dead nodes is not enough: the arena slabs are
+            // append-only, so a sweep never lowers the capacity-based
+            // accounting the budget is charged against. Compact for real by
+            // rebuilding the surviving state in a fresh package and
+            // dropping the old one (node ids change, so every id-keyed
+            // cache goes with it).
+            match qdd::serialize::vector_dd_to_bytes(&self.pkg, state, self.n) {
+                Ok(bytes) => {
+                    let mut fresh = DdPackage::default();
+                    if let Ok((root, _)) = qdd::serialize::vector_dd_from_bytes(&mut fresh, &bytes)
+                    {
+                        self.pkg = fresh;
+                        state = root;
+                        self.repr = Repr::Dd(root);
+                        self.mac.clear();
+                        self.plans.clear();
+                    } else {
+                        self.pkg.gc(&[state], &[]);
+                        self.pkg.flush_caches();
+                    }
+                }
+                Err(_) => {
+                    self.pkg.gc(&[state], &[]);
+                    self.pkg.flush_caches();
+                }
+            }
+            if self.probe_breached(context) <= budget_bytes {
+                return true;
+            }
+        }
+    }
+
     /// Memory-budget enforcement, called after each gate: on a breach the
-    /// degradation ladder runs first, and only a still-standing breach
-    /// becomes an error.
+    /// degradation ladder runs first (compute-table flush, GC, scratch
+    /// release), then — when armed — the approximation rung, and only a
+    /// still-standing breach becomes an error.
     fn enforce_memory(&mut self) -> Result<(), FlatDdError> {
         let used = self.memory_bytes();
         let breach = match self.gov.check_memory(used) {
@@ -864,11 +1036,13 @@ impl FlatDdSimulator {
             ..
         } = breach
         {
-            let now = if context == "process RSS" {
-                crate::memory::current_rss_bytes().unwrap_or(u64::MAX) as usize
-            } else {
-                self.memory_bytes()
-            };
+            if self.probe_breached(context) <= budget_bytes {
+                return Ok(());
+            }
+            if self.approx_truncate(budget_bytes, context) {
+                return Ok(());
+            }
+            let now = self.probe_breached(context);
             if now <= budget_bytes {
                 return Ok(());
             }
@@ -1292,8 +1466,11 @@ impl FlatDdSimulator {
             Repr::Flat { .. } => (0, self.shards),
         };
         // Degradation rung: 0 = unconstrained, 1 = memory pressure forced
-        // GC sweeps, 2 = a conversion was refused (run pinned to DD mode).
-        let governor_rung = if self.conversion_blocked {
+        // GC sweeps, 2 = a conversion was refused (run pinned to DD mode),
+        // 3 = the approximation rung truncated the state (approximate run).
+        let governor_rung = if self.stats.approx_truncations > 0 {
+            3
+        } else if self.conversion_blocked {
             2
         } else if self.stats.pressure_gcs > 0 {
             1
@@ -1996,6 +2173,11 @@ impl FlatDdSimulator {
             .metrics()
             .gauge("sim.ct_add_hit_rate")
             .set(s.ct_add_hit_rate);
+        self.ctx.metrics().gauge("sim.fidelity").set(s.fidelity);
+        self.ctx
+            .metrics()
+            .gauge("sim.approx_truncations")
+            .set(s.approx_truncations as f64);
         self.ctx.metrics().gauge("sim.threads").set(self.t as f64);
         self.ctx
             .metrics()

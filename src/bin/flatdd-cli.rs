@@ -29,6 +29,13 @@
 //!   --memory-budget-mb <mb>    cap engine-accounted memory (flatdd engine)
 //!   --rss-budget-mb <mb>       cap process RSS (flatdd engine)
 //!   --deadline-secs <s>        wall-clock budget (flatdd engine)
+//!   --approx-fidelity-floor <f> arm the approximation rung: on a memory
+//!                              breach no exact relief can clear, truncate
+//!                              the DD state as long as the cumulative
+//!                              fidelity stays >= f (in (0,1]; flatdd
+//!                              engine; or FLATDD_APPROX_FLOOR)
+//!   --no-convert               never convert to the flat array: keep the
+//!                              run DD-based end to end (flatdd engine)
 //!   --checkpoint-path <path>   write crash-safe checkpoints here (flatdd)
 //!   --checkpoint-every <g>     also checkpoint every g applied gates
 //!   --resume-from <path>       resume a prior run from a checkpoint file
@@ -79,7 +86,8 @@ Usage:
                  [--stats-json path|-] [--trace-out path]
                  [--metrics-out path|-] [--events-out path]
                  [--memory-budget-mb mb] [--rss-budget-mb mb]
-                 [--deadline-secs s] [--checkpoint-path path]
+                 [--deadline-secs s] [--approx-fidelity-floor f]
+                 [--no-convert] [--checkpoint-path path]
                  [--checkpoint-every gates] [--resume-from path]
   flatdd-cli gen <circuit> [--seed s]
   flatdd-cli list
@@ -136,6 +144,8 @@ struct RunOpts {
     memory_budget_mb: Option<u64>,
     rss_budget_mb: Option<u64>,
     deadline_secs: Option<f64>,
+    approx_fidelity_floor: Option<f64>,
+    no_convert: bool,
     checkpoint_path: Option<String>,
     checkpoint_every: Option<usize>,
     resume_from: Option<String>,
@@ -160,6 +170,8 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
         memory_budget_mb: None,
         rss_budget_mb: None,
         deadline_secs: None,
+        approx_fidelity_floor: None,
+        no_convert: false,
         checkpoint_path: None,
         checkpoint_every: None,
         resume_from: None,
@@ -210,6 +222,20 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
                 }
                 o.deadline_secs = Some(s);
             }
+            // A mistyped floor must not silently run exact (and die) or,
+            // worse, accept arbitrarily lossy truncation.
+            "--approx-fidelity-floor" => {
+                let f: f64 = parse_or_die(
+                    "--approx-fidelity-floor",
+                    &val("--approx-fidelity-floor"),
+                );
+                if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                    eprintln!("--approx-fidelity-floor: must be in (0, 1], got {f}");
+                    std::process::exit(2);
+                }
+                o.approx_fidelity_floor = Some(f);
+            }
+            "--no-convert" => o.no_convert = true,
             "--checkpoint-path" => o.checkpoint_path = Some(val("--checkpoint-path")),
             // A mistyped interval must not silently disable checkpointing.
             "--checkpoint-every" => {
@@ -351,11 +377,17 @@ fn cmd_run(args: &[String]) {
             if let Some(s) = o.deadline_secs {
                 governor.deadline = Some(std::time::Duration::from_secs_f64(s));
             }
+            if let Some(f) = o.approx_fidelity_floor {
+                governor.approx_fidelity_floor = Some(f);
+            }
             let mut cfg = FlatDdConfig {
                 threads: o.threads,
                 governor,
                 ..Default::default()
             };
+            if o.no_convert {
+                cfg.conversion = flatdd::ConversionPolicy::Never;
+            }
             // Flag beats FLATDD_DD_THREADS (already folded into the default).
             if let Some(t) = o.dd_threads {
                 cfg.dd_threads = t;
@@ -461,6 +493,14 @@ fn cmd_run(args: &[String]) {
                 sim.phase(),
                 sim.stats().converted_at
             );
+            if sim.is_approximate() {
+                eprintln!(
+                    "APPROXIMATE result: {} truncation(s) under memory pressure, \
+                     cumulative fidelity {:.12}",
+                    sim.stats().approx_truncations,
+                    sim.fidelity()
+                );
+            }
             if o.stats {
                 eprintln!("{:#?}", sim.stats());
             }

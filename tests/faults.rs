@@ -164,6 +164,68 @@ fn disarmed_runs_are_unaffected() {
 }
 
 #[test]
+fn enospc_during_checkpoint_install_keeps_prior_checkpoint() {
+    let _armed = Armed::new("checkpoint.enospc:error");
+    let c = generators::ghz(8);
+    let path = tmp_path("enospc");
+    let mut sim = FlatDdSimulator::try_new(8, FlatDdConfig::default()).unwrap();
+    sim.set_checkpoint_policy(Some(CheckpointPolicy::at(&path)));
+    sim.run(&c).unwrap();
+    // First write hits the injected ENOSPC between the temp write and the
+    // rename: a typed I/O error, no torn file installed.
+    match sim.save_checkpoint() {
+        Err(FlatDdError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::StorageFull);
+            assert!(e.to_string().contains(faults::SITE_CKPT_ENOSPC));
+        }
+        Err(e) => panic!("expected Io(StorageFull), got {e}"),
+        Ok(_) => panic!("injected ENOSPC was swallowed"),
+    }
+    assert!(!path.exists(), "failed install left a checkpoint behind");
+    // The fault was one-shot: the retry succeeds and the file loads.
+    sim.save_checkpoint().unwrap();
+    FlatDdSimulator::resume_from(&path, FlatDdConfig::default(), &c).unwrap();
+    // A full checkpoint survives a later failed overwrite attempt intact.
+    faults::set_spec("checkpoint.enospc:error:always").unwrap();
+    sim.save_checkpoint().unwrap_err();
+    FlatDdSimulator::resume_from(&path, FlatDdConfig::default(), &c).unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn spool_write_failure_is_a_typed_io_error() {
+    let _armed = Armed::new("spool.write:error:always");
+    let dir = std::env::temp_dir().join(format!("flatdd-fault-test-spool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = flatdd::serve::JobSpec {
+        circuit: "ghz:4".into(),
+        ..Default::default()
+    };
+    let rec = flatdd::serve::JobRecord::new(7, spec);
+    match rec.persist(&dir) {
+        Err(FlatDdError::Io(e)) => {
+            assert!(e.to_string().contains(faults::SITE_SPOOL_WRITE));
+        }
+        Err(e) => panic!("expected Io, got {e}"),
+        Ok(()) => panic!("injected spool write failure was swallowed"),
+    }
+    // Nothing was installed and nothing torn was left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().flatten().collect();
+    assert!(
+        leftovers.is_empty(),
+        "spool write failure left files: {leftovers:?}"
+    );
+    // Disarmed, the same record persists and reloads cleanly.
+    faults::clear();
+    rec.persist(&dir).unwrap();
+    let loaded = flatdd::serve::jobs::load_spool(&dir);
+    assert_eq!(loaded.records.len(), 1);
+    assert_eq!(loaded.records[0].id, 7);
+    assert_eq!(loaded.quarantined, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn every_site_is_registered() {
     // The CI smoke job iterates `sites()`; pin the catalog so a new site
     // cannot be added without a smoke entry (this list is the contract).
@@ -174,8 +236,10 @@ fn every_site_is_registered() {
         "state.nan",
         "checkpoint.truncate",
         "checkpoint.bitflip",
+        "spool.write",
+        "checkpoint.enospc",
     ] {
         assert!(sites.contains(&s), "fault site {s} missing from registry");
     }
-    assert_eq!(sites.len(), 5, "new fault site needs a CI smoke entry");
+    assert_eq!(sites.len(), 7, "new fault site needs a CI smoke entry");
 }

@@ -173,3 +173,100 @@ fn bounded_queue_rejects_and_cancel_works() {
     daemon.drain(Duration::from_secs(30));
     std::fs::remove_dir_all(&spool).ok();
 }
+
+#[test]
+fn crash_loop_is_poisoned_after_the_retry_budget() {
+    let spool = fresh_spool("crash-loop");
+    let daemon = Daemon::start(&spool, &["--workers", "1", "--retry-max", "1"]);
+    let port = daemon.port;
+
+    // The injected `panic` action at the checkpoint install point models
+    // the worker dying mid-job on every attempt: attempt 1 panics and
+    // re-queues, attempt 2 panics and exhausts the retry budget.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(
+            r#"{"circuit":"ghz:10","threads":1,"checkpoint_every":4,"faults":"checkpoint.enospc:panic:always"}"#,
+        ),
+    );
+    assert_eq!(code, 202, "{body}");
+    let id = job_id(&body);
+
+    let status = wait_terminal(port, id, Duration::from_secs(60));
+    assert_eq!(job_state(&status), "failed", "{status}");
+    assert_eq!(field_u64(&status, "\"exit_code\":"), Some(10), "{status}");
+    assert!(
+        status.contains("poisoned"),
+        "error should mark the job as crash-loop poisoned: {status}"
+    );
+    // Both attempts are accounted in the persisted record.
+    assert_eq!(field_u64(&status, "\"panics\":"), Some(2), "{status}");
+
+    // The daemon itself survived both panics and still serves work.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(r#"{"circuit":"ghz:8","threads":1}"#),
+    );
+    assert_eq!(code, 202, "{body}");
+    let clean = job_id(&body);
+    let status = wait_terminal(port, clean, Duration::from_secs(60));
+    assert_eq!(job_state(&status), "done", "{status}");
+    let (_, metrics) = http(port, "GET", "/metrics", None);
+    assert!(
+        field_u64(&metrics, "\"serve.worker_panics\":") >= Some(2),
+        "{metrics}"
+    );
+
+    daemon.drain(Duration::from_secs(30));
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+#[test]
+fn approximate_degradation_stamps_the_result() {
+    let spool = fresh_spool("approx");
+    let daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let port = daemon.port;
+
+    // Pure-DD job (conversion gate beyond the circuit) under a budget its
+    // exact run cannot hold; the armed per-job floor turns the breach into
+    // a completed, fidelity-stamped approximate result.
+    let (code, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        Some(
+            r#"{"circuit":"vqe:12,3","seed":7,"threads":1,"convert_at_gate":100000,"memory_budget_mb":24,"approx_fidelity_floor":0.9}"#,
+        ),
+    );
+    assert_eq!(code, 202, "{body}");
+    let id = job_id(&body);
+
+    let status = wait_terminal(port, id, Duration::from_secs(120));
+    assert_eq!(job_state(&status), "done", "{status}");
+    assert!(
+        status.contains("\"approximate\":true"),
+        "result must self-describe as approximate: {status}"
+    );
+    let fidelity = status
+        .split("\"fidelity\":")
+        .nth(1)
+        .and_then(|s| {
+            s.split(|c: char| c == ',' || c == '}')
+                .next()?
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .expect("result carries a fidelity");
+    assert!(
+        (0.9..1.0).contains(&fidelity),
+        "fidelity {fidelity} outside [0.9, 1.0): {status}"
+    );
+
+    daemon.drain(Duration::from_secs(30));
+    std::fs::remove_dir_all(&spool).ok();
+}
